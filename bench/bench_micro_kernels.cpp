@@ -1,0 +1,148 @@
+// Supporting micro-benchmarks (google-benchmark): the §4.4 implementation
+// details — vectorized dot/norm kernels across dtypes, the fused dot-triple
+// pass, the local Adasum combine, tensor fusion pack/unpack, and the
+// double-vs-float accumulation ablation from DESIGN.md §4.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "core/adasum.h"
+#include "tensor/fusion.h"
+#include "tensor/kernels.h"
+
+namespace {
+
+using namespace adasum;
+
+template <typename T>
+std::vector<T> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(static_cast<float>(rng.normal(0, 1)));
+  return v;
+}
+
+template <typename T>
+void BM_Dot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_values<T>(n, 1);
+  const auto b = random_values<T>(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::dot(std::span<const T>(a), std::span<const T>(b)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 2 *
+                          sizeof(T));
+}
+BENCHMARK(BM_Dot<Half>)->Arg(1 << 12)->Arg(1 << 18);
+BENCHMARK(BM_Dot<float>)->Arg(1 << 12)->Arg(1 << 18);
+BENCHMARK(BM_Dot<double>)->Arg(1 << 12)->Arg(1 << 18);
+
+template <typename T>
+void BM_DotTriple(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_values<T>(n, 3);
+  const auto b = random_values<T>(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::dot_triple(std::span<const T>(a), std::span<const T>(b)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 2 *
+                          sizeof(T));
+}
+BENCHMARK(BM_DotTriple<float>)->Arg(1 << 12)->Arg(1 << 18);
+BENCHMARK(BM_DotTriple<Half>)->Arg(1 << 18);
+
+// The fused one-pass triple vs three separate reductions (§4.4.2 ablation).
+void BM_ThreeSeparateDots(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_values<float>(n, 5);
+  const auto b = random_values<float>(n, 6);
+  for (auto _ : state) {
+    kernels::DotTriple t;
+    t.ab = kernels::dot(std::span<const float>(a), std::span<const float>(b));
+    t.aa = kernels::norm_squared(std::span<const float>(a));
+    t.bb = kernels::norm_squared(std::span<const float>(b));
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 2 *
+                          sizeof(float));
+}
+BENCHMARK(BM_ThreeSeparateDots)->Arg(1 << 12)->Arg(1 << 18);
+
+template <typename T>
+void BM_ScaledSum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_values<T>(n, 7);
+  const auto b = random_values<T>(n, 8);
+  std::vector<T> out(n);
+  for (auto _ : state) {
+    kernels::scaled_sum(std::span<const T>(a), 0.75, std::span<const T>(b),
+                        0.8, std::span<T>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 3 *
+                          sizeof(T));
+}
+BENCHMARK(BM_ScaledSum<float>)->Arg(1 << 18);
+BENCHMARK(BM_ScaledSum<Half>)->Arg(1 << 18);
+
+void BM_AdasumPair(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  Tensor a({n}), b({n});
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, rng.normal());
+    b.set(i, rng.normal());
+  }
+  for (auto _ : state) {
+    Tensor r = adasum_pair(a, b);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_AdasumPair)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_FusionPackUnpack(benchmark::State& state) {
+  const int tensors = static_cast<int>(state.range(0));
+  Rng rng(10);
+  std::vector<Tensor> owned;
+  std::vector<const Tensor*> ptrs;
+  std::vector<Tensor*> mut;
+  for (int i = 0; i < tensors; ++i) {
+    owned.emplace_back(
+        std::vector<std::size_t>{static_cast<std::size_t>(256 + 64 * i)});
+  }
+  for (auto& t : owned) {
+    ptrs.push_back(&t);
+    mut.push_back(&t);
+  }
+  for (auto _ : state) {
+    FusedTensor fused = fuse(ptrs);
+    unfuse(fused, mut);
+    benchmark::DoNotOptimize(fused.flat.data());
+  }
+}
+BENCHMARK(BM_FusionPackUnpack)->Arg(8)->Arg(64);
+
+// Accumulation ablation: the same fp32 reduction with a float accumulator —
+// faster on some machines but loses the precision §4.4.1 requires (the
+// correctness side is asserted in tests/tensor_test.cpp).
+void BM_FloatAccumulatorDot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_values<float>(n, 11);
+  const auto b = random_values<float>(n, 12);
+  for (auto _ : state) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 2 *
+                          sizeof(float));
+}
+BENCHMARK(BM_FloatAccumulatorDot)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

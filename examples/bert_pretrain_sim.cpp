@@ -1,0 +1,103 @@
+// Two-phase transformer pretraining with LAMB + Adasum — the §5.3 workflow
+// as a runnable example.
+//
+//   build/examples/bert_pretrain_sim [workers] [local_steps]
+//
+// Phase 1 trains TinyBert on short sequences at a large effective batch
+// (workers x microbatch x local_steps examples per communication round);
+// phase 2 continues on longer sequences, warm-started from the phase-1
+// model — mirroring BERT's seq-128/seq-512 pretraining split. The Adasum
+// allreduce runs AFTER the LAMB update on the effective gradient (Figure 3).
+#include <iostream>
+#include <string>
+
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "optim/lr_schedule.h"
+#include "train/trainer.h"
+
+using namespace adasum;
+
+namespace {
+
+train::TrainResult run_phase(const std::string& label,
+                             const data::Dataset& train_set,
+                             const data::Dataset& eval_set, int workers,
+                             int local_steps, double lr, int epochs,
+                             const Tensor& warm_start) {
+  train::ModelFactory factory = [](Rng& rng) {
+    nn::TinyBertConfig c;
+    c.vocab = 16;
+    c.max_len = 16;
+    c.dim = 16;
+    c.ffn_dim = 32;
+    c.layers = 1;
+    return nn::make_tiny_bert(c, rng);
+  };
+  optim::ConstantLr schedule(lr);
+  train::TrainConfig config;
+  config.world_size = workers;
+  config.microbatch = 8;
+  config.epochs = epochs;
+  config.optimizer = optim::OptimizerKind::kLamb;
+  config.dist.op = ReduceOp::kAdasum;
+  config.dist.local_steps = local_steps;
+  config.schedule = &schedule;
+  config.eval_examples = 256;
+  config.target_accuracy = 0.70;
+  config.initial_params = warm_start;
+  config.seed = 13;
+  std::cout << "\n--- " << label << " (effective batch "
+            << workers * 8 * local_steps << " examples/round) ---\n";
+  const train::TrainResult r =
+      train::train_data_parallel(factory, train_set, eval_set, config);
+  for (std::size_t i = 0; i < r.epochs.size(); ++i) {
+    if (i % 5 == 0 || i + 1 == r.epochs.size())
+      std::cout << "epoch " << r.epochs[i].epoch << "  loss "
+                << r.epochs[i].train_loss << "  next-token acc "
+                << r.epochs[i].eval_accuracy << "\n";
+  }
+  std::cout << (r.reached_target ? "reached" : "did NOT reach")
+            << " the 0.70 target after " << r.total_rounds << " rounds\n";
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::stoi(argv[1]) : 8;
+  const int local_steps = argc > 2 ? std::stoi(argv[2]) : 8;
+
+  data::MarkovTextDataset::Options p1;
+  p1.num_examples = 2048;
+  p1.vocab = 16;
+  p1.seq_len = 8;
+  p1.noise = 0.15;
+  p1.seed = 51;
+  const data::MarkovTextDataset phase1_train(p1);
+  p1.num_examples = 512;
+  p1.example_seed = 5252;
+  const data::MarkovTextDataset phase1_eval(p1);
+
+  data::MarkovTextDataset::Options p2 = p1;
+  p2.num_examples = 2048;
+  p2.seq_len = 16;
+  p2.example_seed = 0;
+  const data::MarkovTextDataset phase2_train(p2);
+  p2.num_examples = 512;
+  p2.example_seed = 6262;
+  const data::MarkovTextDataset phase2_eval(p2);
+
+  std::cout << "TinyBert pretraining with LAMB + Adasum on " << workers
+            << " ranks, " << local_steps << " local steps/round\n"
+            << "(best achievable next-token accuracy on this corpus: "
+            << phase1_train.bayes_accuracy() << ")\n";
+
+  const train::TrainResult ph1 =
+      run_phase("phase 1: short sequences", phase1_train, phase1_eval,
+                workers, local_steps, 0.003, 60, Tensor());
+  run_phase("phase 2: long sequences (warm start)", phase2_train, phase2_eval,
+            workers, std::max(1, local_steps / 2), 0.003, 30,
+            ph1.final_params);
+  return 0;
+}

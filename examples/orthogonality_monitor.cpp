@@ -1,0 +1,99 @@
+// Gradient-orthogonality monitor — the diagnostic behind Figure 1 and §3.6,
+// as a reusable tool.
+//
+//   build/examples/orthogonality_monitor [workers] [steps]
+//
+// Trains a small residual convnet data-parallel and, every few steps, prints
+// the per-layer orthogonality metric ||Adasum(g_1..n)||^2 / sum ||g_i||^2 —
+// 1.0 means the workers' gradients are mutually orthogonal (Adasum will sum
+// them), 1/n means they are parallel (Adasum will average). Watching this
+// during training shows when aggressive batch scaling is safe.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/adasum.h"
+#include "core/orthogonality.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "tensor/kernels.h"
+#include "train/hessian.h"
+
+using namespace adasum;
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::stoi(argv[1]) : 16;
+  const int steps = argc > 2 ? std::stoi(argv[2]) : 60;
+
+  data::ClusterImageDataset::Options opt;
+  opt.num_examples = 8192;
+  opt.num_classes = 8;
+  opt.height = 8;
+  opt.width = 8;
+  opt.noise = 0.8;
+  opt.seed = 31;
+  const data::ClusterImageDataset dataset(opt);
+
+  Rng rng(401);
+  auto model = nn::make_resnet_tiny(1, 8, rng, /*blocks=*/1, /*width=*/4);
+  auto params = model->parameters();
+  Rng batch_rng(402);
+
+  std::cout << "per-layer orthogonality of " << workers
+            << " workers' gradients (1 = orthogonal, " << std::setprecision(3)
+            << 1.0 / workers << " = parallel)\n\n";
+  std::cout << std::left << std::setw(6) << "step" << std::setw(10) << "avg"
+            << std::setw(10) << "min" << std::setw(10) << "max"
+            << "least-orthogonal layer\n";
+
+  const double lr = 0.05;
+  for (int step = 0; step < steps; ++step) {
+    std::vector<Tensor> fused_grads;
+    std::vector<TensorSlice> slices;
+    for (int w = 0; w < workers; ++w) {
+      nn::zero_grads(params);
+      std::vector<std::size_t> idx(8);
+      for (auto& i : idx) i = batch_rng.uniform_int(dataset.size());
+      const data::Batch b = data::make_batch(dataset, idx);
+      const Tensor logits = model->forward(b.inputs, true);
+      const nn::LossResult loss = nn::softmax_cross_entropy(logits, b.labels);
+      model->backward(loss.grad);
+      std::vector<const Tensor*> ptrs;
+      std::vector<std::string> names;
+      for (nn::Parameter* p : params) {
+        ptrs.push_back(&p->grad);
+        names.push_back(p->name);
+      }
+      FusedTensor fused = fuse(ptrs, &names);
+      if (slices.empty()) slices = fused.slices;
+      fused_grads.push_back(std::move(fused.flat));
+    }
+
+    if (step % 5 == 0 || step + 1 == steps) {
+      const LayerOrthogonality lo = layer_orthogonality(fused_grads, slices);
+      const auto min_it =
+          std::min_element(lo.per_layer.begin(), lo.per_layer.end());
+      const auto max_it =
+          std::max_element(lo.per_layer.begin(), lo.per_layer.end());
+      std::cout << std::left << std::setw(6) << step << std::setw(10)
+                << lo.average << std::setw(10) << *min_it << std::setw(10)
+                << *max_it
+                << lo.layer_names[static_cast<std::size_t>(
+                       min_it - lo.per_layer.begin())]
+                << "\n";
+    }
+
+    const Tensor combined = adasum_tree_layerwise(fused_grads, slices);
+    const Tensor w0 = train::params_to_flat(params);
+    Tensor next = w0.clone();
+    kernels::axpy(-lr, combined.span<float>(), next.span<float>());
+    train::flat_to_params(next, params);
+    nn::zero_grads(params);
+  }
+  std::cout << "\nTrend to watch: the average climbs toward 1 as training "
+               "proceeds — the window where Adasum can safely behave like a "
+               "sum keeps widening (§3.5).\n";
+  return 0;
+}

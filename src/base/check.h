@@ -1,0 +1,76 @@
+// Lightweight runtime-checking macros used across the library.
+//
+// The library uses exceptions for error reporting (per the C++ Core
+// Guidelines): precondition violations raise adasum::CheckError with a
+// message identifying the failing expression and source location. CHECK is
+// always on (including release builds) because every call site guards an
+// invariant whose violation would otherwise corrupt a distributed reduction
+// silently; the cost is negligible relative to the guarded work.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adasum {
+
+// Error thrown when a CHECK* macro fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Error thrown for invalid user-facing configuration (bad dtype combination,
+// non-power-of-two world size where required, mismatched shapes, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& extra) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  throw CheckError(os.str());
+}
+
+template <typename A, typename B>
+std::string describe_binary(const char* op, const A& a, const B& b) {
+  std::ostringstream os;
+  os << "lhs " << op << " rhs with lhs=" << a << " rhs=" << b;
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace adasum
+
+#define ADASUM_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::adasum::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define ADASUM_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::adasum::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define ADASUM_CHECK_BINOP(a, b, op)                                       \
+  do {                                                                     \
+    if (!((a)op(b)))                                                       \
+      ::adasum::detail::check_failed(                                      \
+          #a " " #op " " #b, __FILE__, __LINE__,                           \
+          ::adasum::detail::describe_binary(#op, (a), (b)));               \
+  } while (false)
+
+#define ADASUM_CHECK_EQ(a, b) ADASUM_CHECK_BINOP(a, b, ==)
+#define ADASUM_CHECK_NE(a, b) ADASUM_CHECK_BINOP(a, b, !=)
+#define ADASUM_CHECK_LT(a, b) ADASUM_CHECK_BINOP(a, b, <)
+#define ADASUM_CHECK_LE(a, b) ADASUM_CHECK_BINOP(a, b, <=)
+#define ADASUM_CHECK_GT(a, b) ADASUM_CHECK_BINOP(a, b, >)
+#define ADASUM_CHECK_GE(a, b) ADASUM_CHECK_BINOP(a, b, >=)

@@ -1,0 +1,48 @@
+// Software IEEE-754 binary16 ("half") type.
+//
+// The paper's Horovod implementation supports fp16 gradient payloads for
+// communication efficiency (Section 4.4.1). Since this reproduction runs on
+// CPU without hardware half support, Half stores the 16-bit pattern and
+// converts to/from float on access. Round-to-nearest-even on conversion from
+// float, with correct handling of subnormals, infinities and NaN — the
+// dynamic-scaling logic (src/tensor/scaling.h) relies on overflow producing
+// real infinities.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace adasum {
+
+class Half {
+ public:
+  constexpr Half() = default;
+  // Conversions are implicit by design: Half participates in arithmetic
+  // expressions alongside float throughout the kernels.
+  Half(float f) : bits_(float_to_bits(f)) {}  // NOLINT(google-explicit-constructor)
+  operator float() const { return bits_to_float(bits_); }  // NOLINT
+
+  static constexpr Half from_bits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  // Largest finite half value: 65504.
+  static constexpr float max_finite() { return 65504.0f; }
+
+  friend bool operator==(Half a, Half b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+
+ private:
+  static std::uint16_t float_to_bits(float f);
+  static float bits_to_float(std::uint16_t h);
+
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be 2 bytes for wire payloads");
+
+}  // namespace adasum

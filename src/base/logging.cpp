@@ -1,0 +1,51 @@
+#include "base/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace adasum {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_output_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level.load() && level != LogLevel::kOff) {
+  if (enabled_) {
+    stream_ << "[" << level_name(level) << " " << basename_of(file) << ":"
+            << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(g_output_mutex);
+    std::cerr << stream_.str() << "\n";
+  }
+}
+
+}  // namespace detail
+}  // namespace adasum

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// The benches and examples print their primary output with plain std::cout;
+// the logger exists for diagnostics inside the library (collective retries,
+// dynamic-scaling adjustments, trainer progress) and can be silenced
+// globally, which the test suite does to keep ctest output readable.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace adasum {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace adasum
+
+#define ADASUM_LOG(level)                                          \
+  ::adasum::detail::LogMessage(::adasum::LogLevel::k##level,       \
+                               __FILE__, __LINE__)

@@ -1,0 +1,86 @@
+#include "base/rng.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace adasum {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  // Seed the four state words from successive splitmix64 outputs; guarantees
+  // a non-zero state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    sm = splitmix64(sm);
+    word = sm;
+  }
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  return Rng(splitmix64(seed_ ^ splitmix64(stream_id + 0x517cc1b727220a95ull)));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % n;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] avoids log(0).
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+}  // namespace adasum

@@ -1,0 +1,66 @@
+#include "collectives/adasum_linear.h"
+
+#include <cstring>
+
+#include "base/check.h"
+#include "core/adasum.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+namespace {
+
+void combine_layerwise(const std::byte* a, const std::byte* b, std::byte* out,
+                       std::size_t count, DType dtype,
+                       std::span<const TensorSlice> slices) {
+  const TensorSlice whole{"all", 0, count};
+  const std::span<const TensorSlice> layers =
+      slices.empty() ? std::span<const TensorSlice>{&whole, 1} : slices;
+  const std::size_t elem = dtype_size(dtype);
+  for (const TensorSlice& s : layers) {
+    ADASUM_CHECK_LE(s.offset + s.count, count);
+    const kernels::DotTriple t = kernels::dot_triple_bytes(
+        a + s.offset * elem, b + s.offset * elem, s.count, dtype);
+    const AdasumFactors f = adasum_factors(t);
+    kernels::scaled_sum_bytes(a + s.offset * elem, f.ca, b + s.offset * elem,
+                              f.cb, out + s.offset * elem, s.count, dtype);
+  }
+}
+
+}  // namespace
+
+void adasum_linear_allreduce(Comm& comm, std::byte* data, std::size_t count,
+                             DType dtype, std::span<const TensorSlice> slices,
+                             int tag_base) {
+  const int p = comm.size();
+  if (p == 1 || count == 0) return;
+  const int rank = comm.rank();
+  const std::size_t elem = dtype_size(dtype);
+  const std::size_t bytes = count * elem;
+
+  // Upstream pass: fold the accumulator through ranks 0 -> p-1.
+  if (rank > 0) {
+    const std::vector<std::byte> acc = comm.recv_bytes(rank - 1, tag_base);
+    ADASUM_CHECK_EQ(acc.size(), bytes);
+    combine_layerwise(acc.data(), data, data, count, dtype, slices);
+  }
+  if (rank < p - 1) {
+    comm.send_bytes(rank + 1, {data, bytes}, tag_base);
+    // Downstream pass: receive the final result.
+    const std::vector<std::byte> result =
+        comm.recv_bytes(rank + 1, tag_base + 1);
+    ADASUM_CHECK_EQ(result.size(), bytes);
+    std::memcpy(data, result.data(), bytes);
+  }
+  if (rank > 0) {
+    comm.send_bytes(rank - 1, {data, bytes}, tag_base + 1);
+  }
+}
+
+void adasum_linear_allreduce(Comm& comm, Tensor& tensor,
+                             std::span<const TensorSlice> slices,
+                             int tag_base) {
+  adasum_linear_allreduce(comm, tensor.data(), tensor.size(), tensor.dtype(),
+                          slices, tag_base);
+}
+
+}  // namespace adasum

@@ -1,0 +1,31 @@
+// Linear (chain-order) Adasum allreduce (§4.2.3's "ring" variant).
+//
+// Applies the pairwise operator in rank order:
+//   acc = Adasum(...Adasum(Adasum(g0, g1), g2)..., g_{p-1})
+// Rank i receives the running accumulator from rank i-1, combines it with
+// its own gradient locally (it holds both full vectors, so the dot products
+// need no extra communication), and forwards; the last rank broadcasts the
+// result back down the chain. The paper implemented an optimized chunked
+// version of this ordering and found it slower than AdasumRVH on their
+// hardware; we keep the simple chain as the numerically-identical reference
+// and price the optimized schedule in the cost model.
+#pragma once
+
+#include <span>
+
+#include "comm/world.h"
+#include "tensor/fusion.h"
+#include "tensor/tensor.h"
+
+namespace adasum {
+
+void adasum_linear_allreduce(Comm& comm, std::byte* data, std::size_t count,
+                             DType dtype,
+                             std::span<const TensorSlice> slices = {},
+                             int tag_base = 0);
+
+void adasum_linear_allreduce(Comm& comm, Tensor& tensor,
+                             std::span<const TensorSlice> slices = {},
+                             int tag_base = 0);
+
+}  // namespace adasum

@@ -1,0 +1,42 @@
+// Hierarchical Adasum allreduce (paper §4.2.2).
+//
+// When HOROVOD_HIERARCHICAL_ALLREDUCE is set, Horovod reduces in three
+// phases: (1) an NCCL reduce-scatter among the GPUs inside each node, (2) a
+// cross-node AdasumRVH on each GPU's shard (GPU j of every node forms one
+// cross-node group), and (3) an NCCL allgather inside the node. The local
+// phase averages the node's gradients — the node acts as one logical Adasum
+// worker with a larger effective microbatch — and the Adasum operator is
+// applied only across nodes, matching Horovod's semantics.
+//
+// Note on dot-product scope: the cross-node Adasum computes its dot products
+// within each shard (further split by any layer boundaries that intersect
+// the shard), not across the whole vector — shard boundaries effectively act
+// as additional layer boundaries. This mirrors the shipped Horovod behavior,
+// where the MPI Adasum op sees only the buffer each GPU owns after the local
+// reduce-scatter.
+#pragma once
+
+#include <span>
+
+#include "comm/world.h"
+#include "tensor/fusion.h"
+#include "tensor/tensor.h"
+
+namespace adasum {
+
+// In-place hierarchical allreduce. `ranks_per_node` consecutive ranks form a
+// node; world size must be a multiple of it and the node count a power of
+// two. When `use_adasum` is false the cross-node phase is a plain sum-RVH
+// (the baseline hierarchical allreduce of §5.1.1); the local phase averages
+// either way only when `use_adasum` is true (sum mode matches plain sum).
+void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
+                            DType dtype, int ranks_per_node, bool use_adasum,
+                            std::span<const TensorSlice> slices = {},
+                            int tag_base = 0);
+
+void hierarchical_allreduce(Comm& comm, Tensor& tensor, int ranks_per_node,
+                            bool use_adasum,
+                            std::span<const TensorSlice> slices = {},
+                            int tag_base = 0);
+
+}  // namespace adasum

@@ -1,0 +1,113 @@
+#include "collectives/primitives.h"
+
+#include <cstring>
+
+#include "base/check.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+
+ChunkRange chunk_range(std::size_t count, int p, int c) {
+  ADASUM_CHECK_GE(c, 0);
+  ADASUM_CHECK_LE(c, p);
+  return ChunkRange{
+      count * static_cast<std::size_t>(c) / static_cast<std::size_t>(p),
+      count * static_cast<std::size_t>(c + 1) / static_cast<std::size_t>(p)};
+}
+
+namespace {
+
+int index_in_group(std::span<const int> group, int rank) {
+  for (std::size_t i = 0; i < group.size(); ++i)
+    if (group[i] == rank) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace
+
+void broadcast(Comm& comm, std::byte* data, std::size_t bytes,
+               std::span<const int> group, int root_index, int tag_base) {
+  const int p = static_cast<int>(group.size());
+  ADASUM_CHECK_GT(p, 0);
+  ADASUM_CHECK_GE(root_index, 0);
+  ADASUM_CHECK_LT(root_index, p);
+  const int me = index_in_group(group, comm.rank());
+  ADASUM_CHECK_MSG(me >= 0, "calling rank must be in the broadcast group");
+  if (p == 1) return;
+  // Rotate so the root is virtual rank 0, then run a binomial tree: in round
+  // k, ranks < 2^k send to rank + 2^k.
+  const int vrank = (me - root_index + p) % p;
+  bool have_data = vrank == 0;
+  for (int dist = 1; dist < p; dist <<= 1) {
+    if (have_data && vrank + dist < p) {
+      const int peer = group[static_cast<std::size_t>(
+          (vrank + dist + root_index) % p)];
+      comm.send_bytes(peer, {data, bytes}, tag_base);
+    } else if (!have_data && vrank < 2 * dist) {
+      const int peer = group[static_cast<std::size_t>(
+          (vrank - dist + root_index + p) % p)];
+      const std::vector<std::byte> payload = comm.recv_bytes(peer, tag_base);
+      ADASUM_CHECK_EQ(payload.size(), bytes);
+      std::memcpy(data, payload.data(), bytes);
+      have_data = true;
+    }
+  }
+}
+
+void ring_reduce_scatter_sum(Comm& comm, std::byte* data, std::size_t count,
+                             DType dtype, std::span<const int> group,
+                             int tag_base) {
+  const int p = static_cast<int>(group.size());
+  ADASUM_CHECK_GT(p, 0);
+  const int me = index_in_group(group, comm.rank());
+  ADASUM_CHECK_MSG(me >= 0, "calling rank must be in the group");
+  if (p == 1 || count == 0) return;
+  const std::size_t elem = dtype_size(dtype);
+  const int next = group[static_cast<std::size_t>((me + 1) % p)];
+  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (me - s + p) % p;
+    const int recv_chunk = (me - s - 1 + p) % p;
+    const ChunkRange sc = chunk_range(count, p, send_chunk);
+    comm.send_bytes(next, {data + sc.begin * elem, sc.size() * elem},
+                    tag_base + s);
+    const std::vector<std::byte> incoming =
+        comm.recv_bytes(prev, tag_base + s);
+    const ChunkRange rc = chunk_range(count, p, recv_chunk);
+    ADASUM_CHECK_EQ(incoming.size(), rc.size() * elem);
+    kernels::add_bytes(incoming.data(), data + rc.begin * elem, rc.size(),
+                       dtype);
+  }
+}
+
+void ring_allgather(Comm& comm, std::byte* data, std::size_t count,
+                    DType dtype, std::span<const int> group, int tag_base) {
+  const int p = static_cast<int>(group.size());
+  ADASUM_CHECK_GT(p, 0);
+  const int me = index_in_group(group, comm.rank());
+  ADASUM_CHECK_MSG(me >= 0, "calling rank must be in the group");
+  if (p == 1 || count == 0) return;
+  const std::size_t elem = dtype_size(dtype);
+  const int next = group[static_cast<std::size_t>((me + 1) % p)];
+  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (me + 1 - s + p) % p;
+    const int recv_chunk = (me - s + p) % p;
+    const ChunkRange sc = chunk_range(count, p, send_chunk);
+    comm.send_bytes(next, {data + sc.begin * elem, sc.size() * elem},
+                    tag_base + s);
+    const std::vector<std::byte> incoming =
+        comm.recv_bytes(prev, tag_base + s);
+    const ChunkRange rc = chunk_range(count, p, recv_chunk);
+    ADASUM_CHECK_EQ(incoming.size(), rc.size() * elem);
+    std::memcpy(data + rc.begin * elem, incoming.data(), incoming.size());
+  }
+}
+
+void broadcast(Comm& comm, Tensor& tensor, std::span<const int> group,
+               int root_index, int tag_base) {
+  broadcast(comm, tensor.data(), tensor.nbytes(), group, root_index,
+            tag_base);
+}
+
+}  // namespace adasum

@@ -1,0 +1,56 @@
+// Collective primitives below allreduce: broadcast, ring reduce-scatter and
+// ring allgather over a contiguous rank group.
+//
+// These are the phases the hierarchical allreduce (§4.2.2) composes — NCCL
+// reduce-scatter inside the node, cross-node Adasum, NCCL allgather — and
+// they are exposed here as standalone collectives with the same chunking
+// convention: chunk c of a count-n payload over a p-rank group covers
+// [n*c/p, n*(c+1)/p), and after the reduce-scatter group-local rank j owns
+// the fully reduced chunk (j+1) % p.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/world.h"
+#include "tensor/tensor.h"
+
+namespace adasum {
+
+// Element range of chunk `c` of a `count`-element payload split `p` ways.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+ChunkRange chunk_range(std::size_t count, int p, int c);
+
+// The chunk index rank j owns after a ring reduce-scatter over p ranks.
+inline int owned_chunk_after_reduce_scatter(int local_rank, int p) {
+  return p > 1 ? (local_rank + 1) % p : 0;
+}
+
+// Broadcast `data` from `group[root_index]` to every rank in `group`
+// (binomial tree). All group members call with the same arguments; non-root
+// ranks receive into `data`.
+void broadcast(Comm& comm, std::byte* data, std::size_t bytes,
+               std::span<const int> group, int root_index, int tag_base = 0);
+
+// Ring reduce-scatter (elementwise sum) over a rank group: after the call,
+// the owned chunk of each rank holds the group-wide sum; other chunks hold
+// partial garbage. Group ranks may be any distinct world ranks.
+void ring_reduce_scatter_sum(Comm& comm, std::byte* data, std::size_t count,
+                             DType dtype, std::span<const int> group,
+                             int tag_base = 0);
+
+// Ring allgather over a rank group: each rank contributes its owned chunk
+// (per owned_chunk_after_reduce_scatter) and receives all others.
+void ring_allgather(Comm& comm, std::byte* data, std::size_t count,
+                    DType dtype, std::span<const int> group,
+                    int tag_base = 0);
+
+// Tensor conveniences.
+void broadcast(Comm& comm, Tensor& tensor, std::span<const int> group,
+               int root_index, int tag_base = 0);
+
+}  // namespace adasum

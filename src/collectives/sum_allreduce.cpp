@@ -1,0 +1,137 @@
+#include "collectives/sum_allreduce.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "base/check.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+namespace {
+
+// Chunk boundaries for the ring schedule: chunk c covers
+// [c*count/p, (c+1)*count/p) rounded so the chunks tile the payload.
+std::size_t chunk_begin(std::size_t count, int p, int c) {
+  return count * static_cast<std::size_t>(c) / static_cast<std::size_t>(p);
+}
+
+}  // namespace
+
+void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
+                        DType dtype, int tag_base) {
+  const int p = comm.size();
+  if (p == 1 || count == 0) return;
+  const int rank = comm.rank();
+  const std::size_t elem = dtype_size(dtype);
+  const int next = (rank + 1) % p;
+  const int prev = (rank + p - 1) % p;
+
+  // Reduce-scatter: after step s, rank r has accumulated chunk
+  // (r - s + p) % p from s+1 ranks; after p-1 steps rank r owns the full sum
+  // of chunk (r + 1) % p.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (rank - s + p) % p;
+    const int recv_chunk = (rank - s - 1 + p) % p;
+    const std::size_t sb = chunk_begin(count, p, send_chunk);
+    const std::size_t se = chunk_begin(count, p, send_chunk + 1);
+    comm.send_bytes(next, {data + sb * elem, (se - sb) * elem},
+                    tag_base + s);
+    const std::vector<std::byte> incoming =
+        comm.recv_bytes(prev, tag_base + s);
+    const std::size_t rb = chunk_begin(count, p, recv_chunk);
+    const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
+    ADASUM_CHECK_EQ(incoming.size(), (re - rb) * elem);
+    kernels::add_bytes(incoming.data(), data + rb * elem, re - rb, dtype);
+  }
+
+  // Allgather: circulate the owned (fully reduced) chunks.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (rank + 1 - s + p) % p;
+    const int recv_chunk = (rank - s + p) % p;
+    const std::size_t sb = chunk_begin(count, p, send_chunk);
+    const std::size_t se = chunk_begin(count, p, send_chunk + 1);
+    comm.send_bytes(next, {data + sb * elem, (se - sb) * elem},
+                    tag_base + p + s);
+    const std::vector<std::byte> incoming =
+        comm.recv_bytes(prev, tag_base + p + s);
+    const std::size_t rb = chunk_begin(count, p, recv_chunk);
+    const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
+    ADASUM_CHECK_EQ(incoming.size(), (re - rb) * elem);
+    std::memcpy(data + rb * elem, incoming.data(), incoming.size());
+  }
+}
+
+void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
+                       DType dtype, int tag_base) {
+  const int size = comm.size();
+  if (size == 1 || count == 0) return;
+  ADASUM_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(size)),
+                   "RVH requires a power-of-two world size");
+  const int rank = comm.rank();
+  const std::size_t elem = dtype_size(dtype);
+
+  struct Level {
+    int neighbor;
+    bool is_left;
+    std::size_t mid, seg_count;
+    int tag;
+  };
+  std::vector<Level> records;
+  std::vector<std::byte> seg(data, data + count * elem);
+  std::size_t seg_count = count;
+
+  int level = 0;
+  for (int d = 1; d < size; d <<= 1, ++level) {
+    const bool is_left = ((rank / d) % 2) == 0;
+    const int neighbor = is_left ? rank + d : rank - d;
+    const std::size_t mid = seg_count / 2;
+    const int tag = tag_base + 4 * level;
+    std::vector<std::byte> kept, incoming;
+    if (is_left) {
+      comm.send_bytes(neighbor,
+                      {seg.data() + mid * elem, (seg_count - mid) * elem},
+                      tag);
+      kept.assign(seg.data(), seg.data() + mid * elem);
+      incoming = comm.recv_bytes(neighbor, tag);
+    } else {
+      comm.send_bytes(neighbor, {seg.data(), mid * elem}, tag);
+      kept.assign(seg.data() + mid * elem, seg.data() + seg_count * elem);
+      incoming = comm.recv_bytes(neighbor, tag);
+    }
+    ADASUM_CHECK_EQ(incoming.size(), kept.size());
+    kernels::add_bytes(incoming.data(), kept.data(), kept.size() / elem,
+                       dtype);
+    records.push_back(Level{neighbor, is_left, mid, seg_count, tag});
+    seg = std::move(kept);
+    seg_count = seg.size() / elem;
+  }
+
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    comm.send_bytes(it->neighbor, {seg.data(), seg.size()}, it->tag + 1);
+    std::vector<std::byte> theirs = comm.recv_bytes(it->neighbor, it->tag + 1);
+    std::vector<std::byte> merged;
+    merged.reserve(seg.size() + theirs.size());
+    if (it->is_left) {
+      merged.insert(merged.end(), seg.begin(), seg.end());
+      merged.insert(merged.end(), theirs.begin(), theirs.end());
+    } else {
+      merged.insert(merged.end(), theirs.begin(), theirs.end());
+      merged.insert(merged.end(), seg.begin(), seg.end());
+    }
+    ADASUM_CHECK_EQ(merged.size(), it->seg_count * elem);
+    seg = std::move(merged);
+  }
+  std::memcpy(data, seg.data(), count * elem);
+}
+
+void ring_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base) {
+  ring_allreduce_sum(comm, tensor.data(), tensor.size(), tensor.dtype(),
+                     tag_base);
+}
+void rvh_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base) {
+  rvh_allreduce_sum(comm, tensor.data(), tensor.size(), tensor.dtype(),
+                    tag_base);
+}
+
+}  // namespace adasum

@@ -1,0 +1,30 @@
+// Elementwise sum/average allreduces — the synchronous-SGD baselines.
+//
+// Two schedules are provided:
+//  * ring: the classic bandwidth-optimal chunked ring (reduce-scatter phase
+//    of p-1 steps, allgather phase of p-1 steps), works for any world size;
+//  * rvh: recursive vector halving + doubling, latency-and-bandwidth optimal
+//    on hypercubes (Chan et al.), power-of-two world sizes.
+// Both produce the identical elementwise sum; tests assert so.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/world.h"
+#include "tensor/tensor.h"
+
+namespace adasum {
+
+// In-place ring sum-allreduce. Any world size.
+void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
+                        DType dtype, int tag_base = 0);
+
+// In-place recursive-vector-halving sum-allreduce. Power-of-two world size.
+void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
+                       DType dtype, int tag_base = 0);
+
+void ring_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base = 0);
+void rvh_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base = 0);
+
+}  // namespace adasum

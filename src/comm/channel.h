@@ -1,0 +1,72 @@
+// Point-to-point message channel between two simulated ranks.
+//
+// A Mailbox is an unbounded MPSC queue of byte payloads with integer tags.
+// send() never blocks (buffered semantics, like MPI_Send on small messages);
+// recv() blocks until a message with the requested tag arrives or the world
+// aborts. Per-(src,dst) FIFO ordering matches MPI's non-overtaking rule.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "base/check.h"
+
+namespace adasum {
+
+// Thrown out of blocking operations when another rank has failed; lets the
+// whole world unwind instead of deadlocking.
+class WorldAborted : public std::runtime_error {
+ public:
+  WorldAborted() : std::runtime_error("simulated world aborted by another rank") {}
+};
+
+class Mailbox {
+ public:
+  struct Message {
+    int tag = 0;
+    std::vector<std::byte> payload;
+  };
+
+  void push(int tag, std::vector<std::byte> payload) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(Message{tag, std::move(payload)});
+    }
+    cv_.notify_all();
+  }
+
+  // Blocks until a message with `tag` is available (FIFO among same-tag
+  // messages) or `aborted` becomes true.
+  std::vector<std::byte> pop(int tag, const std::atomic<bool>& aborted) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->tag == tag) {
+          std::vector<std::byte> payload = std::move(it->payload);
+          queue_.erase(it);
+          return payload;
+        }
+      }
+      if (aborted.load()) throw WorldAborted();
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  void notify_abort() { cv_.notify_all(); }
+
+  std::size_t pending() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace adasum

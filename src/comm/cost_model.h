@@ -1,0 +1,81 @@
+// Analytic α–β cost model for collective schedules (substitution for
+// cluster wall-clock measurements; see DESIGN.md §1).
+//
+// Every collective implemented in src/collectives has a deterministic
+// communication schedule: a sequence of rounds, each moving a known number
+// of bytes over a known link class plus a known amount of local reduction
+// arithmetic. The model prices each round with the classic α–β formula
+// (Chan et al. 2007, the paper's [10]) — cost = α + bytes/B — and sums
+// rounds, choosing the intra-node or inter-node link by neighbor distance
+// under node-major rank placement.
+//
+// This is what generates the latency curves of Fig. 4 and the epoch/step
+// times of Tables 2 and 4: the *shape* of those results depends only on the
+// schedule structure, which the model reproduces exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "comm/topology.h"
+
+namespace adasum {
+
+// Local arithmetic throughputs for the reduction kernels, in bytes/s
+// processed. Defaults approximate a V100 running the Horovod CUDA kernels;
+// the benches also offer a CPU-calibrated preset measured at startup.
+struct ComputeParams {
+  double sum_Bps = 80e9;      // y += x streams 2 reads + 1 write
+  double dot_Bps = 100e9;     // fused dot-triple pass, 2 reads
+  double combine_Bps = 80e9;  // scaled sum, 2 reads + 1 write
+};
+
+class CostModel {
+ public:
+  explicit CostModel(Topology topology, ComputeParams compute = {});
+
+  const Topology& topology() const { return topology_; }
+
+  // --- whole-world (flat) collectives over p = total_gpus ranks ----------
+
+  // Ring sum-allreduce (the NCCL-style baseline): 2(p-1) pipeline steps of
+  // n/p bytes each, bottlenecked by the slowest link in the ring.
+  double ring_allreduce_sum(double bytes) const;
+
+  // NCCL baseline for Fig. 4: ring schedule plus kernel-launch overhead.
+  double nccl_allreduce_sum(double bytes) const;
+
+  // Recursive-vector-halving (reduce-scatter + allgather) sum-allreduce.
+  double rvh_allreduce_sum(double bytes) const;
+
+  // Paper Algorithm 1: RVH data movement + per-level dot-product triple
+  // allreduce (3*num_layers doubles, recursive doubling) + dot/combine
+  // arithmetic instead of plain sums.
+  double rvh_allreduce_adasum(double bytes, int num_layers) const;
+
+  // Ring-order Adasum (§4.2.3): ring data movement, but each of the p-1
+  // reduce steps must complete a serial dot-triple + combine on the full
+  // slice before forwarding, and needs a per-step scalar exchange. This is
+  // the variant the paper found slower than AdasumRVH.
+  double ring_allreduce_adasum(double bytes, int num_layers) const;
+
+  // --- hierarchical allreduce (§4.2.2) ------------------------------------
+  // Local reduce-scatter over the node's GPUs, cross-node (sum or Adasum)
+  // RVH on the 1/gpus_per_node shard, local allgather.
+  double hierarchical_allreduce_sum(double bytes) const;
+  double hierarchical_allreduce_adasum(double bytes, int num_layers) const;
+
+ private:
+  const LinkParams& link_for_distance(int distance) const {
+    return distance < topology_.gpus_per_node ? topology_.intra
+                                              : topology_.inter;
+  }
+  // Cost of a recursive-doubling allreduce of `bytes` within a group whose
+  // members are at distances 1,2,...,2^(rounds-1) apart.
+  double recursive_doubling_cost(int rounds, double bytes,
+                                 int base_distance) const;
+
+  Topology topology_;
+  ComputeParams compute_;
+};
+
+}  // namespace adasum

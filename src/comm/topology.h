@@ -1,0 +1,76 @@
+// Cluster topology description for the analytic cost model.
+//
+// The paper's testbeds are hierarchical: nodes with several GPUs connected
+// by a fast local fabric (PCIe or NVLink/NVSwitch), and nodes connected by a
+// network (InfiniBand or TCP). A Topology names the two link classes and the
+// fan-out at each level; the cost model prices collective schedules on it.
+#pragma once
+
+#include <string>
+
+#include "base/check.h"
+
+namespace adasum {
+
+// α–β link model: transferring n bytes costs  latency_s + n / bandwidth_Bps.
+struct LinkParams {
+  std::string name;
+  double latency_s = 0.0;       // α: per-message latency (seconds)
+  double bandwidth_Bps = 1.0;   // 1/β: bytes per second
+
+  double transfer_time(double bytes) const {
+    return latency_s + bytes / bandwidth_Bps;
+  }
+};
+
+// Link presets matching the paper's platforms (§4.2.3, §5.1–§5.3 hardware).
+namespace links {
+
+// NVLink/NVSwitch inside a DGX-2 (§5.3.1): ~300 GB/s effective per GPU pair.
+inline LinkParams nvlink() { return {"NVLink", 3e-6, 150e9}; }
+// PCIe gen3 x16 inside Standard_NC24rs_v3 (§5.1.1): ~12 GB/s effective.
+inline LinkParams pcie3() { return {"PCIe3", 5e-6, 12e9}; }
+// 100 Gb/s InfiniBand between Azure nodes (§4.2.3): ~12 GB/s, low latency.
+inline LinkParams infiniband100() { return {"IB-100Gb", 2e-6, 12e9}; }
+// 40 Gb/s TCP (§5.2.1): ~4.5 GB/s effective, high per-message latency.
+inline LinkParams tcp40() { return {"TCP-40Gb", 50e-6, 4.5e9}; }
+// NCCL-like effective launch overhead for the GPU-kernel baseline in Fig 4.
+inline LinkParams nccl_overhead() { return {"NCCL-launch", 15e-6, 12e9}; }
+
+}  // namespace links
+
+struct Topology {
+  int num_nodes = 1;
+  int gpus_per_node = 1;
+  LinkParams intra;  // GPU<->GPU inside a node
+  LinkParams inter;  // node<->node
+
+  int total_gpus() const { return num_nodes * gpus_per_node; }
+
+  static Topology single_node(int gpus, LinkParams intra) {
+    return Topology{1, gpus, std::move(intra), LinkParams{}};
+  }
+  static Topology cluster(int nodes, int gpus, LinkParams intra,
+                          LinkParams inter) {
+    ADASUM_CHECK_GE(nodes, 1);
+    ADASUM_CHECK_GE(gpus, 1);
+    return Topology{nodes, gpus, std::move(intra), std::move(inter)};
+  }
+
+  // The 16-node Azure cluster of Fig. 4: 4 V100 per node on PCIe, IB across.
+  static Topology azure_fig4() {
+    return cluster(16, 4, links::pcie3(), links::infiniband100());
+  }
+  // DGX-2 cluster of §5.3: 16 GPUs/node on NVSwitch, 8x IB NICs across.
+  static Topology dgx2(int nodes) {
+    LinkParams ib = links::infiniband100();
+    ib.bandwidth_Bps *= 8;  // 8 NICs per node (§5.3.1, 800 Gb/s per node)
+    return cluster(nodes, 16, links::nvlink(), ib);
+  }
+  // The TCP cluster of §5.2: 4 nodes x 4 V100, 40 Gb/s TCP between.
+  static Topology tcp_cluster() {
+    return cluster(4, 4, links::pcie3(), links::tcp40());
+  }
+};
+
+}  // namespace adasum

@@ -1,0 +1,138 @@
+#include "comm/world.h"
+
+#include <bit>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "base/logging.h"
+
+namespace adasum {
+
+World::World(int size) : size_(size) {
+  ADASUM_CHECK_GE(size, 1);
+  mailboxes_.reserve(static_cast<std::size_t>(size) * size);
+  for (int i = 0; i < size * size; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  stats_.resize(size);
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  aborted_.store(false);
+  barrier_count_ = 0;
+  barrier_generation_ = 0;
+  stats_.assign(size_, CommStats{});
+
+  std::vector<std::exception_ptr> errors(size_);
+  std::vector<std::thread> threads;
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, &fn, &errors, r]() {
+      Comm comm(this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        aborted_.store(true);
+        for (auto& mb : mailboxes_) mb->notify_abort();
+        barrier_cv_.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int r = 0; r < size_; ++r) {
+    if (errors[r]) {
+      // Rebuild mailboxes so a failed run cannot leak messages into the next.
+      for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
+      std::rethrow_exception(errors[r]);
+    }
+  }
+}
+
+void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag) {
+  ADASUM_CHECK_GE(dst, 0);
+  ADASUM_CHECK_LT(dst, size());
+  ADASUM_CHECK_NE(dst, rank_);
+  if (world_->aborted_.load()) throw WorldAborted();
+  std::vector<std::byte> payload(data.begin(), data.end());
+  world_->mailbox(rank_, dst).push(tag, std::move(payload));
+  CommStats& s = world_->stats_[rank_];
+  ++s.messages_sent;
+  s.bytes_sent += data.size();
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  ADASUM_CHECK_GE(src, 0);
+  ADASUM_CHECK_LT(src, size());
+  ADASUM_CHECK_NE(src, rank_);
+  return world_->mailbox(src, rank_).pop(tag, world_->aborted_);
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lock(world_->barrier_mutex_);
+  const std::uint64_t generation = world_->barrier_generation_;
+  if (++world_->barrier_count_ == world_->size_) {
+    world_->barrier_count_ = 0;
+    ++world_->barrier_generation_;
+    world_->barrier_cv_.notify_all();
+    return;
+  }
+  world_->barrier_cv_.wait(lock, [&]() {
+    return world_->barrier_generation_ != generation ||
+           world_->aborted_.load();
+  });
+  if (world_->aborted_.load() &&
+      world_->barrier_generation_ == generation)
+    throw WorldAborted();
+}
+
+namespace {
+
+int index_in_group(std::span<const int> group, int rank) {
+  for (std::size_t i = 0; i < group.size(); ++i)
+    if (group[i] == rank) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace
+
+std::vector<double> Comm::allreduce_sum_doubles(std::span<const double> values,
+                                                std::span<const int> group,
+                                                int tag) {
+  const int me = index_in_group(group, rank_);
+  ADASUM_CHECK_MSG(me >= 0, "calling rank must be a member of the group");
+  const int p = static_cast<int>(group.size());
+  std::vector<double> acc(values.begin(), values.end());
+  if (p == 1) return acc;
+
+  if (std::has_single_bit(static_cast<unsigned>(p))) {
+    // Recursive doubling: log2(p) rounds of pairwise exchange+sum.
+    for (int dist = 1; dist < p; dist <<= 1) {
+      const int peer = group[static_cast<std::size_t>(me ^ dist)];
+      const std::vector<double> theirs =
+          exchange<double>(peer, acc, tag);
+      ADASUM_CHECK_EQ(theirs.size(), acc.size());
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += theirs[i];
+    }
+    return acc;
+  }
+
+  // Non-power-of-two group: gather to group[0], reduce, broadcast.
+  if (me == 0) {
+    for (int i = 1; i < p; ++i) {
+      const std::vector<double> theirs =
+          recv<double>(group[static_cast<std::size_t>(i)], tag);
+      ADASUM_CHECK_EQ(theirs.size(), acc.size());
+      for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += theirs[j];
+    }
+    for (int i = 1; i < p; ++i)
+      send<double>(group[static_cast<std::size_t>(i)], acc, tag);
+  } else {
+    send<double>(group[0], acc, tag);
+    acc = recv<double>(group[0], tag);
+  }
+  return acc;
+}
+
+}  // namespace adasum

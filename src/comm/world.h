@@ -1,0 +1,126 @@
+// In-process simulated MPI world.
+//
+// The paper's Algorithm 1 is written against three primitives: SEND, RECV
+// and a (small-payload) group ALLREDUCE. World provides exactly those, with
+// each rank running on its own thread and point-to-point messages delivered
+// through rendezvous mailboxes. Because the simulator performs the identical
+// message pattern and arithmetic a cluster run would, the numerical result
+// of every collective built on it is bit-for-bit the distributed result —
+// only wall-clock timing is simulated separately (see cost_model.h).
+//
+// Failure handling: if any rank throws, the world flips an abort flag that
+// wakes all blocking receives with WorldAborted, and World::run rethrows the
+// first failure — no deadlocks, no detached threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/channel.h"
+
+namespace adasum {
+
+class Comm;
+
+// Per-rank traffic statistics, for tests and cost-model validation.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  // Runs `fn(comm)` on `size` threads, one per rank. Blocks until all ranks
+  // finish. Rethrows the first rank failure (by rank order).
+  void run(const std::function<void(Comm&)>& fn);
+
+  // Aggregated traffic stats from the last run(), indexed by rank.
+  const std::vector<CommStats>& stats() const { return stats_; }
+
+ private:
+  friend class Comm;
+
+  Mailbox& mailbox(int src, int dst) {
+    return *mailboxes_[static_cast<std::size_t>(src) * size_ + dst];
+  }
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<CommStats> stats_;
+  std::atomic<bool> aborted_{false};
+
+  // Sense-reversing central barrier state.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+// Handle a rank uses to communicate. Valid only inside World::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+
+  // Buffered send: copies `data`, never blocks.
+  void send_bytes(int dst, std::span<const std::byte> data, int tag = 0);
+  // Blocks until a message with `tag` from `src` arrives.
+  std::vector<std::byte> recv_bytes(int src, int tag = 0);
+
+  template <typename T>
+  void send(int dst, std::span<const T> data, int tag = 0) {
+    send_bytes(dst,
+               {reinterpret_cast<const std::byte*>(data.data()),
+                data.size_bytes()},
+               tag);
+  }
+
+  template <typename T>
+  std::vector<T> recv(int src, int tag = 0) {
+    const std::vector<std::byte> raw = recv_bytes(src, tag);
+    ADASUM_CHECK_EQ(raw.size() % sizeof(T), 0u);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  // Exchange with a peer: send `data`, then receive the peer's message.
+  // Sends are buffered, so the symmetric call pattern cannot deadlock.
+  template <typename T>
+  std::vector<T> exchange(int peer, std::span<const T> data, int tag = 0) {
+    send(peer, data, tag);
+    return recv<T>(peer, tag);
+  }
+
+  // Barrier across ALL ranks of the world.
+  void barrier();
+
+  // Elementwise sum-allreduce of a small double vector across `group`
+  // (a list of ranks that all call this with the same group and value
+  // count). This is the ALLREDUCE primitive of Algorithm 1 line 17, used for
+  // the partial dot-product triples. Implemented with recursive doubling
+  // when |group| is a power of two, gather+broadcast otherwise.
+  std::vector<double> allreduce_sum_doubles(std::span<const double> values,
+                                            std::span<const int> group,
+                                            int tag = 0);
+
+  CommStats& stats() { return world_->stats_[rank_]; }
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+}  // namespace adasum

@@ -1,0 +1,108 @@
+#include "core/adasum.h"
+
+#include "base/check.h"
+
+namespace adasum {
+
+AdasumFactors adasum_factors(const kernels::DotTriple& v) {
+  AdasumFactors f;
+  // 0/0 -> 0 correction term: a zero-norm side contributes nothing to the
+  // dot product, and the other side must pass through unscaled.
+  f.ca = (v.aa > 0.0) ? 1.0 - v.ab / (2.0 * v.aa) : 1.0;
+  f.cb = (v.bb > 0.0) ? 1.0 - v.ab / (2.0 * v.bb) : 1.0;
+  return f;
+}
+
+template <typename T>
+void adasum_pair(std::span<const T> a, std::span<const T> b,
+                 std::span<T> out) {
+  const auto v = kernels::dot_triple(a, b);
+  const auto f = adasum_factors(v);
+  kernels::scaled_sum(a, f.ca, b, f.cb, out);
+}
+
+template void adasum_pair<Half>(std::span<const Half>, std::span<const Half>,
+                                std::span<Half>);
+template void adasum_pair<float>(std::span<const float>,
+                                 std::span<const float>, std::span<float>);
+template void adasum_pair<double>(std::span<const double>,
+                                  std::span<const double>, std::span<double>);
+
+Tensor adasum_pair(const Tensor& a, const Tensor& b) {
+  ADASUM_CHECK_EQ(a.size(), b.size());
+  ADASUM_CHECK_MSG(a.dtype() == b.dtype(), "adasum_pair dtype mismatch");
+  Tensor out(a.shape(), a.dtype());
+  dispatch_dtype(a.dtype(), [&]<typename T>() {
+    adasum_pair<T>(a.span<T>(), b.span<T>(), out.span<T>());
+  });
+  return out;
+}
+
+void adasum_pair_layerwise(const Tensor& a, const Tensor& b,
+                           std::span<const TensorSlice> slices, Tensor& out) {
+  ADASUM_CHECK_EQ(a.size(), b.size());
+  ADASUM_CHECK_EQ(a.size(), out.size());
+  ADASUM_CHECK_MSG(a.dtype() == b.dtype() && a.dtype() == out.dtype(),
+                   "layerwise adasum dtype mismatch");
+  dispatch_dtype(a.dtype(), [&]<typename T>() {
+    const auto sa = a.span<T>();
+    const auto sb = b.span<T>();
+    auto so = out.span<T>();
+    for (const TensorSlice& s : slices) {
+      ADASUM_CHECK_LE(s.offset + s.count, a.size());
+      adasum_pair<T>(sa.subspan(s.offset, s.count),
+                     sb.subspan(s.offset, s.count),
+                     so.subspan(s.offset, s.count));
+    }
+  });
+}
+
+namespace {
+
+Tensor tree_reduce_range(std::span<const Tensor> grads, std::size_t lo,
+                         std::size_t hi) {
+  if (hi - lo == 1) return grads[lo].clone();
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const Tensor left = tree_reduce_range(grads, lo, mid);
+  const Tensor right = tree_reduce_range(grads, mid, hi);
+  return adasum_pair(left, right);
+}
+
+}  // namespace
+
+Tensor adasum_tree(std::span<const Tensor> grads) {
+  ADASUM_CHECK(!grads.empty());
+  return tree_reduce_range(grads, 0, grads.size());
+}
+
+Tensor adasum_linear(std::span<const Tensor> grads) {
+  ADASUM_CHECK(!grads.empty());
+  Tensor acc = grads[0].clone();
+  for (std::size_t i = 1; i < grads.size(); ++i)
+    acc = adasum_pair(acc, grads[i]);
+  return acc;
+}
+
+namespace {
+
+Tensor tree_reduce_layerwise_range(std::span<const Tensor> grads,
+                                   std::span<const TensorSlice> slices,
+                                   std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) return grads[lo].clone();
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const Tensor left = tree_reduce_layerwise_range(grads, slices, lo, mid);
+  const Tensor right = tree_reduce_layerwise_range(grads, slices, mid, hi);
+  Tensor out(left.shape(), left.dtype());
+  adasum_pair_layerwise(left, right, slices, out);
+  return out;
+}
+
+}  // namespace
+
+Tensor adasum_tree_layerwise(std::span<const Tensor> grads,
+                             std::span<const TensorSlice> slices) {
+  ADASUM_CHECK(!grads.empty());
+  return tree_reduce_layerwise_range(grads, slices, 0, grads.size());
+}
+
+}  // namespace adasum

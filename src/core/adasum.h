@@ -1,0 +1,70 @@
+// The Adasum operator (paper §3).
+//
+//   Adasum(g1, g2) = (1 - g1·g2 / (2‖g1‖²)) g1 + (1 - g1·g2 / (2‖g2‖²)) g2
+//
+// Derivation (paper §3.1–§3.3): scaling g2 by (1 - g1·g2/‖g2‖²) emulates the
+// gradient g2 would have taken had it been computed *after* applying g1
+// (second-order staleness correction with the Fisher approximation of the
+// Hessian and the locally optimal learning rate); averaging the two possible
+// orders of the minibatches yields the symmetric form above.
+//
+// Properties (§3.5): orthogonal gradients → plain sum; parallel gradients →
+// plain average. The operator therefore interpolates adaptively between the
+// aggressive sum and the safe average, with no hyperparameters.
+//
+// This header provides the serial (single-address-space) forms: pairwise,
+// recursive tree over n gradients (§3.4), linear/ring-order folding, and the
+// per-layer application over fused buffers (§3.6). The distributed form
+// lives in src/collectives/adasum_rvh.h (paper Algorithm 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/fusion.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+namespace adasum {
+
+// The two scalars of the combiner. Computed from the dot-product triple
+// v = [g1·g2, ‖g1‖², ‖g2‖²] so that the distributed implementation can reuse
+// the same math after allreducing partial triples (Algorithm 1 lines 15-18).
+struct AdasumFactors {
+  double ca = 1.0;  // multiplies g1
+  double cb = 1.0;  // multiplies g2
+};
+
+// Zero-norm guard: if either gradient is exactly zero its dot product with
+// anything is zero, and the factors degrade gracefully to the plain sum
+// (0/0 treated as 0 correction), so Adasum(g, 0) == g.
+AdasumFactors adasum_factors(const kernels::DotTriple& v);
+
+// out = Adasum(a, b). Works for any payload dtype; the dot products
+// accumulate in double (§4.4.1). `out` may alias `a` or `b`.
+template <typename T>
+void adasum_pair(std::span<const T> a, std::span<const T> b, std::span<T> out);
+
+// Tensor-level convenience (same dtype/shape required).
+Tensor adasum_pair(const Tensor& a, const Tensor& b);
+
+// Per-layer pairwise Adasum over fused flat buffers (§3.6): the combiner is
+// applied independently to each slice of the boundary table.
+void adasum_pair_layerwise(const Tensor& a, const Tensor& b,
+                           std::span<const TensorSlice> slices, Tensor& out);
+
+// Recursive binary-tree reduction of n gradients (§3.4):
+//   Adasum(g[0,n]) = Adasum(Adasum(g[0,n/2)), Adasum(g[n/2,n))).
+// n need not be a power of two (the tree just becomes uneven).
+Tensor adasum_tree(std::span<const Tensor> grads);
+
+// Linear (ring-order) application: Adasum(...Adasum(Adasum(g0,g1),g2)...,gn).
+// Kept for the §4.2.3 tree-vs-ring comparison; in exact arithmetic it is a
+// different (valid) estimator than the tree.
+Tensor adasum_linear(std::span<const Tensor> grads);
+
+// Per-layer tree reduction over fused buffers.
+Tensor adasum_tree_layerwise(std::span<const Tensor> grads,
+                             std::span<const TensorSlice> slices);
+
+}  // namespace adasum

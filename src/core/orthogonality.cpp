@@ -1,0 +1,53 @@
+#include "core/orthogonality.h"
+
+#include "base/check.h"
+#include "core/adasum.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+
+double orthogonality(std::span<const Tensor> grads) {
+  ADASUM_CHECK(!grads.empty());
+  double sum_norms = 0.0;
+  for (const Tensor& g : grads)
+    sum_norms += kernels::norm_squared_bytes(g.data(), g.size(), g.dtype());
+  if (sum_norms == 0.0) return 1.0;  // all-zero gradients: trivially "orthogonal"
+  const Tensor combined = adasum_tree(grads);
+  const double combined_norm = kernels::norm_squared_bytes(
+      combined.data(), combined.size(), combined.dtype());
+  return combined_norm / sum_norms;
+}
+
+LayerOrthogonality layer_orthogonality(std::span<const Tensor> fused_grads,
+                                       std::span<const TensorSlice> slices) {
+  ADASUM_CHECK(!fused_grads.empty());
+  LayerOrthogonality result;
+  result.layer_names.reserve(slices.size());
+  result.per_layer.reserve(slices.size());
+
+  // Extract each layer's slice from every rank's fused gradient, then apply
+  // the whole-vector metric to that set.
+  for (const TensorSlice& s : slices) {
+    std::vector<Tensor> layer_grads;
+    layer_grads.reserve(fused_grads.size());
+    for (const Tensor& g : fused_grads) {
+      ADASUM_CHECK_LE(s.offset + s.count, g.size());
+      Tensor slice({s.count}, g.dtype());
+      const std::size_t elem = dtype_size(g.dtype());
+      std::copy(g.data() + s.offset * elem,
+                g.data() + (s.offset + s.count) * elem, slice.data());
+      layer_grads.push_back(std::move(slice));
+    }
+    result.layer_names.push_back(s.name);
+    result.per_layer.push_back(orthogonality(layer_grads));
+  }
+
+  double sum = 0.0;
+  for (double v : result.per_layer) sum += v;
+  result.average = result.per_layer.empty()
+                       ? 1.0
+                       : sum / static_cast<double>(result.per_layer.size());
+  return result;
+}
+
+}  // namespace adasum

@@ -1,0 +1,36 @@
+// Gradient-orthogonality metric (paper §3.6, Figure 1).
+//
+// For a set of gradients g1..gn (for one layer, or for the whole model):
+//
+//   orthogonality = ‖Adasum(g[1,n])‖² / Σᵢ ‖gᵢ‖²
+//
+// Equals 1 when the gradients are mutually orthogonal (Adasum degenerates to
+// the plain sum and the Pythagorean identity applies) and reaches its
+// minimum 1/n when they are parallel with equal norms (Adasum degenerates to
+// the average). Figure 1 of the paper tracks this per layer during training.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/fusion.h"
+#include "tensor/tensor.h"
+
+namespace adasum {
+
+// Whole-vector orthogonality of a set of gradients.
+double orthogonality(std::span<const Tensor> grads);
+
+// Per-layer orthogonality over fused flat gradients: one value per slice,
+// in the order of the boundary table. Also useful with a trailing aggregate:
+// `average` is the mean across layers (the bold red line in Figure 1).
+struct LayerOrthogonality {
+  std::vector<std::string> layer_names;
+  std::vector<double> per_layer;
+  double average = 0.0;
+};
+LayerOrthogonality layer_orthogonality(std::span<const Tensor> fused_grads,
+                                       std::span<const TensorSlice> slices);
+
+}  // namespace adasum

@@ -1,0 +1,120 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace adasum::data {
+namespace {
+
+// Bilinear upsample of a coarse grid (gh x gw) to (h x w).
+void upsample(const std::vector<float>& grid, std::size_t gh, std::size_t gw,
+              float* out, std::size_t h, std::size_t w) {
+  for (std::size_t y = 0; y < h; ++y) {
+    const double fy = static_cast<double>(y) / static_cast<double>(h - 1) *
+                      static_cast<double>(gh - 1);
+    const std::size_t y0 = static_cast<std::size_t>(fy);
+    const std::size_t y1 = std::min(y0 + 1, gh - 1);
+    const double wy = fy - static_cast<double>(y0);
+    for (std::size_t x = 0; x < w; ++x) {
+      const double fx = static_cast<double>(x) / static_cast<double>(w - 1) *
+                        static_cast<double>(gw - 1);
+      const std::size_t x0 = static_cast<std::size_t>(fx);
+      const std::size_t x1 = std::min(x0 + 1, gw - 1);
+      const double wx = fx - static_cast<double>(x0);
+      const double v =
+          (1 - wy) * ((1 - wx) * grid[y0 * gw + x0] + wx * grid[y0 * gw + x1]) +
+          wy * ((1 - wx) * grid[y1 * gw + x0] + wx * grid[y1 * gw + x1]);
+      out[y * w + x] = static_cast<float>(v);
+    }
+  }
+}
+
+}  // namespace
+
+ClusterImageDataset::ClusterImageDataset(const Options& options)
+    : options_(options) {
+  ADASUM_CHECK_GE(options_.num_classes, 2u);
+  ADASUM_CHECK_GE(options_.height, 4u);
+  ADASUM_CHECK_GE(options_.width, 4u);
+  const std::size_t plane = options_.height * options_.width;
+  const std::size_t per_class = options_.channels * plane;
+  prototypes_.resize(options_.num_classes * per_class);
+  Rng rng = Rng(options_.seed).fork(0xC1A55);
+  const std::size_t gh = 4, gw = 4;
+  std::vector<float> grid(gh * gw);
+  for (std::size_t cls = 0; cls < options_.num_classes; ++cls) {
+    Rng crng = rng.fork(cls);
+    for (std::size_t ch = 0; ch < options_.channels; ++ch) {
+      for (auto& g : grid)
+        g = static_cast<float>(crng.normal(0.0, options_.prototype_scale));
+      upsample(grid, gh, gw,
+               prototypes_.data() + cls * per_class + ch * plane,
+               options_.height, options_.width);
+    }
+  }
+}
+
+void ClusterImageDataset::fill_example(std::size_t index,
+                                       std::span<float> input,
+                                       std::span<int> labels) const {
+  const std::size_t per_class =
+      options_.channels * options_.height * options_.width;
+  ADASUM_CHECK_EQ(input.size(), per_class);
+  ADASUM_CHECK_EQ(labels.size(), 1u);
+  const std::uint64_t example_seed =
+      options_.example_seed != 0 ? options_.example_seed : options_.seed;
+  Rng rng = Rng(example_seed).fork(0xDA7A).fork(index);
+  const std::size_t cls = index % options_.num_classes;
+  const float* proto = prototypes_.data() + cls * per_class;
+  for (std::size_t i = 0; i < per_class; ++i)
+    input[i] =
+        proto[i] + static_cast<float>(rng.normal(0.0, options_.noise));
+  labels[0] = static_cast<int>(cls);
+}
+
+MarkovTextDataset::MarkovTextDataset(const Options& options)
+    : options_(options) {
+  ADASUM_CHECK_GE(options_.vocab, 2u);
+  ADASUM_CHECK_GE(options_.seq_len, options_.burn_in + 1);
+  transitions_.resize(options_.vocab * options_.vocab);
+  Rng rng = Rng(options_.seed).fork(0x7EB7);
+  for (auto& t : transitions_)
+    t = static_cast<std::uint16_t>(rng.uniform_int(options_.vocab));
+}
+
+void MarkovTextDataset::fill_example(std::size_t index,
+                                     std::span<float> input,
+                                     std::span<int> labels) const {
+  const std::size_t len = options_.seq_len;
+  ADASUM_CHECK_EQ(input.size(), len);
+  ADASUM_CHECK_EQ(labels.size(), len);
+  const std::uint64_t example_seed =
+      options_.example_seed != 0 ? options_.example_seed : options_.seed;
+  Rng rng = Rng(example_seed).fork(0x5E9).fork(index);
+  // Generate len+1 tokens; inputs are tokens [0, len), labels are the next
+  // token at each position.
+  std::size_t prev2 = rng.uniform_int(options_.vocab);
+  std::size_t prev1 = rng.uniform_int(options_.vocab);
+  std::vector<std::size_t> tokens(len + 1);
+  tokens[0] = prev2;
+  tokens[1] = prev1;
+  for (std::size_t t = 2; t <= len; ++t) {
+    std::size_t next;
+    if (rng.uniform() < options_.noise) {
+      next = rng.uniform_int(options_.vocab);
+    } else {
+      next = transitions_[prev2 * options_.vocab + prev1];
+    }
+    tokens[t] = next;
+    prev2 = prev1;
+    prev1 = next;
+  }
+  for (std::size_t t = 0; t < len; ++t) {
+    input[t] = static_cast<float>(tokens[t]);
+    labels[t] = t + 1 <= options_.burn_in ? -1
+                                          : static_cast<int>(tokens[t + 1]);
+  }
+}
+
+}  // namespace adasum::data

@@ -1,0 +1,92 @@
+// Synthetic datasets standing in for the paper's workloads (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "data/dataset.h"
+
+namespace adasum::data {
+
+// Classification images: each class has a smooth prototype image (a random
+// low-frequency pattern, bilinearly upsampled from a coarse grid) and
+// examples are prototype + Gaussian pixel noise. With enough noise the task
+// requires real feature learning (a linear probe does not saturate), which
+// is what makes large-batch overshoot observable — the MNIST/ImageNet
+// substitute for §5.1/§5.4.
+class ClusterImageDataset : public Dataset {
+ public:
+  struct Options {
+    std::size_t num_examples = 4096;
+    std::size_t num_classes = 10;
+    std::size_t channels = 1;
+    std::size_t height = 28;
+    std::size_t width = 28;
+    double noise = 1.0;          // pixel noise stddev
+    double prototype_scale = 1.0;
+    std::uint64_t seed = 1;      // determines the class prototypes (the task)
+    // Seed for the per-example noise stream. Train/eval splits of the SAME
+    // task share `seed` and differ in `example_seed`. 0 = use `seed`.
+    std::uint64_t example_seed = 0;
+  };
+
+  explicit ClusterImageDataset(const Options& options);
+
+  std::size_t size() const override { return options_.num_examples; }
+  std::vector<std::size_t> example_shape() const override {
+    return {options_.channels, options_.height, options_.width};
+  }
+  std::size_t labels_per_example() const override { return 1; }
+  void fill_example(std::size_t index, std::span<float> input,
+                    std::span<int> labels) const override;
+
+  std::size_t num_classes() const { return options_.num_classes; }
+
+ private:
+  Options options_;
+  std::vector<float> prototypes_;  // (classes, c*h*w)
+};
+
+// Token sequences from a noisy order-2 Markov source: the next token is a
+// deterministic function T[a][b] of the previous two with probability
+// 1-noise, uniform otherwise. A model that learns the transition table
+// reaches accuracy ≈ (1-noise) + noise/vocab; the pretraining-loss substitute
+// for the BERT corpora of §5.3. Labels are next-token ids per position (the
+// first `burn_in` positions are ignored).
+class MarkovTextDataset : public Dataset {
+ public:
+  struct Options {
+    std::size_t num_examples = 4096;
+    std::size_t vocab = 32;
+    std::size_t seq_len = 16;  // model input length
+    double noise = 0.1;
+    std::size_t burn_in = 2;   // positions without enough context to predict
+    std::uint64_t seed = 2;    // determines the transition table (the task)
+    // Seed for the per-example token stream; train/eval splits of the same
+    // task share `seed` and differ here. 0 = use `seed`.
+    std::uint64_t example_seed = 0;
+  };
+
+  explicit MarkovTextDataset(const Options& options);
+
+  std::size_t size() const override { return options_.num_examples; }
+  std::vector<std::size_t> example_shape() const override {
+    return {options_.seq_len};
+  }
+  std::size_t labels_per_example() const override { return options_.seq_len; }
+  void fill_example(std::size_t index, std::span<float> input,
+                    std::span<int> labels) const override;
+
+  std::size_t vocab() const { return options_.vocab; }
+  // Best achievable next-token accuracy given the noise level.
+  double bayes_accuracy() const {
+    return (1.0 - options_.noise) +
+           options_.noise / static_cast<double>(options_.vocab);
+  }
+
+ private:
+  Options options_;
+  std::vector<std::uint16_t> transitions_;  // (vocab*vocab)
+};
+
+}  // namespace adasum::data

@@ -1,0 +1,207 @@
+#include "nn/conv.h"
+
+#include <limits>
+
+#include "base/check.h"
+
+namespace adasum::nn {
+
+Conv2d::Conv2d(std::string name, std::size_t in_channels,
+               std::size_t out_channels, std::size_t kernel, Rng& rng,
+               std::size_t stride, std::size_t padding)
+    : name_(std::move(name)),
+      in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(name_ + ".weight", {out_channels, in_channels, kernel, kernel}),
+      bias_(name_ + ".bias", {out_channels}) {
+  he_init(weight_.value, in_c_ * kernel_ * kernel_, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  ADASUM_CHECK_EQ(x.rank(), 4u);
+  ADASUM_CHECK_EQ(x.dim(1), in_c_);
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_size(h), ow = out_size(w);
+  Tensor y({batch, out_c_, oh, ow});
+  const auto xs = x.span<float>();
+  const auto ws = weight_.value.span<float>();
+  const auto bs = bias_.value.span<float>();
+  auto ys = y.span<float>();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      float* yplane = ys.data() + (b * out_c_ + oc) * oh * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy)
+        for (std::size_t ox = 0; ox < ow; ++ox)
+          yplane[oy * ow + ox] = bs[oc];
+      for (std::size_t ic = 0; ic < in_c_; ++ic) {
+        const float* xplane = xs.data() + (b * in_c_ + ic) * h * w;
+        const float* wplane =
+            ws.data() + (oc * in_c_ + ic) * kernel_ * kernel_;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            float acc = 0.0f;
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += xplane[iy * static_cast<std::ptrdiff_t>(w) + ix] *
+                       wplane[ky * kernel_ + kx];
+              }
+            }
+            yplane[oy * ow + ox] += acc;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_size(h), ow = out_size(w);
+  ADASUM_CHECK_EQ(grad_out.size(), batch * out_c_ * oh * ow);
+
+  Tensor grad_in(x.shape());
+  const auto xs = x.span<float>();
+  const auto ws = weight_.value.span<float>();
+  const auto gys = grad_out.span<float>();
+  auto gxs = grad_in.span<float>();
+  auto gws = weight_.grad.span<float>();
+  auto gbs = bias_.grad.span<float>();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* gyplane = gys.data() + (b * out_c_ + oc) * oh * ow;
+      for (std::size_t i = 0; i < oh * ow; ++i) gbs[oc] += gyplane[i];
+      for (std::size_t ic = 0; ic < in_c_; ++ic) {
+        const float* xplane = xs.data() + (b * in_c_ + ic) * h * w;
+        float* gxplane = gxs.data() + (b * in_c_ + ic) * h * w;
+        const float* wplane =
+            ws.data() + (oc * in_c_ + ic) * kernel_ * kernel_;
+        float* gwplane = gws.data() + (oc * in_c_ + ic) * kernel_ * kernel_;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const float gy = gyplane[oy * ow + ox];
+            if (gy == 0.0f) continue;
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const std::size_t xi =
+                    static_cast<std::size_t>(iy) * w +
+                    static_cast<std::size_t>(ix);
+                gwplane[ky * kernel_ + kx] += gy * xplane[xi];
+                gxplane[xi] += gy * wplane[ky * kernel_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Conv2d::parameters() { return {&weight_, &bias_}; }
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  ADASUM_CHECK_EQ(x.rank(), 4u);
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0), c = x.dim(1), h = x.dim(2),
+                    w = x.dim(3);
+  const std::size_t oh = h / window_, ow = w / window_;
+  ADASUM_CHECK_GT(oh, 0u);
+  Tensor y({batch, c, oh, ow});
+  argmax_.assign(y.size(), 0);
+  const auto xs = x.span<float>();
+  auto ys = y.span<float>();
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = xs.data() + (b * c + ch) * h * w;
+      const std::size_t plane_base = (b * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t idx =
+                  (oy * window_ + ky) * w + ox * window_ + kx;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          ys[oi] = best;
+          argmax_[oi] = plane_base + best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  ADASUM_CHECK_EQ(grad_out.size(), argmax_.size());
+  Tensor grad_in(cached_input_.shape());
+  const auto gys = grad_out.span<float>();
+  auto gxs = grad_in.span<float>();
+  for (std::size_t i = 0; i < gys.size(); ++i) gxs[argmax_[i]] += gys[i];
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+  ADASUM_CHECK_EQ(x.rank(), 4u);
+  cached_shape_ = x.shape();
+  const std::size_t batch = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  Tensor y({batch, c});
+  const auto xs = x.span<float>();
+  auto ys = y.span<float>();
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = xs.data() + (b * c + ch) * hw;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < hw; ++i) acc += plane[i];
+      ys[b * c + ch] = acc / static_cast<float>(hw);
+    }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_shape_[0], c = cached_shape_[1],
+                    hw = cached_shape_[2] * cached_shape_[3];
+  ADASUM_CHECK_EQ(grad_out.size(), batch * c);
+  Tensor grad_in(cached_shape_);
+  const auto gys = grad_out.span<float>();
+  auto gxs = grad_in.span<float>();
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = gys[b * c + ch] / static_cast<float>(hw);
+      float* plane = gxs.data() + (b * c + ch) * hw;
+      for (std::size_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  return grad_in;
+}
+
+}  // namespace adasum::nn

@@ -1,0 +1,65 @@
+// 2-D convolution and max pooling (NCHW layout, direct algorithm).
+//
+// Image models in the benches are small (LeNet-5-scale, ResNetTiny), so a
+// cache-friendly direct convolution is plenty; the point of these layers is
+// gradient fidelity, not peak GEMM throughput.
+#pragma once
+
+#include "nn/module.h"
+
+namespace adasum::nn {
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::string name, std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, Rng& rng, std::size_t stride = 1,
+         std::size_t padding = 0);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+  std::size_t out_size(std::size_t in) const {
+    return (in + 2 * padding_ - kernel_) / stride_ + 1;
+  }
+
+ private:
+  std::string name_;
+  std::size_t in_c_, out_c_, kernel_, stride_, padding_;
+  Parameter weight_;  // (out_c, in_c, k, k)
+  Parameter bias_;    // (out_c)
+  Tensor cached_input_;
+};
+
+// 2x2-style max pooling with stride == window.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::string name, std::size_t window)
+      : name_(std::move(name)), window_(window) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t window_;
+  Tensor cached_input_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+// Global average pooling: (B, C, H, W) -> (B, C).
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace adasum::nn

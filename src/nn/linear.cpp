@@ -1,0 +1,131 @@
+#include "nn/linear.h"
+
+#include <cstring>
+
+#include "base/check.h"
+
+namespace adasum::nn {
+
+void matmul(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  // i-k-j order: streams b and c rows, vectorizes the inner j loop.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n, bool accumulate) {
+  // c[i,j] = sum_kk a[i,kk] * b[j,kk]: dot of two contiguous rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+void matmul_at(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, k * n * sizeof(float));
+  // c[kk,j] += a[i,kk] * b[i,j]: outer-product accumulation per i.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = c + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+namespace {
+
+// Rows of a possibly token-shaped input: (B, in) -> B, (B, T, in) -> B*T.
+std::size_t row_count(const Tensor& x, std::size_t in_features) {
+  ADASUM_CHECK_GE(x.rank(), 2u);
+  ADASUM_CHECK_EQ(x.shape().back(), in_features);
+  return x.size() / in_features;
+}
+
+std::vector<std::size_t> output_shape(const Tensor& x, std::size_t out) {
+  std::vector<std::size_t> shape = x.shape();
+  shape.back() = out;
+  return shape;
+}
+
+}  // namespace
+
+Linear::Linear(std::string name, std::size_t in_features,
+               std::size_t out_features, Rng& rng, bool xavier, bool bias)
+    : name_(std::move(name)),
+      in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      weight_(name_ + ".weight", {out_features, in_features}),
+      bias_(name_ + ".bias", {out_features}) {
+  if (xavier)
+    xavier_init(weight_.value, in_, out_, rng);
+  else
+    he_init(weight_.value, in_, rng);
+}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  const std::size_t rows = row_count(x, in_);
+  cached_input_ = x;
+  Tensor y(output_shape(x, out_));
+  // y[r, o] = sum_i x[r, i] * w[o, i]  (+ b[o])
+  matmul_bt(x.span<float>().data(), weight_.value.span<float>().data(),
+            y.span<float>().data(), rows, in_, out_);
+  if (has_bias_) {
+    auto ys = y.span<float>();
+    const auto bs = bias_.value.span<float>();
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t o = 0; o < out_; ++o) ys[r * out_ + o] += bs[o];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  ADASUM_CHECK(!cached_input_.empty());
+  const std::size_t rows = row_count(cached_input_, in_);
+  ADASUM_CHECK_EQ(grad_out.size(), rows * out_);
+
+  // dW[o, i] += sum_r dy[r, o] * x[r, i]
+  matmul_at(grad_out.span<float>().data(),
+            cached_input_.span<float>().data(),
+            weight_.grad.span<float>().data(), rows, out_, in_,
+            /*accumulate=*/true);
+  if (has_bias_) {
+    auto gb = bias_.grad.span<float>();
+    const auto gy = grad_out.span<float>();
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t o = 0; o < out_; ++o) gb[o] += gy[r * out_ + o];
+  }
+  // dx[r, i] = sum_o dy[r, o] * w[o, i]
+  Tensor grad_in(cached_input_.shape());
+  matmul(grad_out.span<float>().data(), weight_.value.span<float>().data(),
+         grad_in.span<float>().data(), rows, out_, in_);
+  return grad_in;
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace adasum::nn

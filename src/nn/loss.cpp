@@ -1,0 +1,92 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace adasum::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  ADASUM_CHECK_GE(logits.rank(), 2u);
+  const std::size_t classes = logits.shape().back();
+  const std::size_t rows = logits.size() / classes;
+  ADASUM_CHECK_EQ(labels.size(), rows);
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  const auto ls = logits.span<float>();
+  auto gs = result.grad.span<float>();
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int label = labels[r];
+    const float* row = ls.data() + r * classes;
+    float* grow = gs.data() + r * classes;
+    if (label < 0) continue;  // ignored position: grad stays zero
+    ADASUM_CHECK_LT(static_cast<std::size_t>(label), classes);
+    const float maxv = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c)
+      denom += std::exp(static_cast<double>(row[c] - maxv));
+    const double log_denom = std::log(denom);
+    total += log_denom - static_cast<double>(row[static_cast<std::size_t>(
+                             label)] - maxv);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - maxv)) / denom;
+      grow[c] = static_cast<float>(p);
+    }
+    grow[static_cast<std::size_t>(label)] -= 1.0f;
+    ++counted;
+  }
+  if (counted == 0) {
+    result.loss = 0.0;
+    return result;
+  }
+  // Mean reduction: scale loss and gradient by 1/counted.
+  result.loss = total / static_cast<double>(counted);
+  const float inv = 1.0f / static_cast<float>(counted);
+  for (auto& g : gs) g *= inv;
+  return result;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const std::size_t classes = logits.shape().back();
+  const std::size_t rows = logits.size() / classes;
+  ADASUM_CHECK_EQ(labels.size(), rows);
+  const auto ls = logits.span<float>();
+  std::size_t correct = 0, counted = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (labels[r] < 0) continue;
+    const float* row = ls.data() + r * classes;
+    const std::size_t pred = static_cast<std::size_t>(
+        std::max_element(row, row + classes) - row);
+    if (pred == static_cast<std::size_t>(labels[r])) ++correct;
+    ++counted;
+  }
+  return counted == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(counted);
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  ADASUM_CHECK_EQ(pred.size(), target.size());
+  LossResult result;
+  result.grad = Tensor(pred.shape());
+  const auto ps = pred.span<float>();
+  const auto ts = target.span<float>();
+  auto gs = result.grad.span<float>();
+  double total = 0.0;
+  const std::size_t n = ps.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(ps[i]) - static_cast<double>(ts[i]);
+    total += d * d;
+    gs[i] = static_cast<float>(2.0 * d / static_cast<double>(n));
+  }
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace adasum::nn

@@ -1,0 +1,30 @@
+// Loss functions. Each returns the scalar loss (mean over examples) and the
+// gradient w.r.t. the logits/predictions, ready to feed Layer::backward.
+//
+// Softmax cross-entropy is the negative log likelihood the paper's Hessian
+// approximation (Appendix A.1, Fisher information) assumes.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adasum::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;  // dL/dlogits, same shape as the logits
+};
+
+// logits: (B, C) with labels.size() == B, or (B, T, V) with
+// labels.size() == B*T (row-major). label -1 means "ignore this position".
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+// Fraction of rows whose argmax matches the label (ignoring -1 labels).
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+// Mean squared error over all elements.
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace adasum::nn

@@ -1,0 +1,26 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace adasum::nn {
+
+void he_init(Tensor& w, std::size_t fan_in, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  auto s = w.span<float>();
+  for (auto& v : s) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void xavier_init(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                 Rng& rng) {
+  const double a =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  auto s = w.span<float>();
+  for (auto& v : s) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+void normal_init(Tensor& w, double stddev, Rng& rng) {
+  auto s = w.span<float>();
+  for (auto& v : s) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+}  // namespace adasum::nn

@@ -1,0 +1,296 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+#include "nn/linear.h"
+
+namespace adasum::nn {
+
+LayerNorm::LayerNorm(std::string name, std::size_t dim, double eps)
+    : name_(std::move(name)),
+      dim_(dim),
+      eps_(eps),
+      gain_(name_ + ".gain", {dim}),
+      bias_(name_ + ".bias", {dim}) {
+  gain_.value.fill(1.0);
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool /*train*/) {
+  ADASUM_CHECK_EQ(x.shape().back(), dim_);
+  const std::size_t rows = x.size() / dim_;
+  cached_norm_ = Tensor(x.shape());
+  cached_inv_std_.assign(rows, 0.0f);
+  Tensor y(x.shape());
+  const auto xs = x.span<float>();
+  const auto gs = gain_.value.span<float>();
+  const auto bs = bias_.value.span<float>();
+  auto ns = cached_norm_.span<float>();
+  auto ys = y.span<float>();
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = xs.data() + r * dim_;
+    float mean = 0.0f;
+    for (std::size_t i = 0; i < dim_; ++i) mean += row[i];
+    mean /= static_cast<float>(dim_);
+    float var = 0.0f;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float d = row[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(dim_);
+    const float inv_std =
+        1.0f / std::sqrt(var + static_cast<float>(eps_));
+    cached_inv_std_[r] = inv_std;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float n = (row[i] - mean) * inv_std;
+      ns[r * dim_ + i] = n;
+      ys[r * dim_ + i] = n * gs[i] + bs[i];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  const std::size_t rows = cached_norm_.size() / dim_;
+  ADASUM_CHECK_EQ(grad_out.size(), rows * dim_);
+  Tensor grad_in(cached_norm_.shape());
+  const auto gys = grad_out.span<float>();
+  const auto ns = cached_norm_.span<float>();
+  const auto gs = gain_.value.span<float>();
+  auto gg = gain_.grad.span<float>();
+  auto gb = bias_.grad.span<float>();
+  auto gxs = grad_in.span<float>();
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* gy = gys.data() + r * dim_;
+    const float* n = ns.data() + r * dim_;
+    float* gx = gxs.data() + r * dim_;
+    // dL/dn_i = gy_i * gain_i; then the standard layernorm backward:
+    // gx = inv_std * (dn - mean(dn) - n * mean(dn ⊙ n))
+    float mean_dn = 0.0f, mean_dn_n = 0.0f;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float dn = gy[i] * gs[i];
+      mean_dn += dn;
+      mean_dn_n += dn * n[i];
+      gg[i] += gy[i] * n[i];
+      gb[i] += gy[i];
+    }
+    mean_dn /= static_cast<float>(dim_);
+    mean_dn_n /= static_cast<float>(dim_);
+    const float inv_std = cached_inv_std_[r];
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float dn = gy[i] * gs[i];
+      gx[i] = inv_std * (dn - mean_dn - n[i] * mean_dn_n);
+    }
+  }
+  return grad_in;
+}
+
+Embedding::Embedding(std::string name, std::size_t vocab, std::size_t max_len,
+                     std::size_t dim, Rng& rng)
+    : name_(std::move(name)),
+      vocab_(vocab),
+      max_len_(max_len),
+      dim_(dim),
+      token_table_(name_ + ".tok", {vocab, dim}),
+      position_table_(name_ + ".pos", {max_len, dim}) {
+  normal_init(token_table_.value, 0.02, rng);
+  normal_init(position_table_.value, 0.02, rng);
+}
+
+Tensor Embedding::forward(const Tensor& ids, bool /*train*/) {
+  ADASUM_CHECK_EQ(ids.rank(), 2u);
+  const std::size_t batch = ids.dim(0), len = ids.dim(1);
+  ADASUM_CHECK_LE(len, max_len_);
+  cached_ids_ = ids;
+  Tensor y({batch, len, dim_});
+  const auto is = ids.span<float>();
+  const auto tok = token_table_.value.span<float>();
+  const auto pos = position_table_.value.span<float>();
+  auto ys = y.span<float>();
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t t = 0; t < len; ++t) {
+      const auto id = static_cast<std::size_t>(is[b * len + t]);
+      ADASUM_CHECK_LT(id, vocab_);
+      float* out = ys.data() + (b * len + t) * dim_;
+      const float* trow = tok.data() + id * dim_;
+      const float* prow = pos.data() + t * dim_;
+      for (std::size_t i = 0; i < dim_; ++i) out[i] = trow[i] + prow[i];
+    }
+  }
+  return y;
+}
+
+Tensor Embedding::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_ids_.dim(0), len = cached_ids_.dim(1);
+  ADASUM_CHECK_EQ(grad_out.size(), batch * len * dim_);
+  const auto is = cached_ids_.span<float>();
+  const auto gys = grad_out.span<float>();
+  auto gt = token_table_.grad.span<float>();
+  auto gp = position_table_.grad.span<float>();
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t t = 0; t < len; ++t) {
+      const auto id = static_cast<std::size_t>(is[b * len + t]);
+      const float* gy = gys.data() + (b * len + t) * dim_;
+      float* trow = gt.data() + id * dim_;
+      float* prow = gp.data() + t * dim_;
+      for (std::size_t i = 0; i < dim_; ++i) {
+        trow[i] += gy[i];
+        prow[i] += gy[i];
+      }
+    }
+  }
+  // Token ids are leaves; the gradient stops here.
+  return Tensor(cached_ids_.shape());
+}
+
+SelfAttention::SelfAttention(std::string name, std::size_t dim, Rng& rng,
+                             bool causal)
+    : name_(std::move(name)),
+      dim_(dim),
+      causal_(causal),
+      wq_(name_ + ".wq", {dim, dim}),
+      wk_(name_ + ".wk", {dim, dim}),
+      wv_(name_ + ".wv", {dim, dim}),
+      wo_(name_ + ".wo", {dim, dim}) {
+  xavier_init(wq_.value, dim, dim, rng);
+  xavier_init(wk_.value, dim, dim, rng);
+  xavier_init(wv_.value, dim, dim, rng);
+  xavier_init(wo_.value, dim, dim, rng);
+}
+
+Tensor SelfAttention::forward(const Tensor& x, bool /*train*/) {
+  ADASUM_CHECK_EQ(x.rank(), 3u);
+  ADASUM_CHECK_EQ(x.dim(2), dim_);
+  const std::size_t batch = x.dim(0), len = x.dim(1);
+  cached_x_ = x;
+  cached_q_ = Tensor({batch, len, dim_});
+  cached_k_ = Tensor({batch, len, dim_});
+  cached_v_ = Tensor({batch, len, dim_});
+  cached_attn_ = Tensor({batch, len, len});
+  cached_context_ = Tensor({batch, len, dim_});
+  Tensor y({batch, len, dim_});
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(dim_));
+  const float* xs = x.span<float>().data();
+  float* qs = cached_q_.span<float>().data();
+  float* ks = cached_k_.span<float>().data();
+  float* vs = cached_v_.span<float>().data();
+  float* as = cached_attn_.span<float>().data();
+  float* cs = cached_context_.span<float>().data();
+  float* ys = y.span<float>().data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xb = xs + b * len * dim_;
+    float* qb = qs + b * len * dim_;
+    float* kb = ks + b * len * dim_;
+    float* vb = vs + b * len * dim_;
+    float* ab = as + b * len * len;
+    float* cb = cs + b * len * dim_;
+    matmul_bt(xb, wq_.value.span<float>().data(), qb, len, dim_, dim_);
+    matmul_bt(xb, wk_.value.span<float>().data(), kb, len, dim_, dim_);
+    matmul_bt(xb, wv_.value.span<float>().data(), vb, len, dim_, dim_);
+
+    // Scores + row softmax (with optional causal mask).
+    for (std::size_t t = 0; t < len; ++t) {
+      float* row = ab + t * len;
+      const std::size_t limit = causal_ ? t + 1 : len;
+      float maxv = -std::numeric_limits<float>::infinity();
+      for (std::size_t u = 0; u < limit; ++u) {
+        float s = 0.0f;
+        const float* qrow = qb + t * dim_;
+        const float* krow = kb + u * dim_;
+        for (std::size_t i = 0; i < dim_; ++i) s += qrow[i] * krow[i];
+        row[u] = s * inv_sqrt_d;
+        maxv = std::max(maxv, row[u]);
+      }
+      float denom = 0.0f;
+      for (std::size_t u = 0; u < limit; ++u) {
+        row[u] = std::exp(row[u] - maxv);
+        denom += row[u];
+      }
+      for (std::size_t u = 0; u < limit; ++u) row[u] /= denom;
+      for (std::size_t u = limit; u < len; ++u) row[u] = 0.0f;
+    }
+    matmul(ab, vb, cb, len, len, dim_);
+    matmul_bt(cb, wo_.value.span<float>().data(), ys + b * len * dim_, len,
+              dim_, dim_);
+  }
+  return y;
+}
+
+Tensor SelfAttention::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_x_.dim(0), len = cached_x_.dim(1);
+  ADASUM_CHECK_EQ(grad_out.size(), batch * len * dim_);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(dim_));
+
+  Tensor grad_in(cached_x_.shape());
+  std::vector<float> dc(len * dim_), da(len * len), ds(len * len),
+      dq(len * dim_), dk(len * dim_), dv(len * dim_);
+
+  const float* xs = cached_x_.span<float>().data();
+  const float* qs = cached_q_.span<float>().data();
+  const float* ks = cached_k_.span<float>().data();
+  const float* vs = cached_v_.span<float>().data();
+  const float* as = cached_attn_.span<float>().data();
+  const float* cs = cached_context_.span<float>().data();
+  const float* gys = grad_out.span<float>().data();
+  float* gxs = grad_in.span<float>().data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xb = xs + b * len * dim_;
+    const float* qb = qs + b * len * dim_;
+    const float* kb = ks + b * len * dim_;
+    const float* vb = vs + b * len * dim_;
+    const float* ab = as + b * len * len;
+    const float* cb = cs + b * len * dim_;
+    const float* gy = gys + b * len * dim_;
+    float* gx = gxs + b * len * dim_;
+
+    // Output projection: y = c Wo^T.
+    matmul_at(gy, cb, wo_.grad.span<float>().data(), len, dim_, dim_,
+              /*accumulate=*/true);
+    matmul(gy, wo_.value.span<float>().data(), dc.data(), len, dim_, dim_);
+
+    // Context: c = a v.
+    matmul_bt(dc.data(), vb, da.data(), len, dim_, len);
+    matmul_at(ab, dc.data(), dv.data(), len, len, dim_);
+
+    // Softmax backward per row.
+    for (std::size_t t = 0; t < len; ++t) {
+      const float* arow = ab + t * len;
+      const float* darow = da.data() + t * len;
+      float* dsrow = ds.data() + t * len;
+      float dot = 0.0f;
+      for (std::size_t u = 0; u < len; ++u) dot += arow[u] * darow[u];
+      for (std::size_t u = 0; u < len; ++u)
+        dsrow[u] = arow[u] * (darow[u] - dot) * inv_sqrt_d;
+    }
+
+    // Scores: s = q k^T (scaling folded into ds above).
+    matmul(ds.data(), kb, dq.data(), len, len, dim_);
+    matmul_at(ds.data(), qb, dk.data(), len, len, dim_);
+
+    // Projections: q = x Wq^T etc.
+    matmul_at(dq.data(), xb, wq_.grad.span<float>().data(), len, dim_, dim_,
+              true);
+    matmul_at(dk.data(), xb, wk_.grad.span<float>().data(), len, dim_, dim_,
+              true);
+    matmul_at(dv.data(), xb, wv_.grad.span<float>().data(), len, dim_, dim_,
+              true);
+    matmul(dq.data(), wq_.value.span<float>().data(), gx, len, dim_, dim_);
+    matmul(dk.data(), wk_.value.span<float>().data(), gx, len, dim_, dim_,
+           /*accumulate=*/true);
+    matmul(dv.data(), wv_.value.span<float>().data(), gx, len, dim_, dim_,
+           true);
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> SelfAttention::parameters() {
+  return {&wq_, &wk_, &wv_, &wo_};
+}
+
+}  // namespace adasum::nn

@@ -1,0 +1,76 @@
+// Transformer building blocks: LayerNorm, Embedding (+ learned positions)
+// and single-head self-attention. Together with Linear/Gelu/Residual these
+// compose TinyBert (src/nn/models.h), the BERT-Large stand-in of the
+// evaluation benches (see DESIGN.md substitution table).
+#pragma once
+
+#include "nn/module.h"
+
+namespace adasum::nn {
+
+// Layer normalization over the last dimension, with learned gain and bias.
+class LayerNorm : public Layer {
+ public:
+  LayerNorm(std::string name, std::size_t dim, double eps = 1e-5);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&gain_, &bias_}; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t dim_;
+  double eps_;
+  Parameter gain_;  // (dim), init 1
+  Parameter bias_;  // (dim), init 0
+  Tensor cached_norm_;  // normalized activations (before gain/bias)
+  std::vector<float> cached_inv_std_;
+};
+
+// Token embedding plus learned positional embedding.
+// Input: (B, T) tensor of token ids stored as floats. Output: (B, T, dim).
+class Embedding : public Layer {
+ public:
+  Embedding(std::string name, std::size_t vocab, std::size_t max_len,
+            std::size_t dim, Rng& rng);
+
+  Tensor forward(const Tensor& ids, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override {
+    return {&token_table_, &position_table_};
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t vocab_, max_len_, dim_;
+  Parameter token_table_;     // (vocab, dim)
+  Parameter position_table_;  // (max_len, dim)
+  Tensor cached_ids_;
+};
+
+// Single-head scaled dot-product self-attention with an output projection.
+// Input/output: (B, T, dim). Optionally causal (masks future positions) —
+// TinyBert uses causal attention for its next-token objective.
+class SelfAttention : public Layer {
+ public:
+  SelfAttention(std::string name, std::size_t dim, Rng& rng,
+                bool causal = true);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t dim_;
+  bool causal_;
+  Parameter wq_, wk_, wv_, wo_;  // (dim, dim) each
+  // Forward caches for backward.
+  Tensor cached_x_, cached_q_, cached_k_, cached_v_, cached_attn_,
+      cached_context_;
+};
+
+}  // namespace adasum::nn

@@ -1,0 +1,168 @@
+#include "optim/distributed_optimizer.h"
+
+#include <cstring>
+
+#include "base/check.h"
+#include "tensor/kernels.h"
+
+namespace adasum::optim {
+
+DistributedOptimizer::DistributedOptimizer(Comm& comm,
+                                           std::unique_ptr<Optimizer> inner,
+                                           DistributedOptions options)
+    : comm_(comm), inner_(std::move(inner)), options_(options) {
+  ADASUM_CHECK_GE(options_.local_steps, 1);
+}
+
+bool DistributedOptimizer::step(double lr) {
+  const auto& params = inner_->params();
+  ADASUM_CHECK(!params.empty());
+
+  if (options_.op == ReduceOp::kSum || options_.op == ReduceOp::kAverage) {
+    // Synchronous SGD: gradients accumulate across local steps; on the
+    // communication step they are reduced and the optimizer runs once.
+    if (++micro_step_ < options_.local_steps) return false;
+    micro_step_ = 0;
+    communicate_gradients();
+    inner_->step(lr);
+    inner_->zero_grad();
+    ++rounds_;
+    return true;
+  }
+
+  // Adasum mode (Figure 3): optimizer first, allreduce the effective
+  // gradient after.
+  if (micro_step_ == 0) {
+    round_start_.clear();
+    round_start_.reserve(params.size());
+    for (const nn::Parameter* p : params)
+      round_start_.push_back(p->value.clone());
+  }
+  inner_->step(lr);
+  inner_->zero_grad();
+  if (++micro_step_ < options_.local_steps) return false;
+  micro_step_ = 0;
+  communicate_effective_gradient();
+  ++rounds_;
+  return true;
+}
+
+void DistributedOptimizer::reduce_tensors(std::vector<Tensor*>& tensors,
+                                          ReduceOp op) {
+  AllreduceOptions opts;
+  opts.op = op;
+  opts.algo = options_.algo;
+  opts.ranks_per_node = options_.ranks_per_node;
+  // tag namespace per round so back-to-back rounds cannot cross-talk.
+  const int tag_base = (tag_round_++ % 64) * 65536;
+  if (options_.layerwise) {
+    allreduce_fused(comm_, tensors, opts, tag_base);
+  } else {
+    std::vector<const Tensor*> views(tensors.begin(), tensors.end());
+    FusedTensor fused = fuse(views);
+    fused.slices.clear();  // single whole-vector "layer"
+    allreduce(comm_, fused.flat, opts, tag_base);
+    // Restore boundary table for unfuse.
+    FusedTensor repacked = fuse(views);
+    repacked.flat = std::move(fused.flat);
+    unfuse(repacked, tensors);
+  }
+}
+
+void DistributedOptimizer::communicate_gradients() {
+  std::vector<Tensor*> grads;
+  grads.reserve(inner_->params().size());
+  for (nn::Parameter* p : inner_->params()) grads.push_back(&p->grad);
+  reduce_tensors(grads, options_.op);
+}
+
+bool DistributedOptimizer::round_overflowed_globally(bool local_overflow) {
+  std::vector<int> everyone(static_cast<std::size_t>(comm_.size()));
+  for (int r = 0; r < comm_.size(); ++r)
+    everyone[static_cast<std::size_t>(r)] = r;
+  const std::vector<double> overflow_sum = comm_.allreduce_sum_doubles(
+      std::vector<double>{local_overflow ? 1.0 : 0.0}, everyone,
+      /*tag=*/(tag_round_ % 64) * 65536 + 60000);
+  return overflow_sum[0] > 0.0;
+}
+
+void DistributedOptimizer::communicate_effective_gradient() {
+  const auto& params = inner_->params();
+  // effective_gradient = current - round_start (Figure 3).
+  std::vector<Tensor> eff;
+  eff.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor delta = params[i]->value.clone();
+    kernels::axpy(-1.0, round_start_[i].span<float>(), delta.span<float>());
+    eff.push_back(std::move(delta));
+  }
+
+  if (options_.compression == GradientCompression::kFp16) {
+    // Scale into fp16 (§4.4.1). Overflow on any rank skips the round on all.
+    const double scale = scaler_.scale();
+    std::vector<Tensor> compressed;
+    compressed.reserve(eff.size());
+    bool local_overflow = false;
+    for (const Tensor& t : eff) {
+      Tensor h = cast_to_fp16_scaled(t, scale);
+      if (tensor_overflowed(h)) local_overflow = true;
+      compressed.push_back(std::move(h));
+    }
+    const bool overflowed = round_overflowed_globally(local_overflow);
+    if (!scaler_.update(overflowed) || overflowed) {
+      // Revert to the round start: the round is skipped consistently
+      // everywhere (all ranks saw the same summed flag).
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        std::memcpy(params[i]->value.data(), round_start_[i].data(),
+                    round_start_[i].nbytes());
+      }
+      ++skipped_rounds_;
+      return;
+    }
+    std::vector<Tensor*> ptrs;
+    ptrs.reserve(compressed.size());
+    for (Tensor& t : compressed) ptrs.push_back(&t);
+    reduce_tensors(ptrs, ReduceOp::kAdasum);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const Tensor reduced = cast_from_fp16_scaled(compressed[i], scale);
+      // w = round_start + reduced_effective_gradient.
+      std::memcpy(params[i]->value.data(), round_start_[i].data(),
+                  round_start_[i].nbytes());
+      kernels::add(reduced.span<float>(), params[i]->value.span<float>());
+    }
+    return;
+  }
+
+  if (options_.compression == GradientCompression::kInt8) {
+    // Error-feedback int8: compensate with last round's residual, quantize,
+    // transmit the dequantized values (decompress-reduce transport model),
+    // and bank the new residual.
+    if (!error_feedback_) {
+      std::vector<std::size_t> sizes;
+      for (const Tensor& t : eff) sizes.push_back(t.size());
+      error_feedback_ = std::make_unique<ErrorFeedback>(std::move(sizes));
+    }
+    for (std::size_t i = 0; i < eff.size(); ++i) {
+      auto values = eff[i].span<float>();
+      error_feedback_->compensate(i, values);
+      const Int8Quantized q = quantize_int8(values);
+      std::vector<float> transmitted(values.size());
+      dequantize_int8(q, transmitted);
+      error_feedback_->record(i, values, transmitted);
+      std::memcpy(values.data(), transmitted.data(),
+                  transmitted.size() * sizeof(float));
+    }
+  }
+
+  std::vector<Tensor*> ptrs;
+  ptrs.reserve(eff.size());
+  for (Tensor& t : eff) ptrs.push_back(&t);
+  reduce_tensors(ptrs, ReduceOp::kAdasum);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::memcpy(params[i]->value.data(), round_start_[i].data(),
+                round_start_[i].nbytes());
+    kernels::add(eff[i].span<float>(), params[i]->value.span<float>());
+  }
+}
+
+}  // namespace adasum::optim

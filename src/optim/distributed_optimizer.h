@@ -1,0 +1,91 @@
+// DistributedOptimizer — the hvd.DistributedOptimizer(opt, op=…) analogue.
+//
+// Two integration modes, matching the paper exactly:
+//
+//  * op=Sum/Average (synchronous SGD): gradients are allreduced BEFORE the
+//    inner optimizer consumes them. With local_steps > 1 the gradients
+//    accumulate locally and the (reduce + step) happens once per round —
+//    plain gradient accumulation (§2.2).
+//
+//  * op=Adasum: the inner optimizer steps LOCALLY on each microbatch, and the
+//    communication operates on the EFFECTIVE GRADIENT w_now − w_round_start
+//    AFTER the optimizer (Figure 3 — "the Adasum operation should be
+//    performed after the optimizer update … the logic of optimizers should
+//    only apply to the smaller minibatches per node"). With local_steps > 1
+//    this is the TF local-SGD variant of §5.2: many local steps, then the
+//    delta from the model state since the prior allreduce is reduced.
+//
+// The effective gradient is fused per layer (§4.4.3) so Adasum applies per
+// layer (§3.6). Optional fp16 compression with dynamic scaling (§4.4.1):
+// payloads are scaled into fp16, reduced, and unscaled; a round that
+// overflows on any rank is skipped on all ranks (model reverts to the round
+// start) and the scale backs off.
+#pragma once
+
+#include <memory>
+
+#include "collectives/allreduce.h"
+#include "comm/world.h"
+#include "optim/optimizer.h"
+#include "tensor/quantize.h"
+#include "tensor/scaling.h"
+
+namespace adasum::optim {
+
+// Payload compression for the Adasum effective gradients:
+//   kNone — fp32 on the wire;
+//   kFp16 — dynamic loss scaling into binary16 (§4.4.1), overflow rounds are
+//           skipped consistently on every rank;
+//   kInt8 — symmetric per-layer int8 with error feedback (the §6
+//           gradient-compression axis; see tensor/quantize.h). The reduction
+//           itself runs on the dequantized values, modeling
+//           decompress-reduce transports.
+enum class GradientCompression { kNone, kFp16, kInt8 };
+
+struct DistributedOptions {
+  ReduceOp op = ReduceOp::kAdasum;
+  AllreduceAlgo algo = AllreduceAlgo::kAuto;
+  int ranks_per_node = 1;   // for AllreduceAlgo::kHierarchical
+  int local_steps = 1;      // microbatches per communication round
+  bool layerwise = true;    // per-layer Adasum boundaries (§3.6)
+  GradientCompression compression = GradientCompression::kNone;
+};
+
+class DistributedOptimizer {
+ public:
+  DistributedOptimizer(Comm& comm, std::unique_ptr<Optimizer> inner,
+                       DistributedOptions options);
+
+  // One microbatch step: consumes the gradients currently in the parameters
+  // (zeroing them when appropriate) and, every `local_steps` calls, performs
+  // the communication round. Returns true if a round was communicated.
+  bool step(double lr);
+
+  // Number of communication rounds performed.
+  long rounds() const { return rounds_; }
+  // Rounds skipped due to fp16 overflow.
+  long skipped_rounds() const { return skipped_rounds_; }
+  Optimizer& inner() { return *inner_; }
+  const DynamicScaler& scaler() const { return scaler_; }
+
+ private:
+  void communicate_gradients();          // Sum/Average path
+  void communicate_effective_gradient(); // Adasum path (Figure 3)
+  // Shares the per-rank overflow flag; true -> skip the round everywhere.
+  bool round_overflowed_globally(bool local_overflow);
+  // Reduce `tensors` (pointers into rank-local storage) in place.
+  void reduce_tensors(std::vector<Tensor*>& tensors, ReduceOp op);
+
+  Comm& comm_;
+  std::unique_ptr<Optimizer> inner_;
+  DistributedOptions options_;
+  std::vector<Tensor> round_start_;  // parameter snapshot (Adasum mode)
+  int micro_step_ = 0;
+  long rounds_ = 0;
+  long skipped_rounds_ = 0;
+  DynamicScaler scaler_;
+  std::unique_ptr<ErrorFeedback> error_feedback_;  // int8 path only
+  int tag_round_ = 0;
+};
+
+}  // namespace adasum::optim

@@ -1,0 +1,71 @@
+// Learning-rate schedules used by the evaluation benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "base/check.h"
+
+namespace adasum::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual double lr(long step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double value) : value_(value) {}
+  double lr(long /*step*/) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+// Linear warmup from 0 to `peak` over `warmup_steps`, then linear decay back
+// to 0 at `total_steps` — the aggressive zero-to-zero schedule of §5.4.
+class LinearWarmupDecay : public LrSchedule {
+ public:
+  LinearWarmupDecay(double peak, long warmup_steps, long total_steps)
+      : peak_(peak), warmup_(warmup_steps), total_(total_steps) {
+    ADASUM_CHECK_GT(total_steps, 0);
+    ADASUM_CHECK_GE(warmup_steps, 0);
+    ADASUM_CHECK_LE(warmup_steps, total_steps);
+  }
+  double lr(long step) const override {
+    if (step >= total_) return 0.0;
+    if (warmup_ > 0 && step < warmup_)
+      return peak_ * static_cast<double>(step + 1) /
+             static_cast<double>(warmup_);
+    if (total_ == warmup_) return peak_;
+    return peak_ * static_cast<double>(total_ - step) /
+           static_cast<double>(total_ - warmup_);
+  }
+
+ private:
+  double peak_;
+  long warmup_, total_;
+};
+
+// Multiplies the base LR by `factor` at each milestone step — the classic
+// ResNet-50 staircase whose boundaries show up as orthogonality drops in
+// Figure 1.
+class StepDecay : public LrSchedule {
+ public:
+  StepDecay(double base, double factor, std::vector<long> milestones)
+      : base_(base), factor_(factor), milestones_(std::move(milestones)) {}
+  double lr(long step) const override {
+    double value = base_;
+    for (long m : milestones_)
+      if (step >= m) value *= factor_;
+    return value;
+  }
+
+ private:
+  double base_;
+  double factor_;
+  std::vector<long> milestones_;
+};
+
+}  // namespace adasum::optim

@@ -1,0 +1,208 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "tensor/kernels.h"
+
+namespace adasum::optim {
+
+void Sgd::step(double lr) {
+  for (nn::Parameter* p : params_)
+    kernels::axpy(-lr, p->grad.span<float>(), p->value.span<float>());
+}
+
+MomentumSgd::MomentumSgd(std::vector<nn::Parameter*> params, double momentum,
+                         double weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (nn::Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void MomentumSgd::step(double lr) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter* p = params_[i];
+    auto w = p->value.span<float>();
+    const auto g = p->grad.span<float>();
+    auto v = velocity_[i].span<float>();
+    const float m = static_cast<float>(momentum_);
+    const float wd = static_cast<float>(weight_decay_);
+    const float flr = static_cast<float>(lr);
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      v[j] = m * v[j] + grad;
+      w[j] -= flr * v[j];
+    }
+  }
+}
+
+std::size_t MomentumSgd::state_bytes() const {
+  std::size_t n = 0;
+  for (const Tensor& t : velocity_) n += t.nbytes();
+  return n;
+}
+
+Adam::Adam(std::vector<nn::Parameter*> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step(double lr) {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_count_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_count_);
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter* p = params_[i];
+    auto w = p->value.span<float>();
+    const auto g = p->grad.span<float>();
+    auto m = m_[i].span<float>();
+    auto v = v_[i].span<float>();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const float grad =
+          g[j] + static_cast<float>(options_.weight_decay) * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      w[j] -= static_cast<float>(lr * mhat /
+                                 (std::sqrt(vhat) + options_.eps));
+    }
+  }
+}
+
+std::size_t Adam::state_bytes() const {
+  std::size_t n = 0;
+  for (const Tensor& t : m_) n += t.nbytes();
+  for (const Tensor& t : v_) n += t.nbytes();
+  return n;
+}
+
+Lars::Lars(std::vector<nn::Parameter*> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (nn::Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Lars::step(double lr) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter* p = params_[i];
+    auto w = p->value.span<float>();
+    const auto g = p->grad.span<float>();
+    auto v = velocity_[i].span<float>();
+    const double w_norm = std::sqrt(kernels::norm_squared(
+        std::span<const float>(w)));
+    double g_norm_sq = 0.0;
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      const double gv = g[j] + options_.weight_decay * w[j];
+      g_norm_sq += gv * gv;
+    }
+    const double g_norm = std::sqrt(g_norm_sq);
+    double trust = 1.0;
+    if (w_norm > 0.0 && g_norm > 0.0)
+      trust = options_.trust_coefficient * w_norm / (g_norm + options_.eps);
+    const float m = static_cast<float>(options_.momentum);
+    const float scale = static_cast<float>(lr * trust);
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const float grad =
+          g[j] + static_cast<float>(options_.weight_decay) * w[j];
+      v[j] = m * v[j] + scale * grad;
+      w[j] -= v[j];
+    }
+  }
+}
+
+std::size_t Lars::state_bytes() const {
+  std::size_t n = 0;
+  for (const Tensor& t : velocity_) n += t.nbytes();
+  return n;
+}
+
+Lamb::Lamb(std::vector<nn::Parameter*> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Lamb::step(double lr) {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_count_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_count_);
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  std::vector<float> r;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter* p = params_[i];
+    auto w = p->value.span<float>();
+    const auto g = p->grad.span<float>();
+    auto m = m_[i].span<float>();
+    auto v = v_[i].span<float>();
+    r.resize(w.size());
+    double r_norm_sq = 0.0;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      const double rj = mhat / (std::sqrt(vhat) + options_.eps) +
+                        options_.weight_decay * w[j];
+      r[j] = static_cast<float>(rj);
+      r_norm_sq += rj * rj;
+    }
+    const double w_norm = std::sqrt(kernels::norm_squared(
+        std::span<const float>(w)));
+    const double r_norm = std::sqrt(r_norm_sq);
+    double trust = 1.0;
+    if (w_norm > 0.0 && r_norm > 0.0) trust = w_norm / r_norm;
+    const float scale = static_cast<float>(lr * trust);
+    for (std::size_t j = 0; j < w.size(); ++j) w[j] -= scale * r[j];
+  }
+}
+
+std::size_t Lamb::state_bytes() const {
+  std::size_t n = 0;
+  for (const Tensor& t : m_) n += t.nbytes();
+  for (const Tensor& t : v_) n += t.nbytes();
+  return n;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          std::vector<nn::Parameter*> params) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return std::make_unique<Sgd>(std::move(params));
+    case OptimizerKind::kMomentum:
+      return std::make_unique<MomentumSgd>(std::move(params));
+    case OptimizerKind::kAdam:
+      return std::make_unique<Adam>(std::move(params));
+    case OptimizerKind::kLars:
+      return std::make_unique<Lars>(std::move(params));
+    case OptimizerKind::kLamb:
+      return std::make_unique<Lamb>(std::move(params));
+  }
+  throw InvalidArgument("unknown optimizer kind");
+}
+
+const char* optimizer_name(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return "SGD";
+    case OptimizerKind::kMomentum: return "Momentum-SGD";
+    case OptimizerKind::kAdam: return "Adam";
+    case OptimizerKind::kLars: return "LARS";
+    case OptimizerKind::kLamb: return "LAMB";
+  }
+  return "?";
+}
+
+}  // namespace adasum::optim

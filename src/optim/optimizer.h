@@ -1,0 +1,128 @@
+// Local (single-replica) optimizers: SGD, Momentum-SGD, Adam, LARS, LAMB —
+// the learning-rate optimizers the paper scales with Adasum (§2.4, §5).
+//
+// An Optimizer is bound to a parameter list at construction (state arrays
+// are indexed in parameter order) and applies one update per step() call.
+// The distributed wrapper (distributed_optimizer.h) decides whether the
+// allreduce happens before the step (synchronous SGD) or after it on the
+// effective gradient (the Adasum integration of Figure 3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace adasum::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  // Apply one update with the given learning rate, consuming the gradients
+  // currently stored in the parameters (which are left untouched — callers
+  // zero them).
+  virtual void step(double lr) = 0;
+
+  const std::vector<nn::Parameter*>& params() const { return params_; }
+  void zero_grad() { nn::zero_grads(params_); }
+
+  // Bytes of per-parameter optimizer state (for the §4.3 memory accounting).
+  virtual std::size_t state_bytes() const { return 0; }
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+  void step(double lr) override;
+};
+
+// Momentum-SGD (PyTorch convention: v = m·v + g; w -= lr·v).
+class MomentumSgd : public Optimizer {
+ public:
+  MomentumSgd(std::vector<nn::Parameter*> params, double momentum = 0.9,
+              double weight_decay = 0.0);
+  void step(double lr) override;
+  std::size_t state_bytes() const override;
+
+ private:
+  double momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+  explicit Adam(std::vector<nn::Parameter*> params)
+      : Adam(std::move(params), Options()) {}
+  Adam(std::vector<nn::Parameter*> params, Options options);
+  void step(double lr) override;
+  std::size_t state_bytes() const override;
+
+ private:
+  Options options_;
+  long step_count_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+// LARS (You et al. 2017): layer-wise trust ratio ‖w‖/(‖g‖ + wd·‖w‖) scales
+// the learning rate of each parameter tensor; momentum on the scaled update.
+class Lars : public Optimizer {
+ public:
+  struct Options {
+    double momentum = 0.9;
+    double weight_decay = 1e-4;
+    double trust_coefficient = 0.001;
+    double eps = 1e-9;
+  };
+  explicit Lars(std::vector<nn::Parameter*> params)
+      : Lars(std::move(params), Options()) {}
+  Lars(std::vector<nn::Parameter*> params, Options options);
+  void step(double lr) override;
+  std::size_t state_bytes() const override;
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+// LAMB (You et al. 2019): Adam direction per element, LARS-style per-layer
+// trust ratio ‖w‖/‖r‖ on top. The paper's state-of-the-art baseline for
+// BERT-Large large-batch training (§5.3).
+class Lamb : public Optimizer {
+ public:
+  struct Options {
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-6;
+    double weight_decay = 0.01;
+  };
+  explicit Lamb(std::vector<nn::Parameter*> params)
+      : Lamb(std::move(params), Options()) {}
+  Lamb(std::vector<nn::Parameter*> params, Options options);
+  void step(double lr) override;
+  std::size_t state_bytes() const override;
+
+ private:
+  Options options_;
+  long step_count_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+// Factory used by trainer configs.
+enum class OptimizerKind { kSgd, kMomentum, kAdam, kLars, kLamb };
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          std::vector<nn::Parameter*> params);
+const char* optimizer_name(OptimizerKind kind);
+
+}  // namespace adasum::optim

@@ -1,0 +1,67 @@
+#include "optim/partitioned.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace adasum::optim {
+
+Partition layer_aligned_partition(const std::vector<nn::Parameter*>& params,
+                                  int num_shards) {
+  ADASUM_CHECK_GE(num_shards, 1);
+  Partition partition;
+  partition.shards.assign(static_cast<std::size_t>(num_shards), {});
+  std::vector<std::size_t> shard_load(static_cast<std::size_t>(num_shards), 0);
+
+  // Largest-first greedy: sort parameter indices by size descending, place
+  // each whole tensor on the currently lightest shard.
+  std::vector<std::size_t> order(params.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return params[a]->size() > params[b]->size();
+  });
+  for (std::size_t idx : order) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(shard_load.begin(), shard_load.end()) -
+        shard_load.begin());
+    partition.shards[lightest].push_back(idx);
+    shard_load[lightest] += params[idx]->size();
+    partition.total_elems += params[idx]->size();
+  }
+  // Keep each shard's parameters in model order (stable downstream layout).
+  for (auto& shard : partition.shards) std::sort(shard.begin(), shard.end());
+  partition.max_shard_elems =
+      *std::max_element(shard_load.begin(), shard_load.end());
+  return partition;
+}
+
+std::size_t MemoryModel::max_microbatch(bool partitioned,
+                                        int num_local_gpus) const {
+  ADASUM_CHECK_GE(num_local_gpus, 1);
+  const double state = partitioned
+                           ? optimizer_state_bytes / num_local_gpus
+                           : optimizer_state_bytes;
+  const double free_bytes =
+      gpu_memory_bytes - fixed_overhead_bytes - model_bytes - state;
+  if (free_bytes <= 0 || activation_bytes_per_example <= 0) return 0;
+  return static_cast<std::size_t>(free_bytes / activation_bytes_per_example);
+}
+
+double partitioned_update_time(double serial_update_seconds,
+                               const Partition& partition,
+                               double model_bytes,
+                               const LinkParams& intra_link) {
+  ADASUM_CHECK_GT(partition.total_elems, 0u);
+  const double shard_fraction =
+      static_cast<double>(partition.max_shard_elems) /
+      static_cast<double>(partition.total_elems);
+  // Each GPU broadcasts its updated shard to the others; the paper overlaps
+  // this with the next layer's Adasum, retaining ~the largest single-shard
+  // transfer on the critical path.
+  const double broadcast =
+      intra_link.transfer_time(model_bytes * shard_fraction);
+  return serial_update_seconds * shard_fraction + broadcast;
+}
+
+}  // namespace adasum::optim

@@ -1,0 +1,70 @@
+// Optimizer-state and effective-gradient partitioning (paper §4.3, Table 1).
+//
+// Marian-style memory optimization: optimizer state (Adam/LAMB moments) is
+// identical on all local GPUs, so replicating it wastes memory; instead each
+// of the node's GPUs owns a partition of the state, performs the optimizer
+// update and the cross-node Adasum only for its partition, and broadcasts
+// its slice of the updated model locally. The paper's key twist over Marian
+// is LAYER-ALIGNED partitioning — a layer never straddles two partitions —
+// which keeps the per-layer Adasum dot products local to one GPU and leaves
+// the optimizer code untouched.
+//
+// On this substrate the benefits are reproduced structurally:
+//  * memory: state_bytes/num_gpus instead of state_bytes per GPU, which the
+//    MemoryModel converts into the larger feasible microbatch (Table 1 row 3);
+//  * update time: each GPU updates only its shard, so the span of the update
+//    is the largest shard plus the local broadcast (Table 1 row 2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/cost_model.h"
+#include "nn/module.h"
+
+namespace adasum::optim {
+
+// Greedy balanced assignment of whole parameter tensors to `num_shards`
+// partitions (largest-first into the emptiest shard), preserving the
+// layer-alignment invariant.
+struct Partition {
+  // shard -> indices into the parameter list.
+  std::vector<std::vector<std::size_t>> shards;
+  std::size_t max_shard_elems = 0;
+  std::size_t total_elems = 0;
+
+  // 1.0 = perfectly balanced; num_shards = all on one shard.
+  double imbalance() const {
+    return total_elems == 0
+               ? 1.0
+               : static_cast<double>(max_shard_elems) * shards.size() /
+                     static_cast<double>(total_elems);
+  }
+};
+
+Partition layer_aligned_partition(const std::vector<nn::Parameter*>& params,
+                                  int num_shards);
+
+// Memory accounting for the feasible microbatch (Table 1, last column).
+struct MemoryModel {
+  double gpu_memory_bytes = 16e9;          // V100-16GB (§4.3's platform)
+  double model_bytes = 0;                  // weights + gradients
+  double optimizer_state_bytes = 0;        // full (unpartitioned) state
+  double activation_bytes_per_example = 0; // activations scale with batch
+  double fixed_overhead_bytes = 1e9;       // framework/workspace
+
+  // Largest microbatch that fits, with the optimizer state either fully
+  // replicated (partitioned=false) or split across num_local_gpus.
+  std::size_t max_microbatch(bool partitioned, int num_local_gpus) const;
+};
+
+// Simulated update-path timing for Table 1 row 2: the serial (unpartitioned)
+// update time is measured by the caller; the partitioned time is the largest
+// shard's share plus the local broadcast of the updated shards priced by the
+// cost model's intra-node link.
+double partitioned_update_time(double serial_update_seconds,
+                               const Partition& partition,
+                               double model_bytes,
+                               const LinkParams& intra_link);
+
+}  // namespace adasum::optim

@@ -1,0 +1,66 @@
+// Element-type system for tensors and communication payloads.
+//
+// The Adasum kernels run over fp16, fp32 and fp64 payloads (paper §4.4.2).
+// Dot products and norms accumulate in double regardless of the payload
+// dtype (paper §4.4.1); the dtype here only describes storage.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "base/check.h"
+#include "base/half.h"
+
+namespace adasum {
+
+enum class DType { kFloat16, kFloat32, kFloat64 };
+
+constexpr std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat16: return 2;
+    case DType::kFloat32: return 4;
+    case DType::kFloat64: return 8;
+  }
+  return 0;  // unreachable; keeps gcc -Wreturn-type happy
+}
+
+inline std::string dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat16: return "float16";
+    case DType::kFloat32: return "float32";
+    case DType::kFloat64: return "float64";
+  }
+  return "?";
+}
+
+template <typename T>
+struct DTypeOf;
+template <>
+struct DTypeOf<Half> {
+  static constexpr DType value = DType::kFloat16;
+};
+template <>
+struct DTypeOf<float> {
+  static constexpr DType value = DType::kFloat32;
+};
+template <>
+struct DTypeOf<double> {
+  static constexpr DType value = DType::kFloat64;
+};
+
+template <typename T>
+inline constexpr DType dtype_of = DTypeOf<T>::value;
+
+// Invoke a callable templated on the element type matching `dtype`:
+//   dispatch_dtype(dtype, [&]<typename T>() { ... });
+template <typename F>
+decltype(auto) dispatch_dtype(DType dtype, F&& f) {
+  switch (dtype) {
+    case DType::kFloat16: return f.template operator()<Half>();
+    case DType::kFloat32: return f.template operator()<float>();
+    case DType::kFloat64: return f.template operator()<double>();
+  }
+  throw InvalidArgument("unknown dtype");
+}
+
+}  // namespace adasum

@@ -1,0 +1,180 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace adasum::kernels {
+namespace {
+
+// Loads an element as double. For Half this is the fp16->fp32->fp64 widening;
+// for float/double it is a plain conversion the compiler folds into the loop.
+template <typename T>
+inline double load(const T& v) {
+  return static_cast<double>(v);
+}
+inline double load(const Half& v) { return static_cast<double>(static_cast<float>(v)); }
+
+template <typename T>
+inline T store(double v) {
+  return static_cast<T>(v);
+}
+template <>
+inline Half store<Half>(double v) {
+  return Half(static_cast<float>(v));
+}
+
+}  // namespace
+
+template <typename T>
+double dot(std::span<const T> a, std::span<const T> b) {
+  ADASUM_CHECK_EQ(a.size(), b.size());
+  const std::size_t n = a.size();
+  // Four independent accumulators: breaks the loop-carried dependence so the
+  // compiler can vectorize / software-pipeline the reduction.
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += load(a[i + 0]) * load(b[i + 0]);
+    s1 += load(a[i + 1]) * load(b[i + 1]);
+    s2 += load(a[i + 2]) * load(b[i + 2]);
+    s3 += load(a[i + 3]) * load(b[i + 3]);
+  }
+  for (; i < n; ++i) s0 += load(a[i]) * load(b[i]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+template <typename T>
+double norm_squared(std::span<const T> a) {
+  return dot(a, a);
+}
+
+template <typename T>
+DotTriple dot_triple(std::span<const T> a, std::span<const T> b) {
+  ADASUM_CHECK_EQ(a.size(), b.size());
+  const std::size_t n = a.size();
+  DotTriple t;
+  double ab0 = 0, ab1 = 0, aa0 = 0, aa1 = 0, bb0 = 0, bb1 = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double x0 = load(a[i]), y0 = load(b[i]);
+    const double x1 = load(a[i + 1]), y1 = load(b[i + 1]);
+    ab0 += x0 * y0;
+    aa0 += x0 * x0;
+    bb0 += y0 * y0;
+    ab1 += x1 * y1;
+    aa1 += x1 * x1;
+    bb1 += y1 * y1;
+  }
+  if (i < n) {
+    const double x = load(a[i]), y = load(b[i]);
+    ab0 += x * y;
+    aa0 += x * x;
+    bb0 += y * y;
+  }
+  t.ab = ab0 + ab1;
+  t.aa = aa0 + aa1;
+  t.bb = bb0 + bb1;
+  return t;
+}
+
+template <typename T>
+void axpy(double alpha, std::span<const T> x, std::span<T> y) {
+  ADASUM_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] = store<T>(load(y[i]) + alpha * load(x[i]));
+}
+
+template <typename T>
+void scale(double alpha, std::span<T> x) {
+  for (auto& v : x) v = store<T>(alpha * load(v));
+}
+
+template <typename T>
+void add(std::span<const T> x, std::span<T> y) {
+  ADASUM_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] = store<T>(load(y[i]) + load(x[i]));
+}
+
+template <typename T>
+void scaled_sum(std::span<const T> a, double ca, std::span<const T> b,
+                double cb, std::span<T> out) {
+  ADASUM_CHECK_EQ(a.size(), b.size());
+  ADASUM_CHECK_EQ(a.size(), out.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[i] = store<T>(ca * load(a[i]) + cb * load(b[i]));
+}
+
+template <typename T>
+bool has_nonfinite(std::span<const T> a) {
+  for (const auto& v : a)
+    if (!std::isfinite(load(v))) return true;
+  return false;
+}
+
+// Explicit instantiations for the three supported payload dtypes.
+#define ADASUM_INSTANTIATE(T)                                                  \
+  template double dot<T>(std::span<const T>, std::span<const T>);              \
+  template double norm_squared<T>(std::span<const T>);                         \
+  template DotTriple dot_triple<T>(std::span<const T>, std::span<const T>);    \
+  template void axpy<T>(double, std::span<const T>, std::span<T>);             \
+  template void scale<T>(double, std::span<T>);                                \
+  template void add<T>(std::span<const T>, std::span<T>);                      \
+  template void scaled_sum<T>(std::span<const T>, double, std::span<const T>,  \
+                              double, std::span<T>);                           \
+  template bool has_nonfinite<T>(std::span<const T>);
+
+ADASUM_INSTANTIATE(Half)
+ADASUM_INSTANTIATE(float)
+ADASUM_INSTANTIATE(double)
+#undef ADASUM_INSTANTIATE
+
+namespace {
+
+template <typename T>
+std::span<const T> typed(const std::byte* p, std::size_t n) {
+  return {reinterpret_cast<const T*>(p), n};
+}
+template <typename T>
+std::span<T> typed(std::byte* p, std::size_t n) {
+  return {reinterpret_cast<T*>(p), n};
+}
+
+}  // namespace
+
+DotTriple dot_triple_bytes(const std::byte* a, const std::byte* b,
+                           std::size_t count, DType dtype) {
+  return dispatch_dtype(dtype, [&]<typename T>() {
+    return dot_triple(typed<T>(a, count), typed<T>(b, count));
+  });
+}
+
+void scaled_sum_bytes(const std::byte* a, double ca, const std::byte* b,
+                      double cb, std::byte* out, std::size_t count,
+                      DType dtype) {
+  dispatch_dtype(dtype, [&]<typename T>() {
+    scaled_sum(typed<T>(a, count), ca, typed<T>(b, count), cb,
+               typed<T>(out, count));
+  });
+}
+
+void add_bytes(const std::byte* x, std::byte* y, std::size_t count,
+               DType dtype) {
+  dispatch_dtype(dtype, [&]<typename T>() {
+    add(typed<T>(x, count), typed<T>(y, count));
+  });
+}
+
+void scale_bytes(double alpha, std::byte* x, std::size_t count, DType dtype) {
+  dispatch_dtype(dtype,
+                 [&]<typename T>() { scale(alpha, typed<T>(x, count)); });
+}
+
+double norm_squared_bytes(const std::byte* a, std::size_t count, DType dtype) {
+  return dispatch_dtype(dtype, [&]<typename T>() {
+    return norm_squared(typed<T>(a, count));
+  });
+}
+
+}  // namespace adasum::kernels

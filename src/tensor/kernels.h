@@ -1,0 +1,118 @@
+// Numeric kernels used by the Adasum operator and the collectives.
+//
+// Two design rules from the paper are observed throughout:
+//  * §4.4.1 — dot products and squared norms ACCUMULATE IN DOUBLE regardless
+//    of the payload dtype (fp16/fp32/fp64). The improved floating-point
+//    stability of the reduction scalars is what lets fp16 payloads converge.
+//  * §4.4.2 — hot loops are written with independent partial accumulators so
+//    the compiler vectorizes them (the CPU analogue of the hand-vectorized
+//    Horovod kernels).
+//
+// Typed overloads operate on spans; dtype-erased overloads operate on raw
+// byte buffers + DType, which is what the collectives use since wire
+// payloads are untyped.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+
+#include "base/half.h"
+#include "tensor/dtype.h"
+
+namespace adasum::kernels {
+
+// ---- typed kernels ---------------------------------------------------------
+
+// sum_i a[i]*b[i], accumulated in double.
+template <typename T>
+double dot(std::span<const T> a, std::span<const T> b);
+
+// sum_i a[i]^2, accumulated in double.
+template <typename T>
+double norm_squared(std::span<const T> a);
+
+// Computes, in one pass: {dot(a,b), norm_squared(a), norm_squared(b)}.
+// This is the v = [a·b, a·a, b·b] triple from Algorithm 1 line 15.
+struct DotTriple {
+  double ab = 0.0;
+  double aa = 0.0;
+  double bb = 0.0;
+};
+template <typename T>
+DotTriple dot_triple(std::span<const T> a, std::span<const T> b);
+
+// y[i] += alpha * x[i]
+template <typename T>
+void axpy(double alpha, std::span<const T> x, std::span<T> y);
+
+// x[i] *= alpha
+template <typename T>
+void scale(double alpha, std::span<T> x);
+
+// y[i] += x[i]
+template <typename T>
+void add(std::span<const T> x, std::span<T> y);
+
+// out[i] = a[i]*ca + b[i]*cb   (the Adasum local combine, Algorithm 1 line 18)
+template <typename T>
+void scaled_sum(std::span<const T> a, double ca, std::span<const T> b,
+                double cb, std::span<T> out);
+
+// True if any element is NaN or +-inf (fp16 dynamic-scaling overflow check).
+template <typename T>
+bool has_nonfinite(std::span<const T> a);
+
+// Mutable-span convenience overloads: template deduction does not convert
+// span<T> to span<const T>, so calls like dot(t.span<float>(), ...) need
+// these forwarding shims.
+template <typename T>
+  requires(!std::is_const_v<T>)
+double dot(std::span<T> a, std::span<T> b) {
+  return dot(std::span<const T>(a), std::span<const T>(b));
+}
+template <typename T>
+  requires(!std::is_const_v<T>)
+double norm_squared(std::span<T> a) {
+  return norm_squared(std::span<const T>(a));
+}
+template <typename T>
+  requires(!std::is_const_v<T>)
+DotTriple dot_triple(std::span<T> a, std::span<T> b) {
+  return dot_triple(std::span<const T>(a), std::span<const T>(b));
+}
+template <typename T>
+  requires(!std::is_const_v<T>)
+void axpy(double alpha, std::span<T> x, std::span<T> y) {
+  axpy(alpha, std::span<const T>(x), y);
+}
+template <typename T>
+  requires(!std::is_const_v<T>)
+void add(std::span<T> x, std::span<T> y) {
+  add(std::span<const T>(x), y);
+}
+template <typename T>
+  requires(!std::is_const_v<T>)
+void scaled_sum(std::span<T> a, double ca, std::span<T> b, double cb,
+                std::span<T> out) {
+  scaled_sum(std::span<const T>(a), ca, std::span<const T>(b), cb, out);
+}
+template <typename T>
+  requires(!std::is_const_v<T>)
+bool has_nonfinite(std::span<T> a) {
+  return has_nonfinite(std::span<const T>(a));
+}
+
+// ---- dtype-erased kernels (collectives operate on byte payloads) ----------
+
+DotTriple dot_triple_bytes(const std::byte* a, const std::byte* b,
+                           std::size_t count, DType dtype);
+void scaled_sum_bytes(const std::byte* a, double ca, const std::byte* b,
+                      double cb, std::byte* out, std::size_t count,
+                      DType dtype);
+void add_bytes(const std::byte* x, std::byte* y, std::size_t count,
+               DType dtype);
+void scale_bytes(double alpha, std::byte* x, std::size_t count, DType dtype);
+double norm_squared_bytes(const std::byte* a, std::size_t count, DType dtype);
+
+}  // namespace adasum::kernels

@@ -1,0 +1,58 @@
+#include "tensor/scaling.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+
+DynamicScaler::DynamicScaler(const Options& options)
+    : options_(options), scale_(options.initial_scale) {
+  ADASUM_CHECK_GT(options_.initial_scale, 0.0);
+  ADASUM_CHECK_GT(options_.growth_factor, 1.0);
+  ADASUM_CHECK_GT(options_.backoff_factor, 0.0);
+  ADASUM_CHECK_LT(options_.backoff_factor, 1.0);
+}
+
+bool DynamicScaler::update(bool overflowed) {
+  if (overflowed) {
+    scale_ = std::max(options_.min_scale, scale_ * options_.backoff_factor);
+    good_steps_ = 0;
+    ++num_backoffs_;
+    return false;
+  }
+  if (++good_steps_ >= options_.growth_interval) {
+    scale_ = std::min(options_.max_scale, scale_ * options_.growth_factor);
+    good_steps_ = 0;
+    ++num_growths_;
+  }
+  return true;
+}
+
+Tensor cast_to_fp16_scaled(const Tensor& t, double scale) {
+  Tensor out(t.shape(), DType::kFloat16);
+  auto dst = out.span<Half>();
+  for (std::size_t i = 0; i < t.size(); ++i)
+    dst[i] = Half(static_cast<float>(t.at(i) * scale));
+  return out;
+}
+
+Tensor cast_from_fp16_scaled(const Tensor& t, double scale) {
+  ADASUM_CHECK(t.dtype() == DType::kFloat16);
+  ADASUM_CHECK_GT(scale, 0.0);
+  Tensor out(t.shape(), DType::kFloat32);
+  auto src = t.span<Half>();
+  auto dst = out.span<float>();
+  for (std::size_t i = 0; i < t.size(); ++i)
+    dst[i] = static_cast<float>(static_cast<double>(static_cast<float>(src[i])) / scale);
+  return out;
+}
+
+bool tensor_overflowed(const Tensor& t) {
+  return dispatch_dtype(t.dtype(), [&]<typename T>() {
+    return kernels::has_nonfinite(t.span<T>());
+  });
+}
+
+}  // namespace adasum

@@ -1,0 +1,100 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace adasum {
+namespace {
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape, DType dtype)
+    : shape_(std::move(shape)),
+      size_(shape_size(shape_)),
+      dtype_(dtype),
+      storage_(size_ * dtype_size(dtype), std::byte{0}) {}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, double value, DType dtype) {
+  Tensor t(std::move(shape), dtype);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_vector(const std::vector<double>& values, DType dtype) {
+  Tensor t({values.size()}, dtype);
+  for (std::size_t i = 0; i < values.size(); ++i) t.set(i, values[i]);
+  return t;
+}
+
+double Tensor::at(std::size_t i) const {
+  ADASUM_CHECK_LT(i, size_);
+  return dispatch_dtype(dtype_, [&]<typename T>() -> double {
+    return static_cast<double>(
+        reinterpret_cast<const T*>(storage_.data())[i]);
+  });
+}
+
+void Tensor::set(std::size_t i, double value) {
+  ADASUM_CHECK_LT(i, size_);
+  dispatch_dtype(dtype_, [&]<typename T>() {
+    reinterpret_cast<T*>(storage_.data())[i] = static_cast<T>(value);
+  });
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  ADASUM_CHECK_EQ(shape_size(shape), size_);
+  Tensor t = *this;
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+Tensor Tensor::cast(DType dtype) const {
+  if (dtype == dtype_) {
+    return *this;  // storage copies with the object
+  }
+  Tensor out(shape_, dtype);
+  dispatch_dtype(dtype_, [&]<typename Src>() {
+    const Src* src = reinterpret_cast<const Src*>(storage_.data());
+    dispatch_dtype(dtype, [&]<typename Dst>() {
+      Dst* dst = reinterpret_cast<Dst*>(out.storage_.data());
+      for (std::size_t i = 0; i < size_; ++i)
+        dst[i] = static_cast<Dst>(static_cast<double>(src[i]));
+    });
+  });
+  return out;
+}
+
+void Tensor::fill(double value) {
+  dispatch_dtype(dtype_, [&]<typename T>() {
+    T* p = reinterpret_cast<T*>(storage_.data());
+    const T v = static_cast<T>(value);
+    for (std::size_t i = 0; i < size_; ++i) p[i] = v;
+  });
+}
+
+std::string Tensor::debug_string() const {
+  std::ostringstream os;
+  os << "Tensor(" << dtype_name(dtype_) << ", [";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  if (size_ <= 8) {
+    os << ", {";
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (i > 0) os << ", ";
+      os << at(i);
+    }
+    os << "}";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace adasum

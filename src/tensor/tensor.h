@@ -1,0 +1,88 @@
+// Tensor: a dynamically-typed contiguous buffer with a shape.
+//
+// This is deliberately minimal — the library needs flat gradient payloads
+// (1-D) for communication, and 2-D/4-D shapes for the NN substrate. Layout is
+// always dense row-major. Element type is one of DType; typed access goes
+// through span<T>() which checks the dtype.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "tensor/dtype.h"
+
+namespace adasum {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape/dtype.
+  explicit Tensor(std::vector<std::size_t> shape, DType dtype = DType::kFloat32);
+
+  static Tensor zeros(std::vector<std::size_t> shape,
+                      DType dtype = DType::kFloat32) {
+    return Tensor(std::move(shape), dtype);
+  }
+  static Tensor full(std::vector<std::size_t> shape, double value,
+                     DType dtype = DType::kFloat32);
+  // 1-D tensor from explicit values (fp32 unless specified).
+  static Tensor from_vector(const std::vector<double>& values,
+                            DType dtype = DType::kFloat32);
+
+  DType dtype() const { return dtype_; }
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const {
+    ADASUM_CHECK_LT(i, shape_.size());
+    return shape_[i];
+  }
+  std::size_t size() const { return size_; }
+  std::size_t nbytes() const { return size_ * dtype_size(dtype_); }
+  bool empty() const { return size_ == 0; }
+
+  std::byte* data() { return storage_.data(); }
+  const std::byte* data() const { return storage_.data(); }
+
+  template <typename T>
+  std::span<T> span() {
+    ADASUM_CHECK_MSG(dtype_of<T> == dtype_,
+                     "typed access with mismatched dtype on tensor of " +
+                         dtype_name(dtype_));
+    return {reinterpret_cast<T*>(storage_.data()), size_};
+  }
+  template <typename T>
+  std::span<const T> span() const {
+    ADASUM_CHECK_MSG(dtype_of<T> == dtype_,
+                     "typed access with mismatched dtype on tensor of " +
+                         dtype_name(dtype_));
+    return {reinterpret_cast<const T*>(storage_.data()), size_};
+  }
+
+  // dtype-erased element access (converting through double). Convenient for
+  // tests and the fp16 paths; hot loops use span<T>() instead.
+  double at(std::size_t i) const;
+  void set(std::size_t i, double value);
+
+  // Reinterpret as a new shape with the same element count.
+  Tensor reshaped(std::vector<std::size_t> shape) const;
+  // Deep copy, optionally converting dtype.
+  Tensor cast(DType dtype) const;
+  Tensor clone() const { return cast(dtype_); }
+  void fill(double value);
+
+  std::string debug_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::size_t size_ = 0;
+  DType dtype_ = DType::kFloat32;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace adasum

@@ -1,0 +1,71 @@
+#include "train/async_sgd.h"
+
+#include <deque>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "tensor/kernels.h"
+#include "train/hessian.h"
+
+namespace adasum::train {
+
+AsyncSgdResult train_async_sgd(const ModelFactory& factory,
+                               const data::Dataset& train_set,
+                               const data::Dataset& eval_set,
+                               const AsyncSgdOptions& options) {
+  ADASUM_CHECK_GE(options.staleness, 0);
+  Rng model_rng(options.seed);
+  std::unique_ptr<nn::Sequential> model = factory(model_rng);
+  auto params = model->parameters();
+
+  // Ring of past parameter snapshots: snapshot[t % (s+1)] is w at tick t.
+  const int history = options.staleness + 1;
+  std::deque<Tensor> snapshots;
+
+  Rng index_rng(options.seed ^ 0xa57c);
+  const std::size_t updates_per_epoch =
+      train_set.size() / options.microbatch;
+  ADASUM_CHECK_GT(updates_per_epoch, 0u);
+
+  AsyncSgdResult result;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (std::size_t u = 0; u < updates_per_epoch; ++u) {
+      const Tensor now = params_to_flat(params);
+      snapshots.push_back(now.clone());
+      if (static_cast<int>(snapshots.size()) > history)
+        snapshots.pop_front();
+      // The gradient being applied now was computed `staleness` ticks ago,
+      // i.e. on the oldest snapshot in the window.
+      const Tensor& stale_point = snapshots.front();
+
+      std::vector<std::size_t> idx(options.microbatch);
+      for (auto& i : idx) i = index_rng.uniform_int(train_set.size());
+      const data::Batch batch = data::make_batch(train_set, idx);
+      Tensor g = gradient_at(*model, batch, stale_point);
+
+      if (options.compensation == StalenessCompensation::kDcAsgd &&
+          options.staleness > 0) {
+        // g~ = g + lambda * g ⊙ g ⊙ (w_now - w_stale): the diagonal
+        // outer-product Hessian approximation of Zheng et al.
+        auto gs = g.span<float>();
+        const auto ws = now.span<float>();
+        const auto ss = stale_point.span<float>();
+        const float lambda = static_cast<float>(options.dc_lambda);
+        for (std::size_t i = 0; i < gs.size(); ++i)
+          gs[i] += lambda * gs[i] * gs[i] * (ws[i] - ss[i]);
+      }
+
+      Tensor next = now.clone();
+      kernels::axpy(-options.lr, g.span<float>(), next.span<float>());
+      flat_to_params(next, params);
+      ++result.updates;
+    }
+    const EvalResult ev =
+        evaluate(*model, eval_set, options.eval_examples, /*batch=*/64);
+    result.eval_accuracy.push_back(ev.accuracy);
+    result.final_accuracy = ev.accuracy;
+  }
+  return result;
+}
+
+}  // namespace adasum::train

@@ -1,0 +1,58 @@
+// Asynchronous SGD and DC-ASGD baselines (paper §6 related work).
+//
+// The paper positions Adasum against asynchronous approaches (Hogwild,
+// Project Adam) whose staleness degrades convergence, and specifically
+// against DC-ASGD (Zheng et al., the paper's [39]) which compensates
+// staleness with the diagonal of the same g·gᵀ Hessian approximation Adasum
+// uses — but needs an extra carefully-tuned hyperparameter λ and was only
+// shown for (Momentum-)SGD.
+//
+// This module implements both in a deterministic parameter-server
+// simulation: a global model advances one worker update per tick; the
+// gradient applied at tick t was computed on the model as of tick
+// t - staleness (the pull-to-push delay of `staleness` other workers'
+// updates landing in between).
+//
+//   none:    w_{t+1} = w_t - lr * g(w_{t-s})
+//   dcasgd:  w_{t+1} = w_t - lr * [g + λ g⊙g⊙(w_t - w_{t-s})]
+//
+// The Adasum comparison point for the same hardware budget is a synchronous
+// round over `staleness+1` workers (see bench_async_baselines).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/activations.h"
+#include "train/trainer.h"
+
+namespace adasum::train {
+
+enum class StalenessCompensation { kNone, kDcAsgd };
+
+struct AsyncSgdOptions {
+  int staleness = 4;       // ticks between gradient computation and apply
+  double lr = 0.01;
+  StalenessCompensation compensation = StalenessCompensation::kNone;
+  double dc_lambda = 0.1;  // DC-ASGD's variance-control hyperparameter
+  std::size_t microbatch = 16;
+  int epochs = 4;
+  std::size_t eval_examples = 512;
+  std::uint64_t seed = 9;
+};
+
+struct AsyncSgdResult {
+  std::vector<double> eval_accuracy;  // per epoch
+  double final_accuracy = 0.0;
+  long updates = 0;
+};
+
+// Runs the parameter-server simulation. One "epoch" consumes
+// train_set.size() examples across all workers.
+AsyncSgdResult train_async_sgd(const ModelFactory& factory,
+                               const data::Dataset& train_set,
+                               const data::Dataset& eval_set,
+                               const AsyncSgdOptions& options);
+
+}  // namespace adasum::train

@@ -1,0 +1,117 @@
+#include "train/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "base/check.h"
+
+namespace adasum::train {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'D', 'A', 'S', 'U', 'M', 'C', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw CheckpointError("truncated checkpoint (u64)");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  if (n > (1u << 20)) throw CheckpointError("implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw CheckpointError("truncated checkpoint (string)");
+  return s;
+}
+
+}  // namespace
+
+void save_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& tensors) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw CheckpointError("cannot open for writing: " + path);
+  os.write(kMagic, sizeof(kMagic));
+  write_u64(os, tensors.size());
+  for (const NamedTensor& t : tensors) {
+    write_string(os, t.name);
+    write_u64(os, static_cast<std::uint64_t>(t.value.dtype()));
+    write_u64(os, t.value.rank());
+    for (std::size_t d : t.value.shape()) write_u64(os, d);
+    os.write(reinterpret_cast<const char*>(t.value.data()),
+             static_cast<std::streamsize>(t.value.nbytes()));
+  }
+  if (!os) throw CheckpointError("write failed: " + path);
+}
+
+std::vector<NamedTensor> load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CheckpointError("cannot open: " + path);
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw CheckpointError("not an adasum checkpoint: " + path);
+  const std::uint64_t count = read_u64(is);
+  if (count > (1u << 20)) throw CheckpointError("implausible tensor count");
+  std::vector<NamedTensor> tensors;
+  tensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NamedTensor t;
+    t.name = read_string(is);
+    const std::uint64_t dtype_raw = read_u64(is);
+    if (dtype_raw > 2) throw CheckpointError("bad dtype in " + t.name);
+    const DType dtype = static_cast<DType>(dtype_raw);
+    const std::uint64_t rank = read_u64(is);
+    if (rank > 8) throw CheckpointError("implausible rank in " + t.name);
+    std::vector<std::size_t> shape(rank);
+    for (auto& d : shape) d = read_u64(is);
+    t.value = Tensor(shape, dtype);
+    is.read(reinterpret_cast<char*>(t.value.data()),
+            static_cast<std::streamsize>(t.value.nbytes()));
+    if (!is) throw CheckpointError("truncated payload in " + t.name);
+    tensors.push_back(std::move(t));
+  }
+  return tensors;
+}
+
+void save_parameters(const std::string& path,
+                     const std::vector<nn::Parameter*>& params) {
+  std::vector<NamedTensor> tensors;
+  tensors.reserve(params.size());
+  for (const nn::Parameter* p : params)
+    tensors.push_back(NamedTensor{p->name, p->value});
+  save_tensors(path, tensors);
+}
+
+void load_parameters(const std::string& path,
+                     const std::vector<nn::Parameter*>& params) {
+  const std::vector<NamedTensor> tensors = load_tensors(path);
+  if (tensors.size() != params.size())
+    throw CheckpointError("parameter count mismatch: checkpoint has " +
+                          std::to_string(tensors.size()) + ", model has " +
+                          std::to_string(params.size()));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter* p = params[i];
+    const NamedTensor& t = tensors[i];
+    if (t.name != p->name)
+      throw CheckpointError("parameter name mismatch at index " +
+                            std::to_string(i) + ": '" + t.name + "' vs '" +
+                            p->name + "'");
+    if (t.value.shape() != p->value.shape() ||
+        t.value.dtype() != p->value.dtype())
+      throw CheckpointError("shape/dtype mismatch for " + t.name);
+    std::memcpy(p->value.data(), t.value.data(), t.value.nbytes());
+  }
+}
+
+}  // namespace adasum::train

@@ -1,0 +1,43 @@
+// Model/optimizer checkpointing.
+//
+// Long pretraining runs (the paper's BERT phase 1 is days of cluster time)
+// need restartable state. The format is a small self-describing binary:
+// a magic/version header, then one record per tensor with its name, shape,
+// dtype, and raw little-endian payload. Loading verifies that names, shapes
+// and dtypes match the live model exactly — silently loading a mismatched
+// checkpoint is the failure mode this guards against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace adasum::train {
+
+// Error thrown on malformed files or model/checkpoint mismatch.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// A named tensor snapshot (checkpoints are just ordered lists of these).
+struct NamedTensor {
+  std::string name;
+  Tensor value;
+};
+
+// Serialize/deserialize an arbitrary list of named tensors.
+void save_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& tensors);
+std::vector<NamedTensor> load_tensors(const std::string& path);
+
+// Convenience wrappers for model parameters: saves {name, value} for every
+// parameter; load writes values back in place after checking compatibility.
+void save_parameters(const std::string& path,
+                     const std::vector<nn::Parameter*>& params);
+void load_parameters(const std::string& path,
+                     const std::vector<nn::Parameter*>& params);
+
+}  // namespace adasum::train

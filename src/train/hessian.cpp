@@ -1,0 +1,133 @@
+#include "train/hessian.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/check.h"
+#include "tensor/kernels.h"
+
+namespace adasum::train {
+
+Tensor params_to_flat(const std::vector<nn::Parameter*>& params) {
+  std::size_t total = 0;
+  for (const nn::Parameter* p : params) total += p->size();
+  Tensor flat({total});
+  auto out = flat.span<float>();
+  std::size_t offset = 0;
+  for (const nn::Parameter* p : params) {
+    const auto v = p->value.span<float>();
+    std::memcpy(out.data() + offset, v.data(), v.size_bytes());
+    offset += v.size();
+  }
+  return flat;
+}
+
+void flat_to_params(const Tensor& flat,
+                    const std::vector<nn::Parameter*>& params) {
+  const auto in = flat.span<float>();
+  std::size_t offset = 0;
+  for (nn::Parameter* p : params) {
+    auto v = p->value.span<float>();
+    ADASUM_CHECK_LE(offset + v.size(), in.size());
+    std::memcpy(v.data(), in.data() + offset, v.size_bytes());
+    offset += v.size();
+  }
+  ADASUM_CHECK_EQ(offset, in.size());
+}
+
+Tensor grads_to_flat(const std::vector<nn::Parameter*>& params) {
+  std::size_t total = 0;
+  for (const nn::Parameter* p : params) total += p->size();
+  Tensor flat({total});
+  auto out = flat.span<float>();
+  std::size_t offset = 0;
+  for (const nn::Parameter* p : params) {
+    const auto g = p->grad.span<float>();
+    std::memcpy(out.data() + offset, g.data(), g.size_bytes());
+    offset += g.size();
+  }
+  return flat;
+}
+
+Tensor gradient_at(nn::Sequential& model, const data::Batch& batch,
+                   const Tensor& at) {
+  auto params = model.parameters();
+  const Tensor saved = params_to_flat(params);
+  flat_to_params(at, params);
+  nn::zero_grads(params);
+  const Tensor logits = model.forward(batch.inputs, /*train=*/false);
+  const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
+  model.backward(lr.grad);
+  Tensor grad = grads_to_flat(params);
+  flat_to_params(saved, params);
+  nn::zero_grads(params);
+  return grad;
+}
+
+Tensor hessian_vector_product(nn::Sequential& model, const data::Batch& batch,
+                              const Tensor& at, const Tensor& v, double eps) {
+  ADASUM_CHECK_EQ(at.size(), v.size());
+  // Scale eps to the vector so the finite-difference step has a stable
+  // magnitude regardless of ‖v‖.
+  const double v_norm =
+      std::sqrt(kernels::norm_squared(v.span<float>()));
+  if (v_norm == 0.0) return Tensor(v.shape());
+  const double h = eps / v_norm;
+
+  Tensor plus = at.clone();
+  kernels::axpy(h, v.span<float>(), plus.span<float>());
+  Tensor minus = at.clone();
+  kernels::axpy(-h, v.span<float>(), minus.span<float>());
+
+  Tensor g_plus = gradient_at(model, batch, plus);
+  const Tensor g_minus = gradient_at(model, batch, minus);
+  kernels::axpy(-1.0, g_minus.span<float>(), g_plus.span<float>());
+  kernels::scale(1.0 / (2.0 * h), g_plus.span<float>());
+  return g_plus;
+}
+
+namespace {
+
+// Mean HVP over a range of batches (the Hessian of the range's mean loss).
+Tensor range_hvp(nn::Sequential& model,
+                 const std::vector<data::Batch>& batches, std::size_t lo,
+                 std::size_t hi, const Tensor& at, const Tensor& v,
+                 double eps) {
+  Tensor acc({at.size()});
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Tensor h = hessian_vector_product(model, batches[i], at, v, eps);
+    kernels::add(h.span<float>(), acc.span<float>());
+  }
+  kernels::scale(1.0 / static_cast<double>(hi - lo), acc.span<float>());
+  return acc;
+}
+
+Tensor emulate_range(nn::Sequential& model,
+                     const std::vector<data::Batch>& batches, std::size_t lo,
+                     std::size_t hi, const Tensor& at, double lr, double eps) {
+  if (hi - lo == 1) return gradient_at(model, batches[lo], at);
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const Tensor u = emulate_range(model, batches, lo, mid, at, lr, eps);
+  const Tensor v = emulate_range(model, batches, mid, hi, at, lr, eps);
+  // Average of the two processing orders (§3.3), exact Hessian in place of
+  // the Fisher approximation:
+  //   Δ = u + v − (α/2)(H_right·u + H_left·v)
+  const Tensor h_right_u = range_hvp(model, batches, mid, hi, at, u, eps);
+  const Tensor h_left_v = range_hvp(model, batches, lo, mid, at, v, eps);
+  Tensor out = u.clone();
+  kernels::add(v.span<float>(), out.span<float>());
+  kernels::axpy(-lr / 2.0, h_right_u.span<float>(), out.span<float>());
+  kernels::axpy(-lr / 2.0, h_left_v.span<float>(), out.span<float>());
+  return out;
+}
+
+}  // namespace
+
+Tensor sequential_emulation_update(nn::Sequential& model,
+                                   const std::vector<data::Batch>& batches,
+                                   const Tensor& at, double lr, double eps) {
+  ADASUM_CHECK(!batches.empty());
+  return emulate_range(model, batches, 0, batches.size(), at, lr, eps);
+}
+
+}  // namespace adasum::train

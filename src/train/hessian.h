@@ -1,0 +1,52 @@
+// Exact-Hessian sequential emulation (paper §3.7, Figure 2).
+//
+// For models small enough, the staleness-corrected sequential update of
+// Equation 2 can be computed with the TRUE Hessian instead of the Fisher
+// (g·gᵀ) approximation Adasum uses. Hessian-vector products are evaluated by
+// central differences of the exact gradient —
+//     H·v ≈ (∇L(w + εv) − ∇L(w − εv)) / 2ε
+// — which equals the exact Hessian action up to O(ε²‖v‖³) and needs only
+// two extra gradient evaluations per product.
+//
+// The sequential emulation mirrors Adasum's binary tree (§3.4), so the three
+// quantities Figure 2 compares are aligned estimators of the same object:
+//   emulation(u, v) = u + v − (α/2)(H_right·u + H_left·v)   (exact Hessian)
+//   adasum(u, v)    = u + v − (u·v)(u/2‖u‖² + v/2‖v‖²)      (Fisher approx)
+//   syncsgd(u, v)   = u + v                                  (no correction)
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/activations.h"
+#include "nn/loss.h"
+#include "tensor/tensor.h"
+
+namespace adasum::train {
+
+// Flat-vector views of a model's parameters/gradients (fp32).
+Tensor params_to_flat(const std::vector<nn::Parameter*>& params);
+void flat_to_params(const Tensor& flat,
+                    const std::vector<nn::Parameter*>& params);
+Tensor grads_to_flat(const std::vector<nn::Parameter*>& params);
+
+// Gradient of the mean cross-entropy loss of `batch` at parameter point
+// `at` (the model's parameters are restored afterwards).
+Tensor gradient_at(nn::Sequential& model, const data::Batch& batch,
+                   const Tensor& at);
+
+// Exact-Hessian-vector product by central differences at `at`.
+Tensor hessian_vector_product(nn::Sequential& model, const data::Batch& batch,
+                              const Tensor& at, const Tensor& v,
+                              double eps = 1e-3);
+
+// Tree-recursive sequential emulation over `batches`, starting from the
+// parameter point `at`, with learning rate `lr`: returns the combined update
+// direction (the Δ such that w_next = w − lr·Δ... the lr enters the
+// second-order correction term).
+Tensor sequential_emulation_update(nn::Sequential& model,
+                                   const std::vector<data::Batch>& batches,
+                                   const Tensor& at, double lr,
+                                   double eps = 1e-3);
+
+}  // namespace adasum::train

@@ -1,0 +1,313 @@
+// Tests for the Adasum operator itself (src/core): the algebraic properties
+// the paper derives in §3.5 plus the tree/linear/layerwise appliers and the
+// orthogonality metric of §3.6.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "core/adasum.h"
+#include "core/orthogonality.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+namespace {
+
+Tensor random_tensor(std::size_t n, Rng& rng, double scale = 1.0) {
+  Tensor t({n});
+  for (std::size_t i = 0; i < n; ++i) t.set(i, rng.normal(0.0, scale));
+  return t;
+}
+
+double norm_sq(const Tensor& t) {
+  return kernels::norm_squared_bytes(t.data(), t.size(), t.dtype());
+}
+
+// ---- paper §3.5 properties ---------------------------------------------------
+
+TEST(AdasumPair, OrthogonalGradientsSum) {
+  // g1 ⟂ g2 → dot = 0 → Adasum(g1,g2) = g1 + g2.
+  Tensor g1 = Tensor::from_vector({3, 0, 0, 0});
+  Tensor g2 = Tensor::from_vector({0, 4, 0, 0});
+  const Tensor r = adasum_pair(g1, g2);
+  EXPECT_EQ(r.at(0), 3.0);
+  EXPECT_EQ(r.at(1), 4.0);
+  EXPECT_EQ(r.at(2), 0.0);
+}
+
+TEST(AdasumPair, ParallelEqualGradientsAverage) {
+  // g1 = g2 → factors are 1/2 each → Adasum = (g1+g2)/2 = g1.
+  Tensor g = Tensor::from_vector({1, -2, 3});
+  const Tensor r = adasum_pair(g, g);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_EQ(r.at(i), g.at(i));
+}
+
+TEST(AdasumPair, ParallelUnequalNorms) {
+  // g2 = 2*g1: ab = 2|g1|², factors ca = 1 - 2|g1|²/(2|g1|²) = 0,
+  // cb = 1 - 2|g1|²/(2·4|g1|²) = 3/4 → result = (3/4) g2 = 1.5 g1.
+  Tensor g1 = Tensor::from_vector({2, 0});
+  Tensor g2 = Tensor::from_vector({4, 0});
+  const Tensor r = adasum_pair(g1, g2);
+  EXPECT_DOUBLE_EQ(r.at(0), 3.0);
+}
+
+TEST(AdasumPair, ZeroGradientIsIdentity) {
+  Tensor g = Tensor::from_vector({1, 2, 3});
+  Tensor z({3});
+  const Tensor r1 = adasum_pair(g, z);
+  const Tensor r2 = adasum_pair(z, g);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r1.at(i), g.at(i));
+    EXPECT_EQ(r2.at(i), g.at(i));
+  }
+}
+
+TEST(AdasumPair, BothZeroIsZero) {
+  Tensor z({4});
+  const Tensor r = adasum_pair(z, z);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(r.at(i), 0.0);
+}
+
+TEST(AdasumPair, IsSymmetric) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Tensor a = random_tensor(37, rng);
+    const Tensor b = random_tensor(37, rng);
+    const Tensor ab = adasum_pair(a, b);
+    const Tensor ba = adasum_pair(b, a);
+    for (std::size_t i = 0; i < ab.size(); ++i)
+      EXPECT_DOUBLE_EQ(ab.at(i), ba.at(i));
+  }
+}
+
+TEST(AdasumPair, FactorsMatchClosedForm) {
+  kernels::DotTriple v{2.0, 4.0, 8.0};  // ab=2, |a|²=4, |b|²=8
+  const AdasumFactors f = adasum_factors(v);
+  EXPECT_DOUBLE_EQ(f.ca, 1.0 - 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(f.cb, 1.0 - 2.0 / 16.0);
+}
+
+TEST(AdasumPair, NormBetweenAverageAndSum) {
+  // Lemma A.3 analogue at the sample level: for gradients with a non-negative
+  // dot product, ‖Adasum(a,b)‖ lies between ‖(a+b)/2‖ and ‖a+b‖.
+  Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor a = random_tensor(64, rng);
+    Tensor b = random_tensor(64, rng);
+    const auto t = kernels::dot_triple(a.span<float>(), b.span<float>());
+    if (t.ab < 0) continue;
+    Tensor sum({64});
+    kernels::scaled_sum(a.span<float>(), 1.0, b.span<float>(), 1.0,
+                        sum.span<float>());
+    const Tensor ada = adasum_pair(a, b);
+    EXPECT_LE(norm_sq(ada), norm_sq(sum) + 1e-9);
+    EXPECT_GE(norm_sq(ada), norm_sq(sum) / 4.0 - 1e-9);
+  }
+}
+
+TEST(AdasumPair, RandomHighDimNearlyOrthogonalActsLikeSum) {
+  // In high dimension, independent random gradients are nearly orthogonal, so
+  // Adasum ≈ sum (the property the paper exploits late in training).
+  Rng rng(23);
+  const Tensor a = random_tensor(20000, rng);
+  const Tensor b = random_tensor(20000, rng);
+  const Tensor ada = adasum_pair(a, b);
+  Tensor sum({20000});
+  kernels::scaled_sum(a.span<float>(), 1.0, b.span<float>(), 1.0,
+                      sum.span<float>());
+  EXPECT_NEAR(norm_sq(ada) / norm_sq(sum), 1.0, 0.05);
+}
+
+TEST(AdasumPair, WorksInFp16AndFp64) {
+  for (DType dtype : {DType::kFloat16, DType::kFloat64}) {
+    Tensor a = Tensor::from_vector({3, 0}, dtype);
+    Tensor b = Tensor::from_vector({0, 4}, dtype);
+    const Tensor r = adasum_pair(a, b);
+    EXPECT_EQ(r.at(0), 3.0) << dtype_name(dtype);
+    EXPECT_EQ(r.at(1), 4.0);
+  }
+}
+
+// ---- tree / linear reductions (§3.4) ----------------------------------------
+
+TEST(AdasumTree, SingleGradientIsIdentity) {
+  Rng rng(24);
+  std::vector<Tensor> g;
+  g.push_back(random_tensor(16, rng));
+  const Tensor r = adasum_tree(g);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(r.at(i), g[0].at(i));
+}
+
+TEST(AdasumTree, TwoEqualsPair) {
+  Rng rng(25);
+  std::vector<Tensor> g;
+  g.push_back(random_tensor(16, rng));
+  g.push_back(random_tensor(16, rng));
+  const Tensor tree = adasum_tree(g);
+  const Tensor pair = adasum_pair(g[0], g[1]);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(tree.at(i), pair.at(i));
+}
+
+TEST(AdasumTree, FourIsPairOfPairs) {
+  Rng rng(26);
+  std::vector<Tensor> g;
+  for (int i = 0; i < 4; ++i) g.push_back(random_tensor(16, rng));
+  const Tensor tree = adasum_tree(g);
+  const Tensor manual =
+      adasum_pair(adasum_pair(g[0], g[1]), adasum_pair(g[2], g[3]));
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_DOUBLE_EQ(tree.at(i), manual.at(i));
+}
+
+TEST(AdasumTree, OrthogonalSetSums) {
+  std::vector<Tensor> g;
+  for (int i = 0; i < 8; ++i) {
+    Tensor t({8});
+    t.set(i, static_cast<double>(i + 1));
+    g.push_back(std::move(t));
+  }
+  const Tensor r = adasum_tree(g);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(r.at(i), i + 1.0);
+}
+
+TEST(AdasumTree, IdenticalSetAverages) {
+  std::vector<Tensor> g;
+  for (int i = 0; i < 16; ++i) g.push_back(Tensor::from_vector({2, -4}));
+  const Tensor r = adasum_tree(g);
+  EXPECT_DOUBLE_EQ(r.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(r.at(1), -4.0);
+}
+
+TEST(AdasumTree, HandlesNonPowerOfTwoCounts) {
+  Rng rng(27);
+  for (std::size_t n : {3u, 5u, 6u, 7u}) {
+    std::vector<Tensor> g;
+    for (std::size_t i = 0; i < n; ++i) g.push_back(random_tensor(8, rng));
+    EXPECT_NO_THROW(adasum_tree(g)) << n;
+  }
+}
+
+TEST(AdasumLinear, MatchesManualFold) {
+  Rng rng(28);
+  std::vector<Tensor> g;
+  for (int i = 0; i < 5; ++i) g.push_back(random_tensor(16, rng));
+  const Tensor lin = adasum_linear(g);
+  Tensor manual = g[0].clone();
+  for (int i = 1; i < 5; ++i) manual = adasum_pair(manual, g[i]);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_DOUBLE_EQ(lin.at(i), manual.at(i));
+}
+
+TEST(AdasumTreeVsLinear, AgreeOnOrthogonalInputs) {
+  // Both estimators coincide exactly when the inputs are orthogonal (both
+  // degenerate to the plain sum).
+  std::vector<Tensor> g;
+  for (int i = 0; i < 4; ++i) {
+    Tensor t({4});
+    t.set(i, 1.0);
+    g.push_back(std::move(t));
+  }
+  const Tensor tree = adasum_tree(g);
+  const Tensor lin = adasum_linear(g);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(tree.at(i), lin.at(i));
+}
+
+// ---- layerwise (§3.6) --------------------------------------------------------
+
+TEST(AdasumLayerwise, EachLayerIndependent) {
+  // Two "layers": in layer 0 gradients are parallel (average); in layer 1
+  // orthogonal (sum). Whole-vector Adasum would mix the two regimes.
+  Tensor a = Tensor::from_vector({2, 0, 5, 0});
+  Tensor b = Tensor::from_vector({2, 0, 0, 7});
+  const std::vector<TensorSlice> slices{{"l0", 0, 2}, {"l1", 2, 2}};
+  Tensor out({4});
+  adasum_pair_layerwise(a, b, slices, out);
+  EXPECT_DOUBLE_EQ(out.at(0), 2.0);  // average of parallel layer
+  EXPECT_DOUBLE_EQ(out.at(2), 5.0);  // sum of orthogonal layer
+  EXPECT_DOUBLE_EQ(out.at(3), 7.0);
+}
+
+TEST(AdasumLayerwise, SingleSliceEqualsWholeVector) {
+  Rng rng(29);
+  const Tensor a = random_tensor(32, rng);
+  const Tensor b = random_tensor(32, rng);
+  const std::vector<TensorSlice> slices{{"all", 0, 32}};
+  Tensor out({32});
+  adasum_pair_layerwise(a, b, slices, out);
+  const Tensor whole = adasum_pair(a, b);
+  for (std::size_t i = 0; i < 32; ++i)
+    EXPECT_DOUBLE_EQ(out.at(i), whole.at(i));
+}
+
+TEST(AdasumLayerwise, TreeMatchesPerLayerTree) {
+  Rng rng(30);
+  std::vector<Tensor> g;
+  for (int i = 0; i < 4; ++i) g.push_back(random_tensor(10, rng));
+  const std::vector<TensorSlice> slices{{"l0", 0, 4}, {"l1", 4, 6}};
+  const Tensor fusedResult = adasum_tree_layerwise(g, slices);
+
+  // Reference: slice out each layer, tree-reduce separately.
+  for (const TensorSlice& s : slices) {
+    std::vector<Tensor> layer;
+    for (const Tensor& t : g) {
+      Tensor slice({s.count});
+      for (std::size_t i = 0; i < s.count; ++i)
+        slice.set(i, t.at(s.offset + i));
+      layer.push_back(std::move(slice));
+    }
+    const Tensor ref = adasum_tree(layer);
+    for (std::size_t i = 0; i < s.count; ++i)
+      EXPECT_DOUBLE_EQ(fusedResult.at(s.offset + i), ref.at(i)) << s.name;
+  }
+}
+
+// ---- orthogonality metric (§3.6, Figure 1) -----------------------------------
+
+TEST(Orthogonality, OrthogonalSetIsOne) {
+  std::vector<Tensor> g;
+  for (int i = 0; i < 4; ++i) {
+    Tensor t({4});
+    t.set(i, 2.0);
+    g.push_back(std::move(t));
+  }
+  EXPECT_NEAR(orthogonality(g), 1.0, 1e-12);
+}
+
+TEST(Orthogonality, ParallelEqualSetIsOneOverN) {
+  for (int n : {2, 4, 8, 64}) {
+    std::vector<Tensor> g;
+    for (int i = 0; i < n; ++i) g.push_back(Tensor::from_vector({3, 4}));
+    EXPECT_NEAR(orthogonality(g), 1.0 / n, 1e-9) << n;
+  }
+}
+
+TEST(Orthogonality, AllZeroSetIsOne) {
+  std::vector<Tensor> g(3, Tensor({5}));
+  EXPECT_EQ(orthogonality(g), 1.0);
+}
+
+TEST(Orthogonality, BetweenExtremesForMixedSet) {
+  Rng rng(31);
+  std::vector<Tensor> g;
+  for (int i = 0; i < 8; ++i) g.push_back(random_tensor(64, rng));
+  const double o = orthogonality(g);
+  EXPECT_GT(o, 1.0 / 8);
+  EXPECT_LT(o, 1.3);  // slack: random vectors are near- but not exactly orthogonal
+}
+
+TEST(Orthogonality, PerLayerMetric) {
+  // Layer 0 parallel across ranks, layer 1 orthogonal across ranks.
+  Tensor g0 = Tensor::from_vector({1, 1, 1, 0});
+  Tensor g1 = Tensor::from_vector({1, 1, 0, 1});
+  const std::vector<TensorSlice> slices{{"par", 0, 2}, {"orth", 2, 2}};
+  std::vector<Tensor> grads{g0, g1};
+  const LayerOrthogonality lo = layer_orthogonality(grads, slices);
+  ASSERT_EQ(lo.per_layer.size(), 2u);
+  EXPECT_NEAR(lo.per_layer[0], 0.5, 1e-12);  // parallel pair -> 1/2
+  EXPECT_NEAR(lo.per_layer[1], 1.0, 1e-12);  // orthogonal pair -> 1
+  EXPECT_NEAR(lo.average, 0.75, 1e-12);
+  EXPECT_EQ(lo.layer_names[0], "par");
+}
+
+}  // namespace
+}  // namespace adasum

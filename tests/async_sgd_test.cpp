@@ -1,0 +1,117 @@
+// Tests for the asynchronous-SGD / DC-ASGD baseline (src/train/async_sgd).
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "train/async_sgd.h"
+
+namespace adasum::train {
+namespace {
+
+data::ClusterImageDataset images(std::size_t n, std::uint64_t example_seed) {
+  data::ClusterImageDataset::Options opt;
+  opt.num_examples = n;
+  opt.num_classes = 4;
+  opt.channels = 1;
+  opt.height = 8;
+  opt.width = 8;
+  opt.noise = 0.6;
+  opt.seed = 5;
+  opt.example_seed = example_seed;
+  return data::ClusterImageDataset(opt);
+}
+
+ModelFactory small_factory() {
+  return [](Rng& rng) {
+    auto net = std::make_unique<nn::Sequential>("net");
+    net->emplace<nn::Flatten>("flat");
+    net->emplace<nn::Linear>("fc1", 64, 16, rng);
+    net->emplace<nn::ReLU>("r");
+    net->emplace<nn::Linear>("fc2", 16, 4, rng, true);
+    return net;
+  };
+}
+
+TEST(AsyncSgd, ZeroStalenessLearnsTask) {
+  const auto train_set = images(512, 0);
+  const auto eval_set = images(256, 99);
+  AsyncSgdOptions opt;
+  opt.staleness = 0;
+  opt.lr = 0.05;
+  opt.epochs = 4;
+  const AsyncSgdResult r =
+      train_async_sgd(small_factory(), train_set, eval_set, opt);
+  EXPECT_GT(r.final_accuracy, 0.8);
+  EXPECT_EQ(r.updates, 4 * 512 / 16);
+}
+
+TEST(AsyncSgd, StalenessDegradesConvergence) {
+  const auto train_set = images(512, 0);
+  const auto eval_set = images(256, 99);
+  AsyncSgdOptions fresh;
+  fresh.staleness = 0;
+  fresh.lr = 0.08;
+  fresh.epochs = 2;
+  AsyncSgdOptions stale = fresh;
+  stale.staleness = 12;
+  const double acc_fresh =
+      train_async_sgd(small_factory(), train_set, eval_set, fresh)
+          .final_accuracy;
+  const double acc_stale =
+      train_async_sgd(small_factory(), train_set, eval_set, stale)
+          .final_accuracy;
+  EXPECT_GT(acc_fresh, acc_stale);
+}
+
+TEST(AsyncSgd, DcAsgdCompensationHelpsUnderStaleness) {
+  const auto train_set = images(512, 0);
+  const auto eval_set = images(256, 99);
+  AsyncSgdOptions stale;
+  stale.staleness = 12;
+  stale.lr = 0.08;
+  stale.epochs = 2;
+  AsyncSgdOptions dc = stale;
+  dc.compensation = StalenessCompensation::kDcAsgd;
+  dc.dc_lambda = 0.5;
+  const double plain =
+      train_async_sgd(small_factory(), train_set, eval_set, stale)
+          .final_accuracy;
+  const double compensated =
+      train_async_sgd(small_factory(), train_set, eval_set, dc)
+          .final_accuracy;
+  EXPECT_GE(compensated, plain - 0.02);  // at least no worse, typically better
+}
+
+TEST(AsyncSgd, Deterministic) {
+  const auto train_set = images(256, 0);
+  const auto eval_set = images(128, 99);
+  AsyncSgdOptions opt;
+  opt.staleness = 4;
+  opt.epochs = 2;
+  const AsyncSgdResult a =
+      train_async_sgd(small_factory(), train_set, eval_set, opt);
+  const AsyncSgdResult b =
+      train_async_sgd(small_factory(), train_set, eval_set, opt);
+  ASSERT_EQ(a.eval_accuracy.size(), b.eval_accuracy.size());
+  for (std::size_t i = 0; i < a.eval_accuracy.size(); ++i)
+    EXPECT_EQ(a.eval_accuracy[i], b.eval_accuracy[i]);
+}
+
+TEST(AsyncSgd, DcAsgdAtZeroStalenessIsPlainSgd) {
+  const auto train_set = images(256, 0);
+  const auto eval_set = images(128, 99);
+  AsyncSgdOptions plain;
+  plain.staleness = 0;
+  plain.epochs = 1;
+  AsyncSgdOptions dc = plain;
+  dc.compensation = StalenessCompensation::kDcAsgd;
+  const AsyncSgdResult a =
+      train_async_sgd(small_factory(), train_set, eval_set, plain);
+  const AsyncSgdResult b =
+      train_async_sgd(small_factory(), train_set, eval_set, dc);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+}  // namespace
+}  // namespace adasum::train

@@ -1,0 +1,193 @@
+// Unit tests for src/base: checking macros, Half conversions, Rng.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "base/check.h"
+#include "base/half.h"
+#include "base/rng.h"
+
+namespace adasum {
+namespace {
+
+TEST(Check, ThrowsWithExpressionText) {
+  try {
+    ADASUM_CHECK_MSG(1 == 2, "context");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
+  }
+}
+
+TEST(Check, BinaryComparisonReportsValues) {
+  try {
+    const int a = 3, b = 5;
+    ADASUM_CHECK_EQ(a, b);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("lhs"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(ADASUM_CHECK(true));
+  EXPECT_NO_THROW(ADASUM_CHECK_LE(1, 1));
+}
+
+// ---- Half ------------------------------------------------------------------
+
+TEST(Half, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const Half h(static_cast<float>(i));
+    EXPECT_EQ(static_cast<float>(h), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(Half, PowersOfTwoRoundTrip) {
+  for (int e = -24; e <= 15; ++e) {
+    const float f = std::ldexp(1.0f, e);
+    EXPECT_EQ(static_cast<float>(Half(f)), f) << "e=" << e;
+  }
+}
+
+TEST(Half, MaxFiniteAndOverflow) {
+  EXPECT_EQ(static_cast<float>(Half(65504.0f)), 65504.0f);
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half(65520.0f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half(1e30f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half(-1e30f))));
+  EXPECT_LT(static_cast<float>(Half(-1e30f)), 0.0f);
+}
+
+TEST(Half, SubnormalsRepresentable) {
+  const float smallest = std::ldexp(1.0f, -24);  // 2^-24, smallest subnormal
+  EXPECT_EQ(static_cast<float>(Half(smallest)), smallest);
+  const float mid_subnormal = 37.0f * smallest;
+  EXPECT_EQ(static_cast<float>(Half(mid_subnormal)), mid_subnormal);
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(static_cast<float>(Half(std::ldexp(1.0f, -26))), 0.0f);
+  EXPECT_EQ(static_cast<float>(Half(0.0f)), 0.0f);
+}
+
+TEST(Half, NanPropagates) {
+  EXPECT_TRUE(std::isnan(static_cast<float>(
+      Half(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Half, InfPreserved) {
+  EXPECT_TRUE(std::isinf(
+      static_cast<float>(Half(std::numeric_limits<float>::infinity()))));
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 2049 is exactly between representable 2048 and 2050 -> rounds to 2048.
+  EXPECT_EQ(static_cast<float>(Half(2049.0f)), 2048.0f);
+  // 2051 is between 2050 and 2052 -> rounds to 2052 (even significand).
+  EXPECT_EQ(static_cast<float>(Half(2051.0f)), 2052.0f);
+}
+
+TEST(Half, RoundTripThroughBits) {
+  const Half h(3.14159f);
+  const Half h2 = Half::from_bits(h.bits());
+  EXPECT_EQ(static_cast<float>(h), static_cast<float>(h2));
+}
+
+TEST(Half, ConversionErrorBounded) {
+  // Relative error of a normal-half round trip is at most 2^-11.
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    const float back = static_cast<float>(Half(f));
+    if (f != 0.0f) {
+      EXPECT_LE(std::abs(back - f) / std::abs(f), 1.0 / 2048.0) << f;
+    }
+  }
+}
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIndependentOfParentConsumption) {
+  Rng parent(99);
+  Rng child1 = parent.fork(5);
+  parent.next_u64();
+  parent.next_u64();
+  Rng child2 = parent.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentStreamsDiffer) {
+  Rng parent(99);
+  Rng a = parent.fork(0), b = parent.fork(1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SplitmixAvalanche) {
+  // Single-bit input changes flip roughly half the output bits.
+  const std::uint64_t a = splitmix64(0x1234);
+  const std::uint64_t b = splitmix64(0x1235);
+  const int bits = std::popcount(a ^ b);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+}  // namespace
+}  // namespace adasum

@@ -1,0 +1,100 @@
+// Tests for model checkpointing (src/train/checkpoint).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "base/rng.h"
+#include "nn/linear.h"
+#include "nn/models.h"
+#include "train/checkpoint.h"
+#include "train/hessian.h"
+
+namespace adasum::train {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("adasum_ckpt_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, TensorsRoundTrip) {
+  std::vector<NamedTensor> tensors;
+  tensors.push_back({"a", Tensor::from_vector({1.5, -2.5, 3.0})});
+  tensors.push_back({"b", Tensor::full({2, 2}, 7.0, DType::kFloat64)});
+  tensors.push_back({"c16", Tensor::full({4}, 0.5, DType::kFloat16)});
+  save_tensors(path_, tensors);
+  const auto loaded = load_tensors(path_);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].name, "a");
+  EXPECT_EQ(loaded[0].value.at(1), -2.5);
+  EXPECT_EQ(loaded[1].value.shape(), (std::vector<std::size_t>{2, 2}));
+  EXPECT_EQ(loaded[1].value.dtype(), DType::kFloat64);
+  EXPECT_EQ(loaded[2].value.dtype(), DType::kFloat16);
+  EXPECT_EQ(loaded[2].value.at(3), 0.5);
+}
+
+TEST_F(CheckpointTest, ModelParametersRoundTrip) {
+  Rng rng(5);
+  auto model = nn::make_lenet5(10, rng, true, 16);
+  auto params = model->parameters();
+  const Tensor before = params_to_flat(params);
+  save_parameters(path_, params);
+
+  // Perturb, then restore.
+  for (nn::Parameter* p : params) p->value.fill(0.0);
+  load_parameters(path_, params);
+  const Tensor after = params_to_flat(params);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    ASSERT_EQ(after.at(i), before.at(i));
+}
+
+TEST_F(CheckpointTest, RejectsWrongModel) {
+  Rng rng(6);
+  auto lenet = nn::make_lenet5(10, rng, true, 16);
+  save_parameters(path_, lenet->parameters());
+  auto mlp = nn::make_mlp({4, 3}, rng);
+  auto params = mlp->parameters();
+  EXPECT_THROW(load_parameters(path_, params), CheckpointError);
+}
+
+TEST_F(CheckpointTest, RejectsGarbageFile) {
+  std::ofstream os(path_, std::ios::binary);
+  os << "definitely not a checkpoint";
+  os.close();
+  EXPECT_THROW(load_tensors(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, RejectsTruncatedFile) {
+  std::vector<NamedTensor> tensors;
+  tensors.push_back({"big", Tensor::full({1000}, 1.0)});
+  save_tensors(path_, tensors);
+  // Truncate the payload.
+  std::filesystem::resize_file(path_, 100);
+  EXPECT_THROW(load_tensors(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/nonexistent/path/ckpt.bin"), CheckpointError);
+}
+
+TEST_F(CheckpointTest, NameMismatchDetected) {
+  Rng rng(7);
+  nn::Linear a("layerA", 4, 4, rng), b("layerB", 4, 4, rng);
+  save_parameters(path_, a.parameters());
+  auto params_b = b.parameters();
+  EXPECT_THROW(load_parameters(path_, params_b), CheckpointError);
+}
+
+}  // namespace
+}  // namespace adasum::train

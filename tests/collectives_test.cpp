@@ -1,0 +1,364 @@
+// Integration tests: distributed collectives must reproduce their serial
+// reference reductions exactly (sum) or to floating-point reassociation
+// tolerance (Adasum dot products are summed in a different order).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "base/rng.h"
+#include "collectives/adasum_linear.h"
+#include "collectives/adasum_rvh.h"
+#include "collectives/allreduce.h"
+#include "collectives/hierarchical.h"
+#include "collectives/sum_allreduce.h"
+#include "core/adasum.h"
+#include "core/orthogonality.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+namespace {
+
+std::vector<Tensor> make_gradients(int ranks, std::size_t n, DType dtype,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> grads;
+  grads.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    Rng fork = rng.fork(r);
+    Tensor t({n}, dtype);
+    for (std::size_t i = 0; i < n; ++i)
+      // Round to fp16-exact grid so all dtypes compare exactly.
+      t.set(i, std::round(fork.normal(0.0, 1.0) * 64) / 64);
+    grads.push_back(std::move(t));
+  }
+  return grads;
+}
+
+Tensor serial_sum(const std::vector<Tensor>& grads) {
+  Tensor acc = grads[0].cast(DType::kFloat64);
+  for (std::size_t r = 1; r < grads.size(); ++r) {
+    const Tensor g = grads[r].cast(DType::kFloat64);
+    kernels::add(g.span<double>(), acc.span<double>());
+  }
+  return acc;
+}
+
+struct Config {
+  int ranks;
+  std::size_t count;
+  DType dtype;
+};
+
+class SumAllreduceTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SumAllreduceTest, RingMatchesSerialSum) {
+  const auto [ranks, count, dtype] = GetParam();
+  auto grads = make_gradients(ranks, count, dtype, 101);
+  const Tensor expected = serial_sum(grads);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    ring_allreduce_sum(comm, mine);
+    const double tol = dtype == DType::kFloat16 ? 0.25 : 1e-4;
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_NEAR(mine.at(i), expected.at(i), tol) << "i=" << i;
+  });
+}
+
+TEST_P(SumAllreduceTest, RvhMatchesSerialSumForPow2) {
+  const auto [ranks, count, dtype] = GetParam();
+  if ((ranks & (ranks - 1)) != 0) GTEST_SKIP() << "RVH needs power of two";
+  auto grads = make_gradients(ranks, count, dtype, 102);
+  const Tensor expected = serial_sum(grads);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    rvh_allreduce_sum(comm, mine);
+    const double tol = dtype == DType::kFloat16 ? 0.25 : 1e-4;
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_NEAR(mine.at(i), expected.at(i), tol) << "i=" << i;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SumAllreduceTest,
+    ::testing::Values(Config{2, 64, DType::kFloat32},
+                      Config{3, 65, DType::kFloat32},
+                      Config{4, 1, DType::kFloat32},
+                      Config{4, 1024, DType::kFloat32},
+                      Config{5, 17, DType::kFloat32},
+                      Config{8, 255, DType::kFloat32},
+                      Config{8, 256, DType::kFloat64},
+                      Config{16, 100, DType::kFloat32},
+                      Config{4, 512, DType::kFloat16}),
+    [](const auto& info) {
+      return "r" + std::to_string(info.param.ranks) + "_n" +
+             std::to_string(info.param.count) + "_" +
+             dtype_name(info.param.dtype);
+    });
+
+class AdasumRvhTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(AdasumRvhTest, MatchesSerialTree) {
+  const auto [ranks, count, dtype] = GetParam();
+  auto grads = make_gradients(ranks, count, dtype, 103);
+  const Tensor expected = adasum_tree(grads);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    adasum_rvh_allreduce(comm, mine);
+    const double tol = dtype == DType::kFloat16 ? 0.05 : 1e-4;
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_NEAR(mine.at(i), expected.at(i),
+                  tol * (1.0 + std::abs(expected.at(i))))
+          << "i=" << i;
+  });
+}
+
+TEST_P(AdasumRvhTest, AllRanksAgreeExactly) {
+  const auto [ranks, count, dtype] = GetParam();
+  auto grads = make_gradients(ranks, count, dtype, 104);
+  std::vector<Tensor> results(static_cast<std::size_t>(ranks));
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    adasum_rvh_allreduce(comm, mine);
+    results[static_cast<std::size_t>(comm.rank())] = std::move(mine);
+  });
+  for (int r = 1; r < ranks; ++r)
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(results[static_cast<std::size_t>(r)].at(i), results[0].at(i))
+          << "rank " << r << " i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdasumRvhTest,
+    ::testing::Values(Config{2, 64, DType::kFloat32},
+                      Config{2, 1, DType::kFloat32},
+                      Config{4, 7, DType::kFloat32},
+                      Config{4, 4096, DType::kFloat32},
+                      Config{8, 129, DType::kFloat32},
+                      Config{8, 64, DType::kFloat64},
+                      Config{16, 333, DType::kFloat32},
+                      Config{32, 64, DType::kFloat32}),
+    [](const auto& info) {
+      return "r" + std::to_string(info.param.ranks) + "_n" +
+             std::to_string(info.param.count) + "_" +
+             dtype_name(info.param.dtype);
+    });
+
+TEST(AdasumRvh, RejectsNonPowerOfTwo) {
+  World world(3);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    Tensor t({8});
+    adasum_rvh_allreduce(comm, t);
+  }),
+               CheckError);
+}
+
+TEST(AdasumRvh, LayerwiseMatchesSerialLayerwiseTree) {
+  const int ranks = 8;
+  const std::size_t count = 96;
+  auto grads = make_gradients(ranks, count, DType::kFloat32, 105);
+  const std::vector<TensorSlice> slices{
+      {"conv1", 0, 30}, {"conv2", 30, 50}, {"fc", 80, 16}};
+  const Tensor expected = adasum_tree_layerwise(grads, slices);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    adasum_rvh_allreduce(comm, mine, slices);
+    for (const TensorSlice& s : slices)
+      for (std::size_t i = s.offset; i < s.offset + s.count; ++i)
+        ASSERT_NEAR(mine.at(i), expected.at(i),
+                    1e-4 * (1.0 + std::abs(expected.at(i))))
+            << "i=" << i;
+  });
+}
+
+TEST(AdasumRvh, SubgroupReduction) {
+  // Ranks {0,2,4,6} reduce among themselves; odd ranks form another group.
+  const int ranks = 8;
+  auto grads = make_gradients(ranks, 32, DType::kFloat32, 106);
+  std::vector<Tensor> even_grads, odd_grads;
+  for (int r = 0; r < ranks; r += 2)
+    even_grads.push_back(grads[static_cast<std::size_t>(r)].clone());
+  for (int r = 1; r < ranks; r += 2)
+    odd_grads.push_back(grads[static_cast<std::size_t>(r)].clone());
+  const Tensor even_expected = adasum_tree(even_grads);
+  const Tensor odd_expected = adasum_tree(odd_grads);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    std::vector<int> group;
+    for (int r = comm.rank() % 2; r < ranks; r += 2) group.push_back(r);
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    adasum_rvh_allreduce(comm, mine.data(), mine.size(), mine.dtype(), {}, 0,
+                         group);
+    const Tensor& expected =
+        comm.rank() % 2 == 0 ? even_expected : odd_expected;
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      ASSERT_NEAR(mine.at(i), expected.at(i),
+                  1e-4 * (1.0 + std::abs(expected.at(i))));
+  });
+}
+
+TEST(AdasumLinear, MatchesSerialLinear) {
+  for (int ranks : {2, 3, 5, 8}) {
+    auto grads = make_gradients(ranks, 50, DType::kFloat32, 107);
+    const Tensor expected = adasum_linear(grads);
+    World world(ranks);
+    world.run([&](Comm& comm) {
+      Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+      adasum_linear_allreduce(comm, mine);
+      for (std::size_t i = 0; i < mine.size(); ++i)
+        ASSERT_NEAR(mine.at(i), expected.at(i),
+                    1e-5 * (1.0 + std::abs(expected.at(i))))
+            << "ranks=" << ranks << " i=" << i;
+    });
+  }
+}
+
+TEST(Hierarchical, SumModeMatchesGlobalSum) {
+  const int ranks = 8, per_node = 2;
+  auto grads = make_gradients(ranks, 40, DType::kFloat32, 108);
+  const Tensor expected = serial_sum(grads);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    hierarchical_allreduce(comm, mine, per_node, /*use_adasum=*/false);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      ASSERT_NEAR(mine.at(i), expected.at(i), 1e-4);
+  });
+}
+
+TEST(Hierarchical, AdasumModeMatchesTreeOfNodeAverages) {
+  const int ranks = 8, per_node = 2;
+  const std::size_t count = 40;
+  auto grads = make_gradients(ranks, count, DType::kFloat32, 109);
+  // Reference: average inside each node, then tree-Adasum across nodes,
+  // applied independently per reduce-scatter shard (the shard boundaries act
+  // as layer boundaries for the cross-node Adasum — Horovod's hierarchical
+  // semantics).
+  std::vector<Tensor> node_avgs;
+  for (int n = 0; n < ranks / per_node; ++n) {
+    Tensor avg = grads[static_cast<std::size_t>(n * per_node)].clone();
+    for (int j = 1; j < per_node; ++j)
+      kernels::add(
+          grads[static_cast<std::size_t>(n * per_node + j)].span<float>(),
+          avg.span<float>());
+    kernels::scale(1.0 / per_node, avg.span<float>());
+    node_avgs.push_back(std::move(avg));
+  }
+  std::vector<TensorSlice> shard_slices;
+  for (int c = 0; c < per_node; ++c) {
+    const std::size_t cb = count * static_cast<std::size_t>(c) / per_node;
+    const std::size_t ce = count * static_cast<std::size_t>(c + 1) / per_node;
+    shard_slices.push_back(TensorSlice{"shard" + std::to_string(c), cb, ce - cb});
+  }
+  const Tensor expected = adasum_tree_layerwise(node_avgs, shard_slices);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    hierarchical_allreduce(comm, mine, per_node, /*use_adasum=*/true);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      ASSERT_NEAR(mine.at(i), expected.at(i),
+                  1e-4 * (1.0 + std::abs(expected.at(i))));
+  });
+}
+
+TEST(Hierarchical, SingleGpuNodesDegradeToFlatAdasum) {
+  const int ranks = 4;
+  auto grads = make_gradients(ranks, 24, DType::kFloat32, 110);
+  const Tensor expected = adasum_tree(grads);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    hierarchical_allreduce(comm, mine, /*ranks_per_node=*/1, true);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      ASSERT_NEAR(mine.at(i), expected.at(i),
+                  1e-4 * (1.0 + std::abs(expected.at(i))));
+  });
+}
+
+TEST(Dispatcher, AverageScalesSum) {
+  const int ranks = 4;
+  auto grads = make_gradients(ranks, 20, DType::kFloat32, 111);
+  const Tensor sum = serial_sum(grads);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    allreduce(comm, mine, AllreduceOptions{.op = ReduceOp::kAverage});
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      ASSERT_NEAR(mine.at(i), sum.at(i) / ranks, 1e-5);
+  });
+}
+
+TEST(Dispatcher, AdasumAutoFallsBackForNonPow2) {
+  const int ranks = 6;
+  auto grads = make_gradients(ranks, 30, DType::kFloat32, 112);
+  const Tensor expected = adasum_tree(grads);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    allreduce(comm, mine, AllreduceOptions{.op = ReduceOp::kAdasum});
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      ASSERT_NEAR(mine.at(i), expected.at(i),
+                  1e-5 * (1.0 + std::abs(expected.at(i))));
+  });
+}
+
+TEST(Dispatcher, FusedAllreduceWritesBackPerTensor) {
+  const int ranks = 4;
+  World world(ranks);
+  std::vector<std::vector<Tensor>> per_rank(static_cast<std::size_t>(ranks));
+  Rng rng(113);
+  for (int r = 0; r < ranks; ++r) {
+    Rng fork = rng.fork(static_cast<std::uint64_t>(r));
+    per_rank[static_cast<std::size_t>(r)].push_back(Tensor({16}));
+    per_rank[static_cast<std::size_t>(r)].push_back(Tensor({8}));
+    for (Tensor& t : per_rank[static_cast<std::size_t>(r)])
+      for (std::size_t i = 0; i < t.size(); ++i) t.set(i, fork.normal());
+  }
+  // Serial reference: per-layer tree Adasum via fuse.
+  std::vector<Tensor> fused_inputs;
+  std::vector<TensorSlice> slices;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& ts = per_rank[static_cast<std::size_t>(r)];
+    FusedTensor f = fuse({&ts[0], &ts[1]});
+    slices = f.slices;
+    fused_inputs.push_back(std::move(f.flat));
+  }
+  const Tensor expected = adasum_tree_layerwise(fused_inputs, slices);
+
+  world.run([&](Comm& comm) {
+    auto ts = per_rank[static_cast<std::size_t>(comm.rank())];
+    std::vector<Tensor*> ptrs{&ts[0], &ts[1]};
+    allreduce_fused(comm, ptrs, AllreduceOptions{.op = ReduceOp::kAdasum});
+    for (std::size_t i = 0; i < 16; ++i)
+      ASSERT_NEAR(ts[0].at(i), expected.at(i), 1e-5);
+    for (std::size_t i = 0; i < 8; ++i)
+      ASSERT_NEAR(ts[1].at(i), expected.at(16 + i), 1e-5);
+  });
+}
+
+TEST(Collectives, AdasumPropertiesHoldThroughRvh) {
+  // End-to-end property: orthogonal per-rank gradients sum; identical ones
+  // average — through the full distributed path.
+  const int ranks = 8;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor orth({8});
+    orth.set(static_cast<std::size_t>(comm.rank()), 1.0);
+    adasum_rvh_allreduce(comm, orth);
+    for (std::size_t i = 0; i < 8; ++i)
+      ASSERT_NEAR(orth.at(i), 1.0, 1e-6) << i;
+
+    Tensor same = Tensor::from_vector({2, -6, 4});
+    adasum_rvh_allreduce(comm, same);
+    ASSERT_NEAR(same.at(0), 2.0, 1e-6);
+    ASSERT_NEAR(same.at(1), -6.0, 1e-6);
+  });
+}
+
+}  // namespace
+}  // namespace adasum

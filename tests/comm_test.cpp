@@ -1,0 +1,220 @@
+// Tests for the simulated MPI world (src/comm) and the cost model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/cost_model.h"
+#include "comm/world.h"
+
+namespace adasum {
+namespace {
+
+TEST(World, PointToPointDelivery) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> msg{1.5, 2.5};
+      comm.send<double>(1, msg);
+    } else {
+      const std::vector<double> got = comm.recv<double>(0);
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[0], 1.5);
+      EXPECT_EQ(got[1], 2.5);
+    }
+  });
+}
+
+TEST(World, TagsKeepStreamsSeparate) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> a{1}, b{2};
+      comm.send<int>(1, a, /*tag=*/7);
+      comm.send<int>(1, b, /*tag=*/8);
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(comm.recv<int>(0, 8)[0], 2);
+      EXPECT_EQ(comm.recv<int>(0, 7)[0], 1);
+    }
+  });
+}
+
+TEST(World, SameTagIsFifo) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        const std::vector<int> v{i};
+        comm.send<int>(1, v);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(comm.recv<int>(0)[0], i);
+    }
+  });
+}
+
+TEST(World, ExchangeSwapsValues) {
+  World world(2);
+  world.run([](Comm& comm) {
+    const std::vector<int> mine{comm.rank()};
+    const std::vector<int> theirs = comm.exchange<int>(1 - comm.rank(), mine);
+    EXPECT_EQ(theirs[0], 1 - comm.rank());
+  });
+}
+
+TEST(World, BarrierSynchronizes) {
+  World world(4);
+  std::atomic<int> before{0}, after{0};
+  world.run([&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    EXPECT_EQ(before.load(), 4);
+    ++after;
+    comm.barrier();
+    EXPECT_EQ(after.load(), 4);
+  });
+}
+
+TEST(World, RethrowsRankFailureWithoutDeadlock) {
+  World world(4);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 2) throw std::runtime_error("rank 2 failed");
+    // Other ranks block on a message that never arrives; the abort must
+    // wake them.
+    comm.recv_bytes((comm.rank() + 1) % 4);
+  }),
+               std::runtime_error);
+}
+
+TEST(World, UsableAfterFailedRun) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm&) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> v{42};
+      comm.send<int>(1, v);
+    } else {
+      EXPECT_EQ(comm.recv<int>(0)[0], 42);
+    }
+  });
+}
+
+TEST(World, StatsCountTraffic) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> v{1, 2, 3, 4};
+      comm.send<double>(1, v);
+    } else {
+      comm.recv<double>(0);
+    }
+  });
+  EXPECT_EQ(world.stats()[0].messages_sent, 1u);
+  EXPECT_EQ(world.stats()[0].bytes_sent, 32u);
+  EXPECT_EQ(world.stats()[1].messages_sent, 0u);
+}
+
+class AllreduceDoublesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceDoublesTest, SumsAcrossFullWorld) {
+  const int p = GetParam();
+  World world(p);
+  world.run([p](Comm& comm) {
+    std::vector<int> group(p);
+    std::iota(group.begin(), group.end(), 0);
+    const std::vector<double> mine{static_cast<double>(comm.rank()), 1.0};
+    const std::vector<double> total =
+        comm.allreduce_sum_doubles(mine, group);
+    ASSERT_EQ(total.size(), 2u);
+    EXPECT_DOUBLE_EQ(total[0], p * (p - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(total[1], p);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, AllreduceDoublesTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST(AllreduceDoubles, DisjointSubgroups) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const std::vector<int> group =
+        comm.rank() < 2 ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+    const std::vector<double> mine{static_cast<double>(comm.rank())};
+    const std::vector<double> total = comm.allreduce_sum_doubles(mine, group);
+    EXPECT_DOUBLE_EQ(total[0], comm.rank() < 2 ? 1.0 : 5.0);
+  });
+}
+
+TEST(AllreduceDoubles, NonMemberRejected) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    const std::vector<int> group{0};  // rank 1 calls with a group excluding it
+    const std::vector<double> v{1.0};
+    if (comm.rank() == 1) comm.allreduce_sum_doubles(v, group);
+  }),
+               CheckError);
+}
+
+// ---- cost model --------------------------------------------------------------
+
+TEST(CostModel, MonotonicInBytes) {
+  CostModel m(Topology::azure_fig4());
+  double prev = 0.0;
+  for (double bytes = 1024; bytes <= (1 << 28); bytes *= 4) {
+    const double t = m.rvh_allreduce_adasum(bytes, 64);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, SingleRankIsFree) {
+  CostModel m(Topology::single_node(1, links::pcie3()));
+  EXPECT_EQ(m.ring_allreduce_sum(1 << 20), 0.0);
+  EXPECT_EQ(m.rvh_allreduce_adasum(1 << 20, 8), 0.0);
+}
+
+TEST(CostModel, AdasumOverheadSmallAtLargeMessages) {
+  // Fig. 4's claim: AdasumRVH ≈ NCCL sum for large tensors. The extra dot
+  // products and triple-allreduces must cost only a small relative factor.
+  CostModel m(Topology::azure_fig4());
+  const double bytes = 1 << 28;
+  const double sum = m.nccl_allreduce_sum(bytes);
+  const double ada = m.rvh_allreduce_adasum(bytes, 64);
+  EXPECT_LT(ada / sum, 1.6);
+  EXPECT_GT(ada / sum, 0.5);
+}
+
+TEST(CostModel, RvhBeatsRingOnLatencyForSmallMessages) {
+  CostModel m(Topology::azure_fig4());  // 64 ranks
+  const double small = 2048;
+  // Ring pays 2(p-1) latencies, RVH only 2 log2(p).
+  EXPECT_LT(m.rvh_allreduce_sum(small), m.ring_allreduce_sum(small));
+}
+
+TEST(CostModel, HierarchicalBeatsFlatOnClusters) {
+  CostModel m(Topology::dgx2(16));  // 256 GPUs
+  const double bytes = 64e6;
+  EXPECT_LT(m.hierarchical_allreduce_adasum(bytes, 64),
+            m.rvh_allreduce_adasum(bytes, 64));
+}
+
+TEST(CostModel, TcpSlowerThanInfiniband) {
+  CostModel tcp(Topology::tcp_cluster());
+  CostModel ib(Topology::cluster(4, 4, links::pcie3(), links::infiniband100()));
+  const double bytes = 100e6;
+  EXPECT_GT(tcp.ring_allreduce_sum(bytes), ib.ring_allreduce_sum(bytes));
+}
+
+TEST(CostModel, RingAdasumSlowerThanRvhAdasum) {
+  // §4.2.3: the linear/ring application gave less throughput than AdasumRVH.
+  CostModel m(Topology::azure_fig4());
+  for (double bytes : {1 << 16, 1 << 22, 1 << 28}) {
+    EXPECT_GT(m.ring_allreduce_adasum(bytes, 64),
+              m.rvh_allreduce_adasum(bytes, 64));
+  }
+}
+
+}  // namespace
+}  // namespace adasum

@@ -1,0 +1,219 @@
+// Additional coverage: exhaustive Half round-trips, DataLoader epoch
+// coverage across ranks, evaluate() behavior, and dtype plumbing corners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/half.h"
+#include "base/rng.h"
+#include "data/synthetic.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "tensor/tensor.h"
+#include "train/trainer.h"
+
+namespace adasum {
+namespace {
+
+TEST(HalfExhaustive, AllFiniteBitPatternsRoundTripThroughFloat) {
+  // Every finite half value converts to float and back to the identical bit
+  // pattern (float superset of half; conversion must be exact).
+  int checked = 0;
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    if (std::isnan(f)) continue;  // NaN payloads may legally vary
+    const Half back(f);
+    ASSERT_EQ(back.bits(), h.bits()) << "bits=0x" << std::hex << bits;
+    ++checked;
+  }
+  EXPECT_GT(checked, 63000);  // all finite + inf patterns
+}
+
+TEST(HalfExhaustive, OrderingPreserved) {
+  // Conversion preserves < over a sample of positive finite values.
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = static_cast<float>(rng.uniform(0.0, 60000.0));
+    const float b = static_cast<float>(rng.uniform(0.0, 60000.0));
+    const float ha = static_cast<float>(Half(a));
+    const float hb = static_cast<float>(Half(b));
+    if (a < b)
+      ASSERT_LE(ha, hb) << a << " " << b;
+    else
+      ASSERT_GE(ha, hb) << a << " " << b;
+  }
+}
+
+TEST(DataLoaderCoverage, RanksPartitionEachEpochExactly) {
+  // Across all ranks and steps of one epoch, every consumed example is
+  // distinct and the total equals world*batch*steps (no overlap, no reuse).
+  data::MarkovTextDataset::Options opt;
+  opt.num_examples = 128;
+  opt.seq_len = 4;
+  opt.burn_in = 1;
+  data::MarkovTextDataset ds(opt);
+  const int world = 4;
+  const std::size_t batch = 4;
+  // Identify examples via their token content (deterministic per index).
+  auto fingerprint = [](const data::Batch& b, std::size_t row) {
+    std::string f;
+    for (std::size_t t = 0; t < 4; ++t)
+      f += std::to_string(static_cast<int>(b.inputs.at(row * 4 + t))) + ",";
+    return f;
+  };
+  std::multiset<std::string> seen;
+  for (int r = 0; r < world; ++r) {
+    data::DataLoader loader(ds, batch, r, world, 99);
+    for (std::size_t s = 0; s < loader.batches_per_epoch(); ++s) {
+      const data::Batch b = loader.batch(0, s);
+      for (std::size_t row = 0; row < batch; ++row)
+        seen.insert(fingerprint(b, row));
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u);  // everything consumed exactly once
+  // (fingerprints could collide across indices; verify multiset ~ set)
+  std::set<std::string> unique(seen.begin(), seen.end());
+  EXPECT_GE(unique.size(), 120u);  // near-unique fingerprints
+}
+
+TEST(EvaluateHelper, MatchesManualComputation) {
+  Rng rng(4);
+  nn::Sequential net("net");
+  net.emplace<nn::Flatten>("flat");
+  net.emplace<nn::Linear>("fc", 64, 4, rng, true);
+
+  data::ClusterImageDataset::Options opt;
+  opt.num_examples = 96;
+  opt.num_classes = 4;
+  opt.height = 8;
+  opt.width = 8;
+  opt.noise = 0.3;
+  opt.seed = 5;
+  data::ClusterImageDataset ds(opt);
+
+  const train::EvalResult ev = train::evaluate(net, ds, 96, 32);
+  // Manual: same batches, same metrics.
+  double acc = 0, loss = 0;
+  for (std::size_t off = 0; off < 96; off += 32) {
+    std::vector<std::size_t> idx(32);
+    std::iota(idx.begin(), idx.end(), off);
+    const data::Batch b = data::make_batch(ds, idx);
+    const Tensor logits = net.forward(b.inputs, false);
+    loss += nn::softmax_cross_entropy(logits, b.labels).loss / 3.0;
+    acc += nn::accuracy(logits, b.labels) / 3.0;
+  }
+  EXPECT_NEAR(ev.accuracy, acc, 1e-12);
+  EXPECT_NEAR(ev.loss, loss, 1e-12);
+}
+
+TEST(EvaluateHelper, PartialFinalBatch) {
+  Rng rng(5);
+  nn::Sequential net("net");
+  net.emplace<nn::Flatten>("flat");
+  net.emplace<nn::Linear>("fc", 64, 4, rng, true);
+  data::ClusterImageDataset::Options opt;
+  opt.num_examples = 50;
+  opt.num_classes = 4;
+  opt.height = 8;
+  opt.width = 8;
+  opt.seed = 5;
+  data::ClusterImageDataset ds(opt);
+  // 50 examples with batch 32: batches of 32 and 18.
+  EXPECT_NO_THROW(train::evaluate(net, ds, 50, 32));
+}
+
+TEST(TensorCorners, EmptyTensorBehaves) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.nbytes(), 0u);
+  Tensor copy = t.clone();
+  EXPECT_TRUE(copy.empty());
+}
+
+TEST(TensorCorners, DebugStringShowsShapeAndValues) {
+  Tensor t = Tensor::from_vector({1, 2});
+  const std::string s = t.debug_string();
+  EXPECT_NE(s.find("float32"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(ModelZoo, AllFactoriesProduceTrainableModels) {
+  // Every model factory yields a net whose loss decreases after a few SGD
+  // steps on a fixed batch (catches silent gradient-wiring regressions).
+  Rng data_rng(6);
+  struct Case {
+    std::string name;
+    std::function<std::unique_ptr<nn::Sequential>(Rng&)> make;
+    std::vector<std::size_t> input_shape;
+    std::size_t classes;
+    bool token_input = false;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"mlp",
+                   [](Rng& r) { return nn::make_mlp({12, 8, 3}, r); },
+                   {6, 12},
+                   3});
+  cases.push_back({"lenet",
+                   [](Rng& r) { return nn::make_lenet5(4, r, true, 16); },
+                   {4, 1, 16, 16},
+                   4});
+  cases.push_back({"resnet",
+                   [](Rng& r) { return nn::make_resnet_tiny(1, 4, r, 1, 4); },
+                   {4, 1, 8, 8},
+                   4});
+  cases.push_back({"bert",
+                   [](Rng& r) {
+                     nn::TinyBertConfig c;
+                     c.vocab = 8;
+                     c.max_len = 6;
+                     c.dim = 8;
+                     c.ffn_dim = 16;
+                     c.layers = 1;
+                     return nn::make_tiny_bert(c, r);
+                   },
+                   {2, 6},
+                   8,
+                   true});
+  for (const Case& c : cases) {
+    Rng rng(7);
+    auto model = c.make(rng);
+    Tensor x(c.input_shape);
+    std::vector<int> y;
+    const std::size_t rows = c.token_input
+                                 ? c.input_shape[0] * c.input_shape[1]
+                                 : c.input_shape[0];
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x.set(i, c.token_input
+                   ? static_cast<double>(data_rng.uniform_int(c.classes))
+                   : data_rng.normal());
+    for (std::size_t i = 0; i < rows; ++i)
+      y.push_back(static_cast<int>(data_rng.uniform_int(c.classes)));
+
+    auto params = model->parameters();
+    double first_loss = 0;
+    double last_loss = 0;
+    for (int step = 0; step < 8; ++step) {
+      nn::zero_grads(params);
+      const Tensor logits = model->forward(x, true);
+      const nn::LossResult lr = nn::softmax_cross_entropy(logits, y);
+      if (step == 0) first_loss = lr.loss;
+      last_loss = lr.loss;
+      model->backward(lr.grad);
+      for (nn::Parameter* p : params) {
+        auto w = p->value.span<float>();
+        const auto g = p->grad.span<float>();
+        for (std::size_t i = 0; i < w.size(); ++i)
+          w[i] -= 0.05f * g[i];
+      }
+    }
+    EXPECT_LT(last_loss, first_loss) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace adasum

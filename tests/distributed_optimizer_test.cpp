@@ -1,0 +1,333 @@
+// Tests for the DistributedOptimizer integration semantics (Figure 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "core/adasum.h"
+#include "tensor/kernels.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "optim/distributed_optimizer.h"
+#include "train/hessian.h"
+
+namespace adasum::optim {
+namespace {
+
+using adasum::adasum_tree_layerwise;
+namespace kernels = adasum::kernels;
+
+using nn::Parameter;
+
+// Build a tiny deterministic model per rank.
+std::unique_ptr<nn::Sequential> small_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return nn::make_mlp({4, 8, 3}, rng);
+}
+
+// One synthetic classification microbatch per (rank, step).
+struct MicroBatch {
+  Tensor x;
+  std::vector<int> y;
+};
+MicroBatch batch_for(int rank, int step, std::uint64_t seed = 7) {
+  Rng rng = Rng(seed).fork(static_cast<std::uint64_t>(rank * 1000 + step));
+  MicroBatch mb;
+  mb.x = Tensor({8, 4});
+  auto xs = mb.x.span<float>();
+  for (auto& v : xs) v = static_cast<float>(rng.normal());
+  for (int i = 0; i < 8; ++i)
+    mb.y.push_back(static_cast<int>(rng.uniform_int(3)));
+  return mb;
+}
+
+void forward_backward(nn::Sequential& model, const MicroBatch& mb) {
+  const Tensor logits = model.forward(mb.x, true);
+  const nn::LossResult lr = nn::softmax_cross_entropy(logits, mb.y);
+  model.backward(lr.grad);
+}
+
+TEST(DistributedOptimizerTest, SumModeMatchesManualGradientSum) {
+  // 4 ranks, Sum op: the update must equal a serial SGD step on the SUM of
+  // the per-rank gradients.
+  const int ranks = 4;
+  const double lr = 0.05;
+
+  // Serial reference.
+  auto ref = small_model(11);
+  auto ref_params = ref->parameters();
+  nn::zero_grads(ref_params);
+  for (int r = 0; r < ranks; ++r) forward_backward(*ref, batch_for(r, 0));
+  // grads now hold the sum over ranks' microbatches.
+  Sgd ref_opt(ref_params);
+  ref_opt.step(lr);
+  const Tensor expected = train::params_to_flat(ref_params);
+
+  Tensor got;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    auto model = small_model(11);
+    auto params = model->parameters();
+    DistributedOptions opts;
+    opts.op = ReduceOp::kSum;
+    DistributedOptimizer dopt(comm, std::make_unique<Sgd>(params), opts);
+    forward_backward(*model, batch_for(comm.rank(), 0));
+    EXPECT_TRUE(dopt.step(lr));
+    if (comm.rank() == 0) got = train::params_to_flat(params);
+  });
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got.at(i), expected.at(i), 1e-5) << i;
+}
+
+TEST(DistributedOptimizerTest, AverageModeDividesByWorld) {
+  const int ranks = 2;
+  const double lr = 0.1;
+  auto ref = small_model(12);
+  auto ref_params = ref->parameters();
+  nn::zero_grads(ref_params);
+  for (int r = 0; r < ranks; ++r) forward_backward(*ref, batch_for(r, 0));
+  for (Parameter* p : ref_params) {
+    auto g = p->grad.span<float>();
+    for (auto& v : g) v *= 0.5f;
+  }
+  Sgd ref_opt(ref_params);
+  ref_opt.step(lr);
+  const Tensor expected = train::params_to_flat(ref_params);
+
+  Tensor got;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    auto model = small_model(12);
+    auto params = model->parameters();
+    DistributedOptions opts;
+    opts.op = ReduceOp::kAverage;
+    DistributedOptimizer dopt(comm, std::make_unique<Sgd>(params), opts);
+    forward_backward(*model, batch_for(comm.rank(), 0));
+    dopt.step(lr);
+    if (comm.rank() == 0) got = train::params_to_flat(params);
+  });
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got.at(i), expected.at(i), 1e-5);
+}
+
+TEST(DistributedOptimizerTest, AdasumStepAppliesOperatorToEffectiveGradients) {
+  // With plain SGD inside, each rank's effective gradient is -lr * g_r, so
+  // the post-step model must be w0 + AdasumTree({-lr g_r}) applied per layer.
+  const int ranks = 4;
+  const double lr = 0.05;
+
+  // Collect per-rank gradients serially.
+  std::vector<std::vector<Tensor>> eff(ranks);
+  auto probe = small_model(13);
+  const Tensor w0 = train::params_to_flat(probe->parameters());
+  std::vector<TensorSlice> slices;
+  {
+    auto params = probe->parameters();
+    for (int r = 0; r < ranks; ++r) {
+      nn::zero_grads(params);
+      forward_backward(*probe, batch_for(r, 0));
+      for (Parameter* p : params) {
+        Tensor d = p->grad.clone();
+        kernels::scale(-lr, d.span<float>());
+        eff[static_cast<std::size_t>(r)].push_back(std::move(d));
+      }
+    }
+    std::size_t offset = 0;
+    for (Parameter* p : params) {
+      slices.push_back(TensorSlice{p->name, offset, p->size()});
+      offset += p->size();
+    }
+  }
+  // Expected: per-layer tree Adasum of the effective gradients.
+  std::vector<Tensor> fused;
+  for (int r = 0; r < ranks; ++r) {
+    std::vector<const Tensor*> ptrs;
+    for (const Tensor& t : eff[static_cast<std::size_t>(r)])
+      ptrs.push_back(&t);
+    fused.push_back(fuse(ptrs).flat);
+  }
+  const Tensor combined = adasum_tree_layerwise(fused, slices);
+  Tensor expected = w0.clone();
+  kernels::add(combined.span<float>(), expected.span<float>());
+
+  Tensor got;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    auto model = small_model(13);
+    auto params = model->parameters();
+    DistributedOptions opts;
+    opts.op = ReduceOp::kAdasum;
+    DistributedOptimizer dopt(comm, std::make_unique<Sgd>(params), opts);
+    forward_backward(*model, batch_for(comm.rank(), 0));
+    dopt.step(lr);
+    if (comm.rank() == 0) got = train::params_to_flat(params);
+  });
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got.at(i), expected.at(i),
+                1e-5 * (1.0 + std::abs(expected.at(i))))
+        << i;
+}
+
+TEST(DistributedOptimizerTest, SingleRankAdasumEqualsLocalTraining) {
+  // With world=1 the Adasum distributed optimizer must reproduce plain local
+  // training exactly (Adasum(g) == g).
+  auto local = small_model(14);
+  auto local_params = local->parameters();
+  MomentumSgd local_opt(local_params);
+  for (int s = 0; s < 5; ++s) {
+    nn::zero_grads(local_params);
+    forward_backward(*local, batch_for(0, s));
+    local_opt.step(0.05);
+  }
+  const Tensor expected = train::params_to_flat(local_params);
+
+  Tensor got;
+  World world(1);
+  world.run([&](Comm& comm) {
+    auto model = small_model(14);
+    auto params = model->parameters();
+    DistributedOptions opts;
+    opts.op = ReduceOp::kAdasum;
+    DistributedOptimizer dopt(comm, std::make_unique<MomentumSgd>(params),
+                              opts);
+    for (int s = 0; s < 5; ++s) {
+      forward_backward(*model, batch_for(0, s));
+      dopt.step(0.05);
+    }
+    got = train::params_to_flat(params);
+  });
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got.at(i), expected.at(i), 1e-6);
+}
+
+TEST(DistributedOptimizerTest, LocalStepsDelayCommunication) {
+  World world(2);
+  world.run([&](Comm& comm) {
+    auto model = small_model(15);
+    auto params = model->parameters();
+    DistributedOptions opts;
+    opts.op = ReduceOp::kAdasum;
+    opts.local_steps = 4;
+    DistributedOptimizer dopt(comm, std::make_unique<Sgd>(params), opts);
+    for (int s = 0; s < 8; ++s) {
+      forward_backward(*model, batch_for(comm.rank(), s));
+      const bool communicated = dopt.step(0.01);
+      EXPECT_EQ(communicated, (s % 4) == 3) << s;
+    }
+    EXPECT_EQ(dopt.rounds(), 2);
+  });
+}
+
+TEST(DistributedOptimizerTest, LocalStepsSumModeAccumulatesGradients) {
+  // Sum mode with local_steps=2 must equal a serial step on the sum of all
+  // 2*ranks microbatch gradients.
+  const int ranks = 2;
+  const double lr = 0.02;
+  auto ref = small_model(16);
+  auto ref_params = ref->parameters();
+  nn::zero_grads(ref_params);
+  for (int r = 0; r < ranks; ++r)
+    for (int s = 0; s < 2; ++s) forward_backward(*ref, batch_for(r, s));
+  Sgd ref_opt(ref_params);
+  ref_opt.step(lr);
+  const Tensor expected = train::params_to_flat(ref_params);
+
+  Tensor got;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    auto model = small_model(16);
+    auto params = model->parameters();
+    DistributedOptions opts;
+    opts.op = ReduceOp::kSum;
+    opts.local_steps = 2;
+    DistributedOptimizer dopt(comm, std::make_unique<Sgd>(params), opts);
+    for (int s = 0; s < 2; ++s) {
+      forward_backward(*model, batch_for(comm.rank(), s));
+      dopt.step(lr);
+    }
+    if (comm.rank() == 0) got = train::params_to_flat(params);
+  });
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got.at(i), expected.at(i), 1e-5);
+}
+
+TEST(DistributedOptimizerTest, AllRanksStayInSync) {
+  const int ranks = 4;
+  std::vector<Tensor> finals(ranks);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    auto model = small_model(17);
+    auto params = model->parameters();
+    DistributedOptions opts;
+    opts.op = ReduceOp::kAdasum;
+    DistributedOptimizer dopt(comm, std::make_unique<Adam>(params), opts);
+    for (int s = 0; s < 6; ++s) {
+      forward_backward(*model, batch_for(comm.rank(), s));
+      dopt.step(0.01);
+    }
+    finals[static_cast<std::size_t>(comm.rank())] =
+        train::params_to_flat(params);
+  });
+  for (int r = 1; r < ranks; ++r)
+    for (std::size_t i = 0; i < finals[0].size(); ++i)
+      ASSERT_EQ(finals[static_cast<std::size_t>(r)].at(i), finals[0].at(i));
+}
+
+TEST(DistributedOptimizerTest, Fp16CompressionStaysClose) {
+  // fp16-compressed Adasum must track the fp32 path within fp16 tolerance.
+  const int ranks = 4;
+  auto run = [&](bool fp16) {
+    Tensor result;
+    World world(ranks);
+    world.run([&](Comm& comm) {
+      auto model = small_model(18);
+      auto params = model->parameters();
+      DistributedOptions opts;
+      opts.op = ReduceOp::kAdasum;
+      opts.compression = fp16 ? GradientCompression::kFp16
+                               : GradientCompression::kNone;
+      DistributedOptimizer dopt(comm, std::make_unique<Sgd>(params), opts);
+      for (int s = 0; s < 4; ++s) {
+        forward_backward(*model, batch_for(comm.rank(), s));
+        dopt.step(0.05);
+      }
+      if (comm.rank() == 0) result = train::params_to_flat(params);
+    });
+    return result;
+  };
+  const Tensor full = run(false);
+  const Tensor compressed = run(true);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < full.size(); ++i)
+    max_err = std::max(max_err, std::abs(full.at(i) - compressed.at(i)));
+  EXPECT_LT(max_err, 5e-3);
+  EXPECT_GT(max_err, 0.0);  // fp16 did quantize something
+}
+
+TEST(DistributedOptimizerTest, Fp16OverflowSkipsRoundEverywhere) {
+  const int ranks = 2;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    auto model = small_model(19);
+    auto params = model->parameters();
+    const Tensor before = train::params_to_flat(params);
+    DistributedOptions opts;
+    opts.op = ReduceOp::kAdasum;
+    opts.compression = GradientCompression::kFp16;
+    DistributedOptimizer dopt(comm, std::make_unique<Sgd>(params), opts);
+    // Hand the optimizer a gradient so large the scaled fp16 cast overflows.
+    params[0]->grad.fill(1e8);
+    dopt.step(1.0);
+    EXPECT_EQ(dopt.skipped_rounds(), 1);
+    const Tensor after = train::params_to_flat(params);
+    for (std::size_t i = 0; i < before.size(); ++i)
+      ASSERT_EQ(after.at(i), before.at(i));  // reverted to round start
+  });
+}
+
+}  // namespace
+}  // namespace adasum::optim

@@ -1,0 +1,433 @@
+// Gradient-correctness tests for every layer via central-difference checks,
+// plus loss math and model construction invariants. Getting backward() exactly
+// right is what makes every downstream experiment meaningful.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "nn/activations.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "nn/transformer.h"
+
+namespace adasum::nn {
+namespace {
+
+Tensor random_tensor(const std::vector<std::size_t>& shape, Rng& rng,
+                     double scale = 1.0) {
+  Tensor t(shape);
+  auto s = t.span<float>();
+  for (auto& v : s) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+// Scalar probe loss: L = sum_i coeff_i * y_i with fixed random coeffs. Its
+// gradient w.r.t. y is exactly `coeff`, so backward(coeff) must produce
+// dL/dx and dL/dparams matching finite differences of L.
+class GradCheck {
+ public:
+  GradCheck(Layer& layer, const Tensor& input, std::uint64_t seed)
+      : layer_(layer), input_(input.clone()) {
+    Rng rng(seed);
+    Tensor probe_out = layer_.forward(input_, /*train=*/true);
+    coeff_ = random_tensor(probe_out.shape(), rng);
+    out_shape_ = probe_out.shape();
+  }
+
+  double loss_at_current_state() {
+    const Tensor y = layer_.forward(input_, true);
+    double acc = 0.0;
+    const auto ys = y.span<float>();
+    const auto cs = coeff_.span<float>();
+    for (std::size_t i = 0; i < ys.size(); ++i)
+      acc += static_cast<double>(ys[i]) * static_cast<double>(cs[i]);
+    return acc;
+  }
+
+  // Returns max relative error between analytic and numeric gradients over
+  // input and all parameters.
+  double max_relative_error(double eps = 1e-3) {
+    for (Parameter* p : layer_.parameters()) p->grad.fill(0.0);
+    layer_.forward(input_, true);
+    const Tensor grad_in = layer_.backward(coeff_);
+
+    double worst = 0.0;
+    // Input gradient.
+    {
+      auto xs = input_.span<float>();
+      const auto gs = grad_in.span<float>();
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const float saved = xs[i];
+        xs[i] = saved + static_cast<float>(eps);
+        const double lp = loss_at_current_state();
+        xs[i] = saved - static_cast<float>(eps);
+        const double lm = loss_at_current_state();
+        xs[i] = saved;
+        const double numeric = (lp - lm) / (2 * eps);
+        worst = std::max(worst, relative_error(gs[i], numeric));
+      }
+    }
+    // Parameter gradients.
+    for (Parameter* p : layer_.parameters()) {
+      auto ws = p->value.span<float>();
+      const auto gs = p->grad.span<float>();
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        const float saved = ws[i];
+        ws[i] = saved + static_cast<float>(eps);
+        const double lp = loss_at_current_state();
+        ws[i] = saved - static_cast<float>(eps);
+        const double lm = loss_at_current_state();
+        ws[i] = saved;
+        const double numeric = (lp - lm) / (2 * eps);
+        worst = std::max(worst, relative_error(gs[i], numeric));
+      }
+    }
+    return worst;
+  }
+
+ private:
+  static double relative_error(double analytic, double numeric) {
+    const double denom = std::max({std::abs(analytic), std::abs(numeric), 1.0});
+    return std::abs(analytic - numeric) / denom;
+  }
+
+  Layer& layer_;
+  Tensor input_;
+  Tensor coeff_;
+  std::vector<std::size_t> out_shape_;
+};
+
+TEST(GradCheckTest, Linear) {
+  Rng rng(1);
+  Linear layer("fc", 7, 5, rng);
+  const Tensor x = random_tensor({3, 7}, rng);
+  GradCheck check(layer, x, 2);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, LinearOnTokenTensor) {
+  Rng rng(3);
+  Linear layer("fc", 6, 4, rng);
+  const Tensor x = random_tensor({2, 5, 6}, rng);
+  GradCheck check(layer, x, 4);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, LinearNoBias) {
+  Rng rng(5);
+  Linear layer("fc", 4, 4, rng, false, /*bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1u);
+  const Tensor x = random_tensor({2, 4}, rng);
+  GradCheck check(layer, x, 6);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, ReLU) {
+  Rng rng(7);
+  ReLU layer;
+  const Tensor x = random_tensor({4, 9}, rng);
+  GradCheck check(layer, x, 8);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, TanhLayer) {
+  Rng rng(9);
+  Tanh layer;
+  const Tensor x = random_tensor({4, 9}, rng);
+  GradCheck check(layer, x, 10);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, GeluLayer) {
+  Rng rng(11);
+  Gelu layer;
+  const Tensor x = random_tensor({4, 9}, rng);
+  GradCheck check(layer, x, 12);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, Conv2d) {
+  Rng rng(13);
+  Conv2d layer("conv", 2, 3, 3, rng, 1, 1);
+  const Tensor x = random_tensor({2, 2, 6, 6}, rng);
+  GradCheck check(layer, x, 14);
+  EXPECT_LT(check.max_relative_error(), 3e-3);
+}
+
+TEST(GradCheckTest, Conv2dStride2NoPad) {
+  Rng rng(15);
+  Conv2d layer("conv", 1, 2, 3, rng, 2, 0);
+  const Tensor x = random_tensor({2, 1, 7, 7}, rng);
+  GradCheck check(layer, x, 16);
+  EXPECT_LT(check.max_relative_error(), 3e-3);
+}
+
+TEST(GradCheckTest, MaxPool) {
+  Rng rng(17);
+  MaxPool2d layer("pool", 2);
+  // Spread values so eps-perturbations cannot flip the argmax.
+  Tensor x({2, 2, 4, 4});
+  auto xs = x.span<float>();
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<float>(rng.normal(0, 1)) + 0.1f * static_cast<float>(i % 17);
+  GradCheck check(layer, x, 18);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, GlobalAvgPool) {
+  Rng rng(19);
+  GlobalAvgPool layer;
+  const Tensor x = random_tensor({3, 4, 5, 5}, rng);
+  GradCheck check(layer, x, 20);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, LayerNormLayer) {
+  Rng rng(21);
+  LayerNorm layer("ln", 10);
+  const Tensor x = random_tensor({4, 10}, rng);
+  GradCheck check(layer, x, 22);
+  EXPECT_LT(check.max_relative_error(), 3e-3);
+}
+
+TEST(GradCheckTest, SelfAttentionCausal) {
+  Rng rng(23);
+  SelfAttention layer("attn", 8, rng, /*causal=*/true);
+  const Tensor x = random_tensor({2, 5, 8}, rng, 0.5);
+  GradCheck check(layer, x, 24);
+  EXPECT_LT(check.max_relative_error(), 5e-3);
+}
+
+TEST(GradCheckTest, SelfAttentionBidirectional) {
+  Rng rng(25);
+  SelfAttention layer("attn", 6, rng, /*causal=*/false);
+  const Tensor x = random_tensor({2, 4, 6}, rng, 0.5);
+  GradCheck check(layer, x, 26);
+  EXPECT_LT(check.max_relative_error(), 5e-3);
+}
+
+TEST(GradCheckTest, ResidualAroundLinear) {
+  Rng rng(27);
+  auto body = std::make_unique<Sequential>("body");
+  body->emplace<Linear>("fc", 6, 6, rng);
+  Residual layer("res", std::move(body));
+  const Tensor x = random_tensor({3, 6}, rng);
+  GradCheck check(layer, x, 28);
+  EXPECT_LT(check.max_relative_error(), 2e-3);
+}
+
+TEST(GradCheckTest, SmallSequentialStack) {
+  Rng rng(29);
+  Sequential net("net");
+  net.emplace<Linear>("fc1", 6, 8, rng);
+  net.emplace<ReLU>("r1");
+  net.emplace<LayerNorm>("ln", 8);
+  net.emplace<Linear>("fc2", 8, 3, rng);
+  const Tensor x = random_tensor({4, 6}, rng);
+  GradCheck check(net, x, 30);
+  EXPECT_LT(check.max_relative_error(), 3e-3);
+}
+
+TEST(GradCheckTest, ConvPoolFcStack) {
+  // A LeNet-shaped miniature (conv-pool-conv-fc) small enough for a full
+  // finite-difference sweep; the full LeNet-5 reuses exactly these layers.
+  Rng rng(31);
+  Sequential net("mini_lenet");
+  net.emplace<Conv2d>("conv1", 1, 2, 3, rng, 1, 1);
+  net.emplace<ReLU>("r1");
+  net.emplace<MaxPool2d>("pool", 2);
+  net.emplace<Conv2d>("conv2", 2, 3, 3, rng);
+  net.emplace<ReLU>("r2");
+  net.emplace<Flatten>("flat");
+  net.emplace<Linear>("fc", 3 * 2 * 2, 4, rng, true);
+  const Tensor x = random_tensor({2, 1, 8, 8}, rng, 0.5);
+  GradCheck check(net, x, 32);
+  EXPECT_LT(check.max_relative_error(), 5e-3);
+}
+
+// ---- losses -----------------------------------------------------------------
+
+TEST(Loss, SoftmaxCrossEntropyMatchesHandComputation) {
+  Tensor logits = Tensor::from_vector({1.0, 2.0, 3.0}).reshaped({1, 3});
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  // L = log(sum exp(l)) - l_2
+  const double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(r.loss, std::log(denom) - 3.0, 1e-6);
+  // grad = softmax - onehot
+  EXPECT_NEAR(r.grad.at(0), std::exp(1.0) / denom, 1e-6);
+  EXPECT_NEAR(r.grad.at(2), std::exp(3.0) / denom - 1.0, 1e-6);
+}
+
+TEST(Loss, CrossEntropyGradientIsNumericallyCorrect) {
+  Rng rng(33);
+  Tensor logits = random_tensor({3, 5}, rng);
+  const std::vector<int> labels{1, 4, 0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  auto ls = logits.span<float>();
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    const float saved = ls[i];
+    ls[i] = saved + static_cast<float>(eps);
+    const double lp = softmax_cross_entropy(logits, labels).loss;
+    ls[i] = saved - static_cast<float>(eps);
+    const double lm = softmax_cross_entropy(logits, labels).loss;
+    ls[i] = saved;
+    EXPECT_NEAR(r.grad.at(i), (lp - lm) / (2 * eps), 1e-4) << i;
+  }
+}
+
+TEST(Loss, IgnoredLabelsContributeNothing) {
+  Rng rng(34);
+  Tensor logits = random_tensor({4, 3}, rng);
+  const LossResult all = softmax_cross_entropy(logits, {0, 1, 2, 0});
+  const LossResult some = softmax_cross_entropy(logits, {0, -1, 2, -1});
+  // Ignored rows have zero gradient.
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(some.grad.at(3 + c), 0.0f);
+    EXPECT_NE(all.grad.at(3 + c), 0.0f);
+  }
+}
+
+TEST(Loss, AllIgnoredIsZeroLoss) {
+  Tensor logits({2, 3});
+  const LossResult r = softmax_cross_entropy(logits, {-1, -1});
+  EXPECT_EQ(r.loss, 0.0);
+}
+
+TEST(Loss, AccuracyCountsArgmaxMatches) {
+  Tensor logits = Tensor::from_vector({5, 1, 1,   1, 5, 1,   1, 1, 5})
+                      .reshaped({3, 3});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, -1, 0}), 0.5);
+}
+
+TEST(Loss, MseGradient) {
+  Tensor pred = Tensor::from_vector({1, 2});
+  Tensor target = Tensor::from_vector({0, 4});
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_NEAR(r.loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(r.grad.at(0), 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(r.grad.at(1), 2.0 * -2.0 / 2.0, 1e-6);
+}
+
+// ---- models / misc ------------------------------------------------------------
+
+TEST(Models, IdenticalSeedsGiveIdenticalReplicas) {
+  Rng rng1(42), rng2(42);
+  auto m1 = make_lenet5(10, rng1);
+  auto m2 = make_lenet5(10, rng2);
+  const auto p1 = m1->parameters();
+  const auto p2 = m2->parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    ASSERT_EQ(p1[i]->size(), p2[i]->size());
+    for (std::size_t j = 0; j < p1[i]->size(); ++j)
+      ASSERT_EQ(p1[i]->value.at(j), p2[i]->value.at(j));
+  }
+}
+
+TEST(Models, ParameterNamesAreUniqueAndLayerScoped) {
+  Rng rng(43);
+  auto model = make_tiny_bert({}, rng);
+  const auto params = model->parameters();
+  std::set<std::string> names;
+  for (const Parameter* p : params) {
+    EXPECT_TRUE(names.insert(p->name).second) << "duplicate " << p->name;
+  }
+  EXPECT_GT(params.size(), 10u);
+}
+
+TEST(Models, TinyBertShapes) {
+  Rng rng(44);
+  TinyBertConfig config;
+  config.vocab = 16;
+  config.max_len = 8;
+  config.dim = 12;
+  config.ffn_dim = 24;
+  config.layers = 2;
+  auto model = make_tiny_bert(config, rng);
+  Tensor ids({2, 8});
+  for (std::size_t i = 0; i < ids.size(); ++i) ids.set(i, double(i % 16));
+  const Tensor logits = model->forward(ids, false);
+  ASSERT_EQ(logits.rank(), 3u);
+  EXPECT_EQ(logits.dim(0), 2u);
+  EXPECT_EQ(logits.dim(1), 8u);
+  EXPECT_EQ(logits.dim(2), 16u);
+}
+
+TEST(Models, TinyBertGradCheck) {
+  Rng rng(45);
+  TinyBertConfig config;
+  config.vocab = 8;
+  config.max_len = 4;
+  config.dim = 6;
+  config.ffn_dim = 12;
+  config.layers = 1;
+  auto model = make_tiny_bert(config, rng);
+  // Probe gradients of all parameters through the full stack with a real
+  // cross-entropy loss at one position.
+  Tensor ids({1, 4});
+  ids.set(0, 1);
+  ids.set(1, 3);
+  ids.set(2, 5);
+  ids.set(3, 2);
+  const std::vector<int> labels{-1, -1, 2, 7};
+
+  auto params = model->parameters();
+  zero_grads(params);
+  Tensor logits = model->forward(ids, false);
+  LossResult lr = softmax_cross_entropy(logits, labels);
+  model->backward(lr.grad);
+
+  Rng pick(46);
+  const double eps = 1e-3;
+  double worst = 0.0;
+  for (Parameter* p : params) {
+    // Spot-check a few entries per parameter (full sweep is slow).
+    for (int probe = 0; probe < 3; ++probe) {
+      const std::size_t j = pick.uniform_int(p->size());
+      auto w = p->value.span<float>();
+      const float saved = w[j];
+      w[j] = saved + static_cast<float>(eps);
+      const double lp =
+          softmax_cross_entropy(model->forward(ids, false), labels).loss;
+      w[j] = saved - static_cast<float>(eps);
+      const double lm =
+          softmax_cross_entropy(model->forward(ids, false), labels).loss;
+      w[j] = saved;
+      const double numeric = (lp - lm) / (2 * eps);
+      const double analytic = p->grad.at(j);
+      const double err = std::abs(analytic - numeric) /
+                         std::max({std::abs(analytic), std::abs(numeric), 1e-2});
+      worst = std::max(worst, err);
+    }
+  }
+  EXPECT_LT(worst, 2e-2);
+}
+
+TEST(Models, DropoutOnlyActiveInTraining) {
+  Rng rng(47);
+  Dropout drop("d", 0.5, rng.fork(1));
+  Tensor x = Tensor::full({100}, 1.0);
+  const Tensor eval_out = drop.forward(x, /*train=*/false);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(eval_out.at(i), 1.0);
+  const Tensor train_out = drop.forward(x, /*train=*/true);
+  int zeros = 0;
+  for (std::size_t i = 0; i < 100; ++i)
+    if (train_out.at(i) == 0.0) ++zeros;
+  EXPECT_GT(zeros, 20);
+  EXPECT_LT(zeros, 80);
+}
+
+TEST(Models, TotalParameterCount) {
+  Rng rng(48);
+  Linear fc("fc", 10, 5, rng);
+  EXPECT_EQ(total_parameter_count(fc.parameters()), 10u * 5u + 5u);
+}
+
+}  // namespace
+}  // namespace adasum::nn

@@ -1,0 +1,248 @@
+// Tests for local optimizers, LR schedules and the §4.3 partitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+#include "optim/partitioned.h"
+
+namespace adasum::optim {
+namespace {
+
+// A parameter with a hand-set gradient.
+struct Fixture {
+  explicit Fixture(std::vector<double> w, std::vector<double> g)
+      : param("p", {w.size()}) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      param.value.set(i, w[i]);
+      param.grad.set(i, g[i]);
+    }
+  }
+  nn::Parameter param;
+  std::vector<nn::Parameter*> params() { return {&param}; }
+};
+
+TEST(SgdTest, PlainUpdate) {
+  Fixture f({1.0, 2.0}, {0.5, -1.0});
+  Sgd opt(f.params());
+  opt.step(0.1);
+  EXPECT_NEAR(f.param.value.at(0), 1.0 - 0.1 * 0.5, 1e-6);
+  EXPECT_NEAR(f.param.value.at(1), 2.0 + 0.1, 1e-6);
+}
+
+TEST(MomentumTest, AccumulatesVelocity) {
+  Fixture f({0.0}, {1.0});
+  MomentumSgd opt(f.params(), 0.9);
+  opt.step(1.0);  // v=1, w=-1
+  EXPECT_NEAR(f.param.value.at(0), -1.0, 1e-6);
+  f.param.grad.set(0, 1.0);
+  opt.step(1.0);  // v=1.9, w=-2.9
+  EXPECT_NEAR(f.param.value.at(0), -2.9, 1e-6);
+}
+
+TEST(MomentumTest, WeightDecayAddsToGradient) {
+  Fixture f({2.0}, {0.0});
+  MomentumSgd opt(f.params(), 0.0, /*weight_decay=*/0.1);
+  opt.step(1.0);  // effective grad = 0 + 0.1*2 = 0.2
+  EXPECT_NEAR(f.param.value.at(0), 2.0 - 0.2, 1e-6);
+}
+
+TEST(AdamTest, FirstStepIsSignedLr) {
+  // With bias correction, the first Adam step is -lr * g/(|g|+eps) ≈ -lr*sign.
+  Fixture f({0.0, 0.0}, {3.0, -0.02});
+  Adam opt(f.params());
+  opt.step(0.01);
+  EXPECT_NEAR(f.param.value.at(0), -0.01, 1e-4);
+  EXPECT_NEAR(f.param.value.at(1), 0.01, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // minimize (w-3)^2: grad = 2(w-3).
+  Fixture f({0.0}, {0.0});
+  Adam opt(f.params());
+  for (int i = 0; i < 2000; ++i) {
+    f.param.grad.set(0, 2.0 * (f.param.value.at(0) - 3.0));
+    opt.step(0.05);
+  }
+  EXPECT_NEAR(f.param.value.at(0), 3.0, 1e-2);
+}
+
+TEST(LarsTest, TrustRatioScalesStep) {
+  // Large weights + small gradient -> trust ratio amplifies; compare against
+  // hand computation with the defaults.
+  Fixture f({10.0}, {0.001});
+  Lars::Options opt_cfg;
+  opt_cfg.momentum = 0.0;
+  opt_cfg.weight_decay = 0.0;
+  Lars opt(f.params(), opt_cfg);
+  opt.step(1.0);
+  const double trust = 0.001 * 10.0 / (0.001 + 1e-9);
+  EXPECT_NEAR(f.param.value.at(0), 10.0 - trust * 0.001, 1e-6);
+}
+
+TEST(LarsTest, ZeroWeightsFallBackToUnitTrust) {
+  Fixture f({0.0}, {1.0});
+  Lars::Options cfg;
+  cfg.momentum = 0.0;
+  cfg.weight_decay = 0.0;
+  Lars opt(f.params(), cfg);
+  opt.step(0.5);
+  EXPECT_NEAR(f.param.value.at(0), -0.5, 1e-6);
+}
+
+TEST(LambTest, TrustRatioIsNormRatio) {
+  Fixture f({3.0, 4.0}, {1.0, 1.0});  // ‖w‖ = 5
+  Lamb::Options cfg;
+  cfg.weight_decay = 0.0;
+  Lamb opt(f.params(), cfg);
+  opt.step(0.1);
+  // First step: mhat = g, vhat = g², r = g/(|g|+eps) = sign(g) = (1,1);
+  // ‖r‖ = √2, trust = 5/√2, step = 0.1 * 5/√2 per element.
+  const double step = 0.1 * 5.0 / std::sqrt(2.0);
+  EXPECT_NEAR(f.param.value.at(0), 3.0 - step, 1e-3);
+  EXPECT_NEAR(f.param.value.at(1), 4.0 - step, 1e-3);
+}
+
+TEST(LambTest, ConvergesOnQuadratic) {
+  Fixture f({10.0}, {0.0});
+  Lamb opt(f.params());
+  for (int i = 0; i < 3000; ++i) {
+    f.param.grad.set(0, 2.0 * (f.param.value.at(0) - 3.0));
+    opt.step(0.01);
+  }
+  EXPECT_NEAR(f.param.value.at(0), 3.0, 0.1);
+}
+
+TEST(OptimizerState, BytesAccounting) {
+  Fixture f({1, 2, 3, 4}, {0, 0, 0, 0});
+  EXPECT_EQ(Sgd(f.params()).state_bytes(), 0u);
+  EXPECT_EQ(MomentumSgd(f.params()).state_bytes(), 16u);
+  EXPECT_EQ(Adam(f.params()).state_bytes(), 32u);
+  EXPECT_EQ(Lamb(f.params()).state_bytes(), 32u);
+}
+
+TEST(Factory, MakesAllKinds) {
+  Fixture f({1.0}, {1.0});
+  for (OptimizerKind kind :
+       {OptimizerKind::kSgd, OptimizerKind::kMomentum, OptimizerKind::kAdam,
+        OptimizerKind::kLars, OptimizerKind::kLamb}) {
+    auto opt = make_optimizer(kind, f.params());
+    EXPECT_NO_THROW(opt->step(0.001)) << optimizer_name(kind);
+  }
+}
+
+// ---- LR schedules --------------------------------------------------------------
+
+TEST(LrSchedules, Constant) {
+  ConstantLr lr(0.3);
+  EXPECT_EQ(lr.lr(0), 0.3);
+  EXPECT_EQ(lr.lr(100000), 0.3);
+}
+
+TEST(LrSchedules, LinearWarmupDecayShape) {
+  LinearWarmupDecay lr(1.0, 10, 100);
+  EXPECT_NEAR(lr.lr(0), 0.1, 1e-9);      // warming up
+  EXPECT_NEAR(lr.lr(9), 1.0, 1e-9);      // peak at end of warmup
+  EXPECT_GT(lr.lr(10), lr.lr(50));       // decaying
+  EXPECT_NEAR(lr.lr(99), 1.0 / 90, 1e-9);
+  EXPECT_EQ(lr.lr(100), 0.0);
+  EXPECT_EQ(lr.lr(500), 0.0);
+}
+
+TEST(LrSchedules, NoWarmup) {
+  LinearWarmupDecay lr(2.0, 0, 10);
+  EXPECT_NEAR(lr.lr(0), 2.0, 1e-9);
+  EXPECT_NEAR(lr.lr(5), 1.0, 1e-9);
+}
+
+TEST(LrSchedules, StepDecayMilestones) {
+  StepDecay lr(1.0, 0.1, {30, 60});
+  EXPECT_EQ(lr.lr(0), 1.0);
+  EXPECT_EQ(lr.lr(29), 1.0);
+  EXPECT_NEAR(lr.lr(30), 0.1, 1e-12);
+  EXPECT_NEAR(lr.lr(60), 0.01, 1e-12);
+}
+
+// ---- partitioning (§4.3) ---------------------------------------------------------
+
+TEST(Partitioning, LayerAlignedAndBalanced) {
+  Rng rng(1);
+  std::vector<std::unique_ptr<nn::Parameter>> owned;
+  std::vector<nn::Parameter*> params;
+  const std::vector<std::size_t> sizes{100, 90, 80, 50, 40, 30, 20, 10};
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    owned.push_back(
+        std::make_unique<nn::Parameter>("p" + std::to_string(i),
+                                        std::vector<std::size_t>{sizes[i]}));
+    params.push_back(owned.back().get());
+  }
+  const Partition part = layer_aligned_partition(params, 4);
+  ASSERT_EQ(part.shards.size(), 4u);
+  // Every parameter appears exactly once (layer alignment: whole tensors).
+  std::set<std::size_t> seen;
+  for (const auto& shard : part.shards)
+    for (std::size_t idx : shard) EXPECT_TRUE(seen.insert(idx).second);
+  EXPECT_EQ(seen.size(), sizes.size());
+  EXPECT_EQ(part.total_elems, 420u);
+  // Greedy largest-first on these sizes balances well.
+  EXPECT_LE(part.imbalance(), 1.15);
+}
+
+TEST(Partitioning, MoreShardsThanLayers) {
+  std::vector<std::unique_ptr<nn::Parameter>> owned;
+  std::vector<nn::Parameter*> params;
+  owned.push_back(std::make_unique<nn::Parameter>(
+      "p0", std::vector<std::size_t>{10}));
+  params.push_back(owned.back().get());
+  const Partition part = layer_aligned_partition(params, 4);
+  EXPECT_EQ(part.max_shard_elems, 10u);
+  std::size_t nonempty = 0;
+  for (const auto& s : part.shards)
+    if (!s.empty()) ++nonempty;
+  EXPECT_EQ(nonempty, 1u);
+}
+
+TEST(MemoryModelTest, PartitioningEnlargesMicrobatch) {
+  MemoryModel mem;
+  mem.gpu_memory_bytes = 16e9;
+  mem.model_bytes = 2e9;
+  mem.optimizer_state_bytes = 8e9;
+  mem.activation_bytes_per_example = 200e6;
+  mem.fixed_overhead_bytes = 1e9;
+  const std::size_t without = mem.max_microbatch(false, 4);
+  const std::size_t with = mem.max_microbatch(true, 4);
+  EXPECT_GT(with, without);
+  // (16-1-2-8)/0.2 = 25 vs (16-1-2-2)/0.2 = 55
+  EXPECT_EQ(without, 25u);
+  EXPECT_EQ(with, 55u);
+}
+
+TEST(MemoryModelTest, OutOfMemoryIsZero) {
+  MemoryModel mem;
+  mem.gpu_memory_bytes = 1e9;
+  mem.model_bytes = 2e9;
+  mem.optimizer_state_bytes = 0;
+  mem.activation_bytes_per_example = 1e6;
+  EXPECT_EQ(mem.max_microbatch(false, 1), 0u);
+}
+
+TEST(PartitionedUpdate, FasterThanSerialWhenBalanced) {
+  std::vector<std::unique_ptr<nn::Parameter>> owned;
+  std::vector<nn::Parameter*> params;
+  for (int i = 0; i < 8; ++i) {
+    owned.push_back(std::make_unique<nn::Parameter>(
+        "p" + std::to_string(i), std::vector<std::size_t>{1000}));
+    params.push_back(owned.back().get());
+  }
+  const Partition part = layer_aligned_partition(params, 4);
+  const double serial = 1.0;
+  const double parallel =
+      partitioned_update_time(serial, part, 8000 * 4.0, links::pcie3());
+  EXPECT_LT(parallel, serial);
+  EXPECT_GT(parallel, serial / 4.0 * 0.9);  // cannot beat perfect scaling much
+}
+
+}  // namespace
+}  // namespace adasum::optim

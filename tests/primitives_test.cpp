@@ -1,0 +1,144 @@
+// Tests for the collective primitives (broadcast / reduce-scatter /
+// allgather) that the hierarchical allreduce composes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "base/rng.h"
+#include "collectives/primitives.h"
+
+namespace adasum {
+namespace {
+
+std::vector<int> iota_group(int n, int base = 0, int stride = 1) {
+  std::vector<int> g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) g[static_cast<std::size_t>(i)] = base + i * stride;
+  return g;
+}
+
+TEST(ChunkRangeTest, TilesThePayload) {
+  for (std::size_t count : {1u, 7u, 64u, 100u}) {
+    for (int p : {1, 2, 3, 4, 8}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (int c = 0; c < p; ++c) {
+        const ChunkRange r = chunk_range(count, p, c);
+        EXPECT_EQ(r.begin, prev_end);
+        covered += r.size();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, count) << count << " over " << p;
+    }
+  }
+}
+
+class BroadcastTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BroadcastTest, EveryRootDeliversToAll) {
+  const int ranks = GetParam();
+  for (int root = 0; root < ranks; ++root) {
+    World world(ranks);
+    world.run([&](Comm& comm) {
+      Tensor t({16});
+      if (comm.rank() == root)
+        for (std::size_t i = 0; i < 16; ++i) t.set(i, 100.0 + i);
+      const auto group = iota_group(ranks);
+      broadcast(comm, t, group, root);
+      for (std::size_t i = 0; i < 16; ++i)
+        ASSERT_EQ(t.at(i), 100.0 + i) << "root " << root;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, BroadcastTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(BroadcastTest, WorksOnSubgroup) {
+  World world(6);
+  world.run([&](Comm& comm) {
+    // Odd ranks form the group; root is group index 1 (world rank 3).
+    if (comm.rank() % 2 == 0) return;
+    const std::vector<int> group{1, 3, 5};
+    Tensor t({4});
+    if (comm.rank() == 3) t.fill(7.0);
+    broadcast(comm, t, group, /*root_index=*/1);
+    for (std::size_t i = 0; i < 4; ++i) ASSERT_EQ(t.at(i), 7.0);
+  });
+}
+
+TEST(ReduceScatterTest, OwnedChunksHoldGroupSum) {
+  const int ranks = 4;
+  const std::size_t count = 22;  // non-divisible on purpose
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor t({count});
+    for (std::size_t i = 0; i < count; ++i)
+      t.set(i, static_cast<double>(comm.rank() + 1) * (i + 1));
+    const auto group = iota_group(ranks);
+    ring_reduce_scatter_sum(comm, t.data(), count, t.dtype(), group);
+    const int owned = owned_chunk_after_reduce_scatter(comm.rank(), ranks);
+    const ChunkRange r = chunk_range(count, ranks, owned);
+    const double rank_sum = 1 + 2 + 3 + 4;
+    for (std::size_t i = r.begin; i < r.end; ++i)
+      ASSERT_NEAR(t.at(i), rank_sum * (i + 1), 1e-4) << i;
+  });
+}
+
+TEST(AllgatherTest, ReassemblesOwnedChunks) {
+  const int ranks = 4;
+  const std::size_t count = 17;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor t({count});
+    // Each rank fills only its owned chunk with a recognizable pattern.
+    const int owned = owned_chunk_after_reduce_scatter(comm.rank(), ranks);
+    const ChunkRange r = chunk_range(count, ranks, owned);
+    for (std::size_t i = r.begin; i < r.end; ++i)
+      t.set(i, 1000.0 * (owned + 1) + static_cast<double>(i));
+    const auto group = iota_group(ranks);
+    ring_allgather(comm, t.data(), count, t.dtype(), group);
+    for (int c = 0; c < ranks; ++c) {
+      const ChunkRange cr = chunk_range(count, ranks, c);
+      for (std::size_t i = cr.begin; i < cr.end; ++i)
+        ASSERT_EQ(t.at(i), 1000.0 * (c + 1) + static_cast<double>(i));
+    }
+  });
+}
+
+TEST(ReduceScatterAllgatherTest, ComposeIntoAllreduce) {
+  // reduce-scatter followed by allgather must equal a full sum-allreduce.
+  const int ranks = 8;
+  const std::size_t count = 50;
+  Rng rng(3);
+  std::vector<std::vector<double>> values(
+      static_cast<std::size_t>(ranks), std::vector<double>(count));
+  std::vector<double> expected(count, 0.0);
+  for (int r = 0; r < ranks; ++r)
+    for (std::size_t i = 0; i < count; ++i) {
+      values[static_cast<std::size_t>(r)][i] = rng.normal();
+      expected[i] += values[static_cast<std::size_t>(r)][i];
+    }
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    Tensor t = Tensor::from_vector(values[static_cast<std::size_t>(comm.rank())]);
+    const auto group = iota_group(ranks);
+    ring_reduce_scatter_sum(comm, t.data(), count, t.dtype(), group, 0);
+    ring_allgather(comm, t.data(), count, t.dtype(), group, 1000);
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_NEAR(t.at(i), expected[i], 1e-4) << i;
+  });
+}
+
+TEST(PrimitivesTest, NonMemberRankRejected) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    const std::vector<int> group{0};  // rank 1 is not a member
+    Tensor t({4});
+    if (comm.rank() == 1)
+      ring_reduce_scatter_sum(comm, t.data(), 4, t.dtype(), group);
+  }),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace adasum
