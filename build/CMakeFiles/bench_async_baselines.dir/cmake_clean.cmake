@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_baselines.dir/bench/bench_async_baselines.cpp.o"
+  "CMakeFiles/bench_async_baselines.dir/bench/bench_async_baselines.cpp.o.d"
+  "bench/bench_async_baselines"
+  "bench/bench_async_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_orthogonality.dir/bench/bench_fig1_orthogonality.cpp.o"
+  "CMakeFiles/bench_fig1_orthogonality.dir/bench/bench_fig1_orthogonality.cpp.o.d"
+  "bench/bench_fig1_orthogonality"
+  "bench/bench_fig1_orthogonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_orthogonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

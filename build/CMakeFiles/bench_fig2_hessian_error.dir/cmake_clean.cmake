@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hessian_error.dir/bench/bench_fig2_hessian_error.cpp.o"
+  "CMakeFiles/bench_fig2_hessian_error.dir/bench/bench_fig2_hessian_error.cpp.o.d"
+  "bench/bench_fig2_hessian_error"
+  "bench/bench_fig2_hessian_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hessian_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

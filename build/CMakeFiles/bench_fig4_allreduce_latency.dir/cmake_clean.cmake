@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_allreduce_latency.dir/bench/bench_fig4_allreduce_latency.cpp.o"
+  "CMakeFiles/bench_fig4_allreduce_latency.dir/bench/bench_fig4_allreduce_latency.cpp.o.d"
+  "bench/bench_fig4_allreduce_latency"
+  "bench/bench_fig4_allreduce_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_allreduce_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

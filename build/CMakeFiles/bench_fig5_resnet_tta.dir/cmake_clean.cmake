@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_resnet_tta.dir/bench/bench_fig5_resnet_tta.cpp.o"
+  "CMakeFiles/bench_fig5_resnet_tta.dir/bench/bench_fig5_resnet_tta.cpp.o.d"
+  "bench/bench_fig5_resnet_tta"
+  "bench/bench_fig5_resnet_tta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_resnet_tta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lenet_scaling.dir/bench/bench_fig6_lenet_scaling.cpp.o"
+  "CMakeFiles/bench_fig6_lenet_scaling.dir/bench/bench_fig6_lenet_scaling.cpp.o.d"
+  "bench/bench_fig6_lenet_scaling"
+  "bench/bench_fig6_lenet_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lenet_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_partitioning.dir/bench/bench_table1_partitioning.cpp.o"
+  "CMakeFiles/bench_table1_partitioning.dir/bench/bench_table1_partitioning.cpp.o.d"
+  "bench/bench_table1_partitioning"
+  "bench/bench_table1_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

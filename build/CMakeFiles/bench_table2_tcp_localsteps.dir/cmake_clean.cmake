@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tcp_localsteps.dir/bench/bench_table2_tcp_localsteps.cpp.o"
+  "CMakeFiles/bench_table2_tcp_localsteps.dir/bench/bench_table2_tcp_localsteps.cpp.o.d"
+  "bench/bench_table2_tcp_localsteps"
+  "bench/bench_table2_tcp_localsteps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tcp_localsteps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bert_algo.dir/bench/bench_table3_bert_algo.cpp.o"
+  "CMakeFiles/bench_table3_bert_algo.dir/bench/bench_table3_bert_algo.cpp.o.d"
+  "bench/bench_table3_bert_algo"
+  "bench/bench_table3_bert_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bert_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

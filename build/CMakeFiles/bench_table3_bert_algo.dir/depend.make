@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_bert_algo.
+# This may be replaced when dependencies are built.

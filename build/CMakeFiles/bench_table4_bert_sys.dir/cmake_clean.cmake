@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_bert_sys.dir/bench/bench_table4_bert_sys.cpp.o"
+  "CMakeFiles/bench_table4_bert_sys.dir/bench/bench_table4_bert_sys.cpp.o.d"
+  "bench/bench_table4_bert_sys"
+  "bench/bench_table4_bert_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_bert_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_cli.dir/adasum_cli.cpp.o"
+  "CMakeFiles/adasum_cli.dir/adasum_cli.cpp.o.d"
+  "adasum_cli"
+  "adasum_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

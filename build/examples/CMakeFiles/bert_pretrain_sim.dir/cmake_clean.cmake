@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_pretrain_sim.dir/bert_pretrain_sim.cpp.o"
+  "CMakeFiles/bert_pretrain_sim.dir/bert_pretrain_sim.cpp.o.d"
+  "bert_pretrain_sim"
+  "bert_pretrain_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_pretrain_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bert_pretrain_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orthogonality_monitor.dir/orthogonality_monitor.cpp.o"
+  "CMakeFiles/orthogonality_monitor.dir/orthogonality_monitor.cpp.o.d"
+  "orthogonality_monitor"
+  "orthogonality_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orthogonality_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

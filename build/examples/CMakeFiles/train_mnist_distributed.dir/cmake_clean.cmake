@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_mnist_distributed.dir/train_mnist_distributed.cpp.o"
+  "CMakeFiles/train_mnist_distributed.dir/train_mnist_distributed.cpp.o.d"
+  "train_mnist_distributed"
+  "train_mnist_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_mnist_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

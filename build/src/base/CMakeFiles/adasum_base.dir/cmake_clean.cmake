@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_base.dir/half.cpp.o"
+  "CMakeFiles/adasum_base.dir/half.cpp.o.d"
+  "CMakeFiles/adasum_base.dir/logging.cpp.o"
+  "CMakeFiles/adasum_base.dir/logging.cpp.o.d"
+  "CMakeFiles/adasum_base.dir/rng.cpp.o"
+  "CMakeFiles/adasum_base.dir/rng.cpp.o.d"
+  "libadasum_base.a"
+  "libadasum_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/adasum_linear.cpp" "src/collectives/CMakeFiles/adasum_collectives.dir/adasum_linear.cpp.o" "gcc" "src/collectives/CMakeFiles/adasum_collectives.dir/adasum_linear.cpp.o.d"
+  "/root/repo/src/collectives/adasum_rvh.cpp" "src/collectives/CMakeFiles/adasum_collectives.dir/adasum_rvh.cpp.o" "gcc" "src/collectives/CMakeFiles/adasum_collectives.dir/adasum_rvh.cpp.o.d"
+  "/root/repo/src/collectives/allreduce.cpp" "src/collectives/CMakeFiles/adasum_collectives.dir/allreduce.cpp.o" "gcc" "src/collectives/CMakeFiles/adasum_collectives.dir/allreduce.cpp.o.d"
+  "/root/repo/src/collectives/hierarchical.cpp" "src/collectives/CMakeFiles/adasum_collectives.dir/hierarchical.cpp.o" "gcc" "src/collectives/CMakeFiles/adasum_collectives.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/collectives/primitives.cpp" "src/collectives/CMakeFiles/adasum_collectives.dir/primitives.cpp.o" "gcc" "src/collectives/CMakeFiles/adasum_collectives.dir/primitives.cpp.o.d"
+  "/root/repo/src/collectives/sum_allreduce.cpp" "src/collectives/CMakeFiles/adasum_collectives.dir/sum_allreduce.cpp.o" "gcc" "src/collectives/CMakeFiles/adasum_collectives.dir/sum_allreduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adasum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/adasum_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adasum_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/adasum_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_collectives.dir/adasum_linear.cpp.o"
+  "CMakeFiles/adasum_collectives.dir/adasum_linear.cpp.o.d"
+  "CMakeFiles/adasum_collectives.dir/adasum_rvh.cpp.o"
+  "CMakeFiles/adasum_collectives.dir/adasum_rvh.cpp.o.d"
+  "CMakeFiles/adasum_collectives.dir/allreduce.cpp.o"
+  "CMakeFiles/adasum_collectives.dir/allreduce.cpp.o.d"
+  "CMakeFiles/adasum_collectives.dir/hierarchical.cpp.o"
+  "CMakeFiles/adasum_collectives.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/adasum_collectives.dir/primitives.cpp.o"
+  "CMakeFiles/adasum_collectives.dir/primitives.cpp.o.d"
+  "CMakeFiles/adasum_collectives.dir/sum_allreduce.cpp.o"
+  "CMakeFiles/adasum_collectives.dir/sum_allreduce.cpp.o.d"
+  "libadasum_collectives.a"
+  "libadasum_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cost_model.cpp" "src/comm/CMakeFiles/adasum_comm.dir/cost_model.cpp.o" "gcc" "src/comm/CMakeFiles/adasum_comm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/comm/world.cpp" "src/comm/CMakeFiles/adasum_comm.dir/world.cpp.o" "gcc" "src/comm/CMakeFiles/adasum_comm.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/adasum_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/adasum_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/adasum_comm.dir/world.cpp.o"
+  "CMakeFiles/adasum_comm.dir/world.cpp.o.d"
+  "libadasum_comm.a"
+  "libadasum_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

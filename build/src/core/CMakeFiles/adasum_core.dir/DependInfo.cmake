@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adasum.cpp" "src/core/CMakeFiles/adasum_core.dir/adasum.cpp.o" "gcc" "src/core/CMakeFiles/adasum_core.dir/adasum.cpp.o.d"
+  "/root/repo/src/core/orthogonality.cpp" "src/core/CMakeFiles/adasum_core.dir/orthogonality.cpp.o" "gcc" "src/core/CMakeFiles/adasum_core.dir/orthogonality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adasum_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/adasum_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_core.dir/adasum.cpp.o"
+  "CMakeFiles/adasum_core.dir/adasum.cpp.o.d"
+  "CMakeFiles/adasum_core.dir/orthogonality.cpp.o"
+  "CMakeFiles/adasum_core.dir/orthogonality.cpp.o.d"
+  "libadasum_core.a"
+  "libadasum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_data.dir/dataset.cpp.o"
+  "CMakeFiles/adasum_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/adasum_data.dir/synthetic.cpp.o"
+  "CMakeFiles/adasum_data.dir/synthetic.cpp.o.d"
+  "libadasum_data.a"
+  "libadasum_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

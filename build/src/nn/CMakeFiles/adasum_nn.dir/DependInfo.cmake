@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/adasum_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/adasum_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/adasum_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/adasum_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/adasum_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/adasum_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/adasum_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/adasum_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/adasum_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/adasum_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/adasum_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/adasum_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/adasum_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/adasum_nn.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adasum_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/adasum_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

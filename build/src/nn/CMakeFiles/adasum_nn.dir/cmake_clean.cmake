@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_nn.dir/activations.cpp.o"
+  "CMakeFiles/adasum_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/adasum_nn.dir/conv.cpp.o"
+  "CMakeFiles/adasum_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/adasum_nn.dir/linear.cpp.o"
+  "CMakeFiles/adasum_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/adasum_nn.dir/loss.cpp.o"
+  "CMakeFiles/adasum_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/adasum_nn.dir/models.cpp.o"
+  "CMakeFiles/adasum_nn.dir/models.cpp.o.d"
+  "CMakeFiles/adasum_nn.dir/module.cpp.o"
+  "CMakeFiles/adasum_nn.dir/module.cpp.o.d"
+  "CMakeFiles/adasum_nn.dir/transformer.cpp.o"
+  "CMakeFiles/adasum_nn.dir/transformer.cpp.o.d"
+  "libadasum_nn.a"
+  "libadasum_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

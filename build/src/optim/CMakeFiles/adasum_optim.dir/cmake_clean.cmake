@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_optim.dir/distributed_optimizer.cpp.o"
+  "CMakeFiles/adasum_optim.dir/distributed_optimizer.cpp.o.d"
+  "CMakeFiles/adasum_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/adasum_optim.dir/optimizer.cpp.o.d"
+  "CMakeFiles/adasum_optim.dir/partitioned.cpp.o"
+  "CMakeFiles/adasum_optim.dir/partitioned.cpp.o.d"
+  "CMakeFiles/adasum_optim.dir/partitioned_optimizer.cpp.o"
+  "CMakeFiles/adasum_optim.dir/partitioned_optimizer.cpp.o.d"
+  "libadasum_optim.a"
+  "libadasum_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

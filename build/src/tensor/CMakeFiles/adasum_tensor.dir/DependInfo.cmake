@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/fusion.cpp" "src/tensor/CMakeFiles/adasum_tensor.dir/fusion.cpp.o" "gcc" "src/tensor/CMakeFiles/adasum_tensor.dir/fusion.cpp.o.d"
+  "/root/repo/src/tensor/kernels.cpp" "src/tensor/CMakeFiles/adasum_tensor.dir/kernels.cpp.o" "gcc" "src/tensor/CMakeFiles/adasum_tensor.dir/kernels.cpp.o.d"
+  "/root/repo/src/tensor/quantize.cpp" "src/tensor/CMakeFiles/adasum_tensor.dir/quantize.cpp.o" "gcc" "src/tensor/CMakeFiles/adasum_tensor.dir/quantize.cpp.o.d"
+  "/root/repo/src/tensor/scaling.cpp" "src/tensor/CMakeFiles/adasum_tensor.dir/scaling.cpp.o" "gcc" "src/tensor/CMakeFiles/adasum_tensor.dir/scaling.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/adasum_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/adasum_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/adasum_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

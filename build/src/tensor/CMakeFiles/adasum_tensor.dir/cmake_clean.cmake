@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_tensor.dir/fusion.cpp.o"
+  "CMakeFiles/adasum_tensor.dir/fusion.cpp.o.d"
+  "CMakeFiles/adasum_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/adasum_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/adasum_tensor.dir/quantize.cpp.o"
+  "CMakeFiles/adasum_tensor.dir/quantize.cpp.o.d"
+  "CMakeFiles/adasum_tensor.dir/scaling.cpp.o"
+  "CMakeFiles/adasum_tensor.dir/scaling.cpp.o.d"
+  "CMakeFiles/adasum_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/adasum_tensor.dir/tensor.cpp.o.d"
+  "libadasum_tensor.a"
+  "libadasum_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

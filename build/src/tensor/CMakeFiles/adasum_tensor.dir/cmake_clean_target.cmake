@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadasum_tensor.a"
+)

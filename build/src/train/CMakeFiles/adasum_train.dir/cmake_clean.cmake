@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_train.dir/async_sgd.cpp.o"
+  "CMakeFiles/adasum_train.dir/async_sgd.cpp.o.d"
+  "CMakeFiles/adasum_train.dir/checkpoint.cpp.o"
+  "CMakeFiles/adasum_train.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/adasum_train.dir/hessian.cpp.o"
+  "CMakeFiles/adasum_train.dir/hessian.cpp.o.d"
+  "CMakeFiles/adasum_train.dir/trainer.cpp.o"
+  "CMakeFiles/adasum_train.dir/trainer.cpp.o.d"
+  "libadasum_train.a"
+  "libadasum_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_core_test.dir/adasum_core_test.cpp.o"
+  "CMakeFiles/adasum_core_test.dir/adasum_core_test.cpp.o.d"
+  "adasum_core_test"
+  "adasum_core_test.pdb"
+  "adasum_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adasum_property_test.dir/adasum_property_test.cpp.o"
+  "CMakeFiles/adasum_property_test.dir/adasum_property_test.cpp.o.d"
+  "adasum_property_test"
+  "adasum_property_test.pdb"
+  "adasum_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adasum_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_sgd_test.dir/async_sgd_test.cpp.o"
+  "CMakeFiles/async_sgd_test.dir/async_sgd_test.cpp.o.d"
+  "async_sgd_test"
+  "async_sgd_test.pdb"
+  "async_sgd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_sgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

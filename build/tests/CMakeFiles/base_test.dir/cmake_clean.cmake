@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_test.dir/base_test.cpp.o"
+  "CMakeFiles/base_test.dir/base_test.cpp.o.d"
+  "base_test"
+  "base_test.pdb"
+  "base_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_test.dir/checkpoint_test.cpp.o"
+  "CMakeFiles/checkpoint_test.dir/checkpoint_test.cpp.o.d"
+  "checkpoint_test"
+  "checkpoint_test.pdb"
+  "checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

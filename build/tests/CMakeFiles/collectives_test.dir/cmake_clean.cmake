@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_test.dir/collectives_test.cpp.o"
+  "CMakeFiles/collectives_test.dir/collectives_test.cpp.o.d"
+  "collectives_test"
+  "collectives_test.pdb"
+  "collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_test.dir/comm_test.cpp.o"
+  "CMakeFiles/comm_test.dir/comm_test.cpp.o.d"
+  "comm_test"
+  "comm_test.pdb"
+  "comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_optimizer_test.dir/distributed_optimizer_test.cpp.o"
+  "CMakeFiles/distributed_optimizer_test.dir/distributed_optimizer_test.cpp.o.d"
+  "distributed_optimizer_test"
+  "distributed_optimizer_test.pdb"
+  "distributed_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

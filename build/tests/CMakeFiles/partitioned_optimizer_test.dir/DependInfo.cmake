@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/partitioned_optimizer_test.cpp" "tests/CMakeFiles/partitioned_optimizer_test.dir/partitioned_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/partitioned_optimizer_test.dir/partitioned_optimizer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/adasum_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/adasum_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adasum_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adasum_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/adasum_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adasum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/adasum_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adasum_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/adasum_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

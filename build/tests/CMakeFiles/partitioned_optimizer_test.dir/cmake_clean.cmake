@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_optimizer_test.dir/partitioned_optimizer_test.cpp.o"
+  "CMakeFiles/partitioned_optimizer_test.dir/partitioned_optimizer_test.cpp.o.d"
+  "partitioned_optimizer_test"
+  "partitioned_optimizer_test.pdb"
+  "partitioned_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

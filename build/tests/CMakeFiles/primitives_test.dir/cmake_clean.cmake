@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitives_test.dir/primitives_test.cpp.o"
+  "CMakeFiles/primitives_test.dir/primitives_test.cpp.o.d"
+  "primitives_test"
+  "primitives_test.pdb"
+  "primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantize_test.dir/quantize_test.cpp.o"
+  "CMakeFiles/quantize_test.dir/quantize_test.cpp.o.d"
+  "quantize_test"
+  "quantize_test.pdb"
+  "quantize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
