@@ -4,9 +4,11 @@
 // double-vs-float accumulation ablation from DESIGN.md §4.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <vector>
 
 #include "base/rng.h"
+#include "comm/buffer_pool.h"
 #include "core/adasum.h"
 #include "tensor/fusion.h"
 #include "tensor/kernels.h"
@@ -104,6 +106,24 @@ void BM_AdasumPair(benchmark::State& state) {
 }
 BENCHMARK(BM_AdasumPair)->Arg(1 << 12)->Arg(1 << 18);
 
+// The in-place combine the zero-copy tree reduction runs per node: same
+// arithmetic as BM_AdasumPair, minus the per-call result allocation.
+void BM_AdasumPairInplace(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  Tensor a({n}), b({n});
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, rng.normal());
+    b.set(i, rng.normal());
+  }
+  for (auto _ : state) {
+    adasum_pair_inplace(a, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_AdasumPairInplace)->Arg(1 << 12)->Arg(1 << 18);
+
 void BM_FusionPackUnpack(benchmark::State& state) {
   const int tensors = static_cast<int>(state.range(0));
   Rng rng(10);
@@ -125,6 +145,59 @@ void BM_FusionPackUnpack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FusionPackUnpack)->Arg(8)->Arg(64);
+
+// The persistent-FusionBuffer path the optimizers use: after the first pack
+// the backing store and the slice table are both reused, so a steady-state
+// step pays only the payload memcpys.
+void BM_FusionBufferReuse(benchmark::State& state) {
+  const int tensors = static_cast<int>(state.range(0));
+  std::vector<Tensor> owned;
+  std::vector<const Tensor*> ptrs;
+  std::vector<Tensor*> mut;
+  for (int i = 0; i < tensors; ++i) {
+    owned.emplace_back(
+        std::vector<std::size_t>{static_cast<std::size_t>(256 + 64 * i)});
+  }
+  for (auto& t : owned) {
+    ptrs.push_back(&t);
+    mut.push_back(&t);
+  }
+  FusionBuffer buffer;
+  buffer.pack(ptrs);  // first pack allocates; the loop measures reuse
+  for (auto _ : state) {
+    FusedTensor& fused = buffer.pack(ptrs);
+    buffer.unpack(mut);
+    benchmark::DoNotOptimize(fused.flat.data());
+  }
+}
+BENCHMARK(BM_FusionBufferReuse)->Arg(8)->Arg(64);
+
+// Warm pool acquire/release round-trip vs allocating a fresh vector — the
+// per-message cost difference the pooled transport is built on.
+void BM_BufferPoolAcquireRelease(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  BufferPool pool;
+  pool.release(pool.acquire(bytes));  // warm: one buffer on the free list
+  for (auto _ : state) {
+    std::vector<std::byte> b = pool.acquire(bytes);
+    benchmark::DoNotOptimize(b.data());
+    pool.release(std::move(b));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_BufferPoolAcquireRelease)->Arg(1 << 12)->Arg(1 << 22);
+
+void BM_FreshVectorAllocation(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::byte> b(bytes);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_FreshVectorAllocation)->Arg(1 << 12)->Arg(1 << 22);
 
 // Accumulation ablation: the same fp32 reduction with a float accumulator —
 // faster on some machines but loses the precision §4.4.1 requires (the

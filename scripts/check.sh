@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over the
+# two suites that exercise the cross-thread buffer handoff (mailbox cv,
+# BufferPool, zero-copy collectives).
+#
+# Usage: scripts/check.sh            # from the repo root
+#        SKIP_TSAN=1 scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  echo "=== tsan: skipped (SKIP_TSAN=1) ==="
+  exit 0
+fi
+
+echo "=== tsan: comm_test + collectives_test ==="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target comm_test collectives_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/comm_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/collectives_test
+
+echo "=== all checks passed ==="

@@ -2,9 +2,9 @@
 
 #include <bit>
 #include <cstring>
-#include <vector>
 
 #include "base/check.h"
+#include "comm/buffer_pool.h"
 #include "core/adasum.h"
 #include "tensor/kernels.h"
 
@@ -14,8 +14,8 @@ namespace {
 // One reduce-scatter level retained for the allgather unwind.
 struct LevelRecord {
   int neighbor = 0;
-  bool is_left = false;     // brank/dc even — left member of the pair
-  std::size_t mid = 0;      // split point of the segment at this level
+  bool is_left = false;       // brank/dc even — left member of the pair
+  std::size_t mid = 0;        // split point of the segment at this level
   std::size_t seg_count = 0;  // segment size BEFORE the split
   int tag = 0;
 };
@@ -36,6 +36,15 @@ SliceLocal intersect(const TensorSlice& s, std::size_t begin,
 
 }  // namespace
 
+// Zero-copy schedule: this rank's segment is always the contiguous range
+// [seg_begin, seg_begin + seg_count) of the CALLER'S buffer, never a copy.
+// Per reduce-scatter level only the neighbor's half is staged (into one
+// pooled scratch that is reused at every level), the combiner writes straight
+// into the caller's storage, and the allgather unwind receives each half
+// directly at its final offset — so the whole collective performs no heap
+// allocation at steady state and no trailing memcpy. The arithmetic and the
+// message pattern are identical to the copy-based formulation (see
+// adasum_rvh_reference.h, which tests hold bit-for-bit against this one).
 void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
                           DType dtype, std::span<const TensorSlice> slices,
                           int tag_base, std::span<const int> group) {
@@ -64,14 +73,27 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
   }
 
-  // Current segment of the logical vector owned by this rank.
-  std::vector<std::byte> seg(data, data + count * elem);
+  // Pooled scratch workspace, leased once per call: the incoming half (the
+  // largest is ceil(count/2) elements at level 0), the per-layer dot-product
+  // triples, the triple-allreduce subgroup, and the level records.
+  const int levels = std::countr_zero(static_cast<unsigned>(size));
+  BufferPool& pool = comm.pool();
+  PooledBuffer half_buf(pool, ((count + 1) / 2) * elem);
+  std::byte* const half = half_buf.data();
+  PooledBuffer triples_buf(pool, 3 * num_layers * sizeof(double));
+  const std::span<double> triples = triples_buf.as<double>(3 * num_layers);
+  PooledBuffer subgroup_buf(pool, static_cast<std::size_t>(size) * sizeof(int));
+  const std::span<int> subgroup_all =
+      subgroup_buf.as<int>(static_cast<std::size_t>(size));
+  PooledBuffer records_buf(pool,
+                           static_cast<std::size_t>(levels) *
+                               sizeof(LevelRecord));
+  const std::span<LevelRecord> records =
+      records_buf.as<LevelRecord>(static_cast<std::size_t>(levels));
+
+  // Current segment of the logical vector owned by this rank, in place.
   std::size_t seg_begin = 0;  // global element offset of the segment
   std::size_t seg_count = count;
-
-  std::vector<LevelRecord> records;
-  std::vector<int> subgroup;
-  std::vector<double> triples(3 * num_layers);
 
   int level = 0;
   for (int d = 1; d < size; d <<= 1, ++level) {
@@ -79,25 +101,35 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     const int neighbor = is_left ? rank + d : rank - d;
     const std::size_t mid = seg_count / 2;
     const int tag = tag_base + 8 * level;
+    std::byte* const seg = data + seg_begin * elem;
+    records[static_cast<std::size_t>(level)] =
+        LevelRecord{neighbor, is_left, mid, seg_count, tag};
 
     // Exchange halves. Left keeps/combines the left half; right the right.
-    std::vector<std::byte> a, b;
+    // `a` is the left subgroup's slice, `b` the right subgroup's; whichever
+    // belongs to this rank stays in the caller's buffer and receives the
+    // combined result, the other is staged in `half`.
+    const std::byte* a;
+    const std::byte* b;
+    std::byte* own;
     if (is_left) {
       comm.send_bytes(world_rank(neighbor),
-                      {seg.data() + mid * elem, (seg_count - mid) * elem},
-                      tag);
-      a.assign(seg.data(), seg.data() + mid * elem);
-      b = comm.recv_bytes(world_rank(neighbor), tag);
-      ADASUM_CHECK_EQ(b.size(), mid * elem);
+                      {seg + mid * elem, (seg_count - mid) * elem}, tag);
+      comm.recv_bytes_into(world_rank(neighbor), {half, mid * elem}, tag);
+      a = seg;
+      b = half;
+      own = seg;
+      seg_count = mid;
     } else {
-      comm.send_bytes(world_rank(neighbor), {seg.data(), mid * elem}, tag);
-      a = comm.recv_bytes(world_rank(neighbor), tag);
-      ADASUM_CHECK_EQ(a.size(), (seg_count - mid) * elem);
-      b.assign(seg.data() + mid * elem, seg.data() + seg_count * elem);
+      comm.send_bytes(world_rank(neighbor), {seg, mid * elem}, tag);
+      comm.recv_bytes_into(world_rank(neighbor),
+                           {half, (seg_count - mid) * elem}, tag);
+      a = half;
+      b = seg + mid * elem;
+      own = seg + mid * elem;
       seg_begin += mid;
+      seg_count = seg_count - mid;
     }
-    records.push_back(LevelRecord{neighbor, is_left, mid, seg_count, tag});
-    seg_count = is_left ? mid : seg_count - mid;
     const std::size_t seg_end = seg_begin + seg_count;
 
     // Partial per-layer dot products over this rank's slice of (a, b)
@@ -106,9 +138,9 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
       kernels::DotTriple t;
       if (loc.count > 0) {
-        t = kernels::dot_triple_bytes(a.data() + loc.local_offset * elem,
-                                      b.data() + loc.local_offset * elem,
-                                      loc.count, dtype);
+        t = kernels::dot_triple_bytes(a + loc.local_offset * elem,
+                                      b + loc.local_offset * elem, loc.count,
+                                      dtype);
       }
       triples[3 * l + 0] = t.ab;
       triples[3 * l + 1] = t.aa;
@@ -117,52 +149,51 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
 
     // Finish the dot products across the 2d-rank group (line 16-17).
     const int d2 = 2 * d;
-    subgroup.clear();
     const int group_base = (rank / d2) * d2;
-    for (int i = 0; i < d2; ++i) subgroup.push_back(world_rank(group_base + i));
-    const std::vector<double> full = comm.allreduce_sum_doubles(
-        triples, subgroup, tag + 1);
+    const std::span<int> subgroup =
+        subgroup_all.subspan(0, static_cast<std::size_t>(d2));
+    for (int i = 0; i < d2; ++i)
+      subgroup[static_cast<std::size_t>(i)] = world_rank(group_base + i);
+    comm.allreduce_sum_doubles_inplace(triples, subgroup, tag + 1);
 
-    // Apply the combiner per layer on the local slice (line 18).
+    // Apply the combiner per layer straight into the caller's storage
+    // (line 18). Elements the boundary table does not cover keep this rank's
+    // own contribution (they never occur when the layers tile the payload).
     for (std::size_t l = 0; l < num_layers; ++l) {
       const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
       if (loc.count == 0) continue;
-      const kernels::DotTriple t{full[3 * l + 0], full[3 * l + 1],
-                                 full[3 * l + 2]};
+      const kernels::DotTriple t{triples[3 * l + 0], triples[3 * l + 1],
+                                 triples[3 * l + 2]};
       const AdasumFactors f = adasum_factors(t);
-      kernels::scaled_sum_bytes(a.data() + loc.local_offset * elem, f.ca,
-                                b.data() + loc.local_offset * elem, f.cb,
-                                a.data() + loc.local_offset * elem, loc.count,
+      kernels::scaled_sum_bytes(a + loc.local_offset * elem, f.ca,
+                                b + loc.local_offset * elem, f.cb,
+                                own + loc.local_offset * elem, loc.count,
                                 dtype);
     }
-    // `a` now holds the combined segment (we wrote the result into it; for
-    // right ranks, slices outside every layer keep a's data — impossible,
-    // layers tile the payload in practice; to be safe fall back to copy).
-    seg = std::move(a);
   }
 
-  // Allgather unwind (lines 22-24): reassemble halves in reverse order.
-  for (auto it = records.rbegin(); it != records.rend(); ++it) {
-    comm.send_bytes(world_rank(it->neighbor), {seg.data(), seg.size()},
-                    it->tag + 2);
-    std::vector<std::byte> theirs =
-        comm.recv_bytes(world_rank(it->neighbor), it->tag + 2);
-    std::vector<std::byte> merged;
-    merged.reserve(seg.size() + theirs.size());
-    if (it->is_left) {
-      merged.insert(merged.end(), seg.begin(), seg.end());
-      merged.insert(merged.end(), theirs.begin(), theirs.end());
+  // Allgather unwind (lines 22-24): send the combined segment, receive the
+  // neighbor's half directly at its final offset in the caller's buffer.
+  for (int l = levels - 1; l >= 0; --l) {
+    const LevelRecord& r = records[static_cast<std::size_t>(l)];
+    comm.send_bytes(world_rank(r.neighbor),
+                    {data + seg_begin * elem, seg_count * elem}, r.tag + 2);
+    if (r.is_left) {
+      comm.recv_bytes_into(world_rank(r.neighbor),
+                           {data + (seg_begin + r.mid) * elem,
+                            (r.seg_count - r.mid) * elem},
+                           r.tag + 2);
     } else {
-      merged.insert(merged.end(), theirs.begin(), theirs.end());
-      merged.insert(merged.end(), seg.begin(), seg.end());
-      seg_begin -= it->mid;
+      comm.recv_bytes_into(world_rank(r.neighbor),
+                           {data + (seg_begin - r.mid) * elem, r.mid * elem},
+                           r.tag + 2);
+      seg_begin -= r.mid;
     }
-    ADASUM_CHECK_EQ(merged.size(), it->seg_count * elem);
-    seg = std::move(merged);
+    seg_count = r.seg_count;
   }
 
-  ADASUM_CHECK_EQ(seg.size(), count * elem);
-  std::memcpy(data, seg.data(), seg.size());
+  ADASUM_CHECK_EQ(seg_begin, 0u);
+  ADASUM_CHECK_EQ(seg_count, count);
 }
 
 void adasum_rvh_allreduce(Comm& comm, Tensor& tensor,

@@ -1,0 +1,176 @@
+#include "collectives/adasum_rvh_reference.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "base/check.h"
+#include "core/adasum.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+namespace {
+
+struct LevelRecord {
+  int neighbor = 0;
+  bool is_left = false;
+  std::size_t mid = 0;
+  std::size_t seg_count = 0;
+  int tag = 0;
+};
+
+struct SliceLocal {
+  std::size_t local_offset = 0;
+  std::size_t count = 0;
+};
+SliceLocal intersect(const TensorSlice& s, std::size_t begin,
+                     std::size_t end) {
+  const std::size_t lo = std::max(s.offset, begin);
+  const std::size_t hi = std::min(s.offset + s.count, end);
+  if (hi <= lo) return {0, 0};
+  return {lo - begin, hi - lo};
+}
+
+// The seed's send path: allocate a fresh payload vector per message instead
+// of leasing one from the pool, so this baseline keeps the allocation
+// behaviour the zero-copy work removed.
+void send_copy(Comm& comm, int dst, const std::byte* p, std::size_t n,
+               int tag) {
+  comm.send_bytes_owned(dst, std::vector<std::byte>(p, p + n), tag);
+}
+
+}  // namespace
+
+void adasum_rvh_allreduce_reference(Comm& comm, std::byte* data,
+                                    std::size_t count, DType dtype,
+                                    std::span<const TensorSlice> slices,
+                                    int tag_base,
+                                    std::span<const int> group) {
+  const int size =
+      group.empty() ? comm.size() : static_cast<int>(group.size());
+  if (size == 1) return;
+  ADASUM_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(size)),
+                   "AdasumRVH requires a power-of-two group size");
+  const auto world_rank = [&](int idx) {
+    return group.empty() ? idx : group[static_cast<std::size_t>(idx)];
+  };
+
+  const TensorSlice whole{"all", 0, count};
+  const std::span<const TensorSlice> layers =
+      slices.empty() ? std::span<const TensorSlice>{&whole, 1} : slices;
+  const std::size_t num_layers = layers.size();
+  const std::size_t elem = dtype_size(dtype);
+  int rank = comm.rank();
+  if (!group.empty()) {
+    rank = -1;
+    for (std::size_t i = 0; i < group.size(); ++i)
+      if (group[i] == comm.rank()) rank = static_cast<int>(i);
+    ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
+  }
+
+  // Private working copy of the whole payload (the copy the in-place path
+  // eliminates).
+  std::vector<std::byte> seg(data, data + count * elem);
+  std::size_t seg_begin = 0;
+  std::size_t seg_count = count;
+
+  std::vector<LevelRecord> records;
+  std::vector<double> triples(3 * num_layers);
+  std::vector<int> subgroup;
+
+  int level = 0;
+  for (int d = 1; d < size; d <<= 1, ++level) {
+    const bool is_left = ((rank / d) % 2) == 0;
+    const int neighbor = is_left ? rank + d : rank - d;
+    const std::size_t mid = seg_count / 2;
+    const int tag = tag_base + 8 * level;
+
+    // Exchange halves into per-level vectors: a = the left subgroup's slice,
+    // b = the right subgroup's.
+    std::vector<std::byte> a, b;
+    if (is_left) {
+      send_copy(comm, world_rank(neighbor), seg.data() + mid * elem,
+                (seg_count - mid) * elem, tag);
+      a.assign(seg.data(), seg.data() + mid * elem);
+      b = comm.recv_bytes(world_rank(neighbor), tag);
+      ADASUM_CHECK_EQ(b.size(), mid * elem);
+    } else {
+      send_copy(comm, world_rank(neighbor), seg.data(), mid * elem, tag);
+      a = comm.recv_bytes(world_rank(neighbor), tag);
+      ADASUM_CHECK_EQ(a.size(), (seg_count - mid) * elem);
+      b.assign(seg.data() + mid * elem, seg.data() + seg_count * elem);
+      seg_begin += mid;
+    }
+    records.push_back(LevelRecord{neighbor, is_left, mid, seg_count, tag});
+    seg_count = is_left ? mid : seg_count - mid;
+    const std::size_t seg_end = seg_begin + seg_count;
+
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
+      kernels::DotTriple t;
+      if (loc.count > 0) {
+        t = kernels::dot_triple_bytes(a.data() + loc.local_offset * elem,
+                                      b.data() + loc.local_offset * elem,
+                                      loc.count, dtype);
+      }
+      triples[3 * l + 0] = t.ab;
+      triples[3 * l + 1] = t.aa;
+      triples[3 * l + 2] = t.bb;
+    }
+
+    const int d2 = 2 * d;
+    subgroup.clear();
+    const int group_base = (rank / d2) * d2;
+    for (int i = 0; i < d2; ++i) subgroup.push_back(world_rank(group_base + i));
+    const std::vector<double> full =
+        comm.allreduce_sum_doubles(triples, subgroup, tag + 1);
+
+    // Combine into this rank's own half so elements outside every layer keep
+    // the local contribution — the same convention as the in-place path.
+    std::vector<std::byte>& own = is_left ? a : b;
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
+      if (loc.count == 0) continue;
+      const kernels::DotTriple t{full[3 * l + 0], full[3 * l + 1],
+                                 full[3 * l + 2]};
+      const AdasumFactors f = adasum_factors(t);
+      kernels::scaled_sum_bytes(a.data() + loc.local_offset * elem, f.ca,
+                                b.data() + loc.local_offset * elem, f.cb,
+                                own.data() + loc.local_offset * elem,
+                                loc.count, dtype);
+    }
+    seg = std::move(own);
+  }
+
+  // Allgather unwind with a merged rebuild per level.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    send_copy(comm, world_rank(it->neighbor), seg.data(), seg.size(),
+              it->tag + 2);
+    std::vector<std::byte> theirs =
+        comm.recv_bytes(world_rank(it->neighbor), it->tag + 2);
+    std::vector<std::byte> merged;
+    merged.reserve(seg.size() + theirs.size());
+    if (it->is_left) {
+      merged.insert(merged.end(), seg.begin(), seg.end());
+      merged.insert(merged.end(), theirs.begin(), theirs.end());
+    } else {
+      merged.insert(merged.end(), theirs.begin(), theirs.end());
+      merged.insert(merged.end(), seg.begin(), seg.end());
+      seg_begin -= it->mid;
+    }
+    ADASUM_CHECK_EQ(merged.size(), it->seg_count * elem);
+    seg = std::move(merged);
+  }
+
+  ADASUM_CHECK_EQ(seg.size(), count * elem);
+  std::memcpy(data, seg.data(), seg.size());
+}
+
+void adasum_rvh_allreduce_reference(Comm& comm, Tensor& tensor,
+                                    std::span<const TensorSlice> slices,
+                                    int tag_base, std::span<const int> group) {
+  adasum_rvh_allreduce_reference(comm, tensor.data(), tensor.size(),
+                                 tensor.dtype(), slices, tag_base, group);
+}
+
+}  // namespace adasum

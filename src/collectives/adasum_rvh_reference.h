@@ -1,0 +1,37 @@
+// Copy-based AdasumRVH reference (the pre-zero-copy formulation).
+//
+// Retained for two jobs, both of which need it to stay exactly as written:
+//  * numerical oracle — tests assert the production in-place path in
+//    adasum_rvh.h produces BYTE-IDENTICAL results to this one across dtypes,
+//    group sizes and layer tables (the zero-copy rewrite changed only the
+//    staging, never the arithmetic or the message pattern);
+//  * perf baseline — bench_fig4_allreduce_latency times both paths in the
+//    same run and BENCH_rvh.json records the ratio, so future changes to the
+//    hot path are gated against a fixed yardstick.
+//
+// Staging behaviour matches the original seed implementation: one full
+// private copy of the payload, per-level a/b vectors allocated with plain
+// operator new (deliberately NOT the BufferPool), a merged rebuild per
+// allgather level, and a trailing memcpy into the caller's buffer.
+#pragma once
+
+#include <span>
+
+#include "comm/world.h"
+#include "tensor/fusion.h"
+#include "tensor/tensor.h"
+
+namespace adasum {
+
+void adasum_rvh_allreduce_reference(Comm& comm, std::byte* data,
+                                    std::size_t count, DType dtype,
+                                    std::span<const TensorSlice> slices = {},
+                                    int tag_base = 0,
+                                    std::span<const int> group = {});
+
+void adasum_rvh_allreduce_reference(Comm& comm, Tensor& tensor,
+                                    std::span<const TensorSlice> slices = {},
+                                    int tag_base = 0,
+                                    std::span<const int> group = {});
+
+}  // namespace adasum

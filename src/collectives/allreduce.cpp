@@ -111,13 +111,20 @@ void allreduce(Comm& comm, Tensor& tensor, const AllreduceOptions& options,
 
 void allreduce_fused(Comm& comm, const std::vector<Tensor*>& tensors,
                      const AllreduceOptions& options, int tag_base) {
+  FusionBuffer scratch;
+  allreduce_fused(comm, tensors, options, scratch, tag_base);
+}
+
+void allreduce_fused(Comm& comm, const std::vector<Tensor*>& tensors,
+                     const AllreduceOptions& options, FusionBuffer& buffer,
+                     int tag_base) {
   ADASUM_CHECK(!tensors.empty());
   std::vector<const Tensor*> views(tensors.begin(), tensors.end());
-  FusedTensor fused = fuse(views);
+  FusedTensor& fused = buffer.pack(views);
   AllreduceOptions fused_options = options;
   fused_options.slices = fused.slices;
   allreduce(comm, fused.flat, fused_options, tag_base);
-  unfuse(fused, tensors);
+  buffer.unpack(tensors);
 }
 
 }  // namespace adasum

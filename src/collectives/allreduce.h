@@ -27,4 +27,11 @@ void allreduce(Comm& comm, Tensor& tensor, const AllreduceOptions& options,
 void allreduce_fused(Comm& comm, const std::vector<Tensor*>& tensors,
                      const AllreduceOptions& options, int tag_base = 0);
 
+// Same, but staging through a caller-held FusionBuffer so repeated rounds
+// over the same layer layout reuse the fused backing store and boundary
+// table instead of reallocating them every call.
+void allreduce_fused(Comm& comm, const std::vector<Tensor*>& tensors,
+                     const AllreduceOptions& options, FusionBuffer& buffer,
+                     int tag_base = 0);
+
 }  // namespace adasum

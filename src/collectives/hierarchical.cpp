@@ -71,66 +71,11 @@ void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
       adasum_rvh_allreduce(comm, data + cb * elem, chunk_count, dtype,
                            rebased, tag_base + 1000, cross_group);
     } else {
-      // Plain sum across nodes: reuse AdasumRVH's group plumbing is not
-      // needed — a simple recursive exchange-and-add suffices and has the
-      // same schedule as sum-RVH. We emulate it with gather-free pairwise
-      // halving through the generic double allreduce for clarity would be
-      // wasteful; instead run sum-RVH on a temporary world view.
-      // Ranks in cross_group run pairwise halving manually:
-      int me = node;  // index within cross_group
-      std::vector<std::byte> seg(data + cb * elem, data + ce * elem);
-      std::size_t seg_count = chunk_count;
-      struct Level {
-        int neighbor;
-        bool is_left;
-        std::size_t mid, seg_count;
-        int tag;
-      };
-      std::vector<Level> recs;
-      int level = 0;
-      for (int d = 1; d < num_nodes; d <<= 1, ++level) {
-        const bool is_left = ((me / d) % 2) == 0;
-        const int nbr = cross_group[static_cast<std::size_t>(
-            is_left ? me + d : me - d)];
-        const std::size_t mid = seg_count / 2;
-        const int tag = tag_base + 2000 + 4 * level;
-        std::vector<std::byte> kept, incoming;
-        if (is_left) {
-          comm.send_bytes(nbr,
-                          {seg.data() + mid * elem, (seg_count - mid) * elem},
-                          tag);
-          kept.assign(seg.data(), seg.data() + mid * elem);
-          incoming = comm.recv_bytes(nbr, tag);
-        } else {
-          comm.send_bytes(nbr, {seg.data(), mid * elem}, tag);
-          kept.assign(seg.data() + mid * elem, seg.data() + seg_count * elem);
-          incoming = comm.recv_bytes(nbr, tag);
-        }
-        ADASUM_CHECK_EQ(incoming.size(), kept.size());
-        kernels::add_bytes(incoming.data(), kept.data(), kept.size() / elem,
-                           dtype);
-        recs.push_back(
-            Level{is_left ? me + d : me - d, is_left, mid, seg_count, tag});
-        seg = std::move(kept);
-        seg_count = seg.size() / elem;
-      }
-      for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
-        const int nbr = cross_group[static_cast<std::size_t>(it->neighbor)];
-        comm.send_bytes(nbr, {seg.data(), seg.size()}, it->tag + 1);
-        std::vector<std::byte> theirs = comm.recv_bytes(nbr, it->tag + 1);
-        std::vector<std::byte> merged;
-        merged.reserve(seg.size() + theirs.size());
-        if (it->is_left) {
-          merged.insert(merged.end(), seg.begin(), seg.end());
-          merged.insert(merged.end(), theirs.begin(), theirs.end());
-        } else {
-          merged.insert(merged.end(), theirs.begin(), theirs.end());
-          merged.insert(merged.end(), seg.begin(), seg.end());
-        }
-        seg = std::move(merged);
-      }
-      ADASUM_CHECK_EQ(seg.size(), chunk_count * elem);
-      std::memcpy(data + cb * elem, seg.data(), seg.size());
+      // Plain sum across nodes: the in-place sum-RVH runs the identical
+      // pairwise-halving schedule this blob used to spell out by hand, with
+      // pooled scratch instead of per-level vectors.
+      rvh_allreduce_sum(comm, data + cb * elem, chunk_count, dtype,
+                        tag_base + 2000, cross_group);
     }
   }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "base/check.h"
+#include "comm/buffer_pool.h"
 #include "tensor/kernels.h"
 
 namespace adasum {
@@ -46,9 +47,7 @@ void broadcast(Comm& comm, std::byte* data, std::size_t bytes,
     } else if (!have_data && vrank < 2 * dist) {
       const int peer = group[static_cast<std::size_t>(
           (vrank - dist + root_index + p) % p)];
-      const std::vector<std::byte> payload = comm.recv_bytes(peer, tag_base);
-      ADASUM_CHECK_EQ(payload.size(), bytes);
-      std::memcpy(data, payload.data(), bytes);
+      comm.recv_bytes_into(peer, {data, bytes}, tag_base);
       have_data = true;
     }
   }
@@ -65,17 +64,19 @@ void ring_reduce_scatter_sum(Comm& comm, std::byte* data, std::size_t count,
   const std::size_t elem = dtype_size(dtype);
   const int next = group[static_cast<std::size_t>((me + 1) % p)];
   const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  // Incoming chunks stage in one pooled buffer sized for the largest chunk.
+  const std::size_t max_chunk =
+      (count + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
+  PooledBuffer scratch(comm.pool(), max_chunk * elem);
   for (int s = 0; s < p - 1; ++s) {
     const int send_chunk = (me - s + p) % p;
     const int recv_chunk = (me - s - 1 + p) % p;
     const ChunkRange sc = chunk_range(count, p, send_chunk);
     comm.send_bytes(next, {data + sc.begin * elem, sc.size() * elem},
                     tag_base + s);
-    const std::vector<std::byte> incoming =
-        comm.recv_bytes(prev, tag_base + s);
     const ChunkRange rc = chunk_range(count, p, recv_chunk);
-    ADASUM_CHECK_EQ(incoming.size(), rc.size() * elem);
-    kernels::add_bytes(incoming.data(), data + rc.begin * elem, rc.size(),
+    comm.recv_bytes_into(prev, scratch.bytes(rc.size() * elem), tag_base + s);
+    kernels::add_bytes(scratch.data(), data + rc.begin * elem, rc.size(),
                        dtype);
   }
 }
@@ -96,11 +97,10 @@ void ring_allgather(Comm& comm, std::byte* data, std::size_t count,
     const ChunkRange sc = chunk_range(count, p, send_chunk);
     comm.send_bytes(next, {data + sc.begin * elem, sc.size() * elem},
                     tag_base + s);
-    const std::vector<std::byte> incoming =
-        comm.recv_bytes(prev, tag_base + s);
     const ChunkRange rc = chunk_range(count, p, recv_chunk);
-    ADASUM_CHECK_EQ(incoming.size(), rc.size() * elem);
-    std::memcpy(data + rc.begin * elem, incoming.data(), incoming.size());
+    // Deposit straight into the chunk's final position — no staging copy.
+    comm.recv_bytes_into(prev, {data + rc.begin * elem, rc.size() * elem},
+                         tag_base + s);
   }
 }
 

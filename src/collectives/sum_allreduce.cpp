@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "comm/buffer_pool.h"
 #include "tensor/kernels.h"
 
 namespace adasum {
@@ -29,7 +30,11 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
 
   // Reduce-scatter: after step s, rank r has accumulated chunk
   // (r - s + p) % p from s+1 ranks; after p-1 steps rank r owns the full sum
-  // of chunk (r + 1) % p.
+  // of chunk (r + 1) % p. Incoming chunks stage in one pooled buffer sized
+  // for the largest chunk.
+  const std::size_t max_chunk =
+      (count + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
+  PooledBuffer scratch(comm.pool(), max_chunk * elem);
   for (int s = 0; s < p - 1; ++s) {
     const int send_chunk = (rank - s + p) % p;
     const int recv_chunk = (rank - s - 1 + p) % p;
@@ -37,15 +42,14 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     const std::size_t se = chunk_begin(count, p, send_chunk + 1);
     comm.send_bytes(next, {data + sb * elem, (se - sb) * elem},
                     tag_base + s);
-    const std::vector<std::byte> incoming =
-        comm.recv_bytes(prev, tag_base + s);
     const std::size_t rb = chunk_begin(count, p, recv_chunk);
     const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
-    ADASUM_CHECK_EQ(incoming.size(), (re - rb) * elem);
-    kernels::add_bytes(incoming.data(), data + rb * elem, re - rb, dtype);
+    comm.recv_bytes_into(prev, scratch.bytes((re - rb) * elem), tag_base + s);
+    kernels::add_bytes(scratch.data(), data + rb * elem, re - rb, dtype);
   }
 
-  // Allgather: circulate the owned (fully reduced) chunks.
+  // Allgather: circulate the owned (fully reduced) chunks, each received
+  // directly at its final offset.
   for (int s = 0; s < p - 1; ++s) {
     const int send_chunk = (rank + 1 - s + p) % p;
     const int recv_chunk = (rank - s + p) % p;
@@ -53,22 +57,34 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     const std::size_t se = chunk_begin(count, p, send_chunk + 1);
     comm.send_bytes(next, {data + sb * elem, (se - sb) * elem},
                     tag_base + p + s);
-    const std::vector<std::byte> incoming =
-        comm.recv_bytes(prev, tag_base + p + s);
     const std::size_t rb = chunk_begin(count, p, recv_chunk);
     const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
-    ADASUM_CHECK_EQ(incoming.size(), (re - rb) * elem);
-    std::memcpy(data + rb * elem, incoming.data(), incoming.size());
+    comm.recv_bytes_into(prev, {data + rb * elem, (re - rb) * elem},
+                         tag_base + p + s);
   }
 }
 
+// Zero-copy RVH sum: like the Adasum variant (adasum_rvh.cpp) the segment is
+// a contiguous window of the caller's buffer, only the neighbor's half is
+// staged in pooled scratch, and the allgather deposits halves at their final
+// offsets — no per-level vectors, no merged rebuild, no trailing memcpy.
 void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
-                       DType dtype, int tag_base) {
-  const int size = comm.size();
+                       DType dtype, int tag_base, std::span<const int> group) {
+  const int size =
+      group.empty() ? comm.size() : static_cast<int>(group.size());
   if (size == 1 || count == 0) return;
   ADASUM_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(size)),
-                   "RVH requires a power-of-two world size");
-  const int rank = comm.rank();
+                   "RVH requires a power-of-two group size");
+  const auto world_rank = [&](int idx) {
+    return group.empty() ? idx : group[static_cast<std::size_t>(idx)];
+  };
+  int rank = comm.rank();
+  if (!group.empty()) {
+    rank = -1;
+    for (std::size_t i = 0; i < group.size(); ++i)
+      if (group[i] == comm.rank()) rank = static_cast<int>(i);
+    ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
+  }
   const std::size_t elem = dtype_size(dtype);
 
   struct Level {
@@ -77,8 +93,15 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     std::size_t mid, seg_count;
     int tag;
   };
-  std::vector<Level> records;
-  std::vector<std::byte> seg(data, data + count * elem);
+  const int levels = std::countr_zero(static_cast<unsigned>(size));
+  PooledBuffer half_buf(comm.pool(), ((count + 1) / 2) * elem);
+  std::byte* const half = half_buf.data();
+  PooledBuffer records_buf(comm.pool(),
+                           static_cast<std::size_t>(levels) * sizeof(Level));
+  const std::span<Level> records =
+      records_buf.as<Level>(static_cast<std::size_t>(levels));
+
+  std::size_t seg_begin = 0;
   std::size_t seg_count = count;
 
   int level = 0;
@@ -87,42 +110,47 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     const int neighbor = is_left ? rank + d : rank - d;
     const std::size_t mid = seg_count / 2;
     const int tag = tag_base + 4 * level;
-    std::vector<std::byte> kept, incoming;
+    std::byte* const seg = data + seg_begin * elem;
+    records[static_cast<std::size_t>(level)] =
+        Level{neighbor, is_left, mid, seg_count, tag};
+    std::byte* kept;
+    std::size_t kept_count;
     if (is_left) {
-      comm.send_bytes(neighbor,
-                      {seg.data() + mid * elem, (seg_count - mid) * elem},
-                      tag);
-      kept.assign(seg.data(), seg.data() + mid * elem);
-      incoming = comm.recv_bytes(neighbor, tag);
+      comm.send_bytes(world_rank(neighbor),
+                      {seg + mid * elem, (seg_count - mid) * elem}, tag);
+      comm.recv_bytes_into(world_rank(neighbor), {half, mid * elem}, tag);
+      kept = seg;
+      kept_count = mid;
     } else {
-      comm.send_bytes(neighbor, {seg.data(), mid * elem}, tag);
-      kept.assign(seg.data() + mid * elem, seg.data() + seg_count * elem);
-      incoming = comm.recv_bytes(neighbor, tag);
+      comm.send_bytes(world_rank(neighbor), {seg, mid * elem}, tag);
+      comm.recv_bytes_into(world_rank(neighbor),
+                           {half, (seg_count - mid) * elem}, tag);
+      kept = seg + mid * elem;
+      kept_count = seg_count - mid;
+      seg_begin += mid;
     }
-    ADASUM_CHECK_EQ(incoming.size(), kept.size());
-    kernels::add_bytes(incoming.data(), kept.data(), kept.size() / elem,
-                       dtype);
-    records.push_back(Level{neighbor, is_left, mid, seg_count, tag});
-    seg = std::move(kept);
-    seg_count = seg.size() / elem;
+    kernels::add_bytes(half, kept, kept_count, dtype);
+    seg_count = kept_count;
   }
 
-  for (auto it = records.rbegin(); it != records.rend(); ++it) {
-    comm.send_bytes(it->neighbor, {seg.data(), seg.size()}, it->tag + 1);
-    std::vector<std::byte> theirs = comm.recv_bytes(it->neighbor, it->tag + 1);
-    std::vector<std::byte> merged;
-    merged.reserve(seg.size() + theirs.size());
-    if (it->is_left) {
-      merged.insert(merged.end(), seg.begin(), seg.end());
-      merged.insert(merged.end(), theirs.begin(), theirs.end());
+  for (int l = levels - 1; l >= 0; --l) {
+    const Level& r = records[static_cast<std::size_t>(l)];
+    comm.send_bytes(world_rank(r.neighbor),
+                    {data + seg_begin * elem, seg_count * elem}, r.tag + 1);
+    if (r.is_left) {
+      comm.recv_bytes_into(world_rank(r.neighbor),
+                           {data + (seg_begin + r.mid) * elem,
+                            (r.seg_count - r.mid) * elem},
+                           r.tag + 1);
     } else {
-      merged.insert(merged.end(), theirs.begin(), theirs.end());
-      merged.insert(merged.end(), seg.begin(), seg.end());
+      comm.recv_bytes_into(world_rank(r.neighbor),
+                           {data + (seg_begin - r.mid) * elem, r.mid * elem},
+                           r.tag + 1);
+      seg_begin -= r.mid;
     }
-    ADASUM_CHECK_EQ(merged.size(), it->seg_count * elem);
-    seg = std::move(merged);
+    seg_count = r.seg_count;
   }
-  std::memcpy(data, seg.data(), count * elem);
+  ADASUM_CHECK_EQ(seg_count, count);
 }
 
 void ring_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base) {

@@ -20,9 +20,13 @@ namespace adasum {
 void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
                         DType dtype, int tag_base = 0);
 
-// In-place recursive-vector-halving sum-allreduce. Power-of-two world size.
+// In-place recursive-vector-halving sum-allreduce. `group` restricts the
+// reduction to a subset of world ranks (empty = the whole world; all members
+// must call with the same group) — the hierarchical allreduce runs its
+// cross-node sum phase this way. Power-of-two group size.
 void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
-                       DType dtype, int tag_base = 0);
+                       DType dtype, int tag_base = 0,
+                       std::span<const int> group = {});
 
 void ring_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base = 0);
 void rvh_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base = 0);

@@ -4,12 +4,16 @@
 // send() never blocks (buffered semantics, like MPI_Send on small messages);
 // recv() blocks until a message with the requested tag arrives or the world
 // aborts. Per-(src,dst) FIFO ordering matches MPI's non-overtaking rule.
+//
+// pop() parks on a predicate-driven condition wait: it is woken exactly by
+// push() and notify_abort(), never by a timeout. (An earlier version polled
+// with a 50 ms wait_for, which turned any wakeup raced against the matching
+// push into a 50 ms latency cliff on the collective critical path.)
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -40,20 +44,19 @@ class Mailbox {
   }
 
   // Blocks until a message with `tag` is available (FIFO among same-tag
-  // messages) or `aborted` becomes true.
+  // messages) or `aborted` becomes true. A matching message that is already
+  // queued is delivered even when the world is aborting, mirroring MPI's
+  // "completed operations complete" rule.
   std::vector<std::byte> pop(int tag, const std::atomic<bool>& aborted) {
     std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->tag == tag) {
-          std::vector<std::byte> payload = std::move(it->payload);
-          queue_.erase(it);
-          return payload;
-        }
-      }
-      if (aborted.load()) throw WorldAborted();
-      cv_.wait_for(lock, std::chrono::milliseconds(50));
-    }
+    std::vector<std::byte> payload;
+    bool found = false;
+    cv_.wait(lock, [&]() {
+      found = take_locked(tag, payload);
+      return found || aborted.load();
+    });
+    if (!found) throw WorldAborted();
+    return payload;
   }
 
   void notify_abort() { cv_.notify_all(); }
@@ -64,9 +67,23 @@ class Mailbox {
   }
 
  private:
+  // Moves the first message with `tag` into `payload`. Caller holds mutex_.
+  bool take_locked(int tag, std::vector<std::byte>& payload) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->tag != tag) continue;
+      payload = std::move(it->payload);
+      queue_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  // A vector, not a deque: the queue holds at most a handful of in-flight
+  // messages, and a vector's capacity persists across push/pop cycles so the
+  // steady state allocates nothing (deque nodes churn at chunk boundaries).
+  std::vector<Message> queue_;
 };
 
 }  // namespace adasum

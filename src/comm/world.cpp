@@ -51,15 +51,21 @@ void World::run(const std::function<void(Comm&)>& fn) {
 }
 
 void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag) {
+  std::vector<std::byte> payload = world_->pool_.acquire(data.size());
+  if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size());
+  send_bytes_owned(dst, std::move(payload), tag);
+}
+
+void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {
   ADASUM_CHECK_GE(dst, 0);
   ADASUM_CHECK_LT(dst, size());
   ADASUM_CHECK_NE(dst, rank_);
   if (world_->aborted_.load()) throw WorldAborted();
-  std::vector<std::byte> payload(data.begin(), data.end());
+  const std::size_t bytes = payload.size();
   world_->mailbox(rank_, dst).push(tag, std::move(payload));
   CommStats& s = world_->stats_[rank_];
   ++s.messages_sent;
-  s.bytes_sent += data.size();
+  s.bytes_sent += bytes;
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
@@ -67,6 +73,13 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   ADASUM_CHECK_LT(src, size());
   ADASUM_CHECK_NE(src, rank_);
   return world_->mailbox(src, rank_).pop(tag, world_->aborted_);
+}
+
+void Comm::recv_bytes_into(int src, std::span<std::byte> dest, int tag) {
+  std::vector<std::byte> payload = recv_bytes(src, tag);
+  ADASUM_CHECK_EQ(payload.size(), dest.size());
+  if (!dest.empty()) std::memcpy(dest.data(), payload.data(), payload.size());
+  world_->pool_.release(std::move(payload));
 }
 
 void Comm::barrier() {
@@ -100,39 +113,52 @@ int index_in_group(std::span<const int> group, int rank) {
 std::vector<double> Comm::allreduce_sum_doubles(std::span<const double> values,
                                                 std::span<const int> group,
                                                 int tag) {
+  std::vector<double> acc(values.begin(), values.end());
+  allreduce_sum_doubles_inplace(acc, group, tag);
+  return acc;
+}
+
+void Comm::allreduce_sum_doubles_inplace(std::span<double> values,
+                                         std::span<const int> group, int tag) {
   const int me = index_in_group(group, rank_);
   ADASUM_CHECK_MSG(me >= 0, "calling rank must be a member of the group");
   const int p = static_cast<int>(group.size());
-  std::vector<double> acc(values.begin(), values.end());
-  if (p == 1) return acc;
+  if (p == 1) return;
+
+  const std::span<const std::byte> value_bytes{
+      reinterpret_cast<const std::byte*>(values.data()), values.size_bytes()};
+  const std::span<std::byte> value_bytes_mut{
+      reinterpret_cast<std::byte*>(values.data()), values.size_bytes()};
 
   if (std::has_single_bit(static_cast<unsigned>(p))) {
-    // Recursive doubling: log2(p) rounds of pairwise exchange+sum.
+    // Recursive doubling: log2(p) rounds of pairwise exchange+sum. The
+    // peer's values land in a pooled staging buffer.
+    PooledBuffer scratch(pool(), values.size_bytes());
+    const std::span<double> theirs = scratch.as<double>(values.size());
     for (int dist = 1; dist < p; dist <<= 1) {
       const int peer = group[static_cast<std::size_t>(me ^ dist)];
-      const std::vector<double> theirs =
-          exchange<double>(peer, acc, tag);
-      ADASUM_CHECK_EQ(theirs.size(), acc.size());
-      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += theirs[i];
+      send_bytes(peer, value_bytes, tag);
+      recv_bytes_into(peer, scratch.bytes(), tag);
+      for (std::size_t i = 0; i < values.size(); ++i) values[i] += theirs[i];
     }
-    return acc;
+    return;
   }
 
   // Non-power-of-two group: gather to group[0], reduce, broadcast.
   if (me == 0) {
+    PooledBuffer scratch(pool(), values.size_bytes());
+    const std::span<double> theirs = scratch.as<double>(values.size());
     for (int i = 1; i < p; ++i) {
-      const std::vector<double> theirs =
-          recv<double>(group[static_cast<std::size_t>(i)], tag);
-      ADASUM_CHECK_EQ(theirs.size(), acc.size());
-      for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += theirs[j];
+      recv_bytes_into(group[static_cast<std::size_t>(i)], scratch.bytes(),
+                      tag);
+      for (std::size_t j = 0; j < values.size(); ++j) values[j] += theirs[j];
     }
     for (int i = 1; i < p; ++i)
-      send<double>(group[static_cast<std::size_t>(i)], acc, tag);
+      send_bytes(group[static_cast<std::size_t>(i)], value_bytes, tag);
   } else {
-    send<double>(group[0], acc, tag);
-    acc = recv<double>(group[0], tag);
+    send_bytes(group[0], value_bytes, tag);
+    recv_bytes_into(group[0], value_bytes_mut, tag);
   }
-  return acc;
 }
 
 }  // namespace adasum

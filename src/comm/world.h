@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/buffer_pool.h"
 #include "comm/channel.h"
 
 namespace adasum {
@@ -46,6 +47,11 @@ class World {
   // Aggregated traffic stats from the last run(), indexed by rank.
   const std::vector<CommStats>& stats() const { return stats_; }
 
+  // Shared payload/scratch recycling pool (see buffer_pool.h). Every message
+  // body and every collective workspace is leased from here, so warm
+  // iterations of a collective allocate nothing.
+  BufferPool& buffer_pool() { return pool_; }
+
  private:
   friend class Comm;
 
@@ -56,6 +62,7 @@ class World {
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CommStats> stats_;
+  BufferPool pool_;
   std::atomic<bool> aborted_{false};
 
   // Sense-reversing central barrier state.
@@ -71,10 +78,19 @@ class Comm {
   int rank() const { return rank_; }
   int size() const { return world_->size(); }
 
-  // Buffered send: copies `data`, never blocks.
+  // Buffered send: copies `data` into a pool-recycled payload, never blocks.
   void send_bytes(int dst, std::span<const std::byte> data, int tag = 0);
-  // Blocks until a message with `tag` from `src` arrives.
+  // Zero-copy send: hands `payload` to the mailbox as-is. The buffer need
+  // not come from the pool (the receive side decides whether it returns
+  // there); used by callers that fill a payload in place.
+  void send_bytes_owned(int dst, std::vector<std::byte> payload, int tag = 0);
+  // Blocks until a message with `tag` from `src` arrives. The returned
+  // buffer leaves the pool; prefer recv_bytes_into on hot paths.
   std::vector<std::byte> recv_bytes(int src, int tag = 0);
+  // Blocks like recv_bytes but deposits the payload directly into `dest`
+  // (which must match the message size exactly) and recycles the payload
+  // buffer into the world's pool — the allocation-free receive path.
+  void recv_bytes_into(int src, std::span<std::byte> dest, int tag = 0);
 
   template <typename T>
   void send(int dst, std::span<const T> data, int tag = 0) {
@@ -112,6 +128,15 @@ class Comm {
   std::vector<double> allreduce_sum_doubles(std::span<const double> values,
                                             std::span<const int> group,
                                             int tag = 0);
+
+  // In-place variant: `values` is reduced where it sits, and all receive
+  // staging comes from the world's pool, so warm calls are allocation-free.
+  // This is the form the collectives use for their per-level dot-product
+  // triples (Algorithm 1 line 17).
+  void allreduce_sum_doubles_inplace(std::span<double> values,
+                                     std::span<const int> group, int tag = 0);
+
+  BufferPool& pool() { return world_->pool_; }
 
   CommStats& stats() { return world_->stats_[rank_]; }
 

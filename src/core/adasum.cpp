@@ -38,6 +38,41 @@ Tensor adasum_pair(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+template <typename T>
+void adasum_pair_inplace(std::span<T> a, std::span<const T> b) {
+  adasum_pair<T>(std::span<const T>(a.data(), a.size()), b, a);
+}
+
+template void adasum_pair_inplace<Half>(std::span<Half>,
+                                        std::span<const Half>);
+template void adasum_pair_inplace<float>(std::span<float>,
+                                         std::span<const float>);
+template void adasum_pair_inplace<double>(std::span<double>,
+                                          std::span<const double>);
+
+void adasum_pair_inplace(Tensor& a, const Tensor& b) {
+  ADASUM_CHECK_EQ(a.size(), b.size());
+  ADASUM_CHECK_MSG(a.dtype() == b.dtype(), "adasum_pair dtype mismatch");
+  dispatch_dtype(a.dtype(), [&]<typename T>() {
+    adasum_pair_inplace<T>(a.span<T>(), b.span<T>());
+  });
+}
+
+void adasum_pair_layerwise_inplace(Tensor& a, const Tensor& b,
+                                   std::span<const TensorSlice> slices) {
+  ADASUM_CHECK_EQ(a.size(), b.size());
+  ADASUM_CHECK_MSG(a.dtype() == b.dtype(), "layerwise adasum dtype mismatch");
+  dispatch_dtype(a.dtype(), [&]<typename T>() {
+    auto sa = a.span<T>();
+    const auto sb = b.span<T>();
+    for (const TensorSlice& s : slices) {
+      ADASUM_CHECK_LE(s.offset + s.count, a.size());
+      adasum_pair_inplace<T>(sa.subspan(s.offset, s.count),
+                             sb.subspan(s.offset, s.count));
+    }
+  });
+}
+
 void adasum_pair_layerwise(const Tensor& a, const Tensor& b,
                            std::span<const TensorSlice> slices, Tensor& out) {
   ADASUM_CHECK_EQ(a.size(), b.size());
@@ -59,50 +94,67 @@ void adasum_pair_layerwise(const Tensor& a, const Tensor& b,
 
 namespace {
 
-Tensor tree_reduce_range(std::span<const Tensor> grads, std::size_t lo,
-                         std::size_t hi) {
-  if (hi - lo == 1) return grads[lo].clone();
+// Tree reduction without the one-tensor-per-node cloning the allocating
+// adasum_pair forced: the subtree result for [lo, hi) accumulates in
+// work[lo], and a leaf is cloned into work[lo] only the first time it
+// becomes a combine target (the left child of an internal node), so a
+// reduction over n gradients makes ~n/2 clones instead of 2n-1 tensors.
+// Returns the subtree result: grads[lo] itself for a leaf, else work[lo].
+// Association (mid = lo + (hi-lo)/2, left-then-right operand order) matches
+// the old recursion exactly, and adasum_pair_inplace folds bitwise
+// identically, so results are unchanged.
+const Tensor& tree_reduce_range(std::span<const Tensor> grads,
+                                std::span<Tensor> work,
+                                const TensorSlice* slices_data,
+                                std::size_t slices_size, std::size_t lo,
+                                std::size_t hi) {
+  if (hi - lo == 1) return grads[lo];
   const std::size_t mid = lo + (hi - lo) / 2;
-  const Tensor left = tree_reduce_range(grads, lo, mid);
-  const Tensor right = tree_reduce_range(grads, mid, hi);
-  return adasum_pair(left, right);
+  const Tensor& left =
+      tree_reduce_range(grads, work, slices_data, slices_size, lo, mid);
+  const Tensor& right =
+      tree_reduce_range(grads, work, slices_data, slices_size, mid, hi);
+  if (&left != &work[lo]) work[lo] = left.clone();
+  if (slices_data == nullptr) {
+    adasum_pair_inplace(work[lo], right);
+  } else {
+    adasum_pair_layerwise_inplace(work[lo], right,
+                                  {slices_data, slices_size});
+  }
+  return work[lo];
+}
+
+Tensor tree_reduce(std::span<const Tensor> grads,
+                   std::span<const TensorSlice> slices, bool layerwise) {
+  ADASUM_CHECK(!grads.empty());
+  if (grads.size() == 1) return grads[0].clone();
+  std::vector<Tensor> work(grads.size());
+  tree_reduce_range(grads, work, layerwise ? slices.data() : nullptr,
+                    slices.size(), 0, grads.size());
+  return std::move(work[0]);
 }
 
 }  // namespace
 
 Tensor adasum_tree(std::span<const Tensor> grads) {
-  ADASUM_CHECK(!grads.empty());
-  return tree_reduce_range(grads, 0, grads.size());
+  return tree_reduce(grads, {}, /*layerwise=*/false);
 }
 
 Tensor adasum_linear(std::span<const Tensor> grads) {
   ADASUM_CHECK(!grads.empty());
   Tensor acc = grads[0].clone();
   for (std::size_t i = 1; i < grads.size(); ++i)
-    acc = adasum_pair(acc, grads[i]);
+    adasum_pair_inplace(acc, grads[i]);
   return acc;
 }
 
-namespace {
-
-Tensor tree_reduce_layerwise_range(std::span<const Tensor> grads,
-                                   std::span<const TensorSlice> slices,
-                                   std::size_t lo, std::size_t hi) {
-  if (hi - lo == 1) return grads[lo].clone();
-  const std::size_t mid = lo + (hi - lo) / 2;
-  const Tensor left = tree_reduce_layerwise_range(grads, slices, lo, mid);
-  const Tensor right = tree_reduce_layerwise_range(grads, slices, mid, hi);
-  Tensor out(left.shape(), left.dtype());
-  adasum_pair_layerwise(left, right, slices, out);
-  return out;
-}
-
-}  // namespace
-
+// Gap elements (outside every slice) keep the first gradient's values — the
+// same "own contribution stays" convention as the distributed RVH path. The
+// old implementation zeroed them; for the tiling boundary tables fuse()
+// produces the two conventions are indistinguishable.
 Tensor adasum_tree_layerwise(std::span<const Tensor> grads,
                              std::span<const TensorSlice> slices) {
-  ADASUM_CHECK(!grads.empty());
-  return tree_reduce_layerwise_range(grads, slices, 0, grads.size());
+  return tree_reduce(grads, slices, /*layerwise=*/true);
 }
 
 }  // namespace adasum

@@ -48,6 +48,20 @@ void adasum_pair(std::span<const T> a, std::span<const T> b, std::span<T> out);
 // Tensor-level convenience (same dtype/shape required).
 Tensor adasum_pair(const Tensor& a, const Tensor& b);
 
+// a <- Adasum(a, b). The kernels are elementwise and read position i before
+// writing it, so folding into the left operand is exact — bitwise the same
+// result as the allocating form. This is what lets the tree reduction stop
+// cloning one tensor per internal node.
+template <typename T>
+void adasum_pair_inplace(std::span<T> a, std::span<const T> b);
+void adasum_pair_inplace(Tensor& a, const Tensor& b);
+
+// Per-layer in-place combine: a's slices become Adasum(a, b) slice by slice;
+// elements outside every slice keep a's values (the "own contribution stays"
+// convention the distributed path also follows).
+void adasum_pair_layerwise_inplace(Tensor& a, const Tensor& b,
+                                   std::span<const TensorSlice> slices);
+
 // Per-layer pairwise Adasum over fused flat buffers (§3.6): the combiner is
 // applied independently to each slice of the boundary table.
 void adasum_pair_layerwise(const Tensor& a, const Tensor& b,

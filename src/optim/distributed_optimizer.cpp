@@ -55,18 +55,16 @@ void DistributedOptimizer::reduce_tensors(std::vector<Tensor*>& tensors,
   opts.ranks_per_node = options_.ranks_per_node;
   // tag namespace per round so back-to-back rounds cannot cross-talk.
   const int tag_base = (tag_round_++ % 64) * 65536;
-  if (options_.layerwise) {
-    allreduce_fused(comm_, tensors, opts, tag_base);
-  } else {
-    std::vector<const Tensor*> views(tensors.begin(), tensors.end());
-    FusedTensor fused = fuse(views);
-    fused.slices.clear();  // single whole-vector "layer"
-    allreduce(comm_, fused.flat, opts, tag_base);
-    // Restore boundary table for unfuse.
-    FusedTensor repacked = fuse(views);
-    repacked.flat = std::move(fused.flat);
-    unfuse(repacked, tensors);
-  }
+  // Pack through the persistent FusionBuffer: one fuse per round (the old
+  // non-layerwise path fused twice to restore the table), and warm rounds
+  // reuse the fused backing store outright. An empty slice table already
+  // means "treat the payload as one layer", so the non-layerwise case just
+  // leaves opts.slices empty — the boundary table stays intact for unpack.
+  std::vector<const Tensor*> views(tensors.begin(), tensors.end());
+  FusedTensor& fused = fusion_.pack(views);
+  if (options_.layerwise) opts.slices = fused.slices;
+  allreduce(comm_, fused.flat, opts, tag_base);
+  fusion_.unpack(tensors);
 }
 
 void DistributedOptimizer::communicate_gradients() {

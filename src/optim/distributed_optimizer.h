@@ -79,6 +79,7 @@ class DistributedOptimizer {
   Comm& comm_;
   std::unique_ptr<Optimizer> inner_;
   DistributedOptions options_;
+  FusionBuffer fusion_;  // reused fusion staging across rounds
   std::vector<Tensor> round_start_;  // parameter snapshot (Adasum mode)
   int micro_step_ = 0;
   long rounds_ = 0;

@@ -86,7 +86,7 @@ void PartitionedDistributedOptimizer::step(double lr) {
       ptrs.push_back(&eff[i]);
       names.push_back(shard_params_[i]->name);
     }
-    FusedTensor fused = fuse(ptrs, &names);
+    FusedTensor& fused = fusion_.pack(ptrs, &names);
     adasum_rvh_allreduce(comm_, fused.flat.data(), fused.flat.size(),
                          fused.flat.dtype(),
                          options_.layerwise
@@ -95,7 +95,7 @@ void PartitionedDistributedOptimizer::step(double lr) {
                          tag_base + 16384, owners);
     std::vector<Tensor*> mut;
     for (Tensor& t : eff) mut.push_back(&t);
-    unfuse(fused, mut);
+    fusion_.unpack(mut);
     for (std::size_t i = 0; i < shard_params_.size(); ++i) {
       std::memcpy(shard_params_[i]->value.data(), round_start[i].data(),
                   round_start[i].nbytes());

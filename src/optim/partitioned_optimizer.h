@@ -27,6 +27,7 @@
 #include "comm/world.h"
 #include "optim/optimizer.h"
 #include "optim/partitioned.h"
+#include "tensor/fusion.h"
 
 namespace adasum::optim {
 
@@ -65,6 +66,7 @@ class PartitionedDistributedOptimizer {
   // The inner optimizer sees ONLY the owned shard's parameters.
   std::vector<nn::Parameter*> shard_params_;
   std::unique_ptr<Optimizer> inner_;
+  FusionBuffer fusion_;  // reused cross-node fusion staging
   long rounds_ = 0;
 };
 

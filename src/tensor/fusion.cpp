@@ -54,6 +54,78 @@ FusedTensor fuse(const std::vector<const Tensor*>& tensors,
   return out;
 }
 
+namespace {
+
+// Does the existing boundary table already describe this pack, including the
+// names it would be given? Checking instead of rebuilding avoids N string
+// constructions per step once the layout settles.
+bool table_matches(const std::vector<TensorSlice>& slices,
+                   const std::vector<const Tensor*>& tensors,
+                   const std::vector<std::string>* names) {
+  if (slices.size() != tensors.size()) return false;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    const TensorSlice& s = slices[i];
+    if (s.offset != offset || s.count != tensors[i]->size()) return false;
+    if (names != nullptr) {
+      if (s.name != (*names)[i]) return false;
+    } else {
+      if (s.name != "t" + std::to_string(i)) return false;
+    }
+    offset += s.count;
+  }
+  return true;
+}
+
+}  // namespace
+
+FusedTensor& FusionBuffer::pack(const std::vector<const Tensor*>& tensors,
+                                const std::vector<std::string>* names) {
+  ADASUM_CHECK(!tensors.empty());
+  const DType dtype = tensors[0]->dtype();
+  std::size_t total = 0;
+  for (const Tensor* t : tensors) {
+    ADASUM_CHECK_MSG(t->dtype() == dtype,
+                     "all tensors in a fusion group must share a dtype");
+    total += t->size();
+  }
+  if (names != nullptr) ADASUM_CHECK_EQ(names->size(), tensors.size());
+  ++stats_.packs;
+
+  if (fused_.flat.size() == total && fused_.flat.dtype() == dtype &&
+      fused_.flat.size() > 0) {
+    ++stats_.buffer_reuses;
+  } else {
+    fused_.flat = Tensor({total}, dtype);
+  }
+
+  const bool keep_table = table_matches(fused_.slices, tensors, names);
+  if (keep_table) {
+    ++stats_.table_reuses;
+  } else {
+    fused_.slices.clear();
+    fused_.slices.reserve(tensors.size());
+  }
+
+  const std::size_t elem = dtype_size(dtype);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    const Tensor* t = tensors[i];
+    std::memcpy(fused_.flat.data() + offset * elem, t->data(), t->nbytes());
+    if (!keep_table) {
+      fused_.slices.push_back(TensorSlice{
+          names != nullptr ? (*names)[i] : "t" + std::to_string(i), offset,
+          t->size()});
+    }
+    offset += t->size();
+  }
+  return fused_;
+}
+
+void FusionBuffer::unpack(const std::vector<Tensor*>& tensors) const {
+  unfuse(fused_, tensors);
+}
+
 void unfuse(const FusedTensor& fused, const std::vector<Tensor*>& tensors) {
   ADASUM_CHECK_EQ(tensors.size(), fused.slices.size());
   const std::size_t elem = dtype_size(fused.flat.dtype());

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,5 +47,38 @@ FusedTensor fuse(const std::vector<const Tensor*>& tensors,
 // Copies slices of `fused` back into the destination tensors, which must
 // match the boundary table sizes in order.
 void unfuse(const FusedTensor& fused, const std::vector<Tensor*>& tensors);
+
+// Reusable fusion staging. fuse() allocates a fresh flat buffer and rebuilds
+// the boundary table (N string constructions) every step; a training loop
+// packs the same layer layout thousands of times. FusionBuffer keeps the
+// backing Tensor and the table across pack() calls: when the total
+// size/dtype repeat the buffer is reused in place, and when the layout
+// (per-tensor sizes and names) is unchanged the table rebuild is skipped
+// entirely, so a warm pack() performs only the payload memcpys.
+class FusionBuffer {
+ public:
+  struct Stats {
+    std::uint64_t packs = 0;          // total pack() calls
+    std::uint64_t buffer_reuses = 0;  // packs that kept the backing tensor
+    std::uint64_t table_reuses = 0;   // packs that kept the boundary table
+  };
+
+  // Packs tensors (all one dtype) into the internal fused buffer, reusing
+  // storage where the layout allows, and returns it. The reference stays
+  // valid until the next pack().
+  FusedTensor& pack(const std::vector<const Tensor*>& tensors,
+                    const std::vector<std::string>* names = nullptr);
+
+  // Copies the fused slices back out (same contract as unfuse()).
+  void unpack(const std::vector<Tensor*>& tensors) const;
+
+  FusedTensor& fused() { return fused_; }
+  const FusedTensor& fused() const { return fused_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FusedTensor fused_;
+  Stats stats_;
+};
 
 }  // namespace adasum

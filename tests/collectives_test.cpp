@@ -9,6 +9,7 @@
 #include "base/rng.h"
 #include "collectives/adasum_linear.h"
 #include "collectives/adasum_rvh.h"
+#include "collectives/adasum_rvh_reference.h"
 #include "collectives/allreduce.h"
 #include "collectives/hierarchical.h"
 #include "collectives/sum_allreduce.h"
@@ -339,6 +340,207 @@ TEST(Dispatcher, FusedAllreduceWritesBackPerTensor) {
     for (std::size_t i = 0; i < 8; ++i)
       ASSERT_NEAR(ts[1].at(i), expected.at(16 + i), 1e-5);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy parity: the in-place production AdasumRVH must produce
+// BYTE-IDENTICAL output to the copy-based reference formulation — the
+// rewrite changed staging only, never arithmetic or message pattern.
+// ---------------------------------------------------------------------------
+
+enum class SliceTable { kNone, kTiling, kNonTiling };
+
+std::vector<TensorSlice> make_slice_table(SliceTable kind, std::size_t count) {
+  switch (kind) {
+    case SliceTable::kNone:
+      return {};
+    case SliceTable::kTiling: {
+      // Three layers tiling [0, count) completely.
+      const std::size_t a = count / 3, b = count / 2;
+      return {{"l0", 0, a}, {"l1", a, b - a}, {"l2", b, count - b}};
+    }
+    case SliceTable::kNonTiling: {
+      // Gaps before, between and after the layers; gap elements keep the
+      // rank's own contribution under both implementations.
+      const std::size_t a = count / 5, b = count / 2;
+      return {{"l0", a, count / 6 + 1}, {"l1", b, count / 4}};
+    }
+  }
+  return {};
+}
+
+struct ParityConfig {
+  int ranks;
+  std::size_t count;
+  DType dtype;
+  SliceTable table;
+};
+
+class InplaceRvhParityTest : public ::testing::TestWithParam<ParityConfig> {};
+
+TEST_P(InplaceRvhParityTest, BitForBitMatchesReference) {
+  const auto [ranks, count, dtype, table] = GetParam();
+  auto grads = make_gradients(ranks, count, dtype, 114);
+  const std::vector<TensorSlice> slices = make_slice_table(table, count);
+  const std::size_t nbytes = count * dtype_size(dtype);
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    const Tensor& input = grads[static_cast<std::size_t>(comm.rank())];
+    Tensor inplace = input.clone();
+    adasum_rvh_allreduce(comm, inplace.data(), count, dtype, slices,
+                         /*tag_base=*/0);
+    Tensor reference = input.clone();
+    adasum_rvh_allreduce_reference(comm, reference.data(), count, dtype,
+                                   slices, /*tag_base=*/50000);
+    ASSERT_EQ(std::memcmp(inplace.data(), reference.data(), nbytes), 0)
+        << "rank " << comm.rank();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InplaceRvhParityTest,
+    ::testing::Values(
+        ParityConfig{2, 64, DType::kFloat32, SliceTable::kNone},
+        ParityConfig{2, 97, DType::kFloat16, SliceTable::kTiling},
+        ParityConfig{4, 1, DType::kFloat32, SliceTable::kNone},
+        ParityConfig{4, 255, DType::kFloat32, SliceTable::kTiling},
+        ParityConfig{4, 255, DType::kFloat32, SliceTable::kNonTiling},
+        ParityConfig{4, 512, DType::kFloat16, SliceTable::kNonTiling},
+        ParityConfig{4, 128, DType::kFloat64, SliceTable::kTiling},
+        ParityConfig{8, 333, DType::kFloat32, SliceTable::kTiling},
+        ParityConfig{8, 333, DType::kFloat32, SliceTable::kNonTiling},
+        ParityConfig{8, 96, DType::kFloat64, SliceTable::kNonTiling},
+        ParityConfig{8, 1024, DType::kFloat16, SliceTable::kNone}),
+    [](const auto& info) {
+      const char* table = info.param.table == SliceTable::kNone     ? "whole"
+                          : info.param.table == SliceTable::kTiling ? "tiling"
+                                                                    : "gappy";
+      return "r" + std::to_string(info.param.ranks) + "_n" +
+             std::to_string(info.param.count) + "_" +
+             dtype_name(info.param.dtype) + "_" + table;
+    });
+
+TEST(InplaceRvhParity, SubgroupBitForBitMatchesReference) {
+  const int ranks = 8;
+  const std::size_t count = 120;
+  auto grads = make_gradients(ranks, count, DType::kFloat32, 115);
+  const std::vector<TensorSlice> slices = {{"a", 0, 50}, {"b", 50, 70}};
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    std::vector<int> group;
+    for (int r = comm.rank() % 2; r < ranks; r += 2) group.push_back(r);
+    const Tensor& input = grads[static_cast<std::size_t>(comm.rank())];
+    Tensor inplace = input.clone();
+    adasum_rvh_allreduce(comm, inplace.data(), count, DType::kFloat32, slices,
+                         0, group);
+    Tensor reference = input.clone();
+    adasum_rvh_allreduce_reference(comm, reference.data(), count,
+                                   DType::kFloat32, slices, 50000, group);
+    ASSERT_EQ(std::memcmp(inplace.data(), reference.data(), inplace.nbytes()),
+              0)
+        << "rank " << comm.rank();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation regression: once the world's BufferPool holds the
+// schedule's worst-case concurrent working set, allreduces must run entirely
+// on recycled buffers — zero new pool allocations.
+//
+// Organic warm-up alone cannot guarantee that deterministically: the peak
+// number of simultaneously-in-flight buffers depends on how the rank threads
+// interleave, so an unlucky first iteration under-provisions the pool and a
+// maximally-skewed later iteration still misses. The worst case is statically
+// bounded, though — every send payload plus every scratch lease of one
+// iteration live at once — so the tests top the pool up to that bound and
+// then assert the hard invariant. Leaks still trip the assertion: the steady
+// phase runs enough iterations that losing even one buffer per iteration
+// exhausts the provisioned slack.
+// ---------------------------------------------------------------------------
+
+// Acquires `count` distinct buffers of `bytes` (holding them all so the pool
+// cannot satisfy two requests from one buffer) plus `small_count` of
+// `small_bytes`, then releases everything to the free list.
+void provision_pool(BufferPool& pool, std::size_t bytes, int count,
+                    std::size_t small_bytes, int small_count) {
+  std::vector<std::vector<std::byte>> held;
+  for (int i = 0; i < count; ++i) held.push_back(pool.acquire(bytes));
+  for (int i = 0; i < small_count; ++i)
+    held.push_back(pool.acquire(small_bytes));
+  for (auto& b : held) pool.release(std::move(b));
+}
+
+TEST(ZeroCopy, WarmAdasumRvhMakesNoPoolAllocations) {
+  const int ranks = 4;
+  const std::size_t count = 4096;
+  const int steady_iters = 10;
+  auto grads = make_gradients(ranks, count, DType::kFloat32, 116);
+  const std::vector<TensorSlice> slices = make_slice_table(
+      SliceTable::kTiling, count);
+  World world(ranks);
+  BufferPool::Stats warm{};
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    // One organic iteration first, so recycling is exercised end to end
+    // before the explicit top-up.
+    adasum_rvh_allreduce(comm, mine, slices, /*tag_base=*/0);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      // Worst-case large-buffer demand: each rank holds its half-exchange
+      // scratch plus up to four un-popped send payloads (reduce-scatter and
+      // unwind, two levels each), all at most count/2 elements. Small
+      // leases (dot-product triples, their allreduce payloads, level
+      // records) all fit in 128 bytes.
+      provision_pool(world.buffer_pool(), (count / 2) * sizeof(float),
+                     5 * ranks, 128, 8 * ranks);
+      world.buffer_pool().reset_stats();
+    }
+    comm.barrier();
+    // Steady state: every payload and workspace must come from the pool.
+    for (int it = 1; it <= steady_iters; ++it)
+      adasum_rvh_allreduce(comm, mine, slices, /*tag_base=*/it << 16);
+    comm.barrier();
+    if (comm.rank() == 0) warm = world.buffer_pool().stats();
+  });
+  EXPECT_EQ(warm.allocations, 0u)
+      << "steady-state allreduces allocated " << warm.allocations
+      << " new buffers (reuses=" << warm.reuses << ")";
+  EXPECT_GT(warm.reuses, 0u);
+}
+
+TEST(ZeroCopy, WarmSumAllreducesMakeNoPoolAllocations) {
+  const int ranks = 4;
+  const std::size_t count = 1000;
+  const int steady_iters = 10;
+  auto grads = make_gradients(ranks, count, DType::kFloat32, 117);
+  World world(ranks);
+  BufferPool::Stats warm{};
+  world.run([&](Comm& comm) {
+    Tensor mine = grads[static_cast<std::size_t>(comm.rank())].clone();
+    rvh_allreduce_sum(comm, mine, /*tag_base=*/0);
+    ring_allreduce_sum(comm, mine, /*tag_base=*/1 << 16);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      // RVH holds a half-buffer plus four sends per rank (≤ count/2
+      // elements); the ring holds a chunk-sized scratch plus six sends per
+      // rank. Rank skew can overlap the two collectives, so cover the sum.
+      provision_pool(world.buffer_pool(),
+                     ((count + 1) / 2) * sizeof(float), 12 * ranks, 128,
+                     4 * ranks);
+      world.buffer_pool().reset_stats();
+    }
+    comm.barrier();
+    for (int it = 1; it <= steady_iters; ++it) {
+      rvh_allreduce_sum(comm, mine, /*tag_base=*/(2 * it) << 16);
+      ring_allreduce_sum(comm, mine, /*tag_base=*/(2 * it + 1) << 16);
+    }
+    comm.barrier();
+    if (comm.rank() == 0) warm = world.buffer_pool().stats();
+  });
+  EXPECT_EQ(warm.allocations, 0u)
+      << "steady-state allreduces allocated " << warm.allocations
+      << " new buffers (reuses=" << warm.reuses << ")";
+  EXPECT_GT(warm.reuses, 0u);
 }
 
 TEST(Collectives, AdasumPropertiesHoldThroughRvh) {

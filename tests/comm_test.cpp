@@ -157,6 +157,139 @@ TEST(AllreduceDoubles, NonMemberRejected) {
                CheckError);
 }
 
+// ---- buffer pool -------------------------------------------------------------
+
+TEST(BufferPool, AcquireAllocatesThenRecycles) {
+  BufferPool pool;
+  std::vector<std::byte> a = pool.acquire(128);
+  EXPECT_EQ(a.size(), 128u);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+  const std::byte* const backing = a.data();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  std::vector<std::byte> b = pool.acquire(128);
+  EXPECT_EQ(b.data(), backing) << "same-size acquire must reuse the buffer";
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+}
+
+TEST(BufferPool, BestFitPrefersExactSize) {
+  BufferPool pool;
+  std::vector<std::byte> small = pool.acquire(64);
+  std::vector<std::byte> big = pool.acquire(4096);
+  const std::byte* const small_backing = small.data();
+  pool.release(std::move(big));
+  pool.release(std::move(small));
+  // A 64-byte request must take the 64-byte buffer, not shrink the 4 KiB one.
+  std::vector<std::byte> again = pool.acquire(64);
+  EXPECT_EQ(again.data(), small_backing);
+  EXPECT_EQ(pool.free_bytes(), 4096u);
+}
+
+TEST(BufferPool, SmallerRequestReusesLargerBuffer) {
+  BufferPool pool;
+  pool.release(pool.acquire(1024));
+  std::vector<std::byte> b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_GE(b.capacity(), 1024u) << "reuse shrinks size, not capacity";
+}
+
+TEST(BufferPool, ZeroByteRequestDoesNotConsumePooledBuffers) {
+  BufferPool pool;
+  pool.release(pool.acquire(256));
+  const std::vector<std::byte> empty = pool.acquire(0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  EXPECT_EQ(pool.free_bytes(), 256u);
+}
+
+TEST(BufferPool, StatsAndTrim) {
+  BufferPool pool;
+  pool.release(pool.acquire(10));
+  pool.release(pool.acquire(20));
+  EXPECT_EQ(pool.stats().allocations, 2u);
+  EXPECT_EQ(pool.stats().releases, 2u);
+  EXPECT_EQ(pool.stats().bytes_allocated, 30u);
+  EXPECT_EQ(pool.free_buffers(), 2u);
+  pool.trim();
+  EXPECT_EQ(pool.free_buffers(), 0u);
+  EXPECT_EQ(pool.free_bytes(), 0u);
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().allocations, 0u);
+}
+
+TEST(PooledBuffer, RaiiReturnsToPool) {
+  BufferPool pool;
+  {
+    PooledBuffer buf(pool, 512);
+    EXPECT_EQ(buf.size(), 512u);
+    EXPECT_NE(buf.data(), nullptr);
+  }
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  EXPECT_EQ(pool.stats().releases, 1u);
+  {
+    PooledBuffer buf(pool, 512);
+    EXPECT_EQ(pool.stats().reuses, 1u);
+  }
+}
+
+TEST(World, RecvBytesIntoDepositsInCallerStorage) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> msg{3.0, 1.0, 4.0};
+      comm.send<double>(1, msg);
+    } else {
+      std::vector<double> dest(3, 0.0);
+      comm.recv_bytes_into(0, {reinterpret_cast<std::byte*>(dest.data()),
+                               dest.size() * sizeof(double)});
+      EXPECT_EQ(dest[0], 3.0);
+      EXPECT_EQ(dest[1], 1.0);
+      EXPECT_EQ(dest[2], 4.0);
+    }
+  });
+}
+
+TEST(World, RecvBytesIntoRejectsSizeMismatch) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> msg{1, 2};
+      comm.send<int>(1, msg);
+    } else {
+      std::vector<std::byte> wrong(3);
+      comm.recv_bytes_into(0, wrong);
+    }
+  }),
+               CheckError);
+}
+
+TEST(World, SendRecvCycleRecyclesPayloads) {
+  // The full ownership cycle: sender leases from the pool, recv_bytes_into
+  // returns the payload to the pool, so a warm ping-pong allocates nothing.
+  World world(2);
+  BufferPool::Stats warm{};
+  world.run([&](Comm& comm) {
+    std::vector<std::byte> buf(1024);
+    const int peer = 1 - comm.rank();
+    comm.send_bytes(peer, buf, 0);
+    comm.recv_bytes_into(peer, buf, 0);
+    comm.barrier();
+    if (comm.rank() == 0) world.buffer_pool().reset_stats();
+    comm.barrier();
+    for (int i = 1; i <= 8; ++i) {
+      comm.send_bytes(peer, buf, i);
+      comm.recv_bytes_into(peer, buf, i);
+    }
+    comm.barrier();
+    if (comm.rank() == 0) warm = world.buffer_pool().stats();
+  });
+  EXPECT_EQ(warm.allocations, 0u);
+  EXPECT_EQ(warm.reuses, 16u);
+}
+
 // ---- cost model --------------------------------------------------------------
 
 TEST(CostModel, MonotonicInBytes) {

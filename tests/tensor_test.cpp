@@ -240,6 +240,57 @@ TEST(Fusion, UnfuseSizeMismatchRejected) {
   EXPECT_THROW(unfuse(fused, {&wrong}), CheckError);
 }
 
+TEST(FusionBuffer, ReusesBackingStoreAndTableAcrossSteps) {
+  Tensor a = Tensor::from_vector({1, 2, 3});
+  Tensor b = Tensor::from_vector({4, 5});
+  FusionBuffer buffer;
+
+  FusedTensor& first = buffer.pack({&a, &b});
+  const std::byte* backing = first.flat.data();
+  ASSERT_EQ(first.flat.size(), 5u);
+  EXPECT_EQ(buffer.stats().packs, 1u);
+  EXPECT_EQ(buffer.stats().buffer_reuses, 0u);
+
+  // Same layout next step: same storage, no table rebuild, fresh payload.
+  a.set(0, 10.0);
+  FusedTensor& second = buffer.pack({&a, &b});
+  EXPECT_EQ(second.flat.data(), backing);
+  EXPECT_EQ(second.flat.at(0), 10.0);
+  EXPECT_EQ(buffer.stats().buffer_reuses, 1u);
+  EXPECT_EQ(buffer.stats().table_reuses, 1u);
+
+  Tensor a2({3}), b2({2});
+  buffer.unpack({&a2, &b2});
+  EXPECT_EQ(a2.at(0), 10.0);
+  EXPECT_EQ(b2.at(1), 5.0);
+}
+
+TEST(FusionBuffer, LayoutChangeRebuildsBuffer) {
+  Tensor a({4}), b({2}), c({6});
+  FusionBuffer buffer;
+  buffer.pack({&a, &b});
+  FusedTensor& repacked = buffer.pack({&a, &c});
+  EXPECT_EQ(repacked.flat.size(), 10u);
+  ASSERT_EQ(repacked.slices.size(), 2u);
+  EXPECT_EQ(repacked.slices[1].count, 6u);
+  EXPECT_EQ(buffer.stats().buffer_reuses, 0u);
+  EXPECT_EQ(buffer.stats().table_reuses, 0u);
+}
+
+TEST(FusionBuffer, NameChangeRebuildsTableOnly) {
+  Tensor a({2}), b({3});
+  const std::vector<std::string> n1{"w", "b"};
+  const std::vector<std::string> n2{"w2", "b"};
+  FusionBuffer buffer;
+  buffer.pack({&a, &b}, &n1);
+  FusedTensor& repacked = buffer.pack({&a, &b}, &n2);
+  EXPECT_EQ(repacked.slices[0].name, "w2");
+  // Same total/dtype: the backing store is reused even though the table
+  // had to be rebuilt.
+  EXPECT_EQ(buffer.stats().buffer_reuses, 1u);
+  EXPECT_EQ(buffer.stats().table_reuses, 0u);
+}
+
 // ---- dynamic scaling --------------------------------------------------------
 
 TEST(DynamicScaler, BacksOffOnOverflow) {
