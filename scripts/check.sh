@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over the
-# two suites that exercise the cross-thread buffer handoff (mailbox cv,
-# BufferPool, zero-copy collectives).
+# suites that exercise the cross-thread buffer handoff (mailbox cv,
+# BufferPool, zero-copy collectives) and the fault-injection layer.
 #
 # Usage: scripts/check.sh            # from the repo root
 #        SKIP_TSAN=1 scripts/check.sh
@@ -13,18 +13,29 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "=== allocation gate: injector-off fault path ==="
+# The fault machinery must add zero steady-state heap allocations when the
+# injector is off (operator-new hook, same as bench_fig4's zero-copy gate).
+./build/tests/chaos_test \
+  --gtest_filter='Chaos.FaultTolerantHotPathAddsNoSteadyStateAllocations'
+
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== tsan: skipped (SKIP_TSAN=1) ==="
   exit 0
 fi
 
-echo "=== tsan: comm_test + collectives_test ==="
+echo "=== tsan: comm_test + collectives_test + chaos_test ==="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target comm_test collectives_test
+cmake --build build-tsan -j "$(nproc)" --target comm_test collectives_test \
+  chaos_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/comm_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/collectives_test
+# A fixed, smaller seed window keeps the TSan pass deterministic and fast
+# while still sweeping every fault profile under the race detector.
+TSAN_OPTIONS="halt_on_error=1" CHAOS_SCHEDULES=48 CHAOS_SEED_BASE=1000 \
+  ./build-tsan/tests/chaos_test
 
 echo "=== all checks passed ==="

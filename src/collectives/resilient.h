@@ -1,0 +1,57 @@
+// Fault-tolerant allreduce wrapper (DESIGN.md §9).
+//
+// resilient_allreduce runs the regular allreduce dispatcher and, when the
+// world is in fault-tolerant mode, turns communication faults into graceful
+// degradation instead of a crashed run:
+//
+//   try      — the full-world collective, with every receive bounded by the
+//              world's recv deadline;
+//   vote     — a world-mediated OR-barrier over the alive ranks: did anyone
+//              fail? The result is uniform, so every survivor takes the same
+//              branch (this is what makes the protocol deadlock-free);
+//   enroll   — survivors agree on a frozen, sorted membership snapshot;
+//   drain    — each survivor purges its inboxes (stale traffic from the
+//              failed attempt returns to the buffer pool), then a pure
+//              barrier vote keeps any resend from racing a drain;
+//   degrade  — the reduction completes over the surviving group via a
+//              deadline-protected gather → reduce → broadcast on fresh tags;
+//   give up  — after max_recovery_attempts failed recoveries the payload is
+//              restored from its snapshot (the rank's local contribution)
+//              and the caller is told to skip the round.
+//
+// A rank killed by the fault injector unwinds with RankKilled, which is
+// deliberately not caught here — only CommError (timeout, corruption, dead
+// peer, protocol) is recoverable. On a world without fault tolerance the
+// wrapper is a plain allreduce call.
+#pragma once
+
+#include "collectives/allreduce.h"
+
+namespace adasum {
+
+enum class ReduceOutcome {
+  kOk,        // full-world result, bit-identical to the plain collective
+  kDegraded,  // reduced over a shrunken survivor group
+  kSkipped,   // recovery exhausted; payload restored to the local input
+};
+
+struct ResilientResult {
+  ReduceOutcome outcome = ReduceOutcome::kOk;
+  int attempts = 1;      // collective attempts, including the first
+  int participants = 0;  // ranks whose contributions are in the result
+};
+
+// In-place fault-tolerant allreduce of `tensor` across the alive ranks.
+ResilientResult resilient_allreduce(Comm& comm, Tensor& tensor,
+                                    const AllreduceOptions& options,
+                                    int tag_base = 0);
+
+// Fused-payload variant mirroring allreduce_fused: per-tensor layer
+// boundaries, staging through the caller's FusionBuffer.
+ResilientResult resilient_allreduce_fused(Comm& comm,
+                                          const std::vector<Tensor*>& tensors,
+                                          const AllreduceOptions& options,
+                                          FusionBuffer& buffer,
+                                          int tag_base = 0);
+
+}  // namespace adasum

@@ -9,17 +9,29 @@
 // push() and notify_abort(), never by a timeout. (An earlier version polled
 // with a 50 ms wait_for, which turned any wakeup raced against the matching
 // push into a 50 ms latency cliff on the collective critical path.)
+//
+// pop_wait() is the fault-tolerant variant (DESIGN.md §9): it additionally
+// observes a deadline and the sender's death flag, waking in exponentially
+// growing slices so a stall is detected without burning the hot path. The
+// fast pop() stays byte-identical to the seed behaviour — the chaos features
+// are a separate entry point, not a tax on the fault-free path.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <vector>
 
 #include "base/check.h"
 
 namespace adasum {
+
+class BufferPool;
 
 // Thrown out of blocking operations when another rank has failed; lets the
 // whole world unwind instead of deadlocking.
@@ -28,17 +40,112 @@ class WorldAborted : public std::runtime_error {
   WorldAborted() : std::runtime_error("simulated world aborted by another rank") {}
 };
 
+// Base of the recoverable communication faults (DESIGN.md §9). A collective
+// that throws CommError left its payload in an unspecified state but the rank
+// itself is healthy — the resilient wrappers in collectives/resilient.h catch
+// exactly this type, restore the payload from a snapshot and degrade.
+class CommError : public std::runtime_error {
+ public:
+  explicit CommError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// recv deadline expired with no matching message.
+class CommTimeout : public CommError {
+ public:
+  explicit CommTimeout(const std::string& what) : CommError(what) {}
+};
+
+// Per-message checksum mismatch — the payload was corrupted on the wire.
+class CommCorrupt : public CommError {
+ public:
+  explicit CommCorrupt(const std::string& what) : CommError(what) {}
+};
+
+// The peer rank died and no matching message is queued (messages a rank sent
+// before dying remain deliverable, mirroring MPI's completed-operations rule).
+class PeerFailed : public CommError {
+ public:
+  explicit PeerFailed(const std::string& what) : CommError(what) {}
+};
+
+// Malformed traffic observed in fault-tolerant mode (e.g. a duplicate
+// delivery shifted the stream so a message has the wrong size). Outside
+// fault-tolerant mode the same condition is a programming error (CheckError).
+class CommProtocol : public CommError {
+ public:
+  explicit CommProtocol(const std::string& what) : CommError(what) {}
+};
+
+// Thrown INTO a rank the fault injector kills. Deliberately NOT a CommError:
+// it must unwind the victim's whole rank function (the resilient wrappers let
+// it pass), while the surviving ranks observe the death as PeerFailed /
+// CommTimeout on their own operations.
+class RankKilled : public std::runtime_error {
+ public:
+  explicit RankKilled(int rank)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " killed by fault injector") {}
+};
+
+// FNV-1a over the payload, word-at-a-time. Used for the optional per-message
+// checksums; a real transport would use hardware CRC32C, but the detection
+// semantics tested here are identical.
+inline std::uint64_t payload_checksum(const std::byte* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h = (h ^ w) * 1099511628211ull;
+  }
+  for (; i < n; ++i)
+    h = (h ^ std::to_integer<std::uint64_t>(data[i])) * 1099511628211ull;
+  return h;
+}
+
 class Mailbox {
  public:
   struct Message {
     int tag = 0;
     std::vector<std::byte> payload;
+    std::uint64_t checksum = 0;
+    bool checked = false;  // checksum field is meaningful
   };
 
   void push(int tag, std::vector<std::byte> payload) {
+    push(tag, std::move(payload), 0, false);
+  }
+
+  void push(int tag, std::vector<std::byte> payload, std::uint64_t checksum,
+            bool checked) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(Message{tag, std::move(payload)});
+      queue_.push_back(Message{tag, std::move(payload), checksum, checked});
+      // A held (reorder-faulted) message is released behind the newcomer —
+      // the two deliveries on this channel swap order.
+      if (!held_.empty()) {
+        for (auto& m : held_) queue_.push_back(std::move(m));
+        held_.clear();
+      }
+    }
+    cv_.notify_all();
+  }
+
+  // Reorder fault: park the message until the channel's next push (which
+  // releases it behind the newcomer) or flush_held()/drain_into().
+  void hold(int tag, std::vector<std::byte> payload, std::uint64_t checksum,
+            bool checked) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    held_.push_back(Message{tag, std::move(payload), checksum, checked});
+  }
+
+  // Makes any held message deliverable (used when the sender dies: whatever
+  // it had "on the wire" must still arrive).
+  void flush_held() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& m : held_) queue_.push_back(std::move(m));
+      held_.clear();
     }
     cv_.notify_all();
   }
@@ -59,12 +166,76 @@ class Mailbox {
     return payload;
   }
 
-  void notify_abort() { cv_.notify_all(); }
+  enum class PopStatus { kOk, kTimeout, kPeerDead, kAborted };
+  struct PopResult {
+    PopStatus status = PopStatus::kTimeout;
+    std::vector<std::byte> payload;
+    std::uint64_t checksum = 0;
+    bool checked = false;
+  };
+
+  // Deadline- and liveness-aware pop: delivers a matching message if one
+  // arrives before `deadline`, otherwise reports why it could not. Queued
+  // matches win over both abort and peer death (completed operations
+  // complete). The wait backs off in exponentially growing slices (1 ms →
+  // 16 ms) so a genuinely stalled channel is cheap to sit on while a racing
+  // push is still picked up promptly via the condition variable.
+  PopResult pop_wait(int tag, const std::atomic<bool>& aborted,
+                     const std::atomic<bool>& src_dead,
+                     std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    PopResult result;
+    auto slice = std::chrono::milliseconds(1);
+    for (;;) {
+      Message msg;
+      bool found = false;
+      const auto wake = [&]() {
+        found = take_message_locked(tag, msg);
+        return found || aborted.load() || src_dead.load();
+      };
+      const auto now = std::chrono::steady_clock::now();
+      const auto until = std::min(deadline, now + slice);
+      cv_.wait_until(lock, until, wake);
+      if (found) {
+        result.status = PopStatus::kOk;
+        result.payload = std::move(msg.payload);
+        result.checksum = msg.checksum;
+        result.checked = msg.checked;
+        return result;
+      }
+      if (aborted.load()) {
+        result.status = PopStatus::kAborted;
+        return result;
+      }
+      if (src_dead.load()) {
+        result.status = PopStatus::kPeerDead;
+        return result;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        result.status = PopStatus::kTimeout;
+        return result;
+      }
+      slice = std::min(slice * 2, std::chrono::milliseconds(16));
+    }
+  }
+
+  void notify_abort() {
+    // Acquire-release of the mutex closes the window where a popper has
+    // checked its predicate but not yet blocked; without it that popper can
+    // miss the wakeup entirely.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_all();
+  }
 
   std::size_t pending() {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
   }
+
+  // Empties the queue (and the reorder hold slot), returning every payload
+  // to `pool` so an aborted or degraded run cannot bleed buffers out of the
+  // steady-state recycling set. Returns the number of messages discarded.
+  std::size_t drain_into(BufferPool& pool);
 
  private:
   // Moves the first message with `tag` into `payload`. Caller holds mutex_.
@@ -78,12 +249,23 @@ class Mailbox {
     return false;
   }
 
+  bool take_message_locked(int tag, Message& out) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->tag != tag) continue;
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
   std::mutex mutex_;
   std::condition_variable cv_;
   // A vector, not a deque: the queue holds at most a handful of in-flight
   // messages, and a vector's capacity persists across push/pop cycles so the
   // steady state allocates nothing (deque nodes churn at chunk boundaries).
   std::vector<Message> queue_;
+  std::vector<Message> held_;  // reorder-faulted messages awaiting release
 };
 
 }  // namespace adasum

@@ -1,0 +1,81 @@
+#include "comm/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+#include "base/check.h"
+
+namespace adasum {
+
+FaultInjector::FaultInjector(int world_size, const FaultSpec& spec)
+    : spec_(spec), size_(world_size) {
+  ADASUM_CHECK_GE(world_size, 1);
+  ADASUM_CHECK_LT(spec.kill_rank, world_size);
+  channels_.reserve(static_cast<std::size_t>(size_) * size_);
+  const Rng root(spec.seed);
+  for (int src = 0; src < size_; ++src)
+    for (int dst = 0; dst < size_; ++dst)
+      channels_.emplace_back(
+          root.fork(static_cast<std::uint64_t>(src) * size_ + dst + 1));
+  ops_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) ops_[r].store(0, std::memory_order_relaxed);
+}
+
+FaultInjector::Action FaultInjector::on_send(int src, int dst,
+                                             std::span<std::byte> payload) {
+  Channel& ch = channels_[static_cast<std::size_t>(src) * size_ + dst];
+  // Fixed draw order — delay, corrupt, then the delivery action — so every
+  // fault type consumes its slot of the channel stream deterministically.
+  if (spec_.delay_prob > 0 && ch.rng.uniform() < spec_.delay_prob) {
+    const auto us = static_cast<int>(
+        ch.rng.uniform_int(static_cast<std::uint64_t>(spec_.delay_max_us) + 1));
+    ++ch.stats.delayed;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  if (spec_.corrupt_prob > 0 && ch.rng.uniform() < spec_.corrupt_prob &&
+      !payload.empty()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(ch.rng.uniform_int(payload.size()));
+    const int bit = static_cast<int>(ch.rng.uniform_int(8));
+    payload[idx] ^= static_cast<std::byte>(1u << bit);
+    ++ch.stats.corrupted;
+  }
+  if (spec_.drop_prob > 0 && ch.rng.uniform() < spec_.drop_prob) {
+    ++ch.stats.dropped;
+    return Action::kDrop;
+  }
+  if (spec_.duplicate_prob > 0 && ch.rng.uniform() < spec_.duplicate_prob) {
+    ++ch.stats.duplicated;
+    return Action::kDuplicate;
+  }
+  if (spec_.reorder_prob > 0 && ch.rng.uniform() < spec_.reorder_prob) {
+    ++ch.stats.reordered;
+    return Action::kReorder;
+  }
+  return Action::kDeliver;
+}
+
+bool FaultInjector::should_kill(int rank) {
+  if (rank != spec_.kill_rank) return false;
+  const std::uint64_t op =
+      ops_[rank].fetch_add(1, std::memory_order_relaxed);
+  if (op != spec_.kill_after_ops) return false;
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  Stats total;
+  for (const Channel& ch : channels_) {
+    total.delayed += ch.stats.delayed;
+    total.dropped += ch.stats.dropped;
+    total.duplicated += ch.stats.duplicated;
+    total.corrupted += ch.stats.corrupted;
+    total.reordered += ch.stats.reordered;
+  }
+  total.killed = kills_.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace adasum

@@ -1,0 +1,104 @@
+// Seed-deterministic fault injection for the simulated MPI world.
+//
+// The injector sits on the send path of World (world.cpp): every message on a
+// directed channel (src → dst) passes through on_send(), which may delay it
+// (bounded sleep), corrupt it (deterministic bit flip), drop it, duplicate
+// it, or reorder it behind the channel's next message; and every comm
+// operation of a designated victim rank ticks a counter that kills the rank
+// mid-collective when it expires (the rank unwinds with RankKilled).
+//
+// Determinism: each directed channel owns a private RNG stream forked from
+// (seed, src, dst). A channel has exactly one sender thread, and that
+// thread's sends are program-ordered, so the per-channel fault decision
+// sequence is a pure function of the seed no matter how the OS schedules the
+// rank threads. (Under real faults the *recovery* traffic depends on which
+// rank timed out first, so realized fault counts can vary run to run — the
+// chaos harness asserts properties that hold for every interleaving.)
+//
+// Liveness: the injector only creates faults; detection and recovery need
+// World::enable_fault_tolerance (recv deadlines) — an injector on a world
+// with unbounded receives can stall it forever by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace adasum {
+
+struct FaultSpec {
+  std::uint64_t seed = 1;
+
+  // Per-message fault probabilities on every directed channel. Drawn in a
+  // fixed order so a spec change never shifts another fault's stream.
+  double delay_prob = 0.0;      // sleep before delivery (timing fault)
+  double drop_prob = 0.0;       // message never delivered
+  double duplicate_prob = 0.0;  // delivered twice (stale-stream fault)
+  double corrupt_prob = 0.0;    // one bit flipped in the payload
+  double reorder_prob = 0.0;    // held back behind the channel's next message
+
+  int delay_max_us = 200;  // upper bound of an injected delay
+
+  // Kill fault: `kill_rank` unwinds with RankKilled on its
+  // (kill_after_ops + 1)-th comm operation. -1 disables.
+  int kill_rank = -1;
+  std::uint64_t kill_after_ops = 0;
+
+  bool any_message_faults() const {
+    return delay_prob > 0 || drop_prob > 0 || duplicate_prob > 0 ||
+           corrupt_prob > 0 || reorder_prob > 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  // What the transport should do with the message just decided on.
+  // (Corruption and delay happen inside on_send and compose with any of
+  // these; a corrupted message can also be duplicated, etc.)
+  enum class Action { kDeliver, kDrop, kDuplicate, kReorder };
+
+  struct Stats {
+    std::uint64_t delayed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t killed = 0;
+  };
+
+  FaultInjector(int world_size, const FaultSpec& spec);
+
+  // Decides the fate of the next message on channel src → dst. May sleep
+  // (delay fault) and may flip a bit of `payload` in place (corrupt fault).
+  // Called only by the sending rank's thread, so per-channel state is
+  // single-writer.
+  Action on_send(int src, int dst, std::span<std::byte> payload);
+
+  // Ticks rank's comm-op counter; true exactly once, on the op that kills it.
+  bool should_kill(int rank);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // Aggregate of all channels. Only meaningful after World::run returned
+  // (the join provides the happens-before edge for the per-channel counters).
+  Stats stats() const;
+
+ private:
+  struct Channel {
+    Channel(Rng r) : rng(r) {}
+    Rng rng;
+    Stats stats;
+  };
+
+  FaultSpec spec_;
+  int size_;
+  std::vector<Channel> channels_;  // [src * size_ + dst]
+  std::unique_ptr<std::atomic<std::uint64_t>[]> ops_;  // per-rank op counter
+  std::atomic<std::uint64_t> kills_{0};
+};
+
+}  // namespace adasum

@@ -1,13 +1,29 @@
 #include "comm/world.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "base/logging.h"
 
 namespace adasum {
+
+std::size_t Mailbox::drain_into(BufferPool& pool) {
+  std::vector<Message> stale;
+  std::vector<Message> stale_held;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stale.swap(queue_);
+    stale_held.swap(held_);
+  }
+  const std::size_t n = stale.size() + stale_held.size();
+  for (auto& m : stale) pool.release(std::move(m.payload));
+  for (auto& m : stale_held) pool.release(std::move(m.payload));
+  return n;
+}
 
 World::World(int size) : size_(size) {
   ADASUM_CHECK_GE(size, 1);
@@ -15,6 +31,32 @@ World::World(int size) : size_(size) {
   for (int i = 0; i < size * size; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
   stats_.resize(size);
+  dead_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    dead_[r].store(false, std::memory_order_relaxed);
+  alive_count_.store(size, std::memory_order_relaxed);
+}
+
+void World::enable_fault_tolerance(FaultToleranceOptions options) {
+  ADASUM_CHECK_GE(options.max_recovery_attempts, 1);
+  ft_enabled_ = true;
+  ft_ = options;
+}
+
+std::vector<int> World::dead_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < size_; ++r)
+    if (!alive(r)) out.push_back(r);
+  return out;
+}
+
+void World::request_abort() {
+  aborted_.store(true);
+  for (auto& mb : mailboxes_) mb->notify_abort();
+  { std::lock_guard<std::mutex> lock(barrier_mutex_); }
+  barrier_cv_.notify_all();
+  { std::lock_guard<std::mutex> lock(sync_mutex_); }
+  sync_cv_.notify_all();
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
@@ -22,6 +64,14 @@ void World::run(const std::function<void(Comm&)>& fn) {
   barrier_count_ = 0;
   barrier_generation_ = 0;
   stats_.assign(size_, CommStats{});
+  for (int r = 0; r < size_; ++r)
+    dead_[r].store(false, std::memory_order_relaxed);
+  alive_count_.store(size_, std::memory_order_relaxed);
+  vote_count_ = 0;
+  vote_fail_ = false;
+  vote_generation_ = 0;
+  enroll_count_ = 0;
+  enroll_generation_ = 0;
 
   std::vector<std::exception_ptr> errors(size_);
   std::vector<std::thread> threads;
@@ -31,23 +81,116 @@ void World::run(const std::function<void(Comm&)>& fn) {
       Comm comm(this, r);
       try {
         fn(comm);
+      } catch (const RankKilled&) {
+        // An injected kill: the rank already deregistered itself
+        // (on_rank_death) before unwinding. The survivors keep running.
       } catch (...) {
         errors[r] = std::current_exception();
-        aborted_.store(true);
-        for (auto& mb : mailboxes_) mb->notify_abort();
-        barrier_cv_.notify_all();
+        request_abort();
       }
     });
   }
   for (auto& t : threads) t.join();
 
-  for (int r = 0; r < size_; ++r) {
-    if (errors[r]) {
-      // Rebuild mailboxes so a failed run cannot leak messages into the next.
-      for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
-      std::rethrow_exception(errors[r]);
+  const bool had_deaths = alive_count_.load(std::memory_order_acquire) != size_;
+  std::exception_ptr first_error;
+  for (int r = 0; r < size_ && !first_error; ++r)
+    if (errors[r]) first_error = errors[r];
+
+  const bool injected_message_faults =
+      injector_ != nullptr && injector_->spec().any_message_faults();
+  if (first_error != nullptr || had_deaths || injected_message_faults) {
+    // A failed or degraded run leaves undelivered (and reorder-held)
+    // messages behind — and an injector that duplicates or reorders can
+    // leave strays even when every rank finishes cleanly. Return every
+    // payload to the pool — rather than rebuilding the mailboxes — so the
+    // next run starts clean without bleeding buffers out of the
+    // steady-state recycling set.
+    for (auto& mb : mailboxes_) mb->drain_into(pool_);
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void World::on_rank_death(int rank) {
+  dead_[static_cast<std::size_t>(rank)].store(true, std::memory_order_release);
+  alive_count_.fetch_sub(1, std::memory_order_acq_rel);
+  // Whatever the dead rank had "on the wire" still arrives: release any
+  // reorder-held message on its outgoing channels, then wake every blocked
+  // receive so waits on the corpse turn into PeerFailed.
+  for (int dst = 0; dst < size_; ++dst)
+    if (dst != rank) mailbox(rank, dst).flush_held();
+  for (auto& mb : mailboxes_) mb->notify_abort();
+  // A barrier / vote / enrollment that was only waiting on the dead rank is
+  // now complete for the survivors — finish it on their behalf.
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    if (barrier_count_ > 0 &&
+        barrier_count_ >= alive_count_.load(std::memory_order_acquire)) {
+      barrier_count_ = 0;
+      ++barrier_generation_;
     }
   }
+  barrier_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    const int alive_now = alive_count_.load(std::memory_order_acquire);
+    if (vote_count_ > 0 && vote_count_ >= alive_now) finish_vote_locked();
+    if (enroll_count_ > 0 && enroll_count_ >= alive_now)
+      finish_enroll_locked();
+  }
+  sync_cv_.notify_all();
+}
+
+bool World::finish_vote_locked() {
+  last_vote_result_ = vote_fail_;
+  vote_fail_ = false;
+  vote_count_ = 0;
+  ++vote_generation_;
+  sync_cv_.notify_all();
+  return last_vote_result_;
+}
+
+void World::finish_enroll_locked() {
+  recovery_group_.clear();
+  for (int r = 0; r < size_; ++r)
+    if (alive(r)) recovery_group_.push_back(r);
+  enroll_count_ = 0;
+  ++enroll_generation_;
+  sync_cv_.notify_all();
+}
+
+bool World::vote_failure(bool local_failure) {
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  vote_fail_ = vote_fail_ || local_failure;
+  const std::uint64_t generation = vote_generation_;
+  if (++vote_count_ >= alive_count_.load(std::memory_order_acquire))
+    return finish_vote_locked();
+  sync_cv_.wait(lock, [&]() {
+    return vote_generation_ != generation || aborted_.load();
+  });
+  if (vote_generation_ == generation) throw WorldAborted();
+  return last_vote_result_;
+}
+
+void World::recovery_enroll(std::vector<int>& group_out) {
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  const std::uint64_t generation = enroll_generation_;
+  if (++enroll_count_ >= alive_count_.load(std::memory_order_acquire)) {
+    finish_enroll_locked();
+  } else {
+    sync_cv_.wait(lock, [&]() {
+      return enroll_generation_ != generation || aborted_.load();
+    });
+    if (enroll_generation_ == generation) throw WorldAborted();
+  }
+  group_out = recovery_group_;
+}
+
+void Comm::maybe_kill() {
+  FaultInjector* injector = world_->injector_.get();
+  if (injector == nullptr || !injector->should_kill(rank_)) return;
+  world_->on_rank_death(rank_);
+  throw RankKilled(rank_);
 }
 
 void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag) {
@@ -60,32 +203,144 @@ void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {
   ADASUM_CHECK_GE(dst, 0);
   ADASUM_CHECK_LT(dst, size());
   ADASUM_CHECK_NE(dst, rank_);
-  if (world_->aborted_.load()) throw WorldAborted();
   const std::size_t bytes = payload.size();
-  world_->mailbox(rank_, dst).push(tag, std::move(payload));
+  if (!world_->chaos()) {
+    // Seed fast path: untouched by the fault machinery.
+    if (world_->aborted_.load()) throw WorldAborted();
+    world_->mailbox(rank_, dst).push(tag, std::move(payload));
+  } else {
+    maybe_kill();
+    if (world_->aborted_.load()) throw WorldAborted();
+    // The checksum is computed BEFORE the injector gets at the payload, so a
+    // wire corruption is a mismatch the receiver can detect.
+    const bool checked = world_->checksums_;
+    const std::uint64_t sum =
+        checked ? payload_checksum(payload.data(), payload.size()) : 0;
+    FaultInjector::Action action = FaultInjector::Action::kDeliver;
+    if (world_->injector_ != nullptr)
+      action = world_->injector_->on_send(rank_, dst, payload);
+    Mailbox& mb = world_->mailbox(rank_, dst);
+    switch (action) {
+      case FaultInjector::Action::kDrop:
+        world_->pool_.release(std::move(payload));
+        break;
+      case FaultInjector::Action::kDuplicate: {
+        std::vector<std::byte> copy = world_->pool_.acquire(payload.size());
+        if (!payload.empty())
+          std::memcpy(copy.data(), payload.data(), payload.size());
+        mb.push(tag, std::move(payload), sum, checked);
+        mb.push(tag, std::move(copy), sum, checked);
+        break;
+      }
+      case FaultInjector::Action::kReorder:
+        mb.hold(tag, std::move(payload), sum, checked);
+        break;
+      case FaultInjector::Action::kDeliver:
+        mb.push(tag, std::move(payload), sum, checked);
+        break;
+    }
+  }
   CommStats& s = world_->stats_[rank_];
   ++s.messages_sent;
   s.bytes_sent += bytes;
+}
+
+std::vector<std::byte> Comm::chaos_recv(
+    int src, int tag, std::chrono::steady_clock::time_point deadline) {
+  maybe_kill();
+  Mailbox::PopResult r = world_->mailbox(src, rank_).pop_wait(
+      tag, world_->aborted_, world_->dead_[static_cast<std::size_t>(src)],
+      deadline);
+  switch (r.status) {
+    case Mailbox::PopStatus::kOk:
+      break;
+    case Mailbox::PopStatus::kAborted:
+      throw WorldAborted();
+    case Mailbox::PopStatus::kPeerDead:
+      throw PeerFailed("rank " + std::to_string(rank_) + " recv(src=" +
+                       std::to_string(src) + ", tag=" + std::to_string(tag) +
+                       "): peer is dead");
+    case Mailbox::PopStatus::kTimeout:
+      throw CommTimeout("rank " + std::to_string(rank_) + " recv(src=" +
+                        std::to_string(src) + ", tag=" + std::to_string(tag) +
+                        "): deadline expired");
+  }
+  if (r.checked && world_->checksums_ &&
+      payload_checksum(r.payload.data(), r.payload.size()) != r.checksum) {
+    world_->corruptions_detected_.fetch_add(1, std::memory_order_relaxed);
+    world_->pool_.release(std::move(r.payload));
+    throw CommCorrupt("rank " + std::to_string(rank_) + " recv(src=" +
+                      std::to_string(src) + ", tag=" + std::to_string(tag) +
+                      "): payload checksum mismatch");
+  }
+  return std::move(r.payload);
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   ADASUM_CHECK_GE(src, 0);
   ADASUM_CHECK_LT(src, size());
   ADASUM_CHECK_NE(src, rank_);
-  return world_->mailbox(src, rank_).pop(tag, world_->aborted_);
+  if (!world_->chaos())
+    return world_->mailbox(src, rank_).pop(tag, world_->aborted_);
+  const auto deadline =
+      world_->ft_enabled_
+          ? std::chrono::steady_clock::now() + world_->ft_.recv_deadline
+          : std::chrono::steady_clock::time_point::max();
+  return chaos_recv(src, tag, deadline);
+}
+
+std::optional<std::vector<std::byte>> Comm::try_recv_bytes_for(
+    int src, std::chrono::milliseconds timeout, int tag) {
+  ADASUM_CHECK_GE(src, 0);
+  ADASUM_CHECK_LT(src, size());
+  ADASUM_CHECK_NE(src, rank_);
+  try {
+    return chaos_recv(src, tag, std::chrono::steady_clock::now() + timeout);
+  } catch (const CommTimeout&) {
+    return std::nullopt;
+  }
 }
 
 void Comm::recv_bytes_into(int src, std::span<std::byte> dest, int tag) {
   std::vector<std::byte> payload = recv_bytes(src, tag);
-  ADASUM_CHECK_EQ(payload.size(), dest.size());
-  if (!dest.empty()) std::memcpy(dest.data(), payload.data(), payload.size());
+  // The payload goes back to the pool on EVERY exit path, including the size
+  // mismatch below — an abandoned transfer must not bleed its buffer.
+  const std::size_t got = payload.size();
+  const bool ok = got == dest.size();
+  if (ok && !dest.empty())
+    std::memcpy(dest.data(), payload.data(), payload.size());
   world_->pool_.release(std::move(payload));
+  if (!ok) {
+    if (world_->ft_enabled_)
+      throw CommProtocol("rank " + std::to_string(rank_) + " recv(src=" +
+                         std::to_string(src) + ", tag=" + std::to_string(tag) +
+                         "): got " + std::to_string(got) + " bytes, want " +
+                         std::to_string(dest.size()));
+    ADASUM_CHECK_EQ(got, dest.size());
+  }
+}
+
+int Comm::lowest_alive() const {
+  for (int r = 0; r < size(); ++r)
+    if (world_->alive(r)) return r;
+  return rank_;
+}
+
+void Comm::drain_inboxes() {
+  for (int src = 0; src < size(); ++src) {
+    if (src == rank_) continue;
+    world_->mailbox(src, rank_).drain_into(world_->pool_);
+  }
 }
 
 void Comm::barrier() {
   std::unique_lock<std::mutex> lock(world_->barrier_mutex_);
   const std::uint64_t generation = world_->barrier_generation_;
-  if (++world_->barrier_count_ == world_->size_) {
+  // Target is the ALIVE rank count (== world size until a kill fault): a
+  // dead rank can never arrive, and on_rank_death completes a barrier that
+  // was only waiting on the corpse.
+  if (++world_->barrier_count_ >=
+      world_->alive_count_.load(std::memory_order_acquire)) {
     world_->barrier_count_ = 0;
     ++world_->barrier_generation_;
     world_->barrier_cv_.notify_all();

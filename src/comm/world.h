@@ -11,18 +11,34 @@
 // Failure handling: if any rank throws, the world flips an abort flag that
 // wakes all blocking receives with WorldAborted, and World::run rethrows the
 // first failure — no deadlocks, no detached threads.
+//
+// Fault model (DESIGN.md §9): three opt-in features turn the happy-path
+// simulator into a chaos testbed, all costing nothing when disabled —
+//   * enable_fault_tolerance: receives get a deadline (CommTimeout instead
+//     of an unbounded wait), a dead peer is reported as PeerFailed, and the
+//     world tracks per-rank liveness plus a vote/enroll recovery service the
+//     resilient collectives build on (collectives/resilient.h);
+//   * set_fault_injector: messages can be delayed, dropped, duplicated,
+//     corrupted or reordered, and a designated rank can be killed
+//     mid-collective (its thread unwinds with RankKilled, which run()
+//     tolerates — surviving ranks keep going);
+//   * enable_checksums: every payload carries an FNV checksum, verified on
+//     receive; a mismatch throws CommCorrupt.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "comm/buffer_pool.h"
 #include "comm/channel.h"
+#include "comm/fault_injector.h"
 
 namespace adasum {
 
@@ -34,6 +50,15 @@ struct CommStats {
   std::uint64_t bytes_sent = 0;
 };
 
+struct FaultToleranceOptions {
+  // Deadline applied to every blocking receive. Past it the receive throws
+  // CommTimeout instead of waiting forever on a dead or stalled peer.
+  std::chrono::milliseconds recv_deadline{250};
+  // Degraded-reduction attempts before a resilient collective gives up and
+  // reports kSkipped (collectives/resilient.h).
+  int max_recovery_attempts = 4;
+};
+
 class World {
  public:
   explicit World(int size);
@@ -41,7 +66,9 @@ class World {
   int size() const { return size_; }
 
   // Runs `fn(comm)` on `size` threads, one per rank. Blocks until all ranks
-  // finish. Rethrows the first rank failure (by rank order).
+  // finish. Rethrows the first rank failure (by rank order). RankKilled is
+  // tolerated, not rethrown: a killed rank simply stops participating and
+  // shows up in dead_ranks() afterwards.
   void run(const std::function<void(Comm&)>& fn);
 
   // Aggregated traffic stats from the last run(), indexed by rank.
@@ -52,12 +79,65 @@ class World {
   // iterations of a collective allocate nothing.
   BufferPool& buffer_pool() { return pool_; }
 
+  // ---- fault model (all off by default; see header comment) --------------
+  void enable_fault_tolerance(FaultToleranceOptions options = {});
+  bool fault_tolerant() const { return ft_enabled_; }
+  const FaultToleranceOptions& fault_tolerance_options() const { return ft_; }
+
+  // Attach (or clear, with nullptr) the fault injector applied to every
+  // message and comm op of subsequent runs.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  FaultInjector* fault_injector() { return injector_.get(); }
+
+  void enable_checksums(bool on) { checksums_ = on; }
+  bool checksums_enabled() const { return checksums_; }
+  // Checksum mismatches caught on receive (across all runs).
+  std::uint64_t corruptions_detected() const {
+    return corruptions_detected_.load(std::memory_order_relaxed);
+  }
+
+  // Liveness of the current/last run. All ranks are alive outside a run.
+  bool alive(int rank) const {
+    return !dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+  int alive_count() const {
+    return alive_count_.load(std::memory_order_acquire);
+  }
+  std::vector<int> dead_ranks() const;
+
+  // Watchdog hook: force every blocked operation to unwind with WorldAborted
+  // so run() can return even if the schedule under test deadlocked.
+  void request_abort();
+
  private:
   friend class Comm;
 
   Mailbox& mailbox(int src, int dst) {
     return *mailboxes_[static_cast<std::size_t>(src) * size_ + dst];
   }
+
+  // Any feature routing send/recv off the seed fast path?
+  bool chaos() const {
+    return ft_enabled_ || checksums_ || injector_ != nullptr;
+  }
+
+  // Called by a dying rank (fault-injector kill) before it unwinds: flips
+  // the liveness flag, releases anything it held "on the wire", and
+  // completes any barrier/vote/enrollment now only waiting on the corpse.
+  void on_rank_death(int rank);
+
+  // Recovery synchronisation (used via Comm; see resilient.h): a vote is a
+  // barrier over the currently-alive ranks that ORs a failure flag; an
+  // enrollment is the same barrier returning an agreed snapshot of the alive
+  // set. Both are world-mediated (no messages), modeling the reliable
+  // control plane real deployments run membership over.
+  bool vote_failure(bool local_failure);
+  void recovery_enroll(std::vector<int>& group_out);
+  bool finish_vote_locked();    // caller holds sync_mutex_
+  void finish_enroll_locked();  // caller holds sync_mutex_
 
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -70,6 +150,26 @@ class World {
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
+
+  // Fault-model state.
+  bool ft_enabled_ = false;
+  FaultToleranceOptions ft_;
+  bool checksums_ = false;
+  std::shared_ptr<FaultInjector> injector_;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::atomic<int> alive_count_;
+  std::atomic<std::uint64_t> corruptions_detected_{0};
+
+  // Vote/enrollment state (generation-stamped barriers over alive ranks).
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  int vote_count_ = 0;
+  bool vote_fail_ = false;
+  bool last_vote_result_ = false;
+  std::uint64_t vote_generation_ = 0;
+  int enroll_count_ = 0;
+  std::uint64_t enroll_generation_ = 0;
+  std::vector<int> recovery_group_;
 };
 
 // Handle a rank uses to communicate. Valid only inside World::run.
@@ -85,12 +185,19 @@ class Comm {
   // there); used by callers that fill a payload in place.
   void send_bytes_owned(int dst, std::vector<std::byte> payload, int tag = 0);
   // Blocks until a message with `tag` from `src` arrives. The returned
-  // buffer leaves the pool; prefer recv_bytes_into on hot paths.
+  // buffer leaves the pool; prefer recv_bytes_into on hot paths. In
+  // fault-tolerant mode the wait is bounded by the world's recv deadline
+  // (CommTimeout past it, PeerFailed if `src` is dead with nothing queued).
   std::vector<std::byte> recv_bytes(int src, int tag = 0);
   // Blocks like recv_bytes but deposits the payload directly into `dest`
   // (which must match the message size exactly) and recycles the payload
   // buffer into the world's pool — the allocation-free receive path.
   void recv_bytes_into(int src, std::span<std::byte> dest, int tag = 0);
+  // Bounded receive with an explicit deadline: nullopt on timeout, throws
+  // PeerFailed/CommCorrupt/WorldAborted like recv_bytes. The mailbox stays
+  // fully usable after a timeout.
+  std::optional<std::vector<std::byte>> try_recv_bytes_for(
+      int src, std::chrono::milliseconds timeout, int tag = 0);
 
   template <typename T>
   void send(int dst, std::span<const T> data, int tag = 0) {
@@ -117,7 +224,8 @@ class Comm {
     return recv<T>(peer, tag);
   }
 
-  // Barrier across ALL ranks of the world.
+  // Barrier across the ALIVE ranks of the world (all ranks, when no fault
+  // injector has killed any).
   void barrier();
 
   // Elementwise sum-allreduce of a small double vector across `group`
@@ -136,6 +244,24 @@ class Comm {
   void allreduce_sum_doubles_inplace(std::span<double> values,
                                      std::span<const int> group, int tag = 0);
 
+  // ---- fault-tolerance surface (see collectives/resilient.h) -------------
+  bool fault_tolerant() const { return world_->ft_enabled_; }
+  int max_recovery_attempts() const { return world_->ft_.max_recovery_attempts; }
+  bool alive(int rank) const { return world_->alive(rank); }
+  int lowest_alive() const;
+  // Barrier over alive ranks ORing a failure flag; uniform result everywhere.
+  bool vote_failure(bool local_failure) {
+    return world_->vote_failure(local_failure);
+  }
+  // Barrier over alive ranks agreeing on the (sorted) survivor group.
+  void recovery_enroll(std::vector<int>& group_out) {
+    world_->recovery_enroll(group_out);
+  }
+  // Purges every message addressed to this rank (payloads return to the
+  // pool). Only safe while all survivors are quiesced between recovery
+  // barriers — see resilient.cpp.
+  void drain_inboxes();
+
   BufferPool& pool() { return world_->pool_; }
 
   CommStats& stats() { return world_->stats_[rank_]; }
@@ -143,6 +269,14 @@ class Comm {
  private:
   friend class World;
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  // Ticks the fault injector's kill counter for this rank; on the fatal op,
+  // marks the rank dead and unwinds with RankKilled.
+  void maybe_kill();
+  // Slow-path receive honoring deadline / liveness / checksum.
+  std::vector<std::byte> chaos_recv(int src, int tag,
+                                    std::chrono::steady_clock::time_point
+                                        deadline);
 
   World* world_;
   int rank_;

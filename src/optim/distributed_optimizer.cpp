@@ -23,8 +23,13 @@ bool DistributedOptimizer::step(double lr) {
     // communication step they are reduced and the optimizer runs once.
     if (++micro_step_ < options_.local_steps) return false;
     micro_step_ = 0;
-    communicate_gradients();
-    inner_->step(lr);
+    if (communicate_gradients() == ReduceOutcome::kSkipped) {
+      // Recovery exhausted: no agreed-on gradient exists, so applying the
+      // local one would diverge the replicas. Documented skip-step.
+      ++skipped_rounds_;
+    } else {
+      inner_->step(lr);
+    }
     inner_->zero_grad();
     ++rounds_;
     return true;
@@ -47,8 +52,8 @@ bool DistributedOptimizer::step(double lr) {
   return true;
 }
 
-void DistributedOptimizer::reduce_tensors(std::vector<Tensor*>& tensors,
-                                          ReduceOp op) {
+ReduceOutcome DistributedOptimizer::reduce_tensors(
+    std::vector<Tensor*>& tensors, ReduceOp op) {
   AllreduceOptions opts;
   opts.op = op;
   opts.algo = options_.algo;
@@ -63,18 +68,29 @@ void DistributedOptimizer::reduce_tensors(std::vector<Tensor*>& tensors,
   std::vector<const Tensor*> views(tensors.begin(), tensors.end());
   FusedTensor& fused = fusion_.pack(views);
   if (options_.layerwise) opts.slices = fused.slices;
-  allreduce(comm_, fused.flat, opts, tag_base);
+  // resilient_allreduce is a plain allreduce when the world is not
+  // fault-tolerant; otherwise peer failures degrade the group instead of
+  // crashing the round.
+  const ResilientResult res =
+      resilient_allreduce(comm_, fused.flat, opts, tag_base);
+  if (res.outcome == ReduceOutcome::kDegraded) ++degraded_rounds_;
   fusion_.unpack(tensors);
+  return res.outcome;
 }
 
-void DistributedOptimizer::communicate_gradients() {
+ReduceOutcome DistributedOptimizer::communicate_gradients() {
   std::vector<Tensor*> grads;
   grads.reserve(inner_->params().size());
   for (nn::Parameter* p : inner_->params()) grads.push_back(&p->grad);
-  reduce_tensors(grads, options_.op);
+  return reduce_tensors(grads, options_.op);
 }
 
 bool DistributedOptimizer::round_overflowed_globally(bool local_overflow) {
+  if (comm_.fault_tolerant()) {
+    // The wire allreduce below would hang on a dead rank; the liveness-aware
+    // vote is the same OR over exactly the ranks still participating.
+    return comm_.vote_failure(local_overflow);
+  }
   std::vector<int> everyone(static_cast<std::size_t>(comm_.size()));
   for (int r = 0; r < comm_.size(); ++r)
     everyone[static_cast<std::size_t>(r)] = r;
@@ -82,6 +98,14 @@ bool DistributedOptimizer::round_overflowed_globally(bool local_overflow) {
       std::vector<double>{local_overflow ? 1.0 : 0.0}, everyone,
       /*tag=*/(tag_round_ % 64) * 65536 + 60000);
   return overflow_sum[0] > 0.0;
+}
+
+void DistributedOptimizer::revert_to_round_start() {
+  const auto& params = inner_->params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::memcpy(params[i]->value.data(), round_start_[i].data(),
+                round_start_[i].nbytes());
+  }
 }
 
 void DistributedOptimizer::communicate_effective_gradient() {
@@ -110,17 +134,18 @@ void DistributedOptimizer::communicate_effective_gradient() {
     if (!scaler_.update(overflowed) || overflowed) {
       // Revert to the round start: the round is skipped consistently
       // everywhere (all ranks saw the same summed flag).
-      for (std::size_t i = 0; i < params.size(); ++i) {
-        std::memcpy(params[i]->value.data(), round_start_[i].data(),
-                    round_start_[i].nbytes());
-      }
+      revert_to_round_start();
       ++skipped_rounds_;
       return;
     }
     std::vector<Tensor*> ptrs;
     ptrs.reserve(compressed.size());
     for (Tensor& t : compressed) ptrs.push_back(&t);
-    reduce_tensors(ptrs, ReduceOp::kAdasum);
+    if (reduce_tensors(ptrs, ReduceOp::kAdasum) == ReduceOutcome::kSkipped) {
+      revert_to_round_start();
+      ++skipped_rounds_;
+      return;
+    }
     for (std::size_t i = 0; i < params.size(); ++i) {
       const Tensor reduced = cast_from_fp16_scaled(compressed[i], scale);
       // w = round_start + reduced_effective_gradient.
@@ -155,7 +180,13 @@ void DistributedOptimizer::communicate_effective_gradient() {
   std::vector<Tensor*> ptrs;
   ptrs.reserve(eff.size());
   for (Tensor& t : eff) ptrs.push_back(&t);
-  reduce_tensors(ptrs, ReduceOp::kAdasum);
+  if (reduce_tensors(ptrs, ReduceOp::kAdasum) == ReduceOutcome::kSkipped) {
+    // No agreed-on effective gradient: every rank reverts to the round
+    // start, exactly like an fp16 overflow skip.
+    revert_to_round_start();
+    ++skipped_rounds_;
+    return;
+  }
   for (std::size_t i = 0; i < params.size(); ++i) {
     std::memcpy(params[i]->value.data(), round_start_[i].data(),
                 round_start_[i].nbytes());

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "collectives/allreduce.h"
+#include "collectives/resilient.h"
 #include "comm/world.h"
 #include "optim/optimizer.h"
 #include "tensor/quantize.h"
@@ -63,18 +64,28 @@ class DistributedOptimizer {
 
   // Number of communication rounds performed.
   long rounds() const { return rounds_; }
-  // Rounds skipped due to fp16 overflow.
+  // Rounds skipped: fp16 overflow, plus (in fault-tolerant mode) rounds
+  // whose reduction exhausted its recovery attempts. A skipped round leaves
+  // the model exactly at its round-start state on every rank.
   long skipped_rounds() const { return skipped_rounds_; }
+  // Rounds completed over a shrunken survivor group (fault-tolerant mode).
+  long degraded_rounds() const { return degraded_rounds_; }
   Optimizer& inner() { return *inner_; }
   const DynamicScaler& scaler() const { return scaler_; }
 
  private:
-  void communicate_gradients();          // Sum/Average path
+  ReduceOutcome communicate_gradients(); // Sum/Average path
   void communicate_effective_gradient(); // Adasum path (Figure 3)
   // Shares the per-rank overflow flag; true -> skip the round everywhere.
+  // Fault-tolerant worlds agree through the liveness-aware vote (a dead rank
+  // would deadlock the plain allreduce); others keep the wire allreduce.
   bool round_overflowed_globally(bool local_overflow);
-  // Reduce `tensors` (pointers into rank-local storage) in place.
-  void reduce_tensors(std::vector<Tensor*>& tensors, ReduceOp op);
+  // Reduce `tensors` (pointers into rank-local storage) in place. On a
+  // fault-tolerant world the reduction degrades instead of throwing; the
+  // outcome says whether the caller must treat the round as skipped.
+  ReduceOutcome reduce_tensors(std::vector<Tensor*>& tensors, ReduceOp op);
+  // Restores all parameters to the round-start snapshot (Adasum mode).
+  void revert_to_round_start();
 
   Comm& comm_;
   std::unique_ptr<Optimizer> inner_;
@@ -84,6 +95,7 @@ class DistributedOptimizer {
   int micro_step_ = 0;
   long rounds_ = 0;
   long skipped_rounds_ = 0;
+  long degraded_rounds_ = 0;
   DynamicScaler scaler_;
   std::unique_ptr<ErrorFeedback> error_feedback_;  // int8 path only
   int tag_round_ = 0;

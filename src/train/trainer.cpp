@@ -42,6 +42,10 @@ TrainResult train_data_parallel(const ModelFactory& factory,
   ADASUM_CHECK_GE(config.world_size, 1);
 
   World world(config.world_size);
+  if (config.fault_tolerant)
+    world.enable_fault_tolerance(config.fault_tolerance);
+  if (config.fault_injector != nullptr)
+    world.set_fault_injector(config.fault_injector);
   TrainResult result;
   std::mutex result_mutex;
 
@@ -81,10 +85,16 @@ TrainResult train_data_parallel(const ModelFactory& factory,
         dopt.step(config.schedule->lr(step));
       }
 
-      // Rank 0 evaluates (models are identical after each round) and the
-      // verdict is shared through a sum-allreduce of three doubles.
+      // One rank evaluates (models are identical after each round) and the
+      // verdict is shared through a sum-allreduce. Without fault tolerance
+      // that rank is 0; with it, the lowest ALIVE rank — evaluator failover
+      // — and the sync itself degrades over survivors instead of hanging on
+      // a corpse. The fourth slot counts evaluators so the survivors can
+      // tell "evaluator's verdict arrived" from "it died mid-epoch".
+      const int evaluator = comm.fault_tolerant() ? comm.lowest_alive() : 0;
       double eval_acc = 0.0, eval_loss = 0.0, stop_flag = 0.0;
-      if (comm.rank() == 0) {
+      bool synced = true;
+      if (comm.rank() == evaluator) {
         const EvalResult ev =
             evaluate(*model, eval_set, config.eval_examples, config.eval_batch);
         eval_acc = ev.accuracy;
@@ -92,14 +102,40 @@ TrainResult train_data_parallel(const ModelFactory& factory,
         if (config.target_accuracy && ev.accuracy >= *config.target_accuracy)
           stop_flag = 1.0;
       }
-      const std::vector<double> shared = comm.allreduce_sum_doubles(
-          std::vector<double>{eval_acc, eval_loss, stop_flag}, everyone,
-          /*tag=*/77000000 + epoch);
-      eval_acc = shared[0];
-      eval_loss = shared[1];
-      stop = shared[2] > 0.0;
+      if (!comm.fault_tolerant()) {
+        const std::vector<double> shared = comm.allreduce_sum_doubles(
+            std::vector<double>{eval_acc, eval_loss, stop_flag}, everyone,
+            /*tag=*/77000000 + epoch);
+        eval_acc = shared[0];
+        eval_loss = shared[1];
+        stop = shared[2] > 0.0;
+      } else {
+        Tensor verdict({4}, DType::kFloat64);
+        const std::span<double> v = verdict.span<double>();
+        v[0] = eval_acc;
+        v[1] = eval_loss;
+        v[2] = stop_flag;
+        v[3] = comm.rank() == evaluator ? 1.0 : 0.0;
+        AllreduceOptions vopts;
+        vopts.op = ReduceOp::kSum;
+        vopts.algo = AllreduceAlgo::kAuto;
+        const ResilientResult vr =
+            resilient_allreduce(comm, verdict, vopts,
+                                /*tag_base=*/(epoch % 64) * 65536);
+        // The outcome is uniform across survivors (it is decided by votes),
+        // so every rank takes the same stop/continue branch here — the
+        // invariant that keeps the world deadlock-free.
+        if (vr.outcome == ReduceOutcome::kSkipped || v[3] <= 0.0) {
+          synced = false;  // no agreed verdict this epoch; keep training
+          stop = false;
+        } else {
+          eval_acc = v[0] / v[3];
+          eval_loss = v[1] / v[3];
+          stop = v[2] > 0.0;
+        }
+      }
 
-      if (comm.rank() == 0) {
+      if (comm.rank() == evaluator && synced) {
         std::lock_guard<std::mutex> lock(result_mutex);
         EpochStats stats;
         stats.epoch = epoch + 1;
@@ -112,6 +148,8 @@ TrainResult train_data_parallel(const ModelFactory& factory,
         result.best_accuracy = std::max(result.best_accuracy, eval_acc);
         result.final_accuracy = eval_acc;
         result.total_rounds = dopt.rounds();
+        result.degraded_rounds = dopt.degraded_rounds();
+        result.skipped_rounds = dopt.skipped_rounds();
         if (stop && !result.reached_target) {
           result.reached_target = true;
           result.epochs_to_target = epoch + 1;
@@ -123,6 +161,7 @@ TrainResult train_data_parallel(const ModelFactory& factory,
       }
     }
   });
+  result.dead_ranks = world.dead_ranks();
   return result;
 }
 

@@ -43,6 +43,12 @@ struct TrainConfig {
   // (flat layout of train::params_to_flat). Used for multi-phase training
   // (BERT phase 1 -> phase 2).
   Tensor initial_params;
+  // Fault tolerance (DESIGN.md §9): bounded receives, degraded reductions
+  // over survivors, and evaluator failover to the lowest alive rank. An
+  // optional injector adds seeded faults on top.
+  bool fault_tolerant = false;
+  FaultToleranceOptions fault_tolerance;
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 struct EpochStats {
@@ -61,8 +67,13 @@ struct TrainResult {
   double best_accuracy = 0.0;
   double final_accuracy = 0.0;
   long total_rounds = 0;
-  // Final model parameters (rank 0's replica, flat layout) for phase
-  // chaining.
+  // Fault-tolerant runs: ranks killed by the injector, and the evaluator's
+  // count of degraded / skipped communication rounds.
+  std::vector<int> dead_ranks;
+  long degraded_rounds = 0;
+  long skipped_rounds = 0;
+  // Final model parameters (the evaluating rank's replica, flat layout) for
+  // phase chaining.
   Tensor final_params;
 };
 

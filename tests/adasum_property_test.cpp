@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "base/rng.h"
 #include "core/adasum.h"
 #include "core/orthogonality.h"
 #include "tensor/kernels.h"
+#include "tensor/scaling.h"
 
 namespace adasum {
 namespace {
@@ -223,6 +225,76 @@ TEST(AppendixLemmas, ConvergenceRateEnvelope) {
   }
   const Tensor o = adasum_tree(orth);
   EXPECT_NEAR(norm(o), 2.0 * std::sqrt(8.0), 1e-6);
+}
+
+// ---- fp16 dynamic-scaling edge cases (§4.4.1) -------------------------------
+
+TEST(Fp16EdgeCases, AllZeroGradientSurvivesScaledRoundTrip) {
+  // An all-zero gradient must neither overflow the scaled cast (0 * scale
+  // is still 0) nor trip the zero-norm guard into NaN territory: Adasum of
+  // (0, g) degrades to the plain sum, so the round-trip returns g exactly.
+  const Tensor zero({16});
+  const Tensor h = cast_to_fp16_scaled(zero, 1024.0);
+  EXPECT_FALSE(tensor_overflowed(h));
+  const Tensor back = cast_from_fp16_scaled(h, 1024.0);
+  for (std::size_t i = 0; i < back.size(); ++i) EXPECT_EQ(back.at(i), 0.0f);
+
+  Rng rng(99);
+  const Tensor g = random_tensor(16, rng);
+  const Tensor combined = adasum_pair(zero, g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    ASSERT_FALSE(std::isnan(combined.at(i)));
+    ASSERT_NEAR(combined.at(i), g.at(i), 1e-6);
+  }
+  // And symmetric: Adasum(g, 0) == g as well.
+  const Tensor combined2 = adasum_pair(g, zero);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    ASSERT_NEAR(combined2.at(i), g.at(i), 1e-6);
+}
+
+TEST(Fp16EdgeCases, InfAndNanPayloadsAreFlaggedAndBackedOff) {
+  // Values outside the scaled fp16 range — or already non-finite — must be
+  // caught by tensor_overflowed, and the DynamicScaler must respond with a
+  // backoff that tells the caller to skip the step.
+  Tensor big({4});
+  big.set(0, 1e8);  // 1e8 * 1024 is far beyond fp16's 65504 max
+  EXPECT_TRUE(tensor_overflowed(cast_to_fp16_scaled(big, 1024.0)));
+
+  Tensor inf_t({4});
+  inf_t.set(1, std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(tensor_overflowed(cast_to_fp16_scaled(inf_t, 1.0)));
+
+  Tensor nan_t({4});
+  nan_t.set(2, std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(tensor_overflowed(cast_to_fp16_scaled(nan_t, 1.0)));
+
+  DynamicScaler scaler;
+  const double before = scaler.scale();
+  EXPECT_FALSE(scaler.update(/*overflowed=*/true));  // skip the step
+  EXPECT_LT(scaler.scale(), before);                 // scale backed off
+  EXPECT_EQ(scaler.num_backoffs(), 1);
+  // A clean follow-up step is applicable again at the reduced scale.
+  EXPECT_TRUE(scaler.update(/*overflowed=*/false));
+}
+
+TEST(Fp16EdgeCases, OrthogonalPairReducesToExactSumAfterFp16RoundTrip) {
+  // Orthogonal gradients have dot(a, b) == 0, so both Adasum factors are
+  // exactly 1 and the result is the exact sum a + b — even for payloads
+  // that made the trip through scaled fp16, because values representable
+  // in fp16 survive the cast bit-for-bit.
+  Tensor a({8}), b({8});
+  a.set(0, 0.5);
+  a.set(1, -2.0);
+  b.set(2, 1.25);
+  b.set(3, 4.0);  // disjoint support => exactly orthogonal
+
+  const Tensor a16 = cast_from_fp16_scaled(cast_to_fp16_scaled(a, 8.0), 8.0);
+  const Tensor b16 = cast_from_fp16_scaled(cast_to_fp16_scaled(b, 8.0), 8.0);
+  EXPECT_EQ(dot(a16, b16), 0.0);
+
+  const Tensor combined = adasum_pair(a16, b16);
+  for (std::size_t i = 0; i < 8; ++i)
+    ASSERT_EQ(combined.at(i), a.at(i) + b.at(i)) << "i=" << i;
 }
 
 // The §3.3 motivation: averaging the two visiting orders halves estimator

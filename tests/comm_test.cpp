@@ -2,8 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <optional>
+#include <stdexcept>
 
+#include "chaos_util.h"
 #include "comm/cost_model.h"
 #include "comm/world.h"
 
@@ -338,6 +343,204 @@ TEST(CostModel, TcpSlowerThanInfiniband) {
   CostModel ib(Topology::cluster(4, 4, links::pcie3(), links::infiniband100()));
   const double bytes = 100e6;
   EXPECT_GT(tcp.ring_allreduce_sum(bytes), ib.ring_allreduce_sum(bytes));
+}
+
+// ---- fault tolerance ---------------------------------------------------------
+
+TEST(FaultTolerance, DeadlineRecvTimesOutAndMailboxStaysReusable) {
+  // Regression: a bounded receive on a peer that never sends must return
+  // a timeout (not hang), and the mailbox must keep working for the real
+  // message that arrives afterwards. Watchdog-wrapped so a regression shows
+  // up as a test failure, not a hung suite.
+  World world(2);
+  std::atomic<bool> timed_out{false};
+  std::atomic<int> delivered{-1};
+  const chaos::WatchdogResult wr = chaos::run_with_watchdog(
+      world,
+      [&](Comm& comm) {
+        if (comm.rank() == 1) {
+          // Rank 0 has not sent anything yet on tag 5.
+          const std::optional<std::vector<std::byte>> none =
+              comm.try_recv_bytes_for(0, std::chrono::milliseconds(30),
+                                      /*tag=*/5);
+          timed_out.store(!none.has_value());
+          comm.barrier();  // now let rank 0 send
+          const std::vector<int> got = comm.recv<int>(0, /*tag=*/5);
+          delivered.store(got.at(0));
+          comm.send<int>(0, std::vector<int>{got.at(0) + 1}, /*tag=*/6);
+        } else {
+          comm.barrier();
+          comm.send<int>(1, std::vector<int>{41}, /*tag=*/5);
+          EXPECT_EQ(comm.recv<int>(1, /*tag=*/6).at(0), 42);
+        }
+      },
+      std::chrono::seconds(10));
+  ASSERT_FALSE(wr.watchdog_fired);
+  ASSERT_FALSE(static_cast<bool>(wr.error));
+  EXPECT_TRUE(timed_out.load());
+  EXPECT_EQ(delivered.load(), 41);
+}
+
+TEST(FaultTolerance, FaultTolerantRecvThrowsCommTimeout) {
+  World world(2);
+  FaultToleranceOptions ft;
+  ft.recv_deadline = std::chrono::milliseconds(20);
+  world.enable_fault_tolerance(ft);
+  std::atomic<bool> caught{false};
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 1) {
+      try {
+        comm.recv_bytes(0);  // rank 0 never sends
+      } catch (const CommTimeout&) {
+        caught.store(true);
+      }
+    }
+    comm.barrier();
+  });
+  EXPECT_TRUE(caught.load());
+}
+
+TEST(FaultTolerance, KilledPeerSurfacesAsPeerFailedAndDeadRank) {
+  World world(2);
+  FaultToleranceOptions ft;
+  ft.recv_deadline = std::chrono::milliseconds(200);
+  world.enable_fault_tolerance(ft);
+  FaultSpec spec;
+  spec.kill_rank = 0;
+  spec.kill_after_ops = 0;  // dies on its very first comm operation
+  world.set_fault_injector(std::make_shared<FaultInjector>(2, spec));
+  std::atomic<bool> peer_failed{false};
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, std::vector<int>{1});  // never completes: RankKilled
+    } else {
+      try {
+        comm.recv_bytes(0);
+      } catch (const PeerFailed&) {
+        peer_failed.store(true);
+      }
+    }
+  });
+  EXPECT_TRUE(peer_failed.load());
+  EXPECT_EQ(world.dead_ranks(), std::vector<int>{0});
+  EXPECT_FALSE(world.alive(0));
+  EXPECT_EQ(world.alive_count(), 1);
+}
+
+TEST(FaultTolerance, ChecksumDetectsInjectedCorruption) {
+  World world(2);
+  world.enable_fault_tolerance();
+  world.enable_checksums(true);
+  FaultSpec spec;
+  spec.corrupt_prob = 1.0;  // flip a bit in every message
+  auto injector = std::make_shared<FaultInjector>(2, spec);
+  world.set_fault_injector(injector);
+  std::atomic<bool> detected{false};
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(1, std::vector<double>{3.14, 2.71});
+    } else {
+      try {
+        comm.recv_bytes(0);
+      } catch (const CommCorrupt&) {
+        detected.store(true);
+      }
+    }
+    comm.barrier();
+  });
+  EXPECT_TRUE(detected.load());
+  EXPECT_EQ(world.corruptions_detected(), 1u);
+  EXPECT_EQ(injector->stats().corrupted, 1u);
+}
+
+TEST(FaultTolerance, SizeMismatchInFaultTolerantModeIsRecoverable) {
+  // recv_bytes_into with the wrong size throws the recoverable CommProtocol
+  // (instead of aborting the process) and still returns the payload to the
+  // pool — no buffer may leak on the error path.
+  World world(2);
+  world.enable_fault_tolerance();
+  std::atomic<bool> caught{false};
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<std::byte> payload(64);
+      comm.send_bytes(1, payload);
+    } else {
+      std::vector<std::byte> wrong(32);
+      try {
+        comm.recv_bytes_into(0, wrong);
+      } catch (const CommProtocol&) {
+        caught.store(true);
+      }
+    }
+    comm.barrier();
+  });
+  EXPECT_TRUE(caught.load());
+  // The mismatched payload went back to the pool, not into the void.
+  EXPECT_GE(world.buffer_pool().free_buffers(), 1u);
+}
+
+TEST(FaultTolerance, FailedRunReturnsInFlightPayloadsToPool) {
+  // The BufferPool leak fix: a run abandoned with undelivered messages must
+  // hand every in-flight payload back to the pool so the next run starts
+  // with the full recycling set (previously the mailboxes were rebuilt and
+  // the buffers silently dropped).
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   for (int i = 0; i < 3; ++i) {
+                     const std::vector<std::byte> payload(256);
+                     comm.send_bytes(1, payload, /*tag=*/i);
+                   }
+                   throw std::runtime_error("boom");
+                 }
+                 // rank 1 never receives; it just waits out the abort.
+                 try {
+                   comm.recv_bytes(0, /*tag=*/99);
+                 } catch (const WorldAborted&) {
+                 }
+               }),
+               std::runtime_error);
+  // All three undelivered payloads drained back into the pool.
+  EXPECT_GE(world.buffer_pool().free_buffers(), 3u);
+  // And the world is immediately reusable with recycled buffers.
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, std::vector<int>{7});
+    } else {
+      EXPECT_EQ(comm.recv<int>(0).at(0), 7);
+    }
+  });
+}
+
+TEST(FaultTolerance, VoteFailureIsUniformOrOverRanks) {
+  World world(4);
+  world.enable_fault_tolerance();
+  std::atomic<int> true_votes{0};
+  std::atomic<int> false_votes{0};
+  world.run([&](Comm& comm) {
+    // One dissenter is enough to flip everyone.
+    if (comm.vote_failure(comm.rank() == 2)) true_votes.fetch_add(1);
+    // Unanimous all-clear stays all-clear.
+    if (!comm.vote_failure(false)) false_votes.fetch_add(1);
+  });
+  EXPECT_EQ(true_votes.load(), 4);
+  EXPECT_EQ(false_votes.load(), 4);
+}
+
+TEST(FaultTolerance, RecoveryEnrollAgreesOnSortedAliveGroup) {
+  World world(4);
+  world.enable_fault_tolerance();
+  std::mutex mutex;
+  std::vector<std::vector<int>> groups;
+  world.run([&](Comm& comm) {
+    std::vector<int> group;
+    comm.recovery_enroll(group);
+    std::lock_guard<std::mutex> lock(mutex);
+    groups.push_back(std::move(group));
+  });
+  ASSERT_EQ(groups.size(), 4u);
+  const std::vector<int> expected{0, 1, 2, 3};
+  for (const std::vector<int>& g : groups) EXPECT_EQ(g, expected);
 }
 
 TEST(CostModel, RingAdasumSlowerThanRvhAdasum) {
