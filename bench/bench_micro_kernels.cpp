@@ -2,16 +2,32 @@
 // details — vectorized dot/norm kernels across dtypes, the fused dot-triple
 // pass, the local Adasum combine, tensor fusion pack/unpack, and the
 // double-vs-float accumulation ablation from DESIGN.md §4.
+//
+// Besides the google-benchmark suite, `--kernels_json[=PATH]` runs the SIMD
+// dispatch gate: hand-rolled timings of every dispatched kernel against the
+// scalar oracle across dtypes and sizes, written to BENCH_kernels.json, with
+// hard speedup floors enforced on AVX2 hosts (exit nonzero on regression).
+// A plain no-argument run regenerates the JSON artifact first (gates reported
+// but not enforced) and then runs the google-benchmark suite, so the
+// documented `for b in build/bench/*; do $b; done` loop refreshes it too.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "base/half.h"
 #include "base/rng.h"
 #include "comm/buffer_pool.h"
 #include "core/adasum.h"
 #include "tensor/fusion.h"
 #include "tensor/kernels.h"
+#include "tensor/simd/simd.h"
 
 namespace {
 
@@ -216,6 +232,303 @@ void BM_FloatAccumulatorDot(benchmark::State& state) {
 }
 BENCHMARK(BM_FloatAccumulatorDot)->Arg(1 << 18);
 
+// ---- SIMD kernel gate (--kernels_json) ------------------------------------
+//
+// Times the byte-level dispatch-table kernels directly — the same function
+// pointers AdasumRVH, the optimizers and the fusion buffer call — so the
+// numbers measure exactly what the hot path runs. Scalar and dispatched
+// columns come from the same binary in one process via simd::table_for.
+
+namespace kernels_gate {
+
+using Clock = std::chrono::steady_clock;
+
+// Best-of-3 reps of a calibrated inner loop; returns seconds per call.
+template <typename F>
+double best_seconds_per_call(F&& op) {
+  op();  // warm: page-in, dispatch resolve
+  auto t0 = Clock::now();
+  op();
+  const double once =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const std::size_t iters = std::max<std::size_t>(
+      1, static_cast<std::size_t>(4e-3 / std::max(once, 1e-9)));
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) op();
+    best = std::min(
+        best, std::chrono::duration<double>(Clock::now() - t0).count() /
+                  static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct Row {
+  const char* kernel;
+  std::string dtype;
+  std::size_t n;
+  double scalar_gbs;
+  double dispatched_gbs;
+};
+
+struct ConvRow {
+  const char* direction;
+  std::size_t n;
+  double per_element_gbs;
+  double bulk_scalar_gbs;
+  double bulk_dispatched_gbs;
+};
+
+constexpr std::size_t kGateSizes[] = {1u << 12, 1u << 15, 1u << 18, 1u << 21};
+
+template <typename T>
+void bench_dtype(const simd::KernelTable& scalar_t,
+                 const simd::KernelTable& active_t, std::size_t n,
+                 std::vector<Row>& rows) {
+  constexpr int d = static_cast<int>(dtype_of<T>);
+  const std::string dn = dtype_name(dtype_of<T>);
+  const auto a = random_values<T>(n, 21);
+  const auto b = random_values<T>(n, 22);
+  std::vector<T> y = random_values<T>(n, 23);
+  std::vector<T> out(n);
+  const std::byte* pa = reinterpret_cast<const std::byte*>(a.data());
+  const std::byte* pb = reinterpret_cast<const std::byte*>(b.data());
+  std::byte* py = reinterpret_cast<std::byte*>(y.data());
+  std::byte* po = reinterpret_cast<std::byte*>(out.data());
+  const bool same = &scalar_t == &active_t;
+  const double sz = static_cast<double>(n) * sizeof(T);
+
+  auto add_row = [&](const char* kernel, double bytes_per_call, auto&& run) {
+    const double ts = best_seconds_per_call([&] { run(scalar_t); });
+    const double ta = same ? ts : best_seconds_per_call([&] { run(active_t); });
+    rows.push_back(
+        {kernel, dn, n, bytes_per_call / ts / 1e9, bytes_per_call / ta / 1e9});
+  };
+
+  add_row("dot", 2 * sz, [&](const simd::KernelTable& t) {
+    benchmark::DoNotOptimize(t.dot[d](pa, pb, n));
+  });
+  add_row("dot_triple", 2 * sz, [&](const simd::KernelTable& t) {
+    double triple[3];
+    t.dot_triple[d](pa, pb, n, triple);
+    benchmark::DoNotOptimize(triple[0]);
+  });
+  add_row("scaled_sum", 3 * sz, [&](const simd::KernelTable& t) {
+    t.scaled_sum[d](pa, 0.75, pb, 0.8, po, n);
+    benchmark::DoNotOptimize(po);
+  });
+  // alpha = 0 keeps y fixed across calibration iterations (an fp16 y would
+  // otherwise random-walk into infinity); FMA timing is value-independent.
+  add_row("axpy", 3 * sz, [&](const simd::KernelTable& t) {
+    t.axpy[d](0.0, pa, py, n);
+    benchmark::DoNotOptimize(py);
+  });
+  add_row("add", 3 * sz, [&](const simd::KernelTable& t) {
+    t.add[d](pa, py, n);
+    benchmark::DoNotOptimize(py);
+  });
+  add_row("scale", 2 * sz, [&](const simd::KernelTable& t) {
+    t.scale[d](1.0, py, n);  // alpha = 1: stable values, same multiply cost
+    benchmark::DoNotOptimize(py);
+  });
+  add_row("has_nonfinite", sz, [&](const simd::KernelTable& t) {
+    benchmark::DoNotOptimize(t.has_nonfinite[d](pa, n));  // finite: full scan
+  });
+}
+
+void bench_convert(const simd::KernelTable& scalar_t,
+                   const simd::KernelTable& active_t, std::size_t n,
+                   std::vector<ConvRow>& rows) {
+  const auto src = random_values<float>(n, 24);
+  std::vector<std::uint16_t> h(n);
+  std::vector<float> f(n);
+  for (std::size_t i = 0; i < n; ++i) h[i] = Half::float_to_bits(src[i]);
+  const bool same = &scalar_t == &active_t;
+  const double bytes = static_cast<double>(n) * (2 + 4);
+
+  {
+    const double tp = best_seconds_per_call([&] {
+      for (std::size_t i = 0; i < n; ++i) f[i] = Half::bits_to_float(h[i]);
+      benchmark::DoNotOptimize(f.data());
+    });
+    const double ts = best_seconds_per_call([&] {
+      scalar_t.half_to_float(h.data(), f.data(), n);
+      benchmark::DoNotOptimize(f.data());
+    });
+    const double ta = same ? ts : best_seconds_per_call([&] {
+      active_t.half_to_float(h.data(), f.data(), n);
+      benchmark::DoNotOptimize(f.data());
+    });
+    rows.push_back({"half_to_float", n, bytes / tp / 1e9, bytes / ts / 1e9,
+                    bytes / ta / 1e9});
+  }
+  {
+    const double tp = best_seconds_per_call([&] {
+      for (std::size_t i = 0; i < n; ++i) h[i] = Half::float_to_bits(src[i]);
+      benchmark::DoNotOptimize(h.data());
+    });
+    const double ts = best_seconds_per_call([&] {
+      scalar_t.float_to_half(src.data(), h.data(), n);
+      benchmark::DoNotOptimize(h.data());
+    });
+    const double ta = same ? ts : best_seconds_per_call([&] {
+      active_t.float_to_half(src.data(), h.data(), n);
+      benchmark::DoNotOptimize(h.data());
+    });
+    rows.push_back({"float_to_half", n, bytes / tp / 1e9, bytes / ts / 1e9,
+                    bytes / ta / 1e9});
+  }
+}
+
+struct Gate {
+  const char* name;
+  double value;
+  double threshold;
+  bool pass;
+};
+
+// Speedup floors from the PR acceptance criteria. Max over sizes: the gate
+// asserts the vector engine's headroom exists, not that every working set is
+// bandwidth-unbound.
+std::vector<Gate> evaluate_gates(const std::vector<Row>& rows,
+                                 const std::vector<ConvRow>& conv) {
+  auto max_kernel_speedup = [&](std::string_view kernel,
+                                std::string_view dtype) {
+    double best = 0.0;
+    for (const Row& r : rows)
+      if (kernel == r.kernel && dtype == r.dtype)
+        best = std::max(best, r.dispatched_gbs / r.scalar_gbs);
+    return best;
+  };
+  auto max_conv_speedup = [&](std::string_view direction) {
+    double best = 0.0;
+    for (const ConvRow& r : conv)
+      if (direction == r.direction)
+        best = std::max(best, r.bulk_dispatched_gbs / r.per_element_gbs);
+    return best;
+  };
+  const std::string f32 = dtype_name(DType::kFloat32);
+  std::vector<Gate> gates;
+  auto add = [&](const char* name, double value, double threshold) {
+    gates.push_back({name, value, threshold, value >= threshold});
+  };
+  add("dot_triple_f32_speedup_ge_2x", max_kernel_speedup("dot_triple", f32),
+      2.0);
+  add("scaled_sum_f32_speedup_ge_2x", max_kernel_speedup("scaled_sum", f32),
+      2.0);
+  add("half_to_float_bulk_speedup_ge_3x", max_conv_speedup("half_to_float"),
+      3.0);
+  add("float_to_half_bulk_speedup_ge_3x", max_conv_speedup("float_to_half"),
+      3.0);
+  return gates;
+}
+
+// Returns the process exit code (0 = gates pass or host is scalar-only).
+int run(const char* path, bool enforce) {
+  const simd::KernelTable& scalar_t = simd::scalar_table();
+  const simd::KernelTable& active_t = simd::active_table();
+  const bool scalar_only = &active_t == &scalar_t;
+
+  std::vector<Row> rows;
+  std::vector<ConvRow> conv;
+  for (const std::size_t n : kGateSizes) {
+    bench_dtype<Half>(scalar_t, active_t, n, rows);
+    bench_dtype<float>(scalar_t, active_t, n, rows);
+    bench_dtype<double>(scalar_t, active_t, n, rows);
+    bench_convert(scalar_t, active_t, n, conv);
+  }
+  // On a scalar-only host there is no vector engine to gate: record the
+  // measurements, report pass.
+  const std::vector<Gate> gates =
+      scalar_only ? std::vector<Gate>{} : evaluate_gates(rows, conv);
+  bool pass = true;
+  for (const Gate& g : gates) pass = pass && g.pass;
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_micro_kernels: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"micro_kernels_simd_gate\",\n");
+  std::fprintf(out, "  \"active_level\": \"%s\",\n", active_t.name);
+  std::fprintf(out, "  \"scalar_only\": %s,\n", scalar_only ? "true" : "false");
+  std::fprintf(out, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"dtype\": \"%s\", \"size\": %zu, "
+                 "\"scalar_gb_per_sec\": %.3f, \"dispatched_gb_per_sec\": "
+                 "%.3f, \"speedup\": %.2f}%s\n",
+                 r.kernel, r.dtype.c_str(), r.n, r.scalar_gbs, r.dispatched_gbs,
+                 r.dispatched_gbs / r.scalar_gbs,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"fp16_bulk_convert\": [\n");
+  for (std::size_t i = 0; i < conv.size(); ++i) {
+    const ConvRow& r = conv[i];
+    std::fprintf(
+        out,
+        "    {\"direction\": \"%s\", \"size\": %zu, "
+        "\"per_element_gb_per_sec\": %.3f, \"bulk_scalar_gb_per_sec\": %.3f, "
+        "\"bulk_dispatched_gb_per_sec\": %.3f, \"speedup_vs_per_element\": "
+        "%.2f}%s\n",
+        r.direction, r.n, r.per_element_gbs, r.bulk_scalar_gbs,
+        r.bulk_dispatched_gbs, r.bulk_dispatched_gbs / r.per_element_gbs,
+        i + 1 < conv.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"gates\": [\n");
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"value\": %.2f, \"threshold\": "
+                 "%.1f, \"pass\": %s}%s\n",
+                 g.name, g.value, g.threshold, g.pass ? "true" : "false",
+                 i + 1 < gates.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"pass\": %s\n", pass ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf("kernels gate: active_level=%s, %zu kernel rows -> %s\n",
+              active_t.name, rows.size(), path);
+  for (const Gate& g : gates)
+    std::printf("  gate %-36s %6.2fx (floor %.1fx) %s\n", g.name, g.value,
+                g.threshold, g.pass ? "PASS" : "FAIL");
+  if (scalar_only)
+    std::printf("  gates skipped: no vector ISA on this host/build\n");
+  if (!pass && enforce) {
+    std::fprintf(stderr, "kernels gate FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace kernels_gate
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  const char* json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--kernels_json") {
+      json_only = true;
+    } else if (arg.rfind("--kernels_json=", 0) == 0) {
+      json_only = true;
+      json_path = argv[i] + sizeof("--kernels_json=") - 1;
+    }
+  }
+  if (json_only) return kernels_gate::run(json_path, /*enforce=*/true);
+  // Plain run: refresh the JSON artifact (report-only), then the gbench suite.
+  if (argc == 1) kernels_gate::run(json_path, /*enforce=*/false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

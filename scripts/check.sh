@@ -1,17 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over the
-# suites that exercise the cross-thread buffer handoff (mailbox cv,
-# BufferPool, zero-copy collectives) and the fault-injection layer.
+# Tier-1 gate: full build + test suite (under both SIMD dispatch levels),
+# the micro-kernel speedup gate, then a ThreadSanitizer pass over the suites
+# that exercise the cross-thread buffer handoff (mailbox cv, BufferPool,
+# zero-copy collectives) and the fault-injection layer.
 #
 # Usage: scripts/check.sh            # from the repo root
 #        SKIP_TSAN=1 scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== tier-1: build + ctest ==="
+echo "=== tier-1: build + ctest (ADASUM_SIMD=auto) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "=== tier-1: ctest (ADASUM_SIMD=scalar) ==="
+# The scalar fallback is a first-class code path (non-AVX2 hosts run it for
+# every kernel); the whole suite must hold on it, not just the parity tests.
+(cd build && ADASUM_SIMD=scalar ctest --output-on-failure -j "$(nproc)")
+
+echo "=== kernel gate: SIMD dispatch speedup floors ==="
+# Writes BENCH_kernels.json and exits nonzero if the dispatched kernels lose
+# their speedup floors over the scalar oracle (no-op pass on non-AVX2 hosts).
+./build/bench/bench_micro_kernels --kernels_json
 
 echo "=== allocation gate: injector-off fault path ==="
 # The fault machinery must add zero steady-state heap allocations when the

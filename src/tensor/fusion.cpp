@@ -1,8 +1,7 @@
 #include "tensor/fusion.h"
 
-#include <cstring>
-
 #include "base/check.h"
+#include "tensor/kernels.h"
 
 namespace adasum {
 
@@ -45,7 +44,8 @@ FusedTensor fuse(const std::vector<const Tensor*>& tensors,
   std::size_t offset = 0;
   for (std::size_t i = 0; i < tensors.size(); ++i) {
     const Tensor* t = tensors[i];
-    std::memcpy(out.flat.data() + offset * elem, t->data(), t->nbytes());
+    kernels::copy_bytes(t->data(), out.flat.data() + offset * elem, t->size(),
+                        dtype);
     out.slices.push_back(TensorSlice{
         names != nullptr ? (*names)[i] : "t" + std::to_string(i), offset,
         t->size()});
@@ -111,7 +111,8 @@ FusedTensor& FusionBuffer::pack(const std::vector<const Tensor*>& tensors,
   std::size_t offset = 0;
   for (std::size_t i = 0; i < tensors.size(); ++i) {
     const Tensor* t = tensors[i];
-    std::memcpy(fused_.flat.data() + offset * elem, t->data(), t->nbytes());
+    kernels::copy_bytes(t->data(), fused_.flat.data() + offset * elem,
+                        t->size(), dtype);
     if (!keep_table) {
       fused_.slices.push_back(TensorSlice{
           names != nullptr ? (*names)[i] : "t" + std::to_string(i), offset,
@@ -135,8 +136,8 @@ void unfuse(const FusedTensor& fused, const std::vector<Tensor*>& tensors) {
     ADASUM_CHECK_EQ(t->size(), s.count);
     ADASUM_CHECK_MSG(t->dtype() == fused.flat.dtype(),
                      "unfuse destination dtype mismatch");
-    std::memcpy(t->data(), fused.flat.data() + s.offset * elem,
-                s.count * elem);
+    kernels::copy_bytes(fused.flat.data() + s.offset * elem, t->data(),
+                        s.count, fused.flat.dtype());
   }
 }
 

@@ -1,27 +1,39 @@
+// Thin wrappers over the runtime-dispatched SIMD kernel table. All size and
+// dtype checking happens here, once, so the per-ISA implementations in
+// tensor/simd/ stay branch-free; typed and byte entry points index the same
+// table, which is what keeps every caller — in-place collectives, reference
+// oracle, optimizers — numerically identical per dispatch level.
 #include "tensor/kernels.h"
 
-#include <cmath>
+#include <cstring>
 
 #include "base/check.h"
+#include "tensor/simd/simd.h"
 
 namespace adasum::kernels {
 namespace {
 
-// Loads an element as double. For Half this is the fp16->fp32->fp64 widening;
-// for float/double it is a plain conversion the compiler folds into the loop.
-template <typename T>
-inline double load(const T& v) {
-  return static_cast<double>(v);
-}
-inline double load(const Half& v) { return static_cast<double>(static_cast<float>(v)); }
+// The simd tables index kernels by the integer value of DType.
+static_assert(static_cast<int>(DType::kFloat16) == simd::kF16);
+static_assert(static_cast<int>(DType::kFloat32) == simd::kF32);
+static_assert(static_cast<int>(DType::kFloat64) == simd::kF64);
 
 template <typename T>
-inline T store(double v) {
-  return static_cast<T>(v);
+inline constexpr int kIdx = static_cast<int>(dtype_of<T>);
+
+inline int idx(DType dtype) {
+  const int i = static_cast<int>(dtype);
+  ADASUM_CHECK(i >= 0 && i < simd::kNumDtypes);
+  return i;
 }
-template <>
-inline Half store<Half>(double v) {
-  return Half(static_cast<float>(v));
+
+template <typename T>
+const std::byte* bytes(const T* p) {
+  return reinterpret_cast<const std::byte*>(p);
+}
+template <typename T>
+std::byte* bytes(T* p) {
+  return reinterpret_cast<std::byte*>(p);
 }
 
 }  // namespace
@@ -29,72 +41,41 @@ inline Half store<Half>(double v) {
 template <typename T>
 double dot(std::span<const T> a, std::span<const T> b) {
   ADASUM_CHECK_EQ(a.size(), b.size());
-  const std::size_t n = a.size();
-  // Four independent accumulators: breaks the loop-carried dependence so the
-  // compiler can vectorize / software-pipeline the reduction.
-  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += load(a[i + 0]) * load(b[i + 0]);
-    s1 += load(a[i + 1]) * load(b[i + 1]);
-    s2 += load(a[i + 2]) * load(b[i + 2]);
-    s3 += load(a[i + 3]) * load(b[i + 3]);
-  }
-  for (; i < n; ++i) s0 += load(a[i]) * load(b[i]);
-  return (s0 + s1) + (s2 + s3);
+  return simd::active_table().dot[kIdx<T>](bytes(a.data()), bytes(b.data()),
+                                           a.size());
 }
 
 template <typename T>
 double norm_squared(std::span<const T> a) {
-  return dot(a, a);
+  return simd::active_table().norm_squared[kIdx<T>](bytes(a.data()), a.size());
 }
 
 template <typename T>
 DotTriple dot_triple(std::span<const T> a, std::span<const T> b) {
   ADASUM_CHECK_EQ(a.size(), b.size());
-  const std::size_t n = a.size();
-  DotTriple t;
-  double ab0 = 0, ab1 = 0, aa0 = 0, aa1 = 0, bb0 = 0, bb1 = 0;
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const double x0 = load(a[i]), y0 = load(b[i]);
-    const double x1 = load(a[i + 1]), y1 = load(b[i + 1]);
-    ab0 += x0 * y0;
-    aa0 += x0 * x0;
-    bb0 += y0 * y0;
-    ab1 += x1 * y1;
-    aa1 += x1 * x1;
-    bb1 += y1 * y1;
-  }
-  if (i < n) {
-    const double x = load(a[i]), y = load(b[i]);
-    ab0 += x * y;
-    aa0 += x * x;
-    bb0 += y * y;
-  }
-  t.ab = ab0 + ab1;
-  t.aa = aa0 + aa1;
-  t.bb = bb0 + bb1;
-  return t;
+  double v[3];
+  simd::active_table().dot_triple[kIdx<T>](bytes(a.data()), bytes(b.data()),
+                                           a.size(), v);
+  return DotTriple{v[0], v[1], v[2]};
 }
 
 template <typename T>
 void axpy(double alpha, std::span<const T> x, std::span<T> y) {
   ADASUM_CHECK_EQ(x.size(), y.size());
-  for (std::size_t i = 0; i < x.size(); ++i)
-    y[i] = store<T>(load(y[i]) + alpha * load(x[i]));
+  simd::active_table().axpy[kIdx<T>](alpha, bytes(x.data()), bytes(y.data()),
+                                     x.size());
 }
 
 template <typename T>
 void scale(double alpha, std::span<T> x) {
-  for (auto& v : x) v = store<T>(alpha * load(v));
+  simd::active_table().scale[kIdx<T>](alpha, bytes(x.data()), x.size());
 }
 
 template <typename T>
 void add(std::span<const T> x, std::span<T> y) {
   ADASUM_CHECK_EQ(x.size(), y.size());
-  for (std::size_t i = 0; i < x.size(); ++i)
-    y[i] = store<T>(load(y[i]) + load(x[i]));
+  simd::active_table().add[kIdx<T>](bytes(x.data()), bytes(y.data()),
+                                    x.size());
 }
 
 template <typename T>
@@ -102,15 +83,28 @@ void scaled_sum(std::span<const T> a, double ca, std::span<const T> b,
                 double cb, std::span<T> out) {
   ADASUM_CHECK_EQ(a.size(), b.size());
   ADASUM_CHECK_EQ(a.size(), out.size());
-  for (std::size_t i = 0; i < a.size(); ++i)
-    out[i] = store<T>(ca * load(a[i]) + cb * load(b[i]));
+  simd::active_table().scaled_sum[kIdx<T>](bytes(a.data()), ca,
+                                           bytes(b.data()), cb,
+                                           bytes(out.data()), a.size());
 }
 
 template <typename T>
 bool has_nonfinite(std::span<const T> a) {
-  for (const auto& v : a)
-    if (!std::isfinite(load(v))) return true;
-  return false;
+  return simd::active_table().has_nonfinite[kIdx<T>](bytes(a.data()),
+                                                     a.size());
+}
+
+void half_to_float(std::span<const Half> src, std::span<float> dst) {
+  ADASUM_CHECK_EQ(src.size(), dst.size());
+  simd::active_table().half_to_float(
+      reinterpret_cast<const std::uint16_t*>(src.data()), dst.data(),
+      src.size());
+}
+
+void float_to_half(std::span<const float> src, std::span<Half> dst) {
+  ADASUM_CHECK_EQ(src.size(), dst.size());
+  simd::active_table().float_to_half(
+      src.data(), reinterpret_cast<std::uint16_t*>(dst.data()), src.size());
 }
 
 // Explicit instantiations for the three supported payload dtypes.
@@ -130,51 +124,40 @@ ADASUM_INSTANTIATE(float)
 ADASUM_INSTANTIATE(double)
 #undef ADASUM_INSTANTIATE
 
-namespace {
-
-template <typename T>
-std::span<const T> typed(const std::byte* p, std::size_t n) {
-  return {reinterpret_cast<const T*>(p), n};
-}
-template <typename T>
-std::span<T> typed(std::byte* p, std::size_t n) {
-  return {reinterpret_cast<T*>(p), n};
-}
-
-}  // namespace
-
 DotTriple dot_triple_bytes(const std::byte* a, const std::byte* b,
                            std::size_t count, DType dtype) {
-  return dispatch_dtype(dtype, [&]<typename T>() {
-    return dot_triple(typed<T>(a, count), typed<T>(b, count));
-  });
+  double v[3];
+  simd::active_table().dot_triple[idx(dtype)](a, b, count, v);
+  return DotTriple{v[0], v[1], v[2]};
 }
 
 void scaled_sum_bytes(const std::byte* a, double ca, const std::byte* b,
                       double cb, std::byte* out, std::size_t count,
                       DType dtype) {
-  dispatch_dtype(dtype, [&]<typename T>() {
-    scaled_sum(typed<T>(a, count), ca, typed<T>(b, count), cb,
-               typed<T>(out, count));
-  });
+  simd::active_table().scaled_sum[idx(dtype)](a, ca, b, cb, out, count);
 }
 
 void add_bytes(const std::byte* x, std::byte* y, std::size_t count,
                DType dtype) {
-  dispatch_dtype(dtype, [&]<typename T>() {
-    add(typed<T>(x, count), typed<T>(y, count));
-  });
+  simd::active_table().add[idx(dtype)](x, y, count);
 }
 
 void scale_bytes(double alpha, std::byte* x, std::size_t count, DType dtype) {
-  dispatch_dtype(dtype,
-                 [&]<typename T>() { scale(alpha, typed<T>(x, count)); });
+  simd::active_table().scale[idx(dtype)](alpha, x, count);
 }
 
 double norm_squared_bytes(const std::byte* a, std::size_t count, DType dtype) {
-  return dispatch_dtype(dtype, [&]<typename T>() {
-    return norm_squared(typed<T>(a, count));
-  });
+  return simd::active_table().norm_squared[idx(dtype)](a, count);
+}
+
+bool has_nonfinite_bytes(const std::byte* a, std::size_t count, DType dtype) {
+  return simd::active_table().has_nonfinite[idx(dtype)](a, count);
+}
+
+void copy_bytes(const std::byte* src, std::byte* dst, std::size_t count,
+                DType dtype) {
+  if (count == 0) return;
+  std::memcpy(dst, src, count * dtype_size(dtype));
 }
 
 }  // namespace adasum::kernels

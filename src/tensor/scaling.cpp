@@ -1,5 +1,6 @@
 #include "tensor/scaling.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/check.h"
@@ -30,9 +31,34 @@ bool DynamicScaler::update(bool overflowed) {
   return true;
 }
 
+namespace {
+
+// Staging tile for the fp32 fast path below; matches the SIMD engine's fp16
+// tile size so the bulk converter runs full-width (tensor/simd/kernels_avx2.cpp).
+constexpr std::size_t kCastTile = 2048;
+
+}  // namespace
+
 Tensor cast_to_fp16_scaled(const Tensor& t, double scale) {
   Tensor out(t.shape(), DType::kFloat16);
   auto dst = out.span<Half>();
+  if (t.dtype() == DType::kFloat32) {
+    // Hot path (fp16 gradient payloads start life as fp32): scale into a
+    // stack tile, then one dispatched bulk float->half conversion per tile.
+    // Same arithmetic as the generic loop: double multiply, one rounding to
+    // float, round-to-nearest-even to half.
+    const auto src = t.span<float>();
+    float tile[kCastTile];
+    for (std::size_t off = 0; off < src.size(); off += kCastTile) {
+      const std::size_t m = std::min(kCastTile, src.size() - off);
+      for (std::size_t j = 0; j < m; ++j)
+        tile[j] =
+            static_cast<float>(static_cast<double>(src[off + j]) * scale);
+      kernels::float_to_half(std::span<const float>(tile, m),
+                             dst.subspan(off, m));
+    }
+    return out;
+  }
   for (std::size_t i = 0; i < t.size(); ++i)
     dst[i] = Half(static_cast<float>(t.at(i) * scale));
   return out;
@@ -44,8 +70,11 @@ Tensor cast_from_fp16_scaled(const Tensor& t, double scale) {
   Tensor out(t.shape(), DType::kFloat32);
   auto src = t.span<Half>();
   auto dst = out.span<float>();
+  // Bulk half->float (exact), then the same double-divide/narrow sequence as
+  // the seed's per-element loop.
+  kernels::half_to_float(std::span<const Half>(src.data(), src.size()), dst);
   for (std::size_t i = 0; i < t.size(); ++i)
-    dst[i] = static_cast<float>(static_cast<double>(static_cast<float>(src[i])) / scale);
+    dst[i] = static_cast<float>(static_cast<double>(dst[i]) / scale);
   return out;
 }
 

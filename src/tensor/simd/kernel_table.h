@@ -1,0 +1,68 @@
+// Function-pointer kernel table shared by the SIMD dispatch layer.
+//
+// This header is deliberately minimal: it is included by the ISA-specific
+// translation units (kernels_avx2.cpp is compiled with -mavx2 -mfma -mf16c),
+// and any inline function it pulled in could be emitted with AVX encodings
+// there and then be picked by the linker for baseline TUs. Only <cstddef> and
+// <cstdint> — no project headers.
+//
+// Entries are dtype-erased (std::byte* + element count) and indexed by the
+// integer value of adasum::DType (kFloat16=0, kFloat32=1, kFloat64=2 —
+// static_asserted in tensor/kernels.cpp). Size/overlap preconditions are
+// checked by the public wrappers in tensor/kernels.h, not here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adasum::simd {
+
+enum class Level : int { kScalar = 0, kAvx2 = 1 };
+
+inline constexpr int kNumDtypes = 3;
+inline constexpr int kF16 = 0;
+inline constexpr int kF32 = 1;
+inline constexpr int kF64 = 2;
+
+struct KernelTable {
+  const char* name;
+
+  // Reductions accumulate in double regardless of payload dtype (§4.4.1).
+  double (*dot[kNumDtypes])(const std::byte* a, const std::byte* b,
+                            std::size_t n);
+  double (*norm_squared[kNumDtypes])(const std::byte* a, std::size_t n);
+  // out[0]=a·b, out[1]=a·a, out[2]=b·b in one pass (Algorithm 1 line 15).
+  void (*dot_triple[kNumDtypes])(const std::byte* a, const std::byte* b,
+                                 std::size_t n, double out[3]);
+
+  // Elementwise ops; arithmetic in double, rounded once to the payload dtype.
+  void (*axpy[kNumDtypes])(double alpha, const std::byte* x, std::byte* y,
+                           std::size_t n);
+  void (*scale[kNumDtypes])(double alpha, std::byte* x, std::size_t n);
+  void (*add[kNumDtypes])(const std::byte* x, std::byte* y, std::size_t n);
+  // out[i] = ca*a[i] + cb*b[i]. `out` may alias `a` or `b` exactly (the
+  // in-place AdasumRVH combine writes over its own operand); implementations
+  // must load each chunk before storing it. Partial overlap is forbidden.
+  void (*scaled_sum[kNumDtypes])(const std::byte* a, double ca,
+                                 const std::byte* b, double cb, std::byte* out,
+                                 std::size_t n);
+  bool (*has_nonfinite[kNumDtypes])(const std::byte* a, std::size_t n);
+
+  // Bulk fp16 <-> fp32 conversion (F16C when available, batched software
+  // otherwise). The uint16_t values are IEEE binary16 bit patterns — the
+  // storage representation of adasum::Half.
+  void (*half_to_float)(const std::uint16_t* src, float* dst, std::size_t n);
+  void (*float_to_half)(const float* src, std::uint16_t* dst, std::size_t n);
+};
+
+// Defined in kernels_scalar.cpp; always available, bit-identical to the seed
+// scalar loops — the oracle the property tests compare vector paths against.
+const KernelTable& scalar_table();
+
+#if defined(ADASUM_SIMD_HAVE_AVX2)
+// Defined in kernels_avx2.cpp, which is only compiled (with per-TU ISA flags)
+// when the toolchain probe in src/tensor/CMakeLists.txt succeeds.
+const KernelTable& avx2_table();
+#endif
+
+}  // namespace adasum::simd

@@ -1,0 +1,582 @@
+// AVX2+FMA+F16C kernel table.
+//
+// This is the ONLY translation unit compiled with -mavx2 -mfma -mf16c (see
+// src/tensor/CMakeLists.txt); everything it defines is reached exclusively
+// through the function pointers in avx2_table(), which dispatch.cpp hands out
+// only after CPUID confirms the ISA. It deliberately includes no project
+// header beyond kernel_table.h so no baseline-inline function can be emitted
+// here with AVX encodings and then be chosen by the linker for scalar TUs.
+//
+// Numerical contract (DESIGN.md §10):
+//  * §4.4.1 survives vectorization: reductions widen every lane to double
+//    before multiplying and keep 64-bit accumulators; only the number of
+//    independent partial sums differs from the scalar oracle, so results
+//    agree to ulp-level reassociation error and are run-to-run deterministic
+//    (fixed lane count, fixed unroll — no data-dependent reduction order).
+//  * Elementwise kernels compute in double and round once to the payload
+//    dtype, the same store sequence as the scalar path.
+//  * fp16 payloads are staged through stack tiles with F16C bulk conversion
+//    (exact in the fp16->fp32 direction), so the fp16 kernels are the fp32
+//    loops plus two conversions — no pooled or heap allocation, preserving
+//    the zero-allocation steady state from DESIGN.md §8.
+#if defined(ADASUM_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/simd/kernel_table.h"
+
+namespace adasum::simd {
+namespace {
+
+// fp16 staging tile: 2048 elements = 8 KiB per float tile, at most three
+// tiles (16/24 KiB) of stack per kernel. A multiple of 16 so every tile but
+// the last feeds the vector bodies with no intra-tile tail, keeping the
+// accumulator lane assignment identical whether the payload arrived as one
+// span or tile-by-tile.
+constexpr std::size_t kTile = 2048;
+
+// Widen 4 floats straight from memory: vcvtps2pd takes a 128-bit memory
+// operand, so the load folds into the convert — no 256-bit load plus
+// cross-lane extract. Narrowing stores likewise go out as 128-bit halves
+// instead of paying a vinsertf128 per 8 elements; both halve the
+// shuffle-port traffic that otherwise bounds these widen/narrow loops.
+inline __m256d cvt4_pd(const float* p) {
+  return _mm256_cvtps_pd(_mm_loadu_ps(p));
+}
+inline void store4_ps(float* p, __m256d v) {
+  _mm_storeu_ps(p, _mm256_cvtpd_ps(v));
+}
+inline double hsum(__m256d v) {
+  __m128d s = _mm_add_pd(_mm256_castpd256_pd128(v),
+                         _mm256_extractf128_pd(v, 1));
+  s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+  return _mm_cvtsd_f64(s);
+}
+
+// ---- bulk fp16 <-> fp32 conversion (F16C) --------------------------------
+
+void h2f(const std::uint16_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i h0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i h1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 8));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h0));
+    _mm256_storeu_ps(dst + i + 8, _mm256_cvtph_ps(h1));
+  }
+  if (i < n) {
+    // Stage the tail through a zero-padded buffer: no out-of-bounds loads,
+    // and the converted garbage lanes are never copied out.
+    std::uint16_t hbuf[16] = {};
+    float fbuf[16];
+    std::memcpy(hbuf, src + i, (n - i) * sizeof(std::uint16_t));
+    _mm256_storeu_ps(fbuf, _mm256_cvtph_ps(_mm_loadu_si128(
+                               reinterpret_cast<const __m128i*>(hbuf))));
+    _mm256_storeu_ps(fbuf + 8, _mm256_cvtph_ps(_mm_loadu_si128(
+                                   reinterpret_cast<const __m128i*>(hbuf + 8))));
+    std::memcpy(dst + i, fbuf, (n - i) * sizeof(float));
+  }
+}
+
+constexpr int kRound = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+
+void f2h(const float* src, std::uint16_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i h0 = _mm256_cvtps_ph(_mm256_loadu_ps(src + i), kRound);
+    const __m128i h1 = _mm256_cvtps_ph(_mm256_loadu_ps(src + i + 8), kRound);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 8), h1);
+  }
+  if (i < n) {
+    float fbuf[16] = {};
+    std::uint16_t hbuf[16];
+    std::memcpy(fbuf, src + i, (n - i) * sizeof(float));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hbuf),
+                     _mm256_cvtps_ph(_mm256_loadu_ps(fbuf), kRound));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hbuf + 8),
+                     _mm256_cvtps_ph(_mm256_loadu_ps(fbuf + 8), kRound));
+    std::memcpy(dst + i, hbuf, (n - i) * sizeof(std::uint16_t));
+  }
+}
+
+// ---- reduction blocks (accumulators carried across fp16 tiles) -----------
+
+void dot_f32_block(const float* a, const float* b, std::size_t n, __m256d s[4],
+                   double& tail) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    s[0] = _mm256_fmadd_pd(cvt4_pd(a + i), cvt4_pd(b + i), s[0]);
+    s[1] = _mm256_fmadd_pd(cvt4_pd(a + i + 4), cvt4_pd(b + i + 4), s[1]);
+    s[2] = _mm256_fmadd_pd(cvt4_pd(a + i + 8), cvt4_pd(b + i + 8), s[2]);
+    s[3] = _mm256_fmadd_pd(cvt4_pd(a + i + 12), cvt4_pd(b + i + 12), s[3]);
+  }
+  for (; i + 4 <= n; i += 4)
+    s[0] = _mm256_fmadd_pd(cvt4_pd(a + i), cvt4_pd(b + i), s[0]);
+  for (; i < n; ++i)
+    tail += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+}
+
+void dot_f64_block(const double* a, const double* b, std::size_t n,
+                   __m256d s[4], double& tail) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    s[0] = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           s[0]);
+    s[1] = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), s[1]);
+    s[2] = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), s[2]);
+    s[3] = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), s[3]);
+  }
+  for (; i + 4 <= n; i += 4)
+    s[0] = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           s[0]);
+  for (; i < n; ++i) tail += a[i] * b[i];
+}
+
+// One-pass {a·b, a·a, b·b} with 3x4-wide double accumulators (two unrolled
+// sets so each FMA chain is one op per iteration).
+void dot_triple_f32_block(const float* a, const float* b, std::size_t n,
+                          __m256d t[6], double tail[3]) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d x0 = cvt4_pd(a + i), y0 = cvt4_pd(b + i);
+    const __m256d x1 = cvt4_pd(a + i + 4), y1 = cvt4_pd(b + i + 4);
+    t[0] = _mm256_fmadd_pd(x0, y0, t[0]);
+    t[2] = _mm256_fmadd_pd(x0, x0, t[2]);
+    t[4] = _mm256_fmadd_pd(y0, y0, t[4]);
+    t[1] = _mm256_fmadd_pd(x1, y1, t[1]);
+    t[3] = _mm256_fmadd_pd(x1, x1, t[3]);
+    t[5] = _mm256_fmadd_pd(y1, y1, t[5]);
+  }
+  for (; i < n; ++i) {
+    const double x = a[i], y = b[i];
+    tail[0] += x * y;
+    tail[1] += x * x;
+    tail[2] += y * y;
+  }
+}
+
+void dot_triple_f64_block(const double* a, const double* b, std::size_t n,
+                          __m256d t[6], double tail[3]) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d x0 = _mm256_loadu_pd(a + i);
+    const __m256d y0 = _mm256_loadu_pd(b + i);
+    const __m256d x1 = _mm256_loadu_pd(a + i + 4);
+    const __m256d y1 = _mm256_loadu_pd(b + i + 4);
+    t[0] = _mm256_fmadd_pd(x0, y0, t[0]);
+    t[2] = _mm256_fmadd_pd(x0, x0, t[2]);
+    t[4] = _mm256_fmadd_pd(y0, y0, t[4]);
+    t[1] = _mm256_fmadd_pd(x1, y1, t[1]);
+    t[3] = _mm256_fmadd_pd(x1, x1, t[3]);
+    t[5] = _mm256_fmadd_pd(y1, y1, t[5]);
+  }
+  for (; i < n; ++i) {
+    const double x = a[i], y = b[i];
+    tail[0] += x * y;
+    tail[1] += x * x;
+    tail[2] += y * y;
+  }
+}
+
+double reduce4(const __m256d s[4], double tail) {
+  return hsum(_mm256_add_pd(_mm256_add_pd(s[0], s[1]),
+                            _mm256_add_pd(s[2], s[3]))) +
+         tail;
+}
+
+void reduce_triple(const __m256d t[6], const double tail[3], double out[3]) {
+  out[0] = hsum(_mm256_add_pd(t[0], t[1])) + tail[0];
+  out[1] = hsum(_mm256_add_pd(t[2], t[3])) + tail[1];
+  out[2] = hsum(_mm256_add_pd(t[4], t[5])) + tail[2];
+}
+
+// ---- elementwise blocks ---------------------------------------------------
+
+void scaled_sum_f32_block(const float* a, double ca, const float* b, double cb,
+                          float* out, std::size_t n) {
+  const __m256d vca = _mm256_set1_pd(ca);
+  const __m256d vcb = _mm256_set1_pd(cb);
+  std::size_t i = 0;
+  // Aliasing contract (tensor/kernels.h): out may equal a or b exactly. Each
+  // 4-wide chunk is fully loaded before its store, and chunks are disjoint,
+  // so the in-place combine is safe at any unroll depth.
+  for (; i + 16 <= n; i += 16) {
+    const __m256d r0 =
+        _mm256_fmadd_pd(cvt4_pd(b + i), vcb, _mm256_mul_pd(cvt4_pd(a + i), vca));
+    const __m256d r1 = _mm256_fmadd_pd(
+        cvt4_pd(b + i + 4), vcb, _mm256_mul_pd(cvt4_pd(a + i + 4), vca));
+    const __m256d r2 = _mm256_fmadd_pd(
+        cvt4_pd(b + i + 8), vcb, _mm256_mul_pd(cvt4_pd(a + i + 8), vca));
+    const __m256d r3 = _mm256_fmadd_pd(
+        cvt4_pd(b + i + 12), vcb, _mm256_mul_pd(cvt4_pd(a + i + 12), vca));
+    store4_ps(out + i, r0);
+    store4_ps(out + i + 4, r1);
+    store4_ps(out + i + 8, r2);
+    store4_ps(out + i + 12, r3);
+  }
+  for (; i + 4 <= n; i += 4)
+    store4_ps(out + i, _mm256_fmadd_pd(cvt4_pd(b + i), vcb,
+                                       _mm256_mul_pd(cvt4_pd(a + i), vca)));
+  for (; i < n; ++i)
+    out[i] = static_cast<float>(ca * static_cast<double>(a[i]) +
+                                cb * static_cast<double>(b[i]));
+}
+
+void axpy_f32_block(double alpha, const float* x, float* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d r0 = _mm256_fmadd_pd(cvt4_pd(x + i), va, cvt4_pd(y + i));
+    const __m256d r1 =
+        _mm256_fmadd_pd(cvt4_pd(x + i + 4), va, cvt4_pd(y + i + 4));
+    store4_ps(y + i, r0);
+    store4_ps(y + i + 4, r1);
+  }
+  for (; i < n; ++i)
+    y[i] = static_cast<float>(static_cast<double>(y[i]) +
+                              alpha * static_cast<double>(x[i]));
+}
+
+void scale_f32_block(double alpha, float* x, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d r0 = _mm256_mul_pd(cvt4_pd(x + i), va);
+    const __m256d r1 = _mm256_mul_pd(cvt4_pd(x + i + 4), va);
+    store4_ps(x + i, r0);
+    store4_ps(x + i + 4, r1);
+  }
+  for (; i < n; ++i)
+    x[i] = static_cast<float>(alpha * static_cast<double>(x[i]));
+}
+
+void add_f32_block(const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d r0 = _mm256_add_pd(cvt4_pd(x + i), cvt4_pd(y + i));
+    const __m256d r1 = _mm256_add_pd(cvt4_pd(x + i + 4), cvt4_pd(y + i + 4));
+    store4_ps(y + i, r0);
+    store4_ps(y + i + 4, r1);
+  }
+  for (; i < n; ++i)
+    y[i] = static_cast<float>(static_cast<double>(y[i]) +
+                              static_cast<double>(x[i]));
+}
+
+// ---- typed kernel entry points -------------------------------------------
+
+// fp32
+double dot_f32(const std::byte* pa, const std::byte* pb, std::size_t n) {
+  const auto* a = reinterpret_cast<const float*>(pa);
+  const auto* b = reinterpret_cast<const float*>(pb);
+  __m256d s[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd()};
+  double tail = 0.0;
+  dot_f32_block(a, b, n, s, tail);
+  return reduce4(s, tail);
+}
+double norm_squared_f32(const std::byte* pa, std::size_t n) {
+  return dot_f32(pa, pa, n);
+}
+void dot_triple_f32(const std::byte* pa, const std::byte* pb, std::size_t n,
+                    double out[3]) {
+  const auto* a = reinterpret_cast<const float*>(pa);
+  const auto* b = reinterpret_cast<const float*>(pb);
+  __m256d t[6] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd()};
+  double tail[3] = {0.0, 0.0, 0.0};
+  dot_triple_f32_block(a, b, n, t, tail);
+  reduce_triple(t, tail, out);
+}
+void axpy_f32(double alpha, const std::byte* x, std::byte* y, std::size_t n) {
+  axpy_f32_block(alpha, reinterpret_cast<const float*>(x),
+                 reinterpret_cast<float*>(y), n);
+}
+void scale_f32(double alpha, std::byte* x, std::size_t n) {
+  scale_f32_block(alpha, reinterpret_cast<float*>(x), n);
+}
+void add_f32(const std::byte* x, std::byte* y, std::size_t n) {
+  add_f32_block(reinterpret_cast<const float*>(x),
+                reinterpret_cast<float*>(y), n);
+}
+void scaled_sum_f32(const std::byte* a, double ca, const std::byte* b,
+                    double cb, std::byte* out, std::size_t n) {
+  scaled_sum_f32_block(reinterpret_cast<const float*>(a), ca,
+                       reinterpret_cast<const float*>(b), cb,
+                       reinterpret_cast<float*>(out), n);
+}
+
+// fp64
+double dot_f64(const std::byte* pa, const std::byte* pb, std::size_t n) {
+  const auto* a = reinterpret_cast<const double*>(pa);
+  const auto* b = reinterpret_cast<const double*>(pb);
+  __m256d s[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd()};
+  double tail = 0.0;
+  dot_f64_block(a, b, n, s, tail);
+  return reduce4(s, tail);
+}
+double norm_squared_f64(const std::byte* pa, std::size_t n) {
+  return dot_f64(pa, pa, n);
+}
+void dot_triple_f64(const std::byte* pa, const std::byte* pb, std::size_t n,
+                    double out[3]) {
+  const auto* a = reinterpret_cast<const double*>(pa);
+  const auto* b = reinterpret_cast<const double*>(pb);
+  __m256d t[6] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd()};
+  double tail[3] = {0.0, 0.0, 0.0};
+  dot_triple_f64_block(a, b, n, t, tail);
+  reduce_triple(t, tail, out);
+}
+void axpy_f64(double alpha, const std::byte* px, std::byte* py,
+              std::size_t n) {
+  const auto* x = reinterpret_cast<const double*>(px);
+  auto* y = reinterpret_cast<double*>(py);
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(y + i, _mm256_fmadd_pd(_mm256_loadu_pd(x + i), va,
+                                            _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(y + i + 4,
+                     _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4), va,
+                                     _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+void scale_f64(double alpha, std::byte* px, std::size_t n) {
+  auto* x = reinterpret_cast<double*>(px);
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), va));
+    _mm256_storeu_pd(x + i + 4,
+                     _mm256_mul_pd(_mm256_loadu_pd(x + i + 4), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+void add_f64(const std::byte* px, std::byte* py, std::size_t n) {
+  const auto* x = reinterpret_cast<const double*>(px);
+  auto* y = reinterpret_cast<double*>(py);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(x + i),
+                                          _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(y + i + 4, _mm256_add_pd(_mm256_loadu_pd(x + i + 4),
+                                              _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+void scaled_sum_f64(const std::byte* pa, double ca, const std::byte* pb,
+                    double cb, std::byte* pout, std::size_t n) {
+  const auto* a = reinterpret_cast<const double*>(pa);
+  const auto* b = reinterpret_cast<const double*>(pb);
+  auto* out = reinterpret_cast<double*>(pout);
+  const __m256d vca = _mm256_set1_pd(ca);
+  const __m256d vcb = _mm256_set1_pd(cb);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Loads of both operands precede the store, so out == a / out == b exact
+    // aliasing (the in-place AdasumRVH combine) is safe per 8-element chunk.
+    const __m256d r0 = _mm256_fmadd_pd(
+        _mm256_loadu_pd(b + i), vcb,
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), vca));
+    const __m256d r1 = _mm256_fmadd_pd(
+        _mm256_loadu_pd(b + i + 4), vcb,
+        _mm256_mul_pd(_mm256_loadu_pd(a + i + 4), vca));
+    _mm256_storeu_pd(out + i, r0);
+    _mm256_storeu_pd(out + i + 4, r1);
+  }
+  for (; i < n; ++i) out[i] = ca * a[i] + cb * b[i];
+}
+
+// fp16: stage through F16C-converted stack tiles, run the fp32 blocks, and
+// (for mutating kernels) convert back with round-to-nearest-even — the same
+// double -> float -> half rounding sequence as the scalar store<Half>() path.
+double dot_f16(const std::byte* pa, const std::byte* pb, std::size_t n) {
+  const auto* a = reinterpret_cast<const std::uint16_t*>(pa);
+  const auto* b = reinterpret_cast<const std::uint16_t*>(pb);
+  __m256d s[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd()};
+  double tail = 0.0;
+  alignas(32) float ta[kTile], tb[kTile];
+  for (std::size_t off = 0; off < n; off += kTile) {
+    const std::size_t m = n - off < kTile ? n - off : kTile;
+    h2f(a + off, ta, m);
+    h2f(b + off, tb, m);
+    dot_f32_block(ta, tb, m, s, tail);
+  }
+  return reduce4(s, tail);
+}
+double norm_squared_f16(const std::byte* pa, std::size_t n) {
+  const auto* a = reinterpret_cast<const std::uint16_t*>(pa);
+  __m256d s[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd()};
+  double tail = 0.0;
+  alignas(32) float ta[kTile];
+  for (std::size_t off = 0; off < n; off += kTile) {
+    const std::size_t m = n - off < kTile ? n - off : kTile;
+    h2f(a + off, ta, m);
+    dot_f32_block(ta, ta, m, s, tail);
+  }
+  return reduce4(s, tail);
+}
+void dot_triple_f16(const std::byte* pa, const std::byte* pb, std::size_t n,
+                    double out[3]) {
+  const auto* a = reinterpret_cast<const std::uint16_t*>(pa);
+  const auto* b = reinterpret_cast<const std::uint16_t*>(pb);
+  __m256d t[6] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd(),
+                  _mm256_setzero_pd(), _mm256_setzero_pd()};
+  double tail[3] = {0.0, 0.0, 0.0};
+  alignas(32) float ta[kTile], tb[kTile];
+  for (std::size_t off = 0; off < n; off += kTile) {
+    const std::size_t m = n - off < kTile ? n - off : kTile;
+    h2f(a + off, ta, m);
+    h2f(b + off, tb, m);
+    dot_triple_f32_block(ta, tb, m, t, tail);
+  }
+  reduce_triple(t, tail, out);
+}
+void axpy_f16(double alpha, const std::byte* px, std::byte* py,
+              std::size_t n) {
+  const auto* x = reinterpret_cast<const std::uint16_t*>(px);
+  auto* y = reinterpret_cast<std::uint16_t*>(py);
+  alignas(32) float tx[kTile], ty[kTile];
+  for (std::size_t off = 0; off < n; off += kTile) {
+    const std::size_t m = n - off < kTile ? n - off : kTile;
+    h2f(x + off, tx, m);
+    h2f(y + off, ty, m);
+    axpy_f32_block(alpha, tx, ty, m);
+    f2h(ty, y + off, m);
+  }
+}
+void scale_f16(double alpha, std::byte* px, std::size_t n) {
+  auto* x = reinterpret_cast<std::uint16_t*>(px);
+  alignas(32) float tx[kTile];
+  for (std::size_t off = 0; off < n; off += kTile) {
+    const std::size_t m = n - off < kTile ? n - off : kTile;
+    h2f(x + off, tx, m);
+    scale_f32_block(alpha, tx, m);
+    f2h(tx, x + off, m);
+  }
+}
+void add_f16(const std::byte* px, std::byte* py, std::size_t n) {
+  const auto* x = reinterpret_cast<const std::uint16_t*>(px);
+  auto* y = reinterpret_cast<std::uint16_t*>(py);
+  alignas(32) float tx[kTile], ty[kTile];
+  for (std::size_t off = 0; off < n; off += kTile) {
+    const std::size_t m = n - off < kTile ? n - off : kTile;
+    h2f(x + off, tx, m);
+    h2f(y + off, ty, m);
+    add_f32_block(tx, ty, m);
+    f2h(ty, y + off, m);
+  }
+}
+void scaled_sum_f16(const std::byte* pa, double ca, const std::byte* pb,
+                    double cb, std::byte* pout, std::size_t n) {
+  const auto* a = reinterpret_cast<const std::uint16_t*>(pa);
+  const auto* b = reinterpret_cast<const std::uint16_t*>(pb);
+  auto* out = reinterpret_cast<std::uint16_t*>(pout);
+  alignas(32) float ta[kTile], tb[kTile], to[kTile];
+  for (std::size_t off = 0; off < n; off += kTile) {
+    const std::size_t m = n - off < kTile ? n - off : kTile;
+    // Both operand tiles are fully staged before the f2h store, so exact
+    // aliasing of out with a or b is safe tile-by-tile.
+    h2f(a + off, ta, m);
+    h2f(b + off, tb, m);
+    scaled_sum_f32_block(ta, ca, tb, cb, to, m);
+    f2h(to, out + off, m);
+  }
+}
+
+// ---- has_nonfinite: exponent-mask compare with per-block early exit ------
+
+bool has_nonfinite_f32(const std::byte* pa, std::size_t n) {
+  const auto* p = reinterpret_cast<const float*>(pa);
+  const __m256i mask = _mm256_set1_epi32(0x7f800000);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i hit = _mm256_setzero_si256();
+    for (std::size_t k = 0; k < 32; k += 8) {
+      const __m256i v = _mm256_castps_si256(_mm256_loadu_ps(p + i + k));
+      hit = _mm256_or_si256(hit,
+                            _mm256_cmpeq_epi32(_mm256_and_si256(v, mask),
+                                               mask));
+    }
+    if (!_mm256_testz_si256(hit, hit)) return true;
+  }
+  for (; i < n; ++i)
+    if (!std::isfinite(p[i])) return true;
+  return false;
+}
+bool has_nonfinite_f64(const std::byte* pa, std::size_t n) {
+  const auto* p = reinterpret_cast<const double*>(pa);
+  const __m256i mask = _mm256_set1_epi64x(0x7ff0000000000000LL);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i hit = _mm256_setzero_si256();
+    for (std::size_t k = 0; k < 16; k += 4) {
+      const __m256i v = _mm256_castpd_si256(_mm256_loadu_pd(p + i + k));
+      hit = _mm256_or_si256(hit,
+                            _mm256_cmpeq_epi64(_mm256_and_si256(v, mask),
+                                               mask));
+    }
+    if (!_mm256_testz_si256(hit, hit)) return true;
+  }
+  for (; i < n; ++i)
+    if (!std::isfinite(p[i])) return true;
+  return false;
+}
+bool has_nonfinite_f16(const std::byte* pa, std::size_t n) {
+  const auto* p = reinterpret_cast<const std::uint16_t*>(pa);
+  const __m256i mask = _mm256_set1_epi16(0x7c00);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m256i hit = _mm256_setzero_si256();
+    for (std::size_t k = 0; k < 64; k += 16) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(p + i + k));
+      hit = _mm256_or_si256(hit,
+                            _mm256_cmpeq_epi16(_mm256_and_si256(v, mask),
+                                               mask));
+    }
+    if (!_mm256_testz_si256(hit, hit)) return true;
+  }
+  for (; i < n; ++i)
+    if ((p[i] & 0x7c00u) == 0x7c00u) return true;
+  return false;
+}
+
+}  // namespace
+
+const KernelTable& avx2_table() {
+  static constexpr KernelTable table = {
+      "avx2",
+      {dot_f16, dot_f32, dot_f64},
+      {norm_squared_f16, norm_squared_f32, norm_squared_f64},
+      {dot_triple_f16, dot_triple_f32, dot_triple_f64},
+      {axpy_f16, axpy_f32, axpy_f64},
+      {scale_f16, scale_f32, scale_f64},
+      {add_f16, add_f32, add_f64},
+      {scaled_sum_f16, scaled_sum_f32, scaled_sum_f64},
+      {has_nonfinite_f16, has_nonfinite_f32, has_nonfinite_f64},
+      h2f,
+      f2h,
+  };
+  return table;
+}
+
+}  // namespace adasum::simd
+
+#endif  // ADASUM_SIMD_HAVE_AVX2

@@ -1,0 +1,185 @@
+// Scalar kernel table: the seed loops from tensor/kernels.cpp, unchanged.
+//
+// This TU is compiled with the baseline ISA flags and doubles as the oracle
+// for every vector path — the property tests in tests/simd_test.cpp hold the
+// AVX2 table to ulp-bounded agreement with these loops, and ADASUM_SIMD=scalar
+// forces the whole binary onto them. The loop structure (independent partial
+// accumulators, double accumulation per §4.4.1) must therefore stay exactly
+// as the seed wrote it: any change here silently moves the yardstick.
+#include <cmath>
+
+#include "base/half.h"
+#include "tensor/simd/kernel_table.h"
+
+namespace adasum::simd {
+namespace {
+
+// Loads an element as double. For Half this is the fp16->fp32->fp64 widening;
+// for float/double it is a plain conversion the compiler folds into the loop.
+template <typename T>
+inline double load(const T& v) {
+  return static_cast<double>(v);
+}
+inline double load(const Half& v) {
+  return static_cast<double>(static_cast<float>(v));
+}
+
+template <typename T>
+inline T store(double v) {
+  return static_cast<T>(v);
+}
+template <>
+inline Half store<Half>(double v) {
+  return Half(static_cast<float>(v));
+}
+
+template <typename T>
+double dot_impl(const T* a, const T* b, std::size_t n) {
+  // Four independent accumulators: breaks the loop-carried dependence so the
+  // compiler can vectorize / software-pipeline the reduction.
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += load(a[i + 0]) * load(b[i + 0]);
+    s1 += load(a[i + 1]) * load(b[i + 1]);
+    s2 += load(a[i + 2]) * load(b[i + 2]);
+    s3 += load(a[i + 3]) * load(b[i + 3]);
+  }
+  for (; i < n; ++i) s0 += load(a[i]) * load(b[i]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+template <typename T>
+void dot_triple_impl(const T* a, const T* b, std::size_t n, double out[3]) {
+  double ab0 = 0, ab1 = 0, aa0 = 0, aa1 = 0, bb0 = 0, bb1 = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double x0 = load(a[i]), y0 = load(b[i]);
+    const double x1 = load(a[i + 1]), y1 = load(b[i + 1]);
+    ab0 += x0 * y0;
+    aa0 += x0 * x0;
+    bb0 += y0 * y0;
+    ab1 += x1 * y1;
+    aa1 += x1 * x1;
+    bb1 += y1 * y1;
+  }
+  if (i < n) {
+    const double x = load(a[i]), y = load(b[i]);
+    ab0 += x * y;
+    aa0 += x * x;
+    bb0 += y * y;
+  }
+  out[0] = ab0 + ab1;
+  out[1] = aa0 + aa1;
+  out[2] = bb0 + bb1;
+}
+
+template <typename T>
+void axpy_impl(double alpha, const T* x, T* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = store<T>(load(y[i]) + alpha * load(x[i]));
+}
+
+template <typename T>
+void scale_impl(double alpha, T* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = store<T>(alpha * load(x[i]));
+}
+
+template <typename T>
+void add_impl(const T* x, T* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = store<T>(load(y[i]) + load(x[i]));
+}
+
+template <typename T>
+void scaled_sum_impl(const T* a, double ca, const T* b, double cb, T* out,
+                     std::size_t n) {
+  // Pure elementwise pass: out == a and out == b (exact aliasing) are safe.
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = store<T>(ca * load(a[i]) + cb * load(b[i]));
+}
+
+template <typename T>
+bool has_nonfinite_impl(const T* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (!std::isfinite(load(a[i]))) return true;
+  return false;
+}
+
+// ---- byte-signature shims filling the table ------------------------------
+
+template <typename T>
+const T* in(const std::byte* p) {
+  return reinterpret_cast<const T*>(p);
+}
+template <typename T>
+T* out_ptr(std::byte* p) {
+  return reinterpret_cast<T*>(p);
+}
+
+template <typename T>
+double k_dot(const std::byte* a, const std::byte* b, std::size_t n) {
+  return dot_impl(in<T>(a), in<T>(b), n);
+}
+template <typename T>
+double k_norm_squared(const std::byte* a, std::size_t n) {
+  return dot_impl(in<T>(a), in<T>(a), n);
+}
+template <typename T>
+void k_dot_triple(const std::byte* a, const std::byte* b, std::size_t n,
+                  double out[3]) {
+  dot_triple_impl(in<T>(a), in<T>(b), n, out);
+}
+template <typename T>
+void k_axpy(double alpha, const std::byte* x, std::byte* y, std::size_t n) {
+  axpy_impl(alpha, in<T>(x), out_ptr<T>(y), n);
+}
+template <typename T>
+void k_scale(double alpha, std::byte* x, std::size_t n) {
+  scale_impl(alpha, out_ptr<T>(x), n);
+}
+template <typename T>
+void k_add(const std::byte* x, std::byte* y, std::size_t n) {
+  add_impl(in<T>(x), out_ptr<T>(y), n);
+}
+template <typename T>
+void k_scaled_sum(const std::byte* a, double ca, const std::byte* b, double cb,
+                  std::byte* out, std::size_t n) {
+  scaled_sum_impl(in<T>(a), ca, in<T>(b), cb, out_ptr<T>(out), n);
+}
+template <typename T>
+bool k_has_nonfinite(const std::byte* a, std::size_t n) {
+  return has_nonfinite_impl(in<T>(a), n);
+}
+
+// Batched software fp16 converters: the same bit logic as per-element Half
+// access (half.h keeps it header-inline precisely so this loop and Half can
+// never diverge), but in a flat loop the compiler can pipeline without a
+// call per element.
+void sw_half_to_float(const std::uint16_t* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = Half::bits_to_float(src[i]);
+}
+void sw_float_to_half(const float* src, std::uint16_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = Half::float_to_bits(src[i]);
+}
+
+}  // namespace
+
+const KernelTable& scalar_table() {
+  static constexpr KernelTable table = {
+      "scalar",
+      {k_dot<Half>, k_dot<float>, k_dot<double>},
+      {k_norm_squared<Half>, k_norm_squared<float>, k_norm_squared<double>},
+      {k_dot_triple<Half>, k_dot_triple<float>, k_dot_triple<double>},
+      {k_axpy<Half>, k_axpy<float>, k_axpy<double>},
+      {k_scale<Half>, k_scale<float>, k_scale<double>},
+      {k_add<Half>, k_add<float>, k_add<double>},
+      {k_scaled_sum<Half>, k_scaled_sum<float>, k_scaled_sum<double>},
+      {k_has_nonfinite<Half>, k_has_nonfinite<float>, k_has_nonfinite<double>},
+      sw_half_to_float,
+      sw_float_to_half,
+  };
+  return table;
+}
+
+}  // namespace adasum::simd
