@@ -38,6 +38,11 @@ namespace {
 std::atomic<std::uint64_t> g_heap_allocs{0};
 }  // namespace
 
+// GCC cannot see that the replacement operator new below hands out malloc'd
+// memory, so free() in the matching operator delete trips a false
+// -Wmismatched-new-delete.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t n) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n ? n : 1)) return p;
@@ -48,6 +53,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 

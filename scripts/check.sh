@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build + test suite (under both SIMD dispatch levels),
-# the micro-kernel speedup gate, then a ThreadSanitizer pass over the suites
-# that exercise the cross-thread buffer handoff (mailbox cv, BufferPool,
-# zero-copy collectives) and the fault-injection layer.
+# Tier-1 gate + the correctness-tooling matrix (DESIGN.md §11):
 #
-# Usage: scripts/check.sh            # from the repo root
-#        SKIP_TSAN=1 scripts/check.sh
+#   1. Release build (CMakePresets.json `release`) + full ctest under both
+#      SIMD dispatch levels, the micro-kernel speedup gate and the
+#      injector-off allocation gate.
+#   2. Repo lint (scripts/lint.sh): naked-allocation / sleep_for rules,
+#      header self-sufficiency, and — when the clang tools exist —
+#      clang-format and clang-tidy.
+#   3. ThreadSanitizer preset over the suites that exercise the cross-thread
+#      buffer handoff and the protocol analyzer's watchdog.
+#   4. ASan+UBSan preset over the ENTIRE test suite.
+#
+# Usage: scripts/check.sh               # from the repo root
+#        SKIP_TSAN=1 scripts/check.sh   # skip stage 3
+#        SKIP_SAN=1  scripts/check.sh   # skip stages 3 and 4
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "=== tier-1: build + ctest (ADASUM_SIMD=auto) ==="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)"
-(cd build && ctest --output-on-failure -j "$(nproc)")
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)"
+ctest --preset release -j "$(nproc)"
 
 echo "=== tier-1: ctest (ADASUM_SIMD=scalar) ==="
 # The scalar fallback is a first-class code path (non-AVX2 hosts run it for
@@ -25,28 +33,46 @@ echo "=== kernel gate: SIMD dispatch speedup floors ==="
 ./build/bench/bench_micro_kernels --kernels_json
 
 echo "=== allocation gate: injector-off fault path ==="
-# The fault machinery must add zero steady-state heap allocations when the
-# injector is off (operator-new hook, same as bench_fig4's zero-copy gate).
-./build/tests/chaos_test \
-  --gtest_filter='Chaos.FaultTolerantHotPathAddsNoSteadyStateAllocations'
+# The fault machinery AND the (disabled) protocol analyzer must add zero
+# steady-state heap allocations (operator-new hook, same as bench_fig4's
+# zero-copy gate).
+./build/tests/chaos_test --gtest_filter='Chaos.FaultTolerantHotPathAddsNoSteadyStateAllocations:Chaos.AnalyzerOffPathIsByteAndAllocationIdenticalToSeed'
 
-if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
-  echo "=== tsan: skipped (SKIP_TSAN=1) ==="
+echo "=== lint: repo rules + clang tools (if installed) ==="
+scripts/lint.sh
+
+if [[ "${SKIP_SAN:-0}" == "1" ]]; then
+  echo "=== sanitizers: skipped (SKIP_SAN=1) ==="
   exit 0
 fi
 
-echo "=== tsan: comm_test + collectives_test + chaos_test ==="
-cmake -B build-tsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target comm_test collectives_test \
-  chaos_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/comm_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/collectives_test
-# A fixed, smaller seed window keeps the TSan pass deterministic and fast
-# while still sweeping every fault profile under the race detector.
-TSAN_OPTIONS="halt_on_error=1" CHAOS_SCHEDULES=48 CHAOS_SEED_BASE=1000 \
-  ./build-tsan/tests/chaos_test
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  echo "=== tsan: skipped (SKIP_TSAN=1) ==="
+else
+  echo "=== tsan: comm_test + collectives_test + chaos_test + analysis_test ==="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$(nproc)" --target comm_test \
+    collectives_test chaos_test analysis_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/comm_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/collectives_test
+  # A fixed, smaller seed window keeps the TSan pass deterministic and fast
+  # while still sweeping every fault profile under the race detector.
+  TSAN_OPTIONS="halt_on_error=1" CHAOS_SCHEDULES=48 CHAOS_SEED_BASE=1000 \
+    ./build-tsan/tests/chaos_test
+  # The analyzer's watchdog/epoch machinery under the race detector, with the
+  # hooks live on every message.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/analysis_test
+  TSAN_OPTIONS="halt_on_error=1" ADASUM_ANALYZE=on \
+    ./build-tsan/tests/collectives_test
+fi
+
+echo "=== asan+ubsan: full ctest suite ==="
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$(nproc)"
+# Reduced chaos window: ASan roughly doubles runtimes and the full seed sweep
+# already ran in tier-1; the sanitizer pass is after memory/UB bugs, not the
+# statistical coverage.
+ASAN_OPTIONS="detect_leaks=1" CHAOS_SCHEDULES=48 CHAOS_SEED_BASE=1000 \
+  ctest --preset asan-ubsan -j "$(nproc)"
 
 echo "=== all checks passed ==="

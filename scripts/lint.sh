@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Repo lint — static rules that do not need a build tree.
+#
+#   1. grep rules that encode repo invariants the compiler cannot see:
+#        - no naked `new` / `malloc` in src/ (buffers go through BufferPool;
+#          the only owning allocations are make_unique/make_shared)
+#        - no sleep_for in src/comm hot paths (fault_injector.cpp is the one
+#          sanctioned exception: injected latency IS its job)
+#   2. header self-sufficiency: every header under src/ must compile on its
+#      own with -fsyntax-only (no hidden include-order dependencies)
+#   3. clang-format --dry-run (format CHECK, never a reformat) and
+#      clang-tidy over compile_commands.json — both availability-gated:
+#      the pinned toolchain image ships only GCC, so missing binaries skip
+#      with a notice instead of failing the gate.
+#
+# Usage: scripts/lint.sh          # from anywhere; exits nonzero on violation
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "--- lint: naked allocations in src/ ---"
+# `new` as an expression (naked or placement) outside BufferPool; noexcept
+# operator-new *declarations* (the test/bench heap hooks live outside src/).
+hits=$(grep -rnE '(=|return|\()[[:space:]]*new[[:space:]]+[A-Za-z_]|[^_a-zA-Z]malloc[[:space:]]*\(' \
+  src/ --include='*.cpp' --include='*.h' \
+  | grep -v 'buffer_pool' | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
+if [[ -n "${hits}" ]]; then
+  echo "naked new/malloc outside BufferPool:"
+  echo "${hits}"
+  fail=1
+fi
+
+echo "--- lint: sleep_for in src/comm ---"
+hits=$(grep -rn 'sleep_for' src/comm --include='*.cpp' --include='*.h' \
+  | grep -v 'fault_injector.cpp' || true)
+if [[ -n "${hits}" ]]; then
+  echo "sleep_for in a comm hot path (only fault_injector.cpp may sleep):"
+  echo "${hits}"
+  fail=1
+fi
+
+echo "--- lint: header self-sufficiency (g++ -fsyntax-only) ---"
+tmp=$(mktemp -d)
+trap 'rm -rf "${tmp}"' EXIT
+while IFS= read -r hdr; do
+  rel=${hdr#src/}
+  printf '#include "%s"\n' "${rel}" > "${tmp}/tu.cpp"
+  if ! g++ -std=c++20 -fsyntax-only -I src "${tmp}/tu.cpp" 2> "${tmp}/err"; then
+    echo "header is not self-sufficient: ${hdr}"
+    sed 's/^/    /' "${tmp}/err" | head -15
+    fail=1
+  fi
+done < <(find src -name '*.h' | sort)
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "--- lint: clang-format (check only) ---"
+  # --dry-run -Werror: report drift as an error, never rewrite the tree.
+  if ! find src tests bench -name '*.cpp' -o -name '*.h' \
+      | xargs clang-format --dry-run -Werror; then
+    echo "clang-format drift (run clang-format -i manually to fix)"
+    fail=1
+  fi
+else
+  echo "--- lint: clang-format not installed, skipping format check ---"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "--- lint: clang-tidy ---"
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake --preset release >/dev/null
+  fi
+  if ! find src -name '*.cpp' | xargs clang-tidy -p build --quiet; then
+    fail=1
+  fi
+else
+  echo "--- lint: clang-tidy not installed, skipping static analysis ---"
+fi
+
+if [[ ${fail} -ne 0 ]]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

@@ -1,0 +1,390 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace adasum::analysis {
+
+const char* to_string(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kOvertake:
+      return "non-overtaking order violated";
+    case Violation::Kind::kDuplicateDelivery:
+      return "duplicate delivery";
+    case Violation::Kind::kRecvAfterAbort:
+      return "recv after observed abort";
+    case Violation::Kind::kUnbalancedChannel:
+      return "unbalanced channel";
+    case Violation::Kind::kScheduleMismatch:
+      return "schedule mismatch";
+    case Violation::Kind::kDeadlock:
+      return "deadlock (wait-for cycle)";
+    case Violation::Kind::kStall:
+      return "stall (blocked on finished rank)";
+    case Violation::Kind::kLogOverflow:
+      return "event log overflow";
+  }
+  return "unknown";
+}
+
+ProtocolAnalyzer::ProtocolAnalyzer(int world_size, AnalyzerOptions options,
+                                   std::function<void()> abort_world)
+    : size_(world_size),
+      options_(options),
+      abort_world_(std::move(abort_world)),
+      detector_(world_size) {
+  ADASUM_CHECK_GE(world_size, 1);
+  ADASUM_CHECK_GE(options_.log_capacity, std::size_t{16});
+  const std::size_t n = static_cast<std::size_t>(size_);
+  chan_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(n * n);
+  observed_abort_ = std::make_unique<std::atomic<bool>[]>(n);
+  logs_.reserve(n);
+  last_seq_.resize(n);
+  for (int r = 0; r < size_; ++r) {
+    logs_.push_back(std::make_unique<EventLog>(options_.log_capacity));
+    observed_abort_[static_cast<std::size_t>(r)].store(
+        false, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < n * n; ++i)
+    chan_seq_[i].store(0, std::memory_order_relaxed);
+}
+
+ProtocolAnalyzer::~ProtocolAnalyzer() {
+  // A run that threw past end_run still joins the watchdog here.
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void ProtocolAnalyzer::begin_run(bool faults_possible) {
+  // Injected drops, duplicates and kills legitimately break schedules and
+  // channel balance; the message-level checks stay on regardless (they are
+  // what detects an injected reorder).
+  strict_ = !faults_possible;
+  const std::size_t n = static_cast<std::size_t>(size_);
+  for (int r = 0; r < size_; ++r) {
+    logs_[static_cast<std::size_t>(r)] =
+        std::make_unique<EventLog>(options_.log_capacity);
+    last_seq_[static_cast<std::size_t>(r)].clear();
+    observed_abort_[static_cast<std::size_t>(r)].store(
+        false, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < n * n; ++i)
+    chan_seq_[i].store(0, std::memory_order_relaxed);
+  detector_.reset();
+  {
+    std::lock_guard<std::mutex> lock(violations_mutex_);
+    violations_.clear();
+  }
+  deadlock_detected_.store(false, std::memory_order_release);
+  epochs_validated_.store(0, std::memory_order_relaxed);
+  epochs_observed_.store(0, std::memory_order_relaxed);
+
+  // The watchdog only arms for strict runs: in a fault-injected run a mutual
+  // wait is an EXPECTED consequence of a dropped message, and the
+  // fault-tolerance deadlines (pop_wait) are the sanctioned rescue path —
+  // aborting ahead of them would change the semantics under test.
+  if (!strict_) return;
+  std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  if (watchdog_stop_) {
+    if (watchdog_.joinable()) watchdog_.join();
+    watchdog_stop_ = false;
+    watchdog_ = std::thread([this]() { watchdog_main(); });
+  }
+}
+
+void ProtocolAnalyzer::end_run() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  if (strict_) check_channel_balance();
+}
+
+void ProtocolAnalyzer::watchdog_main() {
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, options_.scan_interval,
+                          [this]() { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    lock.unlock();
+    const DeadlockDetector::Finding f =
+        detector_.scan(options_.cycle_grace, options_.stall_grace);
+    if (f.kind == DeadlockDetector::Finding::Kind::kNone) {
+      lock.lock();
+      continue;
+    }
+    std::ostringstream os;
+    if (f.kind == DeadlockDetector::Finding::Kind::kCycle) {
+      os << "wait-for cycle:";
+      for (std::size_t i = 0; i < f.cycle.size(); ++i)
+        os << (i == 0 ? " " : " -> ") << "rank " << f.cycle[i];
+      os << " -> rank " << f.cycle.front() << "\n";
+      for (int r : f.cycle) os << describe_rank(r) << "\n";
+    } else {
+      os << "rank " << f.rank << " has been blocked in recv(src=" << f.src
+         << ", tag=" << f.tag << ") for " << f.blocked_for.count()
+         << " ms, but rank " << f.src
+         << " has already finished and can never send again"
+         << " — missing send or tag mismatch?\n";
+      os << "channel " << f.src << " -> " << f.rank << ": "
+         << describe_channel(f.src, f.rank) << "\n";
+      os << describe_rank(f.rank) << "\n" << describe_rank(f.src) << "\n";
+    }
+    deadlock_detected_.store(true, std::memory_order_release);
+    record(f.kind == DeadlockDetector::Finding::Kind::kCycle
+               ? Violation::Kind::kDeadlock
+               : Violation::Kind::kStall,
+           f.kind == DeadlockDetector::Finding::Kind::kCycle
+               ? (f.cycle.empty() ? -1 : f.cycle.front())
+               : f.rank,
+           os.str());
+    // Abort unconditionally: the watchdog's contract is that a deadlocked
+    // schedule ends in a report, never in a hung ctest.
+    abort_world_();
+    return;
+  }
+}
+
+std::uint64_t ProtocolAnalyzer::on_send(int src, int dst, int tag,
+                                        std::size_t bytes) {
+  const std::uint64_t seq =
+      chan_seq_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size_) +
+                static_cast<std::size_t>(dst)]
+          .fetch_add(1, std::memory_order_relaxed);
+  logs_[static_cast<std::size_t>(src)]->append(
+      Event{EventKind::kSend, dst, tag, bytes, seq});
+  return seq;
+}
+
+void ProtocolAnalyzer::on_recv_started(int rank, int src, int tag) {
+  if (!observed_abort_[static_cast<std::size_t>(rank)].load(
+          std::memory_order_acquire))
+    return;
+  std::ostringstream os;
+  os << "rank " << rank << " issued recv(src=" << src << ", tag=" << tag
+     << ") after it had already observed WorldAborted — operations after an "
+     << "abort must not be attempted";
+  record(Violation::Kind::kRecvAfterAbort, rank, os.str());
+}
+
+void ProtocolAnalyzer::on_recv_blocked(int rank, int src, int tag) {
+  detector_.block(rank, src, tag);
+}
+
+void ProtocolAnalyzer::on_recv_unblocked(int rank) { detector_.unblock(rank); }
+
+void ProtocolAnalyzer::on_recv(int rank, int src, int tag, std::size_t bytes,
+                               std::uint64_t seq) {
+  logs_[static_cast<std::size_t>(rank)]->append(
+      Event{EventKind::kRecv, src, tag, bytes, seq});
+  auto& last = last_seq_[static_cast<std::size_t>(rank)];
+  const auto key = std::make_pair(src, tag);
+  const auto it = last.find(key);
+  if (it == last.end()) {
+    last.emplace(key, seq);
+    return;
+  }
+  if (seq == it->second) {
+    std::ostringstream os;
+    os << "rank " << rank << " recv(src=" << src << ", tag=" << tag
+       << "): channel seq " << seq
+       << " delivered twice (duplicated message)";
+    record(Violation::Kind::kDuplicateDelivery, rank, os.str());
+  } else if (seq < it->second) {
+    std::ostringstream os;
+    os << "rank " << rank << " recv(src=" << src << ", tag=" << tag
+       << "): channel seq " << seq << " arrived after seq " << it->second
+       << " — same-tag messages overtook each other on channel " << src
+       << " -> " << rank;
+    record(Violation::Kind::kOvertake, rank, os.str());
+  }
+  it->second = std::max(it->second, seq);
+}
+
+void ProtocolAnalyzer::on_abort_observed(int rank) {
+  observed_abort_[static_cast<std::size_t>(rank)].store(
+      true, std::memory_order_release);
+}
+
+void ProtocolAnalyzer::on_rank_done(int rank) { detector_.mark_done(rank); }
+
+std::size_t ProtocolAnalyzer::epoch_begin(int rank) const {
+  return logs_[static_cast<std::size_t>(rank)]->size();
+}
+
+void ProtocolAnalyzer::epoch_end(int rank, const char* name, std::size_t start,
+                                 const EpochExpectation& expect) {
+  epochs_observed_.fetch_add(1, std::memory_order_relaxed);
+  if (!strict_ || expect.empty()) return;
+  const EventLog& log = *logs_[static_cast<std::size_t>(rank)];
+  if (log.dropped() > 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " epoch '" << name << "': " << log.dropped()
+       << " events dropped (log_capacity=" << options_.log_capacity
+       << " too small) — schedule validation suspended";
+    record(Violation::Kind::kLogOverflow, rank, os.str());
+    return;
+  }
+  std::map<EpochExpectation::Key, int> observed;
+  const std::size_t end = log.size();
+  for (std::size_t i = start; i < end; ++i) {
+    const Event& e = log[i];
+    ++observed[EpochExpectation::Key{e.kind, e.peer, e.tag}];
+  }
+  std::ostringstream diff;
+  int mismatches = 0;
+  const auto describe = [](const EpochExpectation::Key& key) {
+    std::ostringstream os;
+    os << to_string(std::get<0>(key)) << "(peer=" << std::get<1>(key)
+       << ", tag=" << std::get<2>(key) << ")";
+    return os.str();
+  };
+  for (const auto& [key, want] : expect.counts()) {
+    const auto it = observed.find(key);
+    const int got = it == observed.end() ? 0 : it->second;
+    if (got != want) {
+      diff << "  " << describe(key) << ": declared " << want << ", observed "
+           << got << "\n";
+      ++mismatches;
+    }
+  }
+  for (const auto& [key, got] : observed) {
+    if (expect.counts().count(key) == 0) {
+      diff << "  " << describe(key) << ": declared 0, observed " << got
+           << "\n";
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " epoch '" << name
+       << "': observed message pattern differs from the declared schedule ("
+       << mismatches << " entries):\n"
+       << diff.str();
+    record(Violation::Kind::kScheduleMismatch, rank, os.str());
+    return;
+  }
+  epochs_validated_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ProtocolAnalyzer::has_violations() const {
+  std::lock_guard<std::mutex> lock(violations_mutex_);
+  return !violations_.empty();
+}
+
+std::vector<Violation> ProtocolAnalyzer::violations() const {
+  std::lock_guard<std::mutex> lock(violations_mutex_);
+  return violations_;
+}
+
+void ProtocolAnalyzer::record(Violation::Kind kind, int rank,
+                              std::string detail) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(violations_mutex_);
+    first = violations_.empty();
+    violations_.push_back(Violation{kind, rank, std::move(detail)});
+  }
+  // Fail fast: the first violation ends the run so its report points at the
+  // first symptom, not at downstream fallout. Only in strict mode — an
+  // observe-only run (fault injector attached) records violations for later
+  // inspection without perturbing the run.
+  if (first && options_.fail_fast && strict_) abort_world_();
+}
+
+std::string ProtocolAnalyzer::describe_channel(int src, int dst) const {
+  std::map<int, int> sent;   // tag -> count
+  std::map<int, int> recvd;  // tag -> count
+  const EventLog& out = *logs_[static_cast<std::size_t>(src)];
+  for (std::size_t i = 0, n = out.size(); i < n; ++i) {
+    const Event& e = out[i];
+    if (e.kind == EventKind::kSend && e.peer == dst) ++sent[e.tag];
+  }
+  const EventLog& in = *logs_[static_cast<std::size_t>(dst)];
+  for (std::size_t i = 0, n = in.size(); i < n; ++i) {
+    const Event& e = in[i];
+    if (e.kind == EventKind::kRecv && e.peer == src) ++recvd[e.tag];
+  }
+  std::ostringstream os;
+  os << "sent {";
+  for (const auto& [tag, n] : sent) os << " tag " << tag << ": " << n;
+  os << " } received {";
+  for (const auto& [tag, n] : recvd) os << " tag " << tag << ": " << n;
+  os << " }";
+  return os.str();
+}
+
+std::string ProtocolAnalyzer::describe_rank(int rank) const {
+  const EventLog& log = *logs_[static_cast<std::size_t>(rank)];
+  const std::size_t n = log.size();
+  std::ostringstream os;
+  os << "  rank " << rank << ": " << detector_.describe(rank) << "; " << n
+     << " events";
+  if (log.dropped() > 0) os << " (" << log.dropped() << " dropped)";
+  constexpr std::size_t kTail = 6;
+  if (n > 0) {
+    os << "; last ops:";
+    for (std::size_t i = n > kTail ? n - kTail : 0; i < n; ++i) {
+      const Event& e = log[i];
+      os << " " << to_string(e.kind) << "(peer=" << e.peer
+         << ", tag=" << e.tag << ", seq=" << e.seq << ", " << e.bytes << "B)";
+    }
+  }
+  return os.str();
+}
+
+void ProtocolAnalyzer::check_channel_balance() {
+  // sends per (src, dst, tag) vs recvs per (src, dst, tag), over the whole
+  // run. Only meaningful for strict (fault-free) runs: an injected drop or a
+  // killed rank leaves legitimately unmatched traffic.
+  std::map<std::tuple<int, int, int>, long> balance;
+  for (int r = 0; r < size_; ++r) {
+    const EventLog& log = *logs_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0, n = log.size(); i < n; ++i) {
+      const Event& e = log[i];
+      if (e.kind == EventKind::kSend)
+        ++balance[{r, e.peer, e.tag}];
+      else
+        --balance[{e.peer, r, e.tag}];
+    }
+  }
+  for (const auto& [key, delta] : balance) {
+    if (delta == 0) continue;
+    const auto [src, dst, tag] = key;
+    std::ostringstream os;
+    os << "channel " << src << " -> " << dst << " tag " << tag << ": "
+       << (delta > 0 ? delta : -delta) << " "
+       << (delta > 0 ? "message(s) sent but never received"
+                     : "more receives than sends")
+       << " (" << describe_channel(src, dst) << ")";
+    record(Violation::Kind::kUnbalancedChannel, dst, os.str());
+  }
+}
+
+std::string ProtocolAnalyzer::report() const {
+  std::ostringstream os;
+  os << "=== protocol analyzer report (world size " << size_ << ", "
+     << (strict_ ? "strict" : "observe-only — fault injector attached")
+     << ") ===\n";
+  os << "epochs: " << epochs_validated() << " validated against declared "
+     << "schedules, " << epochs_observed() << " observed\n";
+  const std::vector<Violation> v = violations();
+  os << "violations: " << v.size() << "\n";
+  for (const Violation& viol : v) {
+    os << "- [" << to_string(viol.kind) << "] rank " << viol.rank << ":\n  "
+       << viol.detail << "\n";
+  }
+  os << "per-rank state:\n";
+  for (int r = 0; r < size_; ++r) os << describe_rank(r) << "\n";
+  return os.str();
+}
+
+}  // namespace adasum::analysis

@@ -1,0 +1,83 @@
+#include "analysis/deadlock_detector.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace adasum::analysis {
+
+DeadlockDetector::Finding DeadlockDetector::scan(
+    std::chrono::milliseconds cycle_grace,
+    std::chrono::milliseconds stall_grace) const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int p = static_cast<int>(blocked_.size());
+
+  const auto blocked_for = [&](int r) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        now - blocked_[static_cast<std::size_t>(r)].since);
+  };
+
+  // Stalls: blocked past the grace on a peer that can never send again.
+  for (int r = 0; r < p; ++r) {
+    const Slot& s = blocked_[static_cast<std::size_t>(r)];
+    if (!s.blocked || s.src < 0 || s.src >= p) continue;
+    if (!done_[static_cast<std::size_t>(s.src)]) continue;
+    const auto waited = blocked_for(r);
+    if (waited < stall_grace) continue;
+    Finding f;
+    f.kind = Finding::Kind::kStall;
+    f.rank = r;
+    f.src = s.src;
+    f.tag = s.tag;
+    f.blocked_for = waited;
+    return f;
+  }
+
+  // Cycles: out-degree ≤ 1, so walk each rank's wait chain; a repeat inside
+  // the current walk is a cycle. Only edges older than the grace qualify —
+  // a younger edge may be a wait whose matching push is already in flight.
+  const auto edge = [&](int r) -> int {
+    const Slot& s = blocked_[static_cast<std::size_t>(r)];
+    if (!s.blocked || s.src < 0 || s.src >= p) return -1;
+    if (blocked_for(r) < cycle_grace) return -1;
+    return s.src;
+  };
+  std::vector<int> color(static_cast<std::size_t>(p), 0);  // 0 new, 1 walk, 2 done
+  for (int start = 0; start < p; ++start) {
+    if (color[static_cast<std::size_t>(start)] != 0) continue;
+    std::vector<int> path;
+    int r = start;
+    while (r >= 0 && color[static_cast<std::size_t>(r)] == 0) {
+      color[static_cast<std::size_t>(r)] = 1;
+      path.push_back(r);
+      r = edge(r);
+    }
+    if (r >= 0 && color[static_cast<std::size_t>(r)] == 1) {
+      Finding f;
+      f.kind = Finding::Kind::kCycle;
+      const auto first = std::find(path.begin(), path.end(), r);
+      f.cycle.assign(first, path.end());
+      f.blocked_for = blocked_for(r);
+      return f;
+    }
+    for (int visited : path) color[static_cast<std::size_t>(visited)] = 2;
+  }
+  return Finding{};
+}
+
+std::string DeadlockDetector::describe(int rank) const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Slot& s = blocked_[static_cast<std::size_t>(rank)];
+  if (!s.blocked) {
+    return done_[static_cast<std::size_t>(rank)] ? "finished" : "running";
+  }
+  std::ostringstream os;
+  os << "blocked in recv(src=" << s.src << ", tag=" << s.tag << ") for "
+     << std::chrono::duration_cast<std::chrono::milliseconds>(now - s.since)
+            .count()
+     << " ms";
+  return os.str();
+}
+
+}  // namespace adasum::analysis

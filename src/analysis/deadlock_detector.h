@@ -1,0 +1,93 @@
+// Wait-for-graph bookkeeping for the protocol analyzer's deadlock watchdog
+// (DESIGN.md §11).
+//
+// Every blocking receive registers a directed edge (waiting rank → awaited
+// source) for its whole wait; the watchdog thread periodically scans the
+// graph. Because a rank blocks on at most one receive at a time the graph
+// has out-degree ≤ 1, so cycle detection is simple pointer chasing. Two
+// findings end a run:
+//
+//   * cycle — a wait-for cycle whose every edge has persisted for at least
+//     the grace period (the grace absorbs the benign race where a matching
+//     message is pushed between the waiter's registration and the scan);
+//   * stall — a rank blocked past the grace period on a peer that has
+//     already finished its rank function (or died) and therefore can never
+//     send again: the signature of a tag mismatch or a missing send.
+//
+// The table is mutex-guarded: registrations happen at most once per receive
+// on an already-debug-opt-in path, so a lock is cheaper to reason about
+// (and TSan-clean) than a seqlock.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adasum::analysis {
+
+class DeadlockDetector {
+ public:
+  struct Finding {
+    enum class Kind { kNone, kCycle, kStall };
+    Kind kind = Kind::kNone;
+    std::vector<int> cycle;  // ranks forming the wait cycle, in edge order
+    int rank = -1;           // stalled rank (kStall)
+    int src = -1;            // peer the stalled rank is blocked on
+    int tag = 0;             // tag the stalled rank is waiting for
+    std::chrono::milliseconds blocked_for{0};
+  };
+
+  explicit DeadlockDetector(int world_size)
+      : blocked_(static_cast<std::size_t>(world_size)),
+        done_(static_cast<std::size_t>(world_size), false) {}
+
+  void block(int rank, int src, int tag) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& s = blocked_[static_cast<std::size_t>(rank)];
+    s.blocked = true;
+    s.src = src;
+    s.tag = tag;
+    s.since = std::chrono::steady_clock::now();
+  }
+
+  void unblock(int rank) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    blocked_[static_cast<std::size_t>(rank)].blocked = false;
+  }
+
+  // A finished (or killed) rank can never send again; waits on it are stalls.
+  void mark_done(int rank) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_[static_cast<std::size_t>(rank)] = true;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Slot& s : blocked_) s = Slot{};
+    done_.assign(done_.size(), false);
+  }
+
+  // One watchdog pass over the wait-for graph. Returns the first finding, or
+  // kind == kNone when every wait still looks serviceable.
+  Finding scan(std::chrono::milliseconds cycle_grace,
+               std::chrono::milliseconds stall_grace) const;
+
+  // Blocked-op description for the deadlock report ("recv(src=2, tag=7)
+  // blocked for 120 ms"), or "" when the rank is not blocked.
+  std::string describe(int rank) const;
+
+ private:
+  struct Slot {
+    bool blocked = false;
+    int src = -1;
+    int tag = 0;
+    std::chrono::steady_clock::time_point since{};
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Slot> blocked_;
+  std::vector<bool> done_;
+};
+
+}  // namespace adasum::analysis

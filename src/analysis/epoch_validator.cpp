@@ -1,0 +1,33 @@
+#include "analysis/epoch_validator.h"
+
+#include <bit>
+
+namespace adasum::analysis {
+
+void EpochExpectation::allreduce_doubles(std::span<const int> group, int rank,
+                                         int tag) {
+  const int p = static_cast<int>(group.size());
+  if (p <= 1) return;
+  int me = -1;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    if (group[i] == rank) me = static_cast<int>(i);
+  if (me < 0) return;  // caller not in the group declares nothing
+
+  if (std::has_single_bit(static_cast<unsigned>(p))) {
+    for (int dist = 1; dist < p; dist <<= 1) {
+      const int peer = group[static_cast<std::size_t>(me ^ dist)];
+      send(peer, tag);
+      recv(peer, tag);
+    }
+    return;
+  }
+  if (me == 0) {
+    for (int i = 1; i < p; ++i) recv(group[static_cast<std::size_t>(i)], tag);
+    for (int i = 1; i < p; ++i) send(group[static_cast<std::size_t>(i)], tag);
+  } else {
+    send(group[0], tag);
+    recv(group[0], tag);
+  }
+}
+
+}  // namespace adasum::analysis

@@ -1,0 +1,42 @@
+// Epoch schedule declarations for the protocol analyzer (DESIGN.md §11).
+//
+// A collective opens an epoch (analysis::EpochGuard in analyzer.h), declares
+// the multiset of point-to-point operations its schedule will perform on the
+// calling rank — (direction, peer, tag) triples — and the analyzer diffs the
+// declaration against what the transport actually observed when the epoch
+// closes. The declaration is built from the same formulas that drive the
+// collective's own loops, so a drifted tag constant, a wrong neighbor
+// computation or a skipped level shows up as a human-readable expected-vs-
+// observed diff instead of a hang or a silently wrong reduction.
+#pragma once
+
+#include <map>
+#include <span>
+#include <tuple>
+
+#include "analysis/event_log.h"
+
+namespace adasum::analysis {
+
+// Expected operations for one collective epoch on one rank.
+class EpochExpectation {
+ public:
+  // (direction, peer world-rank, tag) — the multiset key.
+  using Key = std::tuple<EventKind, int, int>;
+
+  void send(int peer, int tag) { ++counts_[Key{EventKind::kSend, peer, tag}]; }
+  void recv(int peer, int tag) { ++counts_[Key{EventKind::kRecv, peer, tag}]; }
+
+  // Declares the schedule Comm::allreduce_sum_doubles(_inplace) performs for
+  // world rank `rank` over `group` (see world.cpp): recursive doubling when
+  // |group| is a power of two, gather-to-group[0] + broadcast otherwise.
+  void allreduce_doubles(std::span<const int> group, int rank, int tag);
+
+  bool empty() const { return counts_.empty(); }
+  const std::map<Key, int>& counts() const { return counts_; }
+
+ private:
+  std::map<Key, int> counts_;
+};
+
+}  // namespace adasum::analysis

@@ -1,0 +1,72 @@
+// Per-rank communication event log for the protocol analyzer (DESIGN.md §11).
+//
+// Each rank thread appends its own send/recv events; the watchdog and the
+// end-of-run validators read a consistent prefix through the release/acquire
+// size counter. Single writer per log makes the append genuinely lock-free:
+// the writer stores the event, then publishes it by bumping the size with
+// release ordering, so any reader that observes size >= n also observes the
+// first n events fully written. Capacity is fixed at construction — when a
+// pathological run overflows it, events are counted as dropped rather than
+// reallocating (a reallocation would race the readers and perturb the very
+// timing the analyzer is observing).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adasum::analysis {
+
+enum class EventKind : std::uint8_t { kSend = 0, kRecv = 1 };
+
+inline const char* to_string(EventKind kind) {
+  return kind == EventKind::kSend ? "send" : "recv";
+}
+
+// One point-to-point operation as observed by the rank that performed it.
+// `peer` is the destination for a send and the source for a recv; `seq` is
+// the sender-assigned per-(src,dst) channel sequence number that travels
+// with the message (channel.h), which is what makes receive-side ordering
+// checks possible.
+struct Event {
+  EventKind kind = EventKind::kSend;
+  int peer = -1;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t seq = 0;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity) : events_(capacity) {}
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  void append(const Event& e) {
+    const std::size_t n = size_.load(std::memory_order_relaxed);
+    if (n >= events_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[n] = e;
+    size_.store(n + 1, std::memory_order_release);
+  }
+
+  // Number of fully published events; the first size() entries are stable.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  const Event& operator[](std::size_t i) const { return events_[i]; }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace adasum::analysis

@@ -2,7 +2,9 @@
 
 #include <bit>
 #include <cstring>
+#include <vector>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "comm/buffer_pool.h"
 #include "core/adasum.h"
@@ -72,6 +74,34 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       if (group[i] == comm.rank()) rank = static_cast<int>(i);
     ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
   }
+
+#if ADASUM_ANALYZE
+  // Declare the full expected message schedule up front, from the same
+  // formulas the loops below execute: per level the half exchange
+  // (tag_base + 8*level), the dot-triple allreduce over the 2d-subgroup
+  // (+1) and the allgather unwind (+2). A drifted tag or neighbor
+  // computation becomes an expected-vs-observed diff in the epoch report
+  // instead of a hang.
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(), "adasum_rvh");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    int lvl = 0;
+    for (int d = 1; d < size; d <<= 1, ++lvl) {
+      const int nb =
+          world_rank(((rank / d) % 2) == 0 ? rank + d : rank - d);
+      const int tag = tag_base + 8 * lvl;
+      ex.send(nb, tag);
+      ex.recv(nb, tag);
+      const int d2 = 2 * d;
+      std::vector<int> sub(static_cast<std::size_t>(d2));
+      for (int i = 0; i < d2; ++i)
+        sub[static_cast<std::size_t>(i)] = world_rank((rank / d2) * d2 + i);
+      ex.allreduce_doubles(sub, comm.rank(), tag + 1);
+      ex.send(nb, tag + 2);
+      ex.recv(nb, tag + 2);
+    }
+  }
+#endif
 
   // Pooled scratch workspace, leased once per call: the incoming half (the
   // largest is ceil(count/2) elements at level 0), the per-layer dot-product

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "collectives/adasum_linear.h"
 #include "collectives/adasum_rvh.h"
@@ -25,6 +26,24 @@ void adasum_gather_tree(Comm& comm, Tensor& tensor,
                         std::span<const TensorSlice> slices, int tag_base) {
   const int p = comm.size();
   if (p == 1) return;
+#if ADASUM_ANALYZE
+  // Star schedule: every rank sends its gradient to rank 0 on tag_base and
+  // receives the combined result back on tag_base + 1.
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(),
+                             "adasum_gather_tree");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    if (comm.rank() == 0) {
+      for (int r = 1; r < p; ++r) {
+        ex.recv(r, tag_base);
+        ex.send(r, tag_base + 1);
+      }
+    } else {
+      ex.send(0, tag_base);
+      ex.recv(0, tag_base + 1);
+    }
+  }
+#endif
   if (comm.rank() == 0) {
     std::vector<Tensor> grads;
     grads.reserve(p);

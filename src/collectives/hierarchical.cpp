@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "collectives/adasum_rvh.h"
 #include "collectives/primitives.h"
@@ -30,6 +31,14 @@ void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
   const int local = rank % local_size;
   const int node_base = node * local_size;
   const std::size_t elem = dtype_size(dtype);
+
+#if ADASUM_ANALYZE
+  // The three phases below are collectives that declare their own epochs;
+  // this outer epoch is observational only (declaring the traffic here too
+  // would double-count the nested schedules).
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(),
+                             "hierarchical_allreduce");
+#endif
 
   // ---- Phase 1: local ring reduce-scatter over the node's ranks ----------
   // After p-1 steps, local rank j owns the fully summed chunk (j+1) % p.

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "comm/buffer_pool.h"
 #include "tensor/kernels.h"
@@ -38,6 +39,27 @@ void broadcast(Comm& comm, std::byte* data, std::size_t bytes,
   // Rotate so the root is virtual rank 0, then run a binomial tree: in round
   // k, ranks < 2^k send to rank + 2^k.
   const int vrank = (me - root_index + p) % p;
+#if ADASUM_ANALYZE
+  // The binomial tree below, replayed: whether this rank sends or receives
+  // in round k depends only on its virtual rank.
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(), "broadcast");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    bool have = vrank == 0;
+    for (int dist = 1; dist < p; dist <<= 1) {
+      if (have && vrank + dist < p) {
+        ex.send(group[static_cast<std::size_t>(
+                    (vrank + dist + root_index) % p)],
+                tag_base);
+      } else if (!have && vrank < 2 * dist) {
+        ex.recv(group[static_cast<std::size_t>(
+                    (vrank - dist + root_index + p) % p)],
+                tag_base);
+        have = true;
+      }
+    }
+  }
+#endif
   bool have_data = vrank == 0;
   for (int dist = 1; dist < p; dist <<= 1) {
     if (have_data && vrank + dist < p) {
@@ -64,6 +86,17 @@ void ring_reduce_scatter_sum(Comm& comm, std::byte* data, std::size_t count,
   const std::size_t elem = dtype_size(dtype);
   const int next = group[static_cast<std::size_t>((me + 1) % p)];
   const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+#if ADASUM_ANALYZE
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(),
+                             "ring_reduce_scatter_sum");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    for (int s = 0; s < p - 1; ++s) {
+      ex.send(next, tag_base + s);
+      ex.recv(prev, tag_base + s);
+    }
+  }
+#endif
   // Incoming chunks stage in one pooled buffer sized for the largest chunk.
   const std::size_t max_chunk =
       (count + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
@@ -91,6 +124,16 @@ void ring_allgather(Comm& comm, std::byte* data, std::size_t count,
   const std::size_t elem = dtype_size(dtype);
   const int next = group[static_cast<std::size_t>((me + 1) % p)];
   const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+#if ADASUM_ANALYZE
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(), "ring_allgather");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    for (int s = 0; s < p - 1; ++s) {
+      ex.send(next, tag_base + s);
+      ex.recv(prev, tag_base + s);
+    }
+  }
+#endif
   for (int s = 0; s < p - 1; ++s) {
     const int send_chunk = (me + 1 - s + p) % p;
     const int recv_chunk = (me - s + p) % p;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "comm/buffer_pool.h"
 #include "core/adasum.h"
@@ -46,6 +47,26 @@ void degraded_reduce(Comm& comm, Tensor& tensor,
   if (members <= 1 || tensor.empty()) return;
   const int root = group[0];
   const std::span<const TensorSlice> slices{options.slices};
+
+#if ADASUM_ANALYZE
+  // Star over the survivor group: gather on `tag`, broadcast on `tag + 1`.
+  // In fault runs the analyzer is observe-only so this declaration is
+  // skipped; it validates when the degraded path is driven directly.
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(),
+                             "degraded_reduce");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    if (comm.rank() == root) {
+      for (int i = 1; i < members; ++i) {
+        ex.recv(group[static_cast<std::size_t>(i)], tag);
+        ex.send(group[static_cast<std::size_t>(i)], tag + 1);
+      }
+    } else {
+      ex.send(root, tag);
+      ex.recv(root, tag + 1);
+    }
+  }
+#endif
 
   if (comm.rank() == root) {
     if (options.op == ReduceOp::kAdasum) {

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "comm/buffer_pool.h"
 #include "tensor/kernels.h"
@@ -27,6 +28,21 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
   const std::size_t elem = dtype_size(dtype);
   const int next = (rank + 1) % p;
   const int prev = (rank + p - 1) % p;
+
+#if ADASUM_ANALYZE
+  // Ring schedule: p-1 reduce-scatter steps on tag_base+s, p-1 allgather
+  // steps on tag_base+p+s, always to `next` / from `prev`.
+  analysis::EpochGuard epoch(comm.analyzer(), rank, "ring_allreduce_sum");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    for (int s = 0; s < p - 1; ++s) {
+      ex.send(next, tag_base + s);
+      ex.recv(prev, tag_base + s);
+      ex.send(next, tag_base + p + s);
+      ex.recv(prev, tag_base + p + s);
+    }
+  }
+#endif
 
   // Reduce-scatter: after step s, rank r has accumulated chunk
   // (r - s + p) % p from s+1 ranks; after p-1 steps rank r owns the full sum
@@ -86,6 +102,26 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
   }
   const std::size_t elem = dtype_size(dtype);
+
+#if ADASUM_ANALYZE
+  // Pairwise halving/doubling: per level one half exchange on
+  // tag_base + 4*level and one unwind exchange on +1, both with the level's
+  // hypercube neighbor.
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(),
+                             "rvh_allreduce_sum");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    int lvl = 0;
+    for (int d = 1; d < size; d <<= 1, ++lvl) {
+      const int nb =
+          world_rank(((rank / d) % 2) == 0 ? rank + d : rank - d);
+      ex.send(nb, tag_base + 4 * lvl);
+      ex.recv(nb, tag_base + 4 * lvl);
+      ex.send(nb, tag_base + 4 * lvl + 1);
+      ex.recv(nb, tag_base + 4 * lvl + 1);
+    }
+  }
+#endif
 
   struct Level {
     int neighbor;

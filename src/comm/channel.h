@@ -110,6 +110,10 @@ class Mailbox {
     std::vector<std::byte> payload;
     std::uint64_t checksum = 0;
     bool checked = false;  // checksum field is meaningful
+    // Sender-assigned per-(src,dst) sequence number, stamped only when the
+    // protocol analyzer is enabled (analysis/analyzer.h); lets the receive
+    // side verify MPI non-overtaking order mechanically.
+    std::uint64_t seq = 0;
   };
 
   void push(int tag, std::vector<std::byte> payload) {
@@ -117,10 +121,11 @@ class Mailbox {
   }
 
   void push(int tag, std::vector<std::byte> payload, std::uint64_t checksum,
-            bool checked) {
+            bool checked, std::uint64_t seq = 0) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(Message{tag, std::move(payload), checksum, checked});
+      queue_.push_back(Message{tag, std::move(payload), checksum, checked,
+                               seq});
       // A held (reorder-faulted) message is released behind the newcomer —
       // the two deliveries on this channel swap order.
       if (!held_.empty()) {
@@ -134,9 +139,9 @@ class Mailbox {
   // Reorder fault: park the message until the channel's next push (which
   // releases it behind the newcomer) or flush_held()/drain_into().
   void hold(int tag, std::vector<std::byte> payload, std::uint64_t checksum,
-            bool checked) {
+            bool checked, std::uint64_t seq = 0) {
     std::lock_guard<std::mutex> lock(mutex_);
-    held_.push_back(Message{tag, std::move(payload), checksum, checked});
+    held_.push_back(Message{tag, std::move(payload), checksum, checked, seq});
   }
 
   // Makes any held message deliverable (used when the sender dies: whatever
@@ -172,6 +177,7 @@ class Mailbox {
     std::vector<std::byte> payload;
     std::uint64_t checksum = 0;
     bool checked = false;
+    std::uint64_t seq = 0;
   };
 
   // Deadline- and liveness-aware pop: delivers a matching message if one
@@ -201,6 +207,7 @@ class Mailbox {
         result.payload = std::move(msg.payload);
         result.checksum = msg.checksum;
         result.checked = msg.checked;
+        result.seq = msg.seq;
         return result;
       }
       if (aborted.load()) {

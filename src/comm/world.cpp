@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "base/logging.h"
@@ -35,6 +37,25 @@ World::World(int size) : size_(size) {
   for (int r = 0; r < size; ++r)
     dead_[r].store(false, std::memory_order_relaxed);
   alive_count_.store(size, std::memory_order_relaxed);
+#if ADASUM_ANALYZE
+  // Opt into the protocol analyzer from the environment so any existing test
+  // binary can run under analysis without a code change.
+  if (const char* env = std::getenv("ADASUM_ANALYZE"); env != nullptr) {
+    const std::string_view v(env);
+    if (v == "1" || v == "on") enable_analyzer();
+  }
+#endif
+}
+
+void World::enable_analyzer(analysis::AnalyzerOptions options) {
+#if ADASUM_ANALYZE
+  analyzer_ = std::make_unique<analysis::ProtocolAnalyzer>(
+      size_, options, [this]() { request_abort(); });
+#else
+  (void)options;
+  ADASUM_LOG(Warning) << "enable_analyzer(): protocol-analyzer hooks were "
+                         "compiled out (-DADASUM_ANALYZE=OFF); request ignored";
+#endif
 }
 
 void World::enable_fault_tolerance(FaultToleranceOptions options) {
@@ -72,6 +93,13 @@ void World::run(const std::function<void(Comm&)>& fn) {
   vote_generation_ = 0;
   enroll_count_ = 0;
   enroll_generation_ = 0;
+#if ADASUM_ANALYZE
+  if (analyzer_ != nullptr) {
+    // Injected faults legitimately break schedules and channel balance, so
+    // they downgrade the analyzer's strict checks to observe-only.
+    analyzer_->begin_run(/*faults_possible=*/injector_ != nullptr);
+  }
+#endif
 
   std::vector<std::exception_ptr> errors(size_);
   std::vector<std::thread> threads;
@@ -88,6 +116,12 @@ void World::run(const std::function<void(Comm&)>& fn) {
         errors[r] = std::current_exception();
         request_abort();
       }
+#if ADASUM_ANALYZE
+      // Every exit path (clean return, kill, error) makes the rank "done":
+      // the watchdog uses this to tell a transient wait from a stall on a
+      // peer that can never send again.
+      if (analyzer_ != nullptr) analyzer_->on_rank_done(r);
+#endif
     });
   }
   for (auto& t : threads) t.join();
@@ -97,9 +131,17 @@ void World::run(const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < size_ && !first_error; ++r)
     if (errors[r]) first_error = errors[r];
 
+#if ADASUM_ANALYZE
+  const bool analyzer_on = analyzer_ != nullptr;
+  if (analyzer_on) analyzer_->end_run();
+  const bool analyzer_violations = analyzer_on && analyzer_->has_violations();
+#else
+  constexpr bool analyzer_violations = false;
+#endif
   const bool injected_message_faults =
       injector_ != nullptr && injector_->spec().any_message_faults();
-  if (first_error != nullptr || had_deaths || injected_message_faults) {
+  if (first_error != nullptr || had_deaths || injected_message_faults ||
+      analyzer_violations) {
     // A failed or degraded run leaves undelivered (and reorder-held)
     // messages behind — and an injector that duplicates or reorders can
     // leave strays even when every rank finishes cleanly. Return every
@@ -108,6 +150,28 @@ void World::run(const std::function<void(Comm&)>& fn) {
     // steady-state recycling set.
     for (auto& mb : mailboxes_) mb->drain_into(pool_);
   }
+#if ADASUM_ANALYZE
+  if (analyzer_on) {
+    // Surface analyzer findings only when they are the most specific story:
+    // a real rank error (anything but the secondary WorldAborted unwinds the
+    // analyzer's own abort caused) takes precedence.
+    bool surface = first_error == nullptr;
+    if (!surface) {
+      try {
+        std::rethrow_exception(first_error);
+      } catch (const WorldAborted&) {
+        surface = true;
+      } catch (...) {
+      }
+    }
+    if (surface && analyzer_->strict()) {
+      if (analyzer_->deadlock_detected())
+        throw analysis::DeadlockError(analyzer_->report());
+      if (analyzer_->options().fail_fast && analyzer_->has_violations())
+        throw analysis::ProtocolError(analyzer_->report());
+    }
+  }
+#endif
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
@@ -204,13 +268,22 @@ void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {
   ADASUM_CHECK_LT(dst, size());
   ADASUM_CHECK_NE(dst, rank_);
   const std::size_t bytes = payload.size();
-  if (!world_->chaos()) {
-    // Seed fast path: untouched by the fault machinery.
+  if (!world_->chaos() && !world_->analyzed()) {
+    // Seed fast path: untouched by the fault and analysis machinery.
     if (world_->aborted_.load()) throw WorldAborted();
     world_->mailbox(rank_, dst).push(tag, std::move(payload));
   } else {
     maybe_kill();
     if (world_->aborted_.load()) throw WorldAborted();
+    std::uint64_t seq = 0;
+#if ADASUM_ANALYZE
+    // Stamp the channel sequence number after the kill/abort gates so every
+    // logged send corresponds to a message that actually reached the wire
+    // (or the injector, which counts: drops break balance only in runs where
+    // the strict checks are already downgraded).
+    if (world_->analyzed())
+      seq = world_->analyzer_->on_send(rank_, dst, tag, bytes);
+#endif
     // The checksum is computed BEFORE the injector gets at the payload, so a
     // wire corruption is a mismatch the receiver can detect.
     const bool checked = world_->checksums_;
@@ -228,15 +301,17 @@ void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {
         std::vector<std::byte> copy = world_->pool_.acquire(payload.size());
         if (!payload.empty())
           std::memcpy(copy.data(), payload.data(), payload.size());
-        mb.push(tag, std::move(payload), sum, checked);
-        mb.push(tag, std::move(copy), sum, checked);
+        // Both deliveries carry the SAME sequence number — exactly what the
+        // receive-side duplicate check keys on.
+        mb.push(tag, std::move(payload), sum, checked, seq);
+        mb.push(tag, std::move(copy), sum, checked, seq);
         break;
       }
       case FaultInjector::Action::kReorder:
-        mb.hold(tag, std::move(payload), sum, checked);
+        mb.hold(tag, std::move(payload), sum, checked, seq);
         break;
       case FaultInjector::Action::kDeliver:
-        mb.push(tag, std::move(payload), sum, checked);
+        mb.push(tag, std::move(payload), sum, checked, seq);
         break;
     }
   }
@@ -248,9 +323,28 @@ void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {
 std::vector<std::byte> Comm::chaos_recv(
     int src, int tag, std::chrono::steady_clock::time_point deadline) {
   maybe_kill();
+#if ADASUM_ANALYZE
+  analysis::ProtocolAnalyzer* an = world_->analyzer_.get();
+  if (an != nullptr) {
+    an->on_recv_started(rank_, src, tag);
+    // Register the wait-for edge up front; a message that is already queued
+    // unblocks immediately and the watchdog's grace period absorbs the
+    // window. The edge MUST be cleared on every exit of pop_wait.
+    an->on_recv_blocked(rank_, src, tag);
+  }
+#endif
   Mailbox::PopResult r = world_->mailbox(src, rank_).pop_wait(
       tag, world_->aborted_, world_->dead_[static_cast<std::size_t>(src)],
       deadline);
+#if ADASUM_ANALYZE
+  if (an != nullptr) {
+    an->on_recv_unblocked(rank_);
+    if (r.status == Mailbox::PopStatus::kOk)
+      an->on_recv(rank_, src, tag, r.payload.size(), r.seq);
+    else if (r.status == Mailbox::PopStatus::kAborted)
+      an->on_abort_observed(rank_);
+  }
+#endif
   switch (r.status) {
     case Mailbox::PopStatus::kOk:
       break;
@@ -280,7 +374,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   ADASUM_CHECK_GE(src, 0);
   ADASUM_CHECK_LT(src, size());
   ADASUM_CHECK_NE(src, rank_);
-  if (!world_->chaos())
+  if (!world_->chaos() && !world_->analyzed())
     return world_->mailbox(src, rank_).pop(tag, world_->aborted_);
   const auto deadline =
       world_->ft_enabled_

@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "comm/buffer_pool.h"
 #include "comm/channel.h"
 #include "comm/fault_injector.h"
@@ -91,6 +92,16 @@ class World {
   }
   FaultInjector* fault_injector() { return injector_.get(); }
 
+  // ---- protocol analyzer (DESIGN.md §11; debug opt-in) -------------------
+  // Attaches the communication-protocol analyzer to all subsequent runs:
+  // non-overtaking/duplicate detection on every message, a deadlock
+  // watchdog, per-collective schedule validation and end-of-run channel
+  // balance. Also enabled automatically when the ADASUM_ANALYZE environment
+  // variable is "1" or "on" at World construction. A no-op (with a warning)
+  // when the hooks were compiled out via -DADASUM_ANALYZE=OFF.
+  void enable_analyzer(analysis::AnalyzerOptions options = {});
+  analysis::ProtocolAnalyzer* analyzer() { return analyzer_.get(); }
+
   void enable_checksums(bool on) { checksums_ = on; }
   bool checksums_enabled() const { return checksums_; }
   // Checksum mismatches caught on receive (across all runs).
@@ -122,6 +133,16 @@ class World {
   // Any feature routing send/recv off the seed fast path?
   bool chaos() const {
     return ft_enabled_ || checksums_ || injector_ != nullptr;
+  }
+
+  // Is the protocol analyzer observing this world? Constant false when the
+  // hooks are compiled out, so the branch folds away entirely.
+  bool analyzed() const {
+#if ADASUM_ANALYZE
+    return analyzer_ != nullptr;
+#else
+    return false;
+#endif
   }
 
   // Called by a dying rank (fault-injector kill) before it unwinds: flips
@@ -156,6 +177,7 @@ class World {
   FaultToleranceOptions ft_;
   bool checksums_ = false;
   std::shared_ptr<FaultInjector> injector_;
+  std::unique_ptr<analysis::ProtocolAnalyzer> analyzer_;
   std::unique_ptr<std::atomic<bool>[]> dead_;
   std::atomic<int> alive_count_;
   std::atomic<std::uint64_t> corruptions_detected_{0};
@@ -263,6 +285,10 @@ class Comm {
   void drain_inboxes();
 
   BufferPool& pool() { return world_->pool_; }
+
+  // Protocol analyzer handle for collective epoch declarations
+  // (analysis::EpochGuard); null whenever the analyzer is not observing.
+  analysis::ProtocolAnalyzer* analyzer() { return world_->analyzer_.get(); }
 
   CommStats& stats() { return world_->stats_[rank_]; }
 

@@ -122,9 +122,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PropertyParam{4, 1}, PropertyParam{16, 2},
                       PropertyParam{64, 3}, PropertyParam{256, 4},
                       PropertyParam{1000, 5}),
-    [](const auto& info) {
-      return "d" + std::to_string(info.param.dim) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& param_info) {
+      return "d" + std::to_string(param_info.param.dim) + "_s" +
+             std::to_string(param_info.param.seed);
     });
 
 // ---- Appendix A lemmas, Monte-Carlo --------------------------------------

@@ -42,6 +42,11 @@ namespace {
 std::atomic<std::uint64_t> g_heap_allocs{0};
 }  // namespace
 
+// GCC cannot see that the replacement operator new below hands out malloc'd
+// memory, so free() in the matching operator delete trips a false
+// -Wmismatched-new-delete.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t n) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n ? n : 1)) return p;
@@ -52,6 +57,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace adasum {
 namespace {
@@ -384,6 +390,10 @@ TEST(Chaos, FaultTolerantHotPathAddsNoSteadyStateAllocations) {
   ft.recv_deadline = std::chrono::seconds(30);
   world.enable_fault_tolerance(ft);
   world.enable_checksums(true);
+  // This gate asserts a property of the analyzer-OFF transport; the analyzer
+  // itself allocates (event logs, epoch declarations) by design.
+  if (world.analyzer() != nullptr)
+    GTEST_SKIP() << "protocol analyzer enabled via ADASUM_ANALYZE";
   std::uint64_t warm_allocs = 0;
   world.run([&](Comm& comm) {
     Tensor t({16384});
@@ -437,6 +447,55 @@ TEST(Chaos, FaultTolerantHotPathAddsNoSteadyStateAllocations) {
           g_heap_allocs.load(std::memory_order_relaxed) - baseline;
   });
   EXPECT_EQ(warm_allocs, 0u);
+}
+
+TEST(Chaos, AnalyzerOffPathIsByteAndAllocationIdenticalToSeed) {
+  // PR-4 regression: with the protocol analyzer compiled in but NOT enabled,
+  // the pure fast path must stay exactly the seed transport — bit-for-bit
+  // results against the copy-based reference and zero warm allocations. The
+  // analyzer hooks reduce to one null-pointer test per operation.
+  ChaosSchedule s;  // clean profile, no injector attached below
+  s.seed = 4242;
+  s.world_size = 4;
+  s.count = 2048;
+
+  World world(s.world_size);
+  ASSERT_EQ(world.analyzer(), nullptr)
+      << "this regression measures the analyzer-off path";
+  std::vector<std::vector<std::byte>> results(
+      static_cast<std::size_t>(s.world_size));
+  std::uint64_t warm_allocs = 0;
+  std::mutex mutex;
+  world.run([&](Comm& comm) {
+    std::vector<Tensor> tensors = make_tensors(s, comm.rank());
+    AllreduceOptions opts;
+    opts.op = ReduceOp::kAdasum;
+    opts.algo = AllreduceAlgo::kRvh;
+    std::uint64_t baseline = 0;
+    // Warm the pool and mailbox capacities, then measure.
+    for (int i = 0; i < 4; ++i) {
+      std::vector<Tensor> warm = make_tensors(s, comm.rank());
+      allreduce(comm, warm[0], opts, i * 65536);
+    }
+    comm.barrier();
+    if (comm.rank() == 0)
+      baseline = g_heap_allocs.load(std::memory_order_relaxed);
+    comm.barrier();
+    allreduce(comm, tensors[0], opts, 4 * 65536);
+    comm.barrier();
+    if (comm.rank() == 0)
+      warm_allocs = g_heap_allocs.load(std::memory_order_relaxed) - baseline;
+    // Keep every rank's (allocating) concat_bytes out of the measured
+    // window: nobody proceeds until rank 0 has read the counter.
+    comm.barrier();
+    std::lock_guard<std::mutex> lock(mutex);
+    results[static_cast<std::size_t>(comm.rank())] = concat_bytes(tensors);
+  });
+  EXPECT_EQ(warm_allocs, 0u);
+  const std::vector<std::byte> want = reference_result(s);
+  for (int r = 0; r < s.world_size; ++r)
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], want)
+        << "rank " << r << " diverged from the reference";
 }
 
 TEST(Chaos, TrainerSurvivesKilledRankAndKeepsLearning) {

@@ -93,10 +93,10 @@ INSTANTIATE_TEST_SUITE_P(
                       Config{8, 256, DType::kFloat64},
                       Config{16, 100, DType::kFloat32},
                       Config{4, 512, DType::kFloat16}),
-    [](const auto& info) {
-      return "r" + std::to_string(info.param.ranks) + "_n" +
-             std::to_string(info.param.count) + "_" +
-             dtype_name(info.param.dtype);
+    [](const auto& param_info) {
+      return "r" + std::to_string(param_info.param.ranks) + "_n" +
+             std::to_string(param_info.param.count) + "_" +
+             dtype_name(param_info.param.dtype);
     });
 
 class AdasumRvhTest : public ::testing::TestWithParam<Config> {};
@@ -143,10 +143,10 @@ INSTANTIATE_TEST_SUITE_P(
                       Config{8, 64, DType::kFloat64},
                       Config{16, 333, DType::kFloat32},
                       Config{32, 64, DType::kFloat32}),
-    [](const auto& info) {
-      return "r" + std::to_string(info.param.ranks) + "_n" +
-             std::to_string(info.param.count) + "_" +
-             dtype_name(info.param.dtype);
+    [](const auto& param_info) {
+      return "r" + std::to_string(param_info.param.ranks) + "_n" +
+             std::to_string(param_info.param.count) + "_" +
+             dtype_name(param_info.param.dtype);
     });
 
 TEST(AdasumRvh, RejectsNonPowerOfTwo) {
@@ -411,13 +411,13 @@ INSTANTIATE_TEST_SUITE_P(
         ParityConfig{8, 333, DType::kFloat32, SliceTable::kNonTiling},
         ParityConfig{8, 96, DType::kFloat64, SliceTable::kNonTiling},
         ParityConfig{8, 1024, DType::kFloat16, SliceTable::kNone}),
-    [](const auto& info) {
-      const char* table = info.param.table == SliceTable::kNone     ? "whole"
-                          : info.param.table == SliceTable::kTiling ? "tiling"
+    [](const auto& param_info) {
+      const char* table = param_info.param.table == SliceTable::kNone     ? "whole"
+                          : param_info.param.table == SliceTable::kTiling ? "tiling"
                                                                     : "gappy";
-      return "r" + std::to_string(info.param.ranks) + "_n" +
-             std::to_string(info.param.count) + "_" +
-             dtype_name(info.param.dtype) + "_" + table;
+      return "r" + std::to_string(param_info.param.ranks) + "_n" +
+             std::to_string(param_info.param.count) + "_" +
+             dtype_name(param_info.param.dtype) + "_" + table;
     });
 
 TEST(InplaceRvhParity, SubgroupBitForBitMatchesReference) {

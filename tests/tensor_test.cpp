@@ -140,8 +140,8 @@ TEST_P(KernelDtypeTest, HasNonfiniteDetectsInfAndNan) {
 INSTANTIATE_TEST_SUITE_P(AllDtypes, KernelDtypeTest,
                          ::testing::Values(DType::kFloat16, DType::kFloat32,
                                            DType::kFloat64),
-                         [](const auto& info) {
-                           return dtype_name(info.param);
+                         [](const auto& param_info) {
+                           return dtype_name(param_info.param);
                          });
 
 TEST(Kernels, DoubleAccumulationBeatsFloatForManySmallValues) {
