@@ -64,17 +64,23 @@ void predicted_latency_curve() {
   bench::print_header("Figure 4 — allreduce latency vs message size",
                       "Fig. 4: ADASUMRVH vs NCCL, 64 tensors, 16 nodes x 4 GPU");
   CostModel model(Topology::azure_fig4());
+  // Chunk-pipelined variant (DESIGN.md §12) at the default 256 KiB chunk.
+  CostModel pipelined(Topology::azure_fig4());
+  pipelined.set_chunk_bytes(256.0 * 1024.0);
   const int num_layers = 64;  // "we allocate 64 tensors ... so their sum is
                               // the number of bytes"
-  Table table({"tensor(bytes)", "NCCL(ms)", "Adasum(ms)", "ratio", "ring-Adasum(ms)"});
+  Table table({"tensor(bytes)", "NCCL(ms)", "Adasum(ms)", "ratio",
+               "Adasum-pipe(ms)", "ring-Adasum(ms)"});
   double worst_ratio = 0.0;
   for (int exp = 10; exp <= 28; exp += 2) {
     const double bytes = static_cast<double>(1ull << exp);
     const double nccl = model.nccl_allreduce_sum(bytes) * 1e3;
     const double ada = model.rvh_allreduce_adasum(bytes, num_layers) * 1e3;
+    const double pipe =
+        pipelined.rvh_allreduce_adasum_pipelined(bytes, num_layers) * 1e3;
     const double ring = model.ring_allreduce_adasum(bytes, num_layers) * 1e3;
     worst_ratio = std::max(worst_ratio, ada / nccl);
-    table.row("2^" + std::to_string(exp), nccl, ada, ada / nccl, ring);
+    table.row("2^" + std::to_string(exp), nccl, ada, ada / nccl, pipe, ring);
   }
   table.print();
   std::cout << "\n";
@@ -87,6 +93,25 @@ void predicted_latency_curve() {
       "the ring-order Adasum is slower than AdasumRVH (paper §4.2.3)",
       m2.ring_allreduce_adasum(1 << 22, num_layers) >
           m2.rvh_allreduce_adasum(1 << 22, num_layers));
+  // Pipelined-model shape checks: the per-chunk α must be priced honestly.
+  bench::check_shape(
+      "chunk-pipelined AdasumRVH beats the monolithic schedule at 2^28 "
+      "(dot pass hides behind the chunk stream)",
+      pipelined.rvh_allreduce_adasum_pipelined(1 << 28, num_layers) <
+          model.rvh_allreduce_adasum(1 << 28, num_layers));
+  CostModel tiny_chunks(Topology::azure_fig4());
+  tiny_chunks.set_chunk_bytes(4.0 * 1024.0);
+  bench::check_shape(
+      "4 KiB chunks LOSE on a 4 MiB payload (per-chunk alpha outweighs the "
+      "overlap — the model does not pretend chunking is free)",
+      tiny_chunks.rvh_allreduce_adasum_pipelined(1 << 22, num_layers) >
+          model.rvh_allreduce_adasum(1 << 22, num_layers));
+  CostModel no_chunks(Topology::azure_fig4());
+  bench::check_shape(
+      "with chunking disabled the pipelined model degenerates to the "
+      "monolithic prediction exactly",
+      no_chunks.rvh_allreduce_adasum_pipelined(1 << 22, num_layers) ==
+          model.rvh_allreduce_adasum(1 << 22, num_layers));
 }
 
 // Real wall-clock of the in-process collectives, to sanity-check that the
@@ -141,6 +166,7 @@ void zero_copy_throughput() {
   const int num_layers = 64;
   const std::size_t count = (64ull << 20) / sizeof(float);  // 64 MiB payload
   const int iters = bench::full_mode() ? 5 : 3;
+  const int warmup = 2;
 
   std::vector<TensorSlice> slices;
   const std::size_t per_layer = count / num_layers;
@@ -149,7 +175,10 @@ void zero_copy_throughput() {
                       static_cast<std::size_t>(l) * per_layer, per_layer});
 
   World world(ranks);
-  double inplace_s = 0.0, reference_s = 0.0;
+  // Per-iteration samples, bracketed by barriers so every sample covers one
+  // whole collective on all ranks; the reported statistic is the MEDIAN, so
+  // one scheduler hiccup cannot move the committed artifact.
+  std::vector<double> inplace_samples, reference_samples;
   std::uint64_t inplace_heap = 0, reference_heap = 0;
   BufferPool::Stats inplace_pool{};
   world.run([&](Comm& comm) {
@@ -160,9 +189,9 @@ void zero_copy_throughput() {
                  1000.0f -
              0.5f;
 
-    // Warm-up: two rounds of each path, so the pool holds the in-place
-    // working set and both code paths are paged in before timing.
-    for (int it = 0; it < 2; ++it) {
+    // Warm-up rounds of each path, so the pool holds the in-place working
+    // set and both code paths are paged in before timing.
+    for (int it = 0; it < warmup; ++it) {
       adasum_rvh_allreduce(comm, t, slices, /*tag_base=*/it << 16);
       adasum_rvh_allreduce_reference(comm, t, slices,
                                      /*tag_base=*/(50 + it) << 16);
@@ -173,44 +202,49 @@ void zero_copy_throughput() {
       world.buffer_pool().reset_stats();
       g_heap_allocs.store(0, std::memory_order_relaxed);
     }
-    comm.barrier();
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int it = 0; it < iters; ++it)
+    for (int it = 0; it < iters; ++it) {
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
       adasum_rvh_allreduce(comm, t, slices, /*tag_base=*/(100 + it) << 16);
-    comm.barrier();
+      comm.barrier();
+      if (comm.rank() == 0)
+        inplace_samples.push_back(std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() - t0)
+                                      .count());
+    }
     if (comm.rank() == 0) {
-      inplace_s = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
       inplace_pool = world.buffer_pool().stats();
       inplace_heap = g_heap_allocs.load(std::memory_order_relaxed);
       g_heap_allocs.store(0, std::memory_order_relaxed);
     }
-    comm.barrier();
-    const auto t1 = std::chrono::steady_clock::now();
-    for (int it = 0; it < iters; ++it)
+    for (int it = 0; it < iters; ++it) {
+      comm.barrier();
+      const auto t1 = std::chrono::steady_clock::now();
       adasum_rvh_allreduce_reference(comm, t, slices,
                                      /*tag_base=*/(200 + it) << 16);
-    comm.barrier();
-    if (comm.rank() == 0) {
-      reference_s = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t1)
-                        .count();
-      reference_heap = g_heap_allocs.load(std::memory_order_relaxed);
+      comm.barrier();
+      if (comm.rank() == 0)
+        reference_samples.push_back(std::chrono::duration<double>(
+                                        std::chrono::steady_clock::now() - t1)
+                                        .count());
     }
+    if (comm.rank() == 0)
+      reference_heap = g_heap_allocs.load(std::memory_order_relaxed);
   });
 
   const double payload_bytes = static_cast<double>(count * sizeof(float));
-  const double inplace_gbps = payload_bytes * iters / inplace_s / 1e9;
-  const double reference_gbps = payload_bytes * iters / reference_s / 1e9;
+  const double inplace_s = bench::median(inplace_samples);
+  const double reference_s = bench::median(reference_samples);
+  const double inplace_gbps = payload_bytes / inplace_s / 1e9;
+  const double reference_gbps = payload_bytes / reference_s / 1e9;
   const double speedup = reference_s / inplace_s;
 
-  Table table({"path", "sec/iter", "GB/s", "heap allocs/iter",
+  Table table({"path", "sec/iter (median)", "GB/s", "heap allocs/iter",
                "pool allocs (window)"});
-  table.row("in-place (pooled)", inplace_s / iters, inplace_gbps,
+  table.row("in-place (pooled)", inplace_s, inplace_gbps,
             static_cast<double>(inplace_heap) / iters,
             std::to_string(inplace_pool.allocations));
-  table.row("reference (copy)", reference_s / iters, reference_gbps,
+  table.row("reference (copy)", reference_s, reference_gbps,
             static_cast<double>(reference_heap) / iters, "-");
   table.print();
   std::cout << "  speedup: " << bench::fmt(speedup, 2) << "x  (pool reuses in "
@@ -224,9 +258,11 @@ void zero_copy_throughput() {
        << "  \"ranks\": " << ranks << ",\n"
        << "  \"layers\": " << num_layers << ",\n"
        << "  \"iters\": " << iters << ",\n"
-       << "  \"inplace_sec_per_iter\": " << bench::fmt(inplace_s / iters, 6)
+       << "  \"warmup\": " << warmup << ",\n"
+       << "  \"statistic\": \"median\",\n"
+       << "  \"inplace_sec_per_iter\": " << bench::fmt(inplace_s, 6)
        << ",\n"
-       << "  \"reference_sec_per_iter\": " << bench::fmt(reference_s / iters, 6)
+       << "  \"reference_sec_per_iter\": " << bench::fmt(reference_s, 6)
        << ",\n"
        << "  \"inplace_gb_per_sec\": " << bench::fmt(inplace_gbps, 3) << ",\n"
        << "  \"reference_gb_per_sec\": " << bench::fmt(reference_gbps, 3)

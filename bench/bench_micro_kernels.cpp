@@ -23,6 +23,7 @@
 
 #include "base/half.h"
 #include "base/rng.h"
+#include "bench_util.h"
 #include "comm/buffer_pool.h"
 #include "core/adasum.h"
 #include "tensor/fusion.h"
@@ -243,25 +244,31 @@ namespace kernels_gate {
 
 using Clock = std::chrono::steady_clock;
 
-// Best-of-3 reps of a calibrated inner loop; returns seconds per call.
+// Timing protocol for the JSON artifact: kTimingWarmup warm/calibration
+// calls, then the MEDIAN of kTimingReps calibrated reps (bench_util.h).
+// Best-of would flatter the dispatch, mean would fold in scheduler hiccups;
+// the median is what the gate floors are calibrated against.
+constexpr int kTimingWarmup = 2;
+constexpr int kTimingReps = 5;
+
 template <typename F>
-double best_seconds_per_call(F&& op) {
+double median_seconds_per_call(F&& op) {
   op();  // warm: page-in, dispatch resolve
   auto t0 = Clock::now();
-  op();
+  op();  // calibration call (the second warmup)
   const double once =
       std::chrono::duration<double>(Clock::now() - t0).count();
   const std::size_t iters = std::max<std::size_t>(
       1, static_cast<std::size_t>(4e-3 / std::max(once, 1e-9)));
-  double best = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < 3; ++rep) {
+  std::vector<double> reps;
+  reps.reserve(kTimingReps);
+  for (int rep = 0; rep < kTimingReps; ++rep) {
     t0 = Clock::now();
     for (std::size_t i = 0; i < iters; ++i) op();
-    best = std::min(
-        best, std::chrono::duration<double>(Clock::now() - t0).count() /
-                  static_cast<double>(iters));
+    reps.push_back(std::chrono::duration<double>(Clock::now() - t0).count() /
+                   static_cast<double>(iters));
   }
-  return best;
+  return adasum::bench::median(std::move(reps));
 }
 
 struct Row {
@@ -300,8 +307,8 @@ void bench_dtype(const simd::KernelTable& scalar_t,
   const double sz = static_cast<double>(n) * sizeof(T);
 
   auto add_row = [&](const char* kernel, double bytes_per_call, auto&& run) {
-    const double ts = best_seconds_per_call([&] { run(scalar_t); });
-    const double ta = same ? ts : best_seconds_per_call([&] { run(active_t); });
+    const double ts = median_seconds_per_call([&] { run(scalar_t); });
+    const double ta = same ? ts : median_seconds_per_call([&] { run(active_t); });
     rows.push_back(
         {kernel, dn, n, bytes_per_call / ts / 1e9, bytes_per_call / ta / 1e9});
   };
@@ -348,15 +355,15 @@ void bench_convert(const simd::KernelTable& scalar_t,
   const double bytes = static_cast<double>(n) * (2 + 4);
 
   {
-    const double tp = best_seconds_per_call([&] {
+    const double tp = median_seconds_per_call([&] {
       for (std::size_t i = 0; i < n; ++i) f[i] = Half::bits_to_float(h[i]);
       benchmark::DoNotOptimize(f.data());
     });
-    const double ts = best_seconds_per_call([&] {
+    const double ts = median_seconds_per_call([&] {
       scalar_t.half_to_float(h.data(), f.data(), n);
       benchmark::DoNotOptimize(f.data());
     });
-    const double ta = same ? ts : best_seconds_per_call([&] {
+    const double ta = same ? ts : median_seconds_per_call([&] {
       active_t.half_to_float(h.data(), f.data(), n);
       benchmark::DoNotOptimize(f.data());
     });
@@ -364,15 +371,15 @@ void bench_convert(const simd::KernelTable& scalar_t,
                     bytes / ta / 1e9});
   }
   {
-    const double tp = best_seconds_per_call([&] {
+    const double tp = median_seconds_per_call([&] {
       for (std::size_t i = 0; i < n; ++i) h[i] = Half::float_to_bits(src[i]);
       benchmark::DoNotOptimize(h.data());
     });
-    const double ts = best_seconds_per_call([&] {
+    const double ts = median_seconds_per_call([&] {
       scalar_t.float_to_half(src.data(), h.data(), n);
       benchmark::DoNotOptimize(h.data());
     });
-    const double ta = same ? ts : best_seconds_per_call([&] {
+    const double ta = same ? ts : median_seconds_per_call([&] {
       active_t.float_to_half(src.data(), h.data(), n);
       benchmark::DoNotOptimize(h.data());
     });
@@ -454,6 +461,9 @@ int run(const char* path, bool enforce) {
   std::fprintf(out, "  \"benchmark\": \"micro_kernels_simd_gate\",\n");
   std::fprintf(out, "  \"active_level\": \"%s\",\n", active_t.name);
   std::fprintf(out, "  \"scalar_only\": %s,\n", scalar_only ? "true" : "false");
+  std::fprintf(out, "  \"iters\": %d,\n", kTimingReps);
+  std::fprintf(out, "  \"warmup\": %d,\n", kTimingWarmup);
+  std::fprintf(out, "  \"statistic\": \"median\",\n");
   std::fprintf(out, "  \"kernels\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -3,6 +3,7 @@
 // paper and whether this run reproduced it.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -17,6 +18,18 @@ namespace adasum::bench {
 inline bool full_mode() {
   const char* env = std::getenv("ADASUM_BENCH_FULL");
   return env != nullptr && env[0] == '1';
+}
+
+// Median of per-iteration samples — the statistic every BENCH_*.json gate
+// reports. The mean folds one scheduler hiccup into the result; the median
+// of an odd-ish number of iters shrugs it off, which is what makes the
+// speedup floors in check.sh stable on a shared machine. Sorts a copy.
+inline double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  if (n % 2 == 1) return samples[n / 2];
+  return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

@@ -32,6 +32,12 @@ echo "=== kernel gate: SIMD dispatch speedup floors ==="
 # their speedup floors over the scalar oracle (no-op pass on non-AVX2 hosts).
 ./build/bench/bench_micro_kernels --kernels_json
 
+echo "=== overlap gate: pipelined step speedup floor ==="
+# Writes BENCH_pipeline.json and exits nonzero unless the background-engine
+# config beats the inline config by >= 1.3x on the 64 MiB / 4-rank step with
+# zero steady-state pool allocations and bit-identical results.
+./build/bench/bench_pipeline --pipeline_json
+
 echo "=== allocation gate: injector-off fault path ==="
 # The fault machinery AND the (disabled) protocol analyzer must add zero
 # steady-state heap allocations (operator-new hook, same as bench_fig4's
@@ -64,6 +70,19 @@ else
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/analysis_test
   TSAN_OPTIONS="halt_on_error=1" ADASUM_ANALYZE=on \
     ./build-tsan/tests/collectives_test
+
+  echo "=== tsan: full ctest with ADASUM_PIPELINE=on ==="
+  # The engine thread and the chunk streams are new race surface; the whole
+  # suite must hold under the race detector with chunking forced on (the
+  # pipeline-off tests double as chunked-path tests then, bit-for-bit). The
+  # reduced chaos window keeps the pass deterministic and bounded.
+  cmake --build --preset tsan -j "$(nproc)"
+  TSAN_OPTIONS="halt_on_error=1" ADASUM_PIPELINE=on \
+    CHAOS_SCHEDULES=24 CHAOS_SEED_BASE=1000 \
+    ctest --preset tsan -j "$(nproc)"
+  # Strict epoch validation over the chunked schedules, hooks on every chunk.
+  TSAN_OPTIONS="halt_on_error=1" ADASUM_ANALYZE=on ADASUM_PIPELINE=on \
+    ./build-tsan/tests/pipeline_test
 fi
 
 echo "=== asan+ubsan: full ctest suite ==="

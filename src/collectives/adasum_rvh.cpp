@@ -7,6 +7,7 @@
 #include "analysis/analyzer.h"
 #include "base/check.h"
 #include "comm/buffer_pool.h"
+#include "comm/pipeline.h"
 #include "core/adasum.h"
 #include "tensor/kernels.h"
 
@@ -74,6 +75,9 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       if (group[i] == comm.rank()) rank = static_cast<int>(i);
     ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
   }
+  // Chunk size for the bulk transfers (0 = monolithic single messages); the
+  // small dot-triple allreduce always travels whole.
+  const std::size_t chunk = comm.pipeline().chunk_bytes_for(elem);
 
 #if ADASUM_ANALYZE
   // Declare the full expected message schedule up front, from the same
@@ -81,24 +85,36 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
   // (tag_base + 8*level), the dot-triple allreduce over the 2d-subgroup
   // (+1) and the allgather unwind (+2). A drifted tag or neighbor
   // computation becomes an expected-vs-observed diff in the epoch report
-  // instead of a hang.
+  // instead of a hang. The declaration walks the same segment halving as the
+  // execution so the per-transfer chunk counts match the pipelined streams.
   analysis::EpochGuard epoch(comm.analyzer(), comm.rank(), "adasum_rvh");
   if (epoch.declaring()) {
     analysis::EpochExpectation& ex = epoch.expect();
+    std::size_t dcl_count = count;  // segment size entering each level
     int lvl = 0;
     for (int d = 1; d < size; d <<= 1, ++lvl) {
-      const int nb =
-          world_rank(((rank / d) % 2) == 0 ? rank + d : rank - d);
+      const bool left = ((rank / d) % 2) == 0;
+      const int nb = world_rank(left ? rank + d : rank - d);
       const int tag = tag_base + 8 * lvl;
-      ex.send(nb, tag);
-      ex.recv(nb, tag);
+      const std::size_t dcl_mid = dcl_count / 2;
+      const std::size_t kept = left ? dcl_mid : dcl_count - dcl_mid;
+      const std::size_t sent = dcl_count - kept;
+      // Halving exchange: this rank streams the complement and receives its
+      // kept half; the allgather unwind mirrors the sizes.
+      for (std::size_t c = chunk_messages(sent * elem, chunk); c > 0; --c)
+        ex.send(nb, tag);
+      for (std::size_t c = chunk_messages(kept * elem, chunk); c > 0; --c)
+        ex.recv(nb, tag);
       const int d2 = 2 * d;
       std::vector<int> sub(static_cast<std::size_t>(d2));
       for (int i = 0; i < d2; ++i)
         sub[static_cast<std::size_t>(i)] = world_rank((rank / d2) * d2 + i);
       ex.allreduce_doubles(sub, comm.rank(), tag + 1);
-      ex.send(nb, tag + 2);
-      ex.recv(nb, tag + 2);
+      for (std::size_t c = chunk_messages(kept * elem, chunk); c > 0; --c)
+        ex.send(nb, tag + 2);
+      for (std::size_t c = chunk_messages(sent * elem, chunk); c > 0; --c)
+        ex.recv(nb, tag + 2);
+      dcl_count = kept;
     }
   }
 #endif
@@ -138,22 +154,22 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     // Exchange halves. Left keeps/combines the left half; right the right.
     // `a` is the left subgroup's slice, `b` the right subgroup's; whichever
     // belongs to this rank stays in the caller's buffer and receives the
-    // combined result, the other is staged in `half`.
+    // combined result, the other is staged in `half`. The outgoing half is
+    // streamed in chunks so the neighbor can overlap its dot passes with the
+    // remaining transfers.
     const std::byte* a;
     const std::byte* b;
     std::byte* own;
     if (is_left) {
-      comm.send_bytes(world_rank(neighbor),
-                      {seg + mid * elem, (seg_count - mid) * elem}, tag);
-      comm.recv_bytes_into(world_rank(neighbor), {half, mid * elem}, tag);
+      comm.send_chunks(world_rank(neighbor),
+                       {seg + mid * elem, (seg_count - mid) * elem}, chunk,
+                       tag);
       a = seg;
       b = half;
       own = seg;
       seg_count = mid;
     } else {
-      comm.send_bytes(world_rank(neighbor), {seg, mid * elem}, tag);
-      comm.recv_bytes_into(world_rank(neighbor),
-                           {half, (seg_count - mid) * elem}, tag);
+      comm.send_chunks(world_rank(neighbor), {seg, mid * elem}, chunk, tag);
       a = half;
       b = seg + mid * elem;
       own = seg + mid * elem;
@@ -162,20 +178,39 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     }
     const std::size_t seg_end = seg_begin + seg_count;
 
-    // Partial per-layer dot products over this rank's slice of (a, b)
-    // (Algorithm 1 line 15).
-    for (std::size_t l = 0; l < num_layers; ++l) {
-      const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
-      kernels::DotTriple t;
-      if (loc.count > 0) {
-        t = kernels::dot_triple_bytes(a + loc.local_offset * elem,
-                                      b + loc.local_offset * elem, loc.count,
-                                      dtype);
+    // Receive the neighbor's half as a chunk stream (half[i] lines up with
+    // segment-local element i), computing each layer's partial dot triple
+    // (Algorithm 1 line 15) the moment the last element of its intersection
+    // with the segment lands. Layers advance in ascending order over the
+    // identical contiguous spans the monolithic path feeds the kernel, so
+    // the accumulated doubles are bit-for-bit the same for every chunk size
+    // — the pipelining only lets the dot of chunk i overlap the transfer of
+    // chunk i+1. Layers disjoint from the segment flush immediately with
+    // zero triples, exactly like the monolithic loop.
+    std::size_t next_layer = 0;
+    const auto flush_dots = [&](std::size_t received_elems) {
+      while (next_layer < num_layers) {
+        const SliceLocal loc =
+            intersect(layers[next_layer], seg_begin, seg_end);
+        if (loc.count > 0 && loc.local_offset + loc.count > received_elems)
+          break;
+        kernels::DotTriple t;
+        if (loc.count > 0) {
+          t = kernels::dot_triple_bytes(a + loc.local_offset * elem,
+                                        b + loc.local_offset * elem, loc.count,
+                                        dtype);
+        }
+        triples[3 * next_layer + 0] = t.ab;
+        triples[3 * next_layer + 1] = t.aa;
+        triples[3 * next_layer + 2] = t.bb;
+        ++next_layer;
       }
-      triples[3 * l + 0] = t.ab;
-      triples[3 * l + 1] = t.aa;
-      triples[3 * l + 2] = t.bb;
-    }
+    };
+    comm.recv_chunks_into(world_rank(neighbor), {half, seg_count * elem},
+                          chunk, tag, [&](std::size_t off, std::size_t len) {
+                            flush_dots((off + len) / elem);
+                          });
+    ADASUM_CHECK_EQ(next_layer, num_layers);
 
     // Finish the dot products across the 2d-rank group (line 16-17).
     const int d2 = 2 * d;
@@ -203,20 +238,22 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
   }
 
   // Allgather unwind (lines 22-24): send the combined segment, receive the
-  // neighbor's half directly at its final offset in the caller's buffer.
+  // neighbor's half directly at its final offset in the caller's buffer,
+  // both as chunk streams so consecutive levels' transfers interleave.
   for (int l = levels - 1; l >= 0; --l) {
     const LevelRecord& r = records[static_cast<std::size_t>(l)];
-    comm.send_bytes(world_rank(r.neighbor),
-                    {data + seg_begin * elem, seg_count * elem}, r.tag + 2);
+    comm.send_chunks(world_rank(r.neighbor),
+                     {data + seg_begin * elem, seg_count * elem}, chunk,
+                     r.tag + 2);
     if (r.is_left) {
-      comm.recv_bytes_into(world_rank(r.neighbor),
-                           {data + (seg_begin + r.mid) * elem,
-                            (r.seg_count - r.mid) * elem},
-                           r.tag + 2);
+      comm.recv_chunks_into(world_rank(r.neighbor),
+                            {data + (seg_begin + r.mid) * elem,
+                             (r.seg_count - r.mid) * elem},
+                            chunk, r.tag + 2);
     } else {
-      comm.recv_bytes_into(world_rank(r.neighbor),
-                           {data + (seg_begin - r.mid) * elem, r.mid * elem},
-                           r.tag + 2);
+      comm.recv_chunks_into(world_rank(r.neighbor),
+                            {data + (seg_begin - r.mid) * elem, r.mid * elem},
+                            chunk, r.tag + 2);
       seg_begin -= r.mid;
     }
     seg_count = r.seg_count;

@@ -1,0 +1,119 @@
+#include "collectives/comm_engine.h"
+
+#include "base/check.h"
+
+namespace adasum {
+
+CommEngine::CommEngine(Comm& comm, std::size_t capacity)
+    : comm_(comm), slots_(capacity) {
+  ADASUM_CHECK_GE(capacity, 1u);
+  thread_ = std::thread([this]() { worker(); });
+}
+
+CommEngine::~CommEngine() {
+  // On an exceptional unwind the worker may be blocked on a peer that will
+  // never answer (the exception has not reached World::run yet, so no abort
+  // has been requested). Issue the abort the run would issue anyway, so the
+  // join below cannot deadlock. A clean destruction just drains the queue.
+  if (std::uncaught_exceptions() > 0) comm_.request_abort();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+}
+
+CommEngine::Ticket CommEngine::submit_allreduce(Tensor& tensor,
+                                               const AllreduceOptions& options,
+                                               int tag_base) {
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ADASUM_CHECK_MSG(!stop_, "submit_allreduce on a stopping CommEngine");
+    ADASUM_CHECK_MSG(submitted_ - consumed_ < slots_.size(),
+                     "CommEngine ring full: wait() earlier tickets first");
+    Op& op = slots_[submitted_ % slots_.size()];
+    op.tensor = &tensor;
+    op.options = &options;
+    op.tag_base = tag_base;
+    op.result = ResilientResult{};
+    op.error = nullptr;
+    ticket = submitted_++;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+ResilientResult CommEngine::wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ADASUM_CHECK_LT(ticket, submitted_);
+  done_cv_.wait(lock, [&]() { return completed_ > ticket; });
+  if (consumed_ <= ticket) consumed_ = ticket + 1;
+  Op& op = slots_[ticket % slots_.size()];
+  if (op.error != nullptr) {
+    std::exception_ptr error = op.error;
+    op.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+  return op.result;
+}
+
+void CommEngine::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t target = submitted_;
+  done_cv_.wait(lock, [&]() { return completed_ >= target; });
+  std::exception_ptr first;
+  for (std::uint64_t t = consumed_; t < target; ++t) {
+    Op& op = slots_[t % slots_.size()];
+    if (first == nullptr && op.error != nullptr) first = op.error;
+    op.error = nullptr;
+  }
+  consumed_ = target;
+  lock.unlock();
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+std::uint64_t CommEngine::submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_;
+}
+
+void CommEngine::worker() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_cv_.wait(lock, [&]() { return stop_ || completed_ < submitted_; });
+    if (completed_ == submitted_) return;  // stop_ && drained
+    Op& op = slots_[completed_ % slots_.size()];
+    if (killed_) {
+      // The rank died mid-queue: remaining ops are not executed (a killed
+      // rank stops participating) but their waiters still unblock.
+      op.error = std::make_exception_ptr(RankKilled(comm_.rank()));
+      ++completed_;
+      done_cv_.notify_all();
+      continue;
+    }
+    lock.unlock();
+    ResilientResult result;
+    std::exception_ptr error;
+    bool rank_killed = false;
+    try {
+      result = resilient_allreduce(comm_, *op.tensor, *op.options,
+                                   op.tag_base);
+    } catch (const RankKilled&) {
+      error = std::current_exception();
+      rank_killed = true;
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (rank_killed) killed_ = true;
+    op.result = result;
+    op.error = error;
+    ++completed_;
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace adasum

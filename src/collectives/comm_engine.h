@@ -1,0 +1,106 @@
+// Background allreduce engine (DESIGN.md §12).
+//
+// A per-rank worker thread that runs resilient allreduces from a submit
+// queue, so the owning rank can overlap gradient computation with
+// communication: DistributedOptimizer submits fusion-buffer buckets as
+// backprop fills them and only joins at step(). The engine thread calls the
+// regular Comm surface of its owner rank — every message, analyzer event and
+// traffic stat is attributed to that rank, exactly as if the rank itself had
+// made the call.
+//
+// Threading contract (what keeps this data-race-free without any locking in
+// the collectives):
+//   * The OWNER THREAD MUST NOT PERFORM COMM while engine ops are in
+//     flight. One rank = one logical message stream; the analyzer's
+//     per-rank receive state, CommStats and the vote/enroll barriers all
+//     assume it. submit/wait form the happens-before edges (queue mutex),
+//     so tensor payloads written before submit_allreduce are visible to the
+//     worker, and results are visible to the owner after wait().
+//   * Ops execute strictly in submission order. Every rank submits its
+//     buckets in the same deterministic order with per-bucket tags, so
+//     engines of different ranks may be on different buckets at the same
+//     time without cross-talk — the mailbox matches by tag.
+//   * wait() consumes tickets in submission order (each slot is reused
+//     after `capacity` further submissions); submit blocks no one — it
+//     CHECK-fails if the caller outruns the fixed ring, since blocking
+//     would deadlock a single-threaded owner.
+//
+// Steady state allocates nothing: the ring of ops is pre-sized, ops carry
+// raw pointers (the caller owns tensor and options for the ticket's
+// lifetime), and the collectives underneath run on pooled buffers.
+//
+// Lifecycle: the destructor drains the queue and joins the worker. If the
+// owner is unwinding with an exception, the pending ops may be blocked on
+// peers that will never answer; the destructor then requests a world abort
+// first (the same abort World::run itself would issue once the exception
+// reaches it) so the worker wakes with WorldAborted and the join cannot
+// deadlock. An engine-side RankKilled marks the rank's remaining ops as
+// killed without executing them — a killed rank stops participating.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "collectives/resilient.h"
+
+namespace adasum {
+
+class CommEngine {
+ public:
+  using Ticket = std::uint64_t;
+
+  explicit CommEngine(Comm& comm, std::size_t capacity = 64);
+  ~CommEngine();
+
+  CommEngine(const CommEngine&) = delete;
+  CommEngine& operator=(const CommEngine&) = delete;
+
+  // Enqueues an in-place resilient allreduce of `tensor`. The caller keeps
+  // `tensor` and `options` alive and untouched until the ticket is waited.
+  Ticket submit_allreduce(Tensor& tensor, const AllreduceOptions& options,
+                          int tag_base);
+
+  // Blocks until the ticket's op completed; returns its result or rethrows
+  // what the op threw (RankKilled included — the owner unwinds exactly as if
+  // it had run the collective itself). Tickets must be waited in submission
+  // order.
+  ResilientResult wait(Ticket ticket);
+
+  // Joins every submitted op; rethrows the first error among them.
+  void wait_all();
+
+  // Tickets submitted over the engine's lifetime (tests).
+  std::uint64_t submitted() const;
+
+  // Ring size: how many tickets may be outstanding before submit CHECKs.
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Op {
+    Tensor* tensor = nullptr;
+    const AllreduceOptions* options = nullptr;
+    int tag_base = 0;
+    ResilientResult result;
+    std::exception_ptr error;
+  };
+
+  void worker();
+
+  Comm& comm_;
+  std::vector<Op> slots_;
+  std::uint64_t submitted_ = 0;  // next ticket to hand out
+  std::uint64_t completed_ = 0;  // ops finished by the worker
+  std::uint64_t consumed_ = 0;   // tickets waited (slot-reuse floor)
+  bool stop_ = false;
+  bool killed_ = false;  // worker saw RankKilled; drain without executing
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::thread thread_;
+};
+
+}  // namespace adasum

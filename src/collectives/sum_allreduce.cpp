@@ -7,6 +7,7 @@
 #include "analysis/analyzer.h"
 #include "base/check.h"
 #include "comm/buffer_pool.h"
+#include "comm/pipeline.h"
 #include "tensor/kernels.h"
 
 namespace adasum {
@@ -28,18 +29,36 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
   const std::size_t elem = dtype_size(dtype);
   const int next = (rank + 1) % p;
   const int prev = (rank + p - 1) % p;
+  const std::size_t chunk = comm.pipeline().chunk_bytes_for(elem);
 
 #if ADASUM_ANALYZE
   // Ring schedule: p-1 reduce-scatter steps on tag_base+s, p-1 allgather
-  // steps on tag_base+p+s, always to `next` / from `prev`.
+  // steps on tag_base+p+s, always to `next` / from `prev`. Each step's
+  // segment may travel as a chunk stream; the declaration computes the same
+  // per-step chunk counts as the transfers below.
   analysis::EpochGuard epoch(comm.analyzer(), rank, "ring_allreduce_sum");
   if (epoch.declaring()) {
     analysis::EpochExpectation& ex = epoch.expect();
+    const auto seg_bytes = [&](int c) {
+      return (chunk_begin(count, p, c + 1) - chunk_begin(count, p, c)) * elem;
+    };
     for (int s = 0; s < p - 1; ++s) {
-      ex.send(next, tag_base + s);
-      ex.recv(prev, tag_base + s);
-      ex.send(next, tag_base + p + s);
-      ex.recv(prev, tag_base + p + s);
+      for (std::size_t c =
+               chunk_messages(seg_bytes((rank - s + p) % p), chunk);
+           c > 0; --c)
+        ex.send(next, tag_base + s);
+      for (std::size_t c =
+               chunk_messages(seg_bytes((rank - s - 1 + p) % p), chunk);
+           c > 0; --c)
+        ex.recv(prev, tag_base + s);
+      for (std::size_t c =
+               chunk_messages(seg_bytes((rank + 1 - s + p) % p), chunk);
+           c > 0; --c)
+        ex.send(next, tag_base + p + s);
+      for (std::size_t c =
+               chunk_messages(seg_bytes((rank - s + p) % p), chunk);
+           c > 0; --c)
+        ex.recv(prev, tag_base + p + s);
     }
   }
 #endif
@@ -56,12 +75,20 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     const int recv_chunk = (rank - s - 1 + p) % p;
     const std::size_t sb = chunk_begin(count, p, send_chunk);
     const std::size_t se = chunk_begin(count, p, send_chunk + 1);
-    comm.send_bytes(next, {data + sb * elem, (se - sb) * elem},
-                    tag_base + s);
+    comm.send_chunks(next, {data + sb * elem, (se - sb) * elem}, chunk,
+                     tag_base + s);
     const std::size_t rb = chunk_begin(count, p, recv_chunk);
     const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
-    comm.recv_bytes_into(prev, scratch.bytes((re - rb) * elem), tag_base + s);
-    kernels::add_bytes(scratch.data(), data + rb * elem, re - rb, dtype);
+    // The sum is elementwise, so each chunk is added the moment it lands —
+    // bit-identical to the whole-segment add, but overlapped with the
+    // remaining transfers of the stream.
+    comm.recv_chunks_into(prev, scratch.bytes((re - rb) * elem), chunk,
+                          tag_base + s,
+                          [&](std::size_t off, std::size_t len) {
+                            kernels::add_bytes(scratch.data() + off,
+                                               data + rb * elem + off,
+                                               len / elem, dtype);
+                          });
   }
 
   // Allgather: circulate the owned (fully reduced) chunks, each received
@@ -71,12 +98,12 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     const int recv_chunk = (rank - s + p) % p;
     const std::size_t sb = chunk_begin(count, p, send_chunk);
     const std::size_t se = chunk_begin(count, p, send_chunk + 1);
-    comm.send_bytes(next, {data + sb * elem, (se - sb) * elem},
-                    tag_base + p + s);
+    comm.send_chunks(next, {data + sb * elem, (se - sb) * elem}, chunk,
+                     tag_base + p + s);
     const std::size_t rb = chunk_begin(count, p, recv_chunk);
     const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
-    comm.recv_bytes_into(prev, {data + rb * elem, (re - rb) * elem},
-                         tag_base + p + s);
+    comm.recv_chunks_into(prev, {data + rb * elem, (re - rb) * elem}, chunk,
+                          tag_base + p + s);
   }
 }
 
@@ -102,23 +129,35 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
   }
   const std::size_t elem = dtype_size(dtype);
+  const std::size_t chunk = comm.pipeline().chunk_bytes_for(elem);
 
 #if ADASUM_ANALYZE
   // Pairwise halving/doubling: per level one half exchange on
   // tag_base + 4*level and one unwind exchange on +1, both with the level's
-  // hypercube neighbor.
+  // hypercube neighbor, each possibly split into a chunk stream. The
+  // declaration walks the same segment halving as the execution so the
+  // per-transfer chunk counts match.
   analysis::EpochGuard epoch(comm.analyzer(), comm.rank(),
                              "rvh_allreduce_sum");
   if (epoch.declaring()) {
     analysis::EpochExpectation& ex = epoch.expect();
+    std::size_t dcl_count = count;
     int lvl = 0;
     for (int d = 1; d < size; d <<= 1, ++lvl) {
-      const int nb =
-          world_rank(((rank / d) % 2) == 0 ? rank + d : rank - d);
-      ex.send(nb, tag_base + 4 * lvl);
-      ex.recv(nb, tag_base + 4 * lvl);
-      ex.send(nb, tag_base + 4 * lvl + 1);
-      ex.recv(nb, tag_base + 4 * lvl + 1);
+      const bool left = ((rank / d) % 2) == 0;
+      const int nb = world_rank(left ? rank + d : rank - d);
+      const std::size_t dcl_mid = dcl_count / 2;
+      const std::size_t kept = left ? dcl_mid : dcl_count - dcl_mid;
+      const std::size_t sent = dcl_count - kept;
+      for (std::size_t c = chunk_messages(sent * elem, chunk); c > 0; --c)
+        ex.send(nb, tag_base + 4 * lvl);
+      for (std::size_t c = chunk_messages(kept * elem, chunk); c > 0; --c)
+        ex.recv(nb, tag_base + 4 * lvl);
+      for (std::size_t c = chunk_messages(kept * elem, chunk); c > 0; --c)
+        ex.send(nb, tag_base + 4 * lvl + 1);
+      for (std::size_t c = chunk_messages(sent * elem, chunk); c > 0; --c)
+        ex.recv(nb, tag_base + 4 * lvl + 1);
+      dcl_count = kept;
     }
   }
 #endif
@@ -152,36 +191,42 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     std::byte* kept;
     std::size_t kept_count;
     if (is_left) {
-      comm.send_bytes(world_rank(neighbor),
-                      {seg + mid * elem, (seg_count - mid) * elem}, tag);
-      comm.recv_bytes_into(world_rank(neighbor), {half, mid * elem}, tag);
+      comm.send_chunks(world_rank(neighbor),
+                       {seg + mid * elem, (seg_count - mid) * elem}, chunk,
+                       tag);
       kept = seg;
       kept_count = mid;
     } else {
-      comm.send_bytes(world_rank(neighbor), {seg, mid * elem}, tag);
-      comm.recv_bytes_into(world_rank(neighbor),
-                           {half, (seg_count - mid) * elem}, tag);
+      comm.send_chunks(world_rank(neighbor), {seg, mid * elem}, chunk, tag);
       kept = seg + mid * elem;
       kept_count = seg_count - mid;
       seg_begin += mid;
     }
-    kernels::add_bytes(half, kept, kept_count, dtype);
+    // Elementwise sum: add each incoming chunk where it lands, overlapping
+    // the remaining transfers of the stream. Bit-identical to the
+    // whole-half add.
+    comm.recv_chunks_into(world_rank(neighbor), {half, kept_count * elem},
+                          chunk, tag, [&](std::size_t off, std::size_t len) {
+                            kernels::add_bytes(half + off, kept + off,
+                                               len / elem, dtype);
+                          });
     seg_count = kept_count;
   }
 
   for (int l = levels - 1; l >= 0; --l) {
     const Level& r = records[static_cast<std::size_t>(l)];
-    comm.send_bytes(world_rank(r.neighbor),
-                    {data + seg_begin * elem, seg_count * elem}, r.tag + 1);
+    comm.send_chunks(world_rank(r.neighbor),
+                     {data + seg_begin * elem, seg_count * elem}, chunk,
+                     r.tag + 1);
     if (r.is_left) {
-      comm.recv_bytes_into(world_rank(r.neighbor),
-                           {data + (seg_begin + r.mid) * elem,
-                            (r.seg_count - r.mid) * elem},
-                           r.tag + 1);
+      comm.recv_chunks_into(world_rank(r.neighbor),
+                            {data + (seg_begin + r.mid) * elem,
+                             (r.seg_count - r.mid) * elem},
+                            chunk, r.tag + 1);
     } else {
-      comm.recv_bytes_into(world_rank(r.neighbor),
-                           {data + (seg_begin - r.mid) * elem, r.mid * elem},
-                           r.tag + 1);
+      comm.recv_chunks_into(world_rank(r.neighbor),
+                            {data + (seg_begin - r.mid) * elem, r.mid * elem},
+                            chunk, r.tag + 1);
       seg_begin -= r.mid;
     }
     seg_count = r.seg_count;

@@ -71,6 +71,14 @@ double CostModel::rvh_allreduce_sum(double bytes) const {
   return total;
 }
 
+double CostModel::chunked_transfer_time(const LinkParams& link,
+                                        double bytes) const {
+  double k = 1.0;
+  if (chunk_bytes_ > 0.0 && bytes > chunk_bytes_)
+    k = std::ceil(bytes / chunk_bytes_);
+  return k * link.latency_s + bytes / link.bandwidth_Bps;
+}
+
 double CostModel::recursive_doubling_cost(int rounds, double bytes,
                                           int base_distance) const {
   double total = 0.0;
@@ -99,6 +107,38 @@ double CostModel::rvh_allreduce_adasum(double bytes, int num_layers) const {
     // Triple allreduce over the 2^(k+1)-rank group: k+1 recursive-doubling
     // rounds at distances 1,2,...,2^k.
     total += recursive_doubling_cost(k + 1, triple_bytes, 1);
+    segment = half;
+  }
+  return total;
+}
+
+double CostModel::rvh_allreduce_adasum_pipelined(double bytes,
+                                                 int num_layers) const {
+  const int p = topology_.total_gpus();
+  if (p == 1) return 0.0;
+  ADASUM_CHECK_GE(num_layers, 1);
+  const int levels = log2_exact(p);
+  const double triple_bytes = 3.0 * 8.0 * num_layers;
+  double total = 0.0;
+  double segment = bytes;
+  for (int k = 0; k < levels; ++k) {
+    const LinkParams& link = link_for_distance(1 << k);
+    const double half = segment / 2.0;
+    // Halving exchange: the incoming half arrives as a chunk stream and the
+    // dot-triple pass consumes chunks as they land, so the level's critical
+    // path is the wire OR the compute trailing the first chunk — whichever
+    // is longer — instead of their sum. Every chunk pays its own α.
+    const double wire = chunked_transfer_time(link, half);
+    const double first_chunk = chunked_transfer_time(
+        link, chunk_bytes_ > 0.0 ? std::min(chunk_bytes_, half) : half);
+    const double dot = half / compute_.dot_Bps;
+    total += std::max(wire, dot + first_chunk);
+    // The combine and the triple allreduce stay serial: the scale factors
+    // need every layer's dots, which need the full half.
+    total += half / compute_.combine_Bps;
+    total += recursive_doubling_cost(k + 1, triple_bytes, 1);
+    // Mirrored allgather exchange: a chunk stream with nothing to overlap.
+    total += chunked_transfer_time(link, half);
     segment = half;
   }
   return total;

@@ -35,6 +35,18 @@ class CostModel {
 
   const Topology& topology() const { return topology_; }
 
+  // Pipeline chunk size used by the *_pipelined predictions (the
+  // ADASUM_CHUNK_BYTES analogue). 0 — the default — prices transfers as one
+  // monolithic message, which makes the pipelined models degenerate exactly
+  // to their monolithic counterparts.
+  void set_chunk_bytes(double chunk_bytes) { chunk_bytes_ = chunk_bytes; }
+  double chunk_bytes() const { return chunk_bytes_; }
+
+  // Honest α–β price of a chunked stream: a payload split into k chunks
+  // pays k·α + bytes/B, not α + bytes/B — per-chunk latency is the tax the
+  // pipeline pays for its overlap, and Figure 4 predictions must show it.
+  double chunked_transfer_time(const LinkParams& link, double bytes) const;
+
   // --- whole-world (flat) collectives over p = total_gpus ranks ----------
 
   // Ring sum-allreduce (the NCCL-style baseline): 2(p-1) pipeline steps of
@@ -51,6 +63,13 @@ class CostModel {
   // allreduce (3*num_layers doubles, recursive doubling) + dot/combine
   // arithmetic instead of plain sums.
   double rvh_allreduce_adasum(double bytes, int num_layers) const;
+
+  // Chunk-pipelined Algorithm 1 (DESIGN.md §12): the halving exchange
+  // travels as a chunk stream and the dot-triple pass runs as chunks land,
+  // so a level costs max(wire, dot + first-chunk) instead of wire + dot —
+  // but every chunk pays its own α (chunked_transfer_time). With
+  // chunk_bytes()==0 this equals rvh_allreduce_adasum exactly.
+  double rvh_allreduce_adasum_pipelined(double bytes, int num_layers) const;
 
   // Ring-order Adasum (§4.2.3): ring data movement, but each of the p-1
   // reduce steps must complete a serial dot-triple + combine on the full
@@ -76,6 +95,7 @@ class CostModel {
 
   Topology topology_;
   ComputeParams compute_;
+  double chunk_bytes_ = 0.0;  // 0 = monolithic transfers
 };
 
 }  // namespace adasum

@@ -37,6 +37,10 @@ World::World(int size) : size_(size) {
   for (int r = 0; r < size; ++r)
     dead_[r].store(false, std::memory_order_relaxed);
   alive_count_.store(size, std::memory_order_relaxed);
+  // Chunked pipelining opts in from the environment (like the analyzer
+  // below) so any existing binary can run the chunk-streaming collectives
+  // without a code change.
+  pipeline_ = PipelineOptions::from_env();
 #if ADASUM_ANALYZE
   // Opt into the protocol analyzer from the environment so any existing test
   // binary can run under analysis without a code change.
@@ -261,6 +265,17 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag) {
   std::vector<std::byte> payload = world_->pool_.acquire(data.size());
   if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size());
   send_bytes_owned(dst, std::move(payload), tag);
+}
+
+void Comm::send_chunks(int dst, std::span<const std::byte> data,
+                       std::size_t chunk_bytes, int tag) {
+  if (chunk_bytes == 0 || data.size() <= chunk_bytes) {
+    send_bytes(dst, data, tag);
+    return;
+  }
+  for (std::size_t off = 0; off < data.size(); off += chunk_bytes)
+    send_bytes(dst, data.subspan(off, std::min(chunk_bytes, data.size() - off)),
+               tag);
 }
 
 void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {

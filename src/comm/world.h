@@ -40,6 +40,7 @@
 #include "comm/buffer_pool.h"
 #include "comm/channel.h"
 #include "comm/fault_injector.h"
+#include "comm/pipeline.h"
 
 namespace adasum {
 
@@ -101,6 +102,13 @@ class World {
   // when the hooks were compiled out via -DADASUM_ANALYZE=OFF.
   void enable_analyzer(analysis::AnalyzerOptions options = {});
   analysis::ProtocolAnalyzer* analyzer() { return analyzer_.get(); }
+
+  // ---- chunked pipelining (DESIGN.md §12; see comm/pipeline.h) -----------
+  // Chunk-streaming configuration for the collectives. Initialized from
+  // ADASUM_PIPELINE / ADASUM_CHUNK_BYTES at construction; settable between
+  // runs for tests and benches.
+  void set_pipeline(PipelineOptions options) { pipeline_ = options; }
+  const PipelineOptions& pipeline() const { return pipeline_; }
 
   void enable_checksums(bool on) { checksums_ = on; }
   bool checksums_enabled() const { return checksums_; }
@@ -172,6 +180,8 @@ class World {
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
 
+  PipelineOptions pipeline_;
+
   // Fault-model state.
   bool ft_enabled_ = false;
   FaultToleranceOptions ft_;
@@ -215,6 +225,43 @@ class Comm {
   // (which must match the message size exactly) and recycles the payload
   // buffer into the world's pool — the allocation-free receive path.
   void recv_bytes_into(int src, std::span<std::byte> dest, int tag = 0);
+  // Streams `data` to `dst` as `chunk_bytes`-sized messages, all on `tag`
+  // (the mailbox's per-(src,dst,tag) FIFO keeps the stream ordered).
+  // chunk_bytes == 0 — or a payload no larger than one chunk — degenerates
+  // to a single send_bytes: the monolithic message pattern. The stream is
+  // chunk_messages(data.size(), chunk_bytes) messages; the matching receive
+  // must split with the same chunk size.
+  void send_chunks(int dst, std::span<const std::byte> data,
+                   std::size_t chunk_bytes, int tag = 0);
+  // Receives the stream produced by a matching send_chunks into `dest`,
+  // invoking on_chunk(offset_bytes, len_bytes) after each chunk lands — the
+  // hook is where the pipelined collectives overlap their reduction of chunk
+  // i with the transfer of chunk i+1. With chunk_bytes == 0 the hook fires
+  // once for the whole payload, so one code path serves both modes.
+  template <typename OnChunk>
+  void recv_chunks_into(int src, std::span<std::byte> dest,
+                        std::size_t chunk_bytes, int tag, OnChunk&& on_chunk) {
+    if (chunk_bytes == 0 || dest.size() <= chunk_bytes) {
+      recv_bytes_into(src, dest, tag);
+      on_chunk(std::size_t{0}, dest.size());
+      return;
+    }
+    for (std::size_t off = 0; off < dest.size(); off += chunk_bytes) {
+      const std::size_t len = std::min(chunk_bytes, dest.size() - off);
+      recv_bytes_into(src, dest.subspan(off, len), tag);
+      on_chunk(off, len);
+    }
+  }
+  void recv_chunks_into(int src, std::span<std::byte> dest,
+                        std::size_t chunk_bytes, int tag = 0) {
+    recv_chunks_into(src, dest, chunk_bytes, tag,
+                     [](std::size_t, std::size_t) {});
+  }
+
+  // Chunking configuration of the world (comm/pipeline.h); collectives ask
+  // pipeline().chunk_bytes_for(elem) for their transfer granularity.
+  const PipelineOptions& pipeline() const { return world_->pipeline_; }
+
   // Bounded receive with an explicit deadline: nullopt on timeout, throws
   // PeerFailed/CommCorrupt/WorldAborted like recv_bytes. The mailbox stays
   // fully usable after a timeout.
@@ -291,6 +338,11 @@ class Comm {
   analysis::ProtocolAnalyzer* analyzer() { return world_->analyzer_.get(); }
 
   CommStats& stats() { return world_->stats_[rank_]; }
+
+  // Forwarded World::request_abort, for owners of helper threads (the
+  // background CommEngine) that must wake a blocked worker before joining it
+  // on an exceptional unwind.
+  void request_abort() { world_->request_abort(); }
 
  private:
   friend class World;

@@ -1,5 +1,6 @@
 #include "optim/distributed_optimizer.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/check.h"
@@ -38,10 +39,21 @@ bool DistributedOptimizer::step(double lr) {
   // Adasum mode (Figure 3): optimizer first, allreduce the effective
   // gradient after.
   if (micro_step_ == 0) {
-    round_start_.clear();
-    round_start_.reserve(params.size());
-    for (const nn::Parameter* p : params)
-      round_start_.push_back(p->value.clone());
+    // Snapshot the round start. Warm rounds refresh the existing snapshot
+    // tensors in place (same values as a fresh clone, no allocation).
+    bool reuse = round_start_.size() == params.size();
+    for (std::size_t i = 0; reuse && i < params.size(); ++i)
+      reuse = round_start_[i].nbytes() == params[i]->value.nbytes();
+    if (reuse) {
+      for (std::size_t i = 0; i < params.size(); ++i)
+        std::memcpy(round_start_[i].data(), params[i]->value.data(),
+                    params[i]->value.nbytes());
+    } else {
+      round_start_.clear();
+      round_start_.reserve(params.size());
+      for (const nn::Parameter* p : params)
+        round_start_.push_back(p->value.clone());
+    }
   }
   inner_->step(lr);
   inner_->zero_grad();
@@ -54,6 +66,7 @@ bool DistributedOptimizer::step(double lr) {
 
 ReduceOutcome DistributedOptimizer::reduce_tensors(
     std::vector<Tensor*>& tensors, ReduceOp op) {
+  if (bucketed()) return reduce_bucketed(tensors, op);
   AllreduceOptions opts;
   opts.op = op;
   opts.algo = options_.algo;
@@ -78,11 +91,182 @@ ReduceOutcome DistributedOptimizer::reduce_tensors(
   return res.outcome;
 }
 
+CommEngine& DistributedOptimizer::engine() {
+  if (!engine_)
+    engine_ = std::make_unique<CommEngine>(
+        comm_, std::max<std::size_t>(buckets_.size(), 64));
+  return *engine_;
+}
+
+void DistributedOptimizer::ensure_buckets(
+    const std::vector<Tensor*>& tensors) {
+  bool same = bucket_signature_.size() == tensors.size();
+  for (std::size_t i = 0; same && i < tensors.size(); ++i)
+    same = bucket_signature_[i] == tensors[i]->nbytes();
+  if (same && !buckets_.empty()) return;
+  // A layout change mid-round would orphan in-flight buckets.
+  ADASUM_CHECK_EQ(next_unlaunched_, std::size_t{0});
+  ADASUM_CHECK_EQ(round_index_, -1);
+  bucket_signature_.assign(tensors.size(), 0);
+  for (std::size_t i = 0; i < tensors.size(); ++i)
+    bucket_signature_[i] = tensors[i]->nbytes();
+  buckets_.clear();
+  // Greedy packing in parameter order (the Horovod fusion-threshold rule):
+  // a bucket closes once adding the next tensor would push it over
+  // bucket_bytes; an oversized tensor forms its own bucket. bucket_bytes==0
+  // keeps one bucket for the whole model — the seed layout.
+  std::size_t first = 0, bytes = 0;
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    const std::size_t nb = tensors[i]->nbytes();
+    if (i > first && options_.bucket_bytes > 0 &&
+        bytes + nb > options_.bucket_bytes) {
+      Bucket bk;
+      bk.first = first;
+      bk.last = i;
+      buckets_.push_back(std::move(bk));
+      first = i;
+      bytes = 0;
+    }
+    bytes += nb;
+  }
+  Bucket tail;
+  tail.first = first;
+  tail.last = tensors.size();
+  buckets_.push_back(std::move(tail));
+  for (Bucket& bk : buckets_) {
+    bk.opts.algo = options_.algo;
+    bk.opts.ranks_per_node = options_.ranks_per_node;
+    bk.opts.slices.clear();
+    bk.launched = false;
+  }
+  grad_ready_.assign(tensors.size(), 0);
+  pack_views_.reserve(tensors.size());
+  unpack_views_.reserve(tensors.size());
+  // reduce_bucketed queues every bucket before joining, so the engine ring
+  // must hold a whole round. Safe to swap here: the CHECKs above proved the
+  // engine is idle.
+  if (options_.background && engine_ && engine_->capacity() < buckets_.size())
+    engine_.reset();
+}
+
+int DistributedOptimizer::acquire_round_index() {
+  if (round_index_ < 0) round_index_ = tag_round_++ % 64;
+  return round_index_;
+}
+
+int DistributedOptimizer::bucket_tag_base(int round_index,
+                                          std::size_t bucket) const {
+  // Each (round, bucket) gets its own tag namespace out of the same 64
+  // slots the seed cycled through per round, so engines of different ranks
+  // can be on different buckets concurrently without cross-talk, and each
+  // bucket lands in a distinct recovery-tag slot. With one bucket this is
+  // exactly the seed's (tag_round_ % 64) * 65536.
+  const std::size_t slot =
+      (static_cast<std::size_t>(round_index) * buckets_.size() + bucket) % 64;
+  return static_cast<int>(slot) * 65536;
+}
+
+void DistributedOptimizer::launch_bucket(std::size_t b,
+                                         const std::vector<Tensor*>& tensors,
+                                         ReduceOp op, int round_index) {
+  Bucket& bk = buckets_[b];
+  ADASUM_CHECK(!bk.launched);
+  pack_views_.assign(tensors.begin() + static_cast<std::ptrdiff_t>(bk.first),
+                     tensors.begin() + static_cast<std::ptrdiff_t>(bk.last));
+  FusedTensor& fused = bk.fusion.pack(pack_views_);
+  bk.opts.op = op;
+  // The slice table depends only on the layout, which ensure_buckets pinned;
+  // copy it once per layout instead of once per round (steady state must
+  // not allocate).
+  if (options_.layerwise && bk.opts.slices.size() != fused.slices.size())
+    bk.opts.slices = fused.slices;
+  const int tag_base = bucket_tag_base(round_index, b);
+  if (options_.background) {
+    bk.ticket = engine().submit_allreduce(fused.flat, bk.opts, tag_base);
+  } else {
+    bk.inline_result = resilient_allreduce(comm_, fused.flat, bk.opts,
+                                           tag_base);
+  }
+  bk.launched = true;
+}
+
+ReduceOutcome DistributedOptimizer::reduce_bucketed(
+    std::vector<Tensor*>& tensors, ReduceOp op) {
+  ensure_buckets(tensors);
+  const int round = acquire_round_index();
+  // Launch whatever notify_grad_ready has not already sent. In background
+  // mode the engine executes strictly in order, so queueing everything up
+  // front is safe and lets the joins below overlap the later buckets.
+  for (std::size_t b = next_unlaunched_; b < buckets_.size(); ++b)
+    launch_bucket(b, tensors, op, round);
+  ReduceOutcome worst = ReduceOutcome::kOk;
+  bool any_degraded = false;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    Bucket& bk = buckets_[b];
+    const ResilientResult res =
+        options_.background ? engine().wait(bk.ticket) : bk.inline_result;
+    if (res.outcome == ReduceOutcome::kDegraded) {
+      any_degraded = true;
+      if (worst == ReduceOutcome::kOk) worst = ReduceOutcome::kDegraded;
+    } else if (res.outcome == ReduceOutcome::kSkipped) {
+      // One skipped bucket poisons the round: the caller must treat the
+      // whole update as skipped, or replicas would diverge per bucket. The
+      // outcome is uniform across survivors (PR 2 protocol), so every rank
+      // takes the same branch.
+      worst = ReduceOutcome::kSkipped;
+    }
+    unpack_views_.assign(
+        tensors.begin() + static_cast<std::ptrdiff_t>(bk.first),
+        tensors.begin() + static_cast<std::ptrdiff_t>(bk.last));
+    bk.fusion.unpack(unpack_views_);
+    bk.launched = false;
+  }
+  if (any_degraded) ++degraded_rounds_;
+  next_unlaunched_ = 0;
+  round_index_ = -1;
+  std::fill(grad_ready_.begin(), grad_ready_.end(), char{0});
+  return worst;
+}
+
+void DistributedOptimizer::notify_grad_ready(std::size_t param_index) {
+  if (!options_.background) return;
+  if (options_.op != ReduceOp::kSum && options_.op != ReduceOp::kAverage)
+    return;
+  // Only the communicating microstep reduces; earlier microsteps are still
+  // accumulating, so their "ready" gradients are not final.
+  if (micro_step_ != options_.local_steps - 1) return;
+  const auto& params = inner_->params();
+  ADASUM_CHECK_LT(param_index, params.size());
+  if (grads_view_.size() != params.size()) {
+    grads_view_.clear();
+    grads_view_.reserve(params.size());
+    for (nn::Parameter* p : inner_->params())
+      grads_view_.push_back(&p->grad);
+  }
+  ensure_buckets(grads_view_);
+  grad_ready_[param_index] = 1;
+  const int round = acquire_round_index();
+  // Buckets launch in order the moment every tensor in them is ready —
+  // communication overlaps the rest of backprop; step() only joins.
+  while (next_unlaunched_ < buckets_.size()) {
+    const Bucket& bk = buckets_[next_unlaunched_];
+    bool ready = true;
+    for (std::size_t i = bk.first; ready && i < bk.last; ++i)
+      ready = grad_ready_[i] != 0;
+    if (!ready) break;
+    launch_bucket(next_unlaunched_, grads_view_, options_.op, round);
+    ++next_unlaunched_;
+  }
+}
+
 ReduceOutcome DistributedOptimizer::communicate_gradients() {
-  std::vector<Tensor*> grads;
-  grads.reserve(inner_->params().size());
-  for (nn::Parameter* p : inner_->params()) grads.push_back(&p->grad);
-  return reduce_tensors(grads, options_.op);
+  if (grads_view_.size() != inner_->params().size()) {
+    grads_view_.clear();
+    grads_view_.reserve(inner_->params().size());
+    for (nn::Parameter* p : inner_->params())
+      grads_view_.push_back(&p->grad);
+  }
+  return reduce_tensors(grads_view_, options_.op);
 }
 
 bool DistributedOptimizer::round_overflowed_globally(bool local_overflow) {
@@ -108,7 +292,56 @@ void DistributedOptimizer::revert_to_round_start() {
   }
 }
 
+void DistributedOptimizer::communicate_effective_gradient_overlapped() {
+  const auto& params = inner_->params();
+  // Persistent deltas: first round allocates, warm rounds only compute.
+  bool reuse = eff_.size() == params.size();
+  for (std::size_t i = 0; reuse && i < params.size(); ++i)
+    reuse = eff_[i].nbytes() == params[i]->value.nbytes();
+  if (!reuse) {
+    eff_.clear();
+    eff_views_.clear();
+    eff_.reserve(params.size());
+    eff_views_.reserve(params.size());
+    for (const nn::Parameter* p : params) eff_.push_back(p->value.clone());
+    for (Tensor& t : eff_) eff_views_.push_back(&t);
+  }
+  ensure_buckets(eff_views_);
+  const int round = acquire_round_index();
+  // The pipeline: compute bucket b's deltas, submit, move on — the engine
+  // reduces bucket b while this thread computes bucket b+1 (Figure 3's
+  // compute/communication overlap, applied to the local-SGD delta).
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const Bucket& bk = buckets_[b];
+    for (std::size_t i = bk.first; i < bk.last; ++i) {
+      std::memcpy(eff_[i].data(), params[i]->value.data(),
+                  params[i]->value.nbytes());
+      kernels::axpy(-1.0, round_start_[i].span<float>(),
+                    eff_[i].span<float>());
+    }
+    launch_bucket(b, eff_views_, ReduceOp::kAdasum, round);
+    ++next_unlaunched_;
+  }
+  // Joins every bucket in order and unpacks; launches nothing new.
+  if (reduce_bucketed(eff_views_, ReduceOp::kAdasum) ==
+      ReduceOutcome::kSkipped) {
+    revert_to_round_start();
+    ++skipped_rounds_;
+    return;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::memcpy(params[i]->value.data(), round_start_[i].data(),
+                round_start_[i].nbytes());
+    kernels::add(eff_[i].span<float>(), params[i]->value.span<float>());
+  }
+}
+
 void DistributedOptimizer::communicate_effective_gradient() {
+  if (options_.background &&
+      options_.compression == GradientCompression::kNone) {
+    communicate_effective_gradient_overlapped();
+    return;
+  }
   const auto& params = inner_->params();
   // effective_gradient = current - round_start (Figure 3).
   std::vector<Tensor> eff;
@@ -121,6 +354,8 @@ void DistributedOptimizer::communicate_effective_gradient() {
 
   if (options_.compression == GradientCompression::kFp16) {
     // Scale into fp16 (§4.4.1). Overflow on any rank skips the round on all.
+    // The vote runs on this thread BEFORE anything reaches the engine, so
+    // the single-threaded vote protocol is undisturbed by background mode.
     const double scale = scaler_.scale();
     std::vector<Tensor> compressed;
     compressed.reserve(eff.size());

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "collectives/allreduce.h"
+#include "collectives/comm_engine.h"
 #include "collectives/resilient.h"
 #include "comm/world.h"
 #include "optim/optimizer.h"
@@ -50,6 +51,18 @@ struct DistributedOptions {
   int local_steps = 1;      // microbatches per communication round
   bool layerwise = true;    // per-layer Adasum boundaries (§3.6)
   GradientCompression compression = GradientCompression::kNone;
+  // Horovod-style tensor fusion buckets (§4, Figure 3): parameters are
+  // packed into buckets of about this many bytes, each reduced as its own
+  // fused allreduce. 0 (the default) keeps the seed behavior — one fused
+  // buffer for the whole model. Bucketing changes Adasum's segment
+  // boundaries, so results are bit-identical across bucket LAYOUTS only for
+  // plain sums; a fixed layout is bit-identical whether reduced inline or
+  // on the engine.
+  std::size_t bucket_bytes = 0;
+  // Run the bucket allreduces on a background CommEngine thread so
+  // communication overlaps gradient/delta computation. Off: every reduction
+  // happens inline on the calling thread (the seed behavior).
+  bool background = false;
 };
 
 class DistributedOptimizer {
@@ -61,6 +74,15 @@ class DistributedOptimizer {
   // (zeroing them when appropriate) and, every `local_steps` calls, performs
   // the communication round. Returns true if a round was communicated.
   bool step(double lr);
+
+  // Incremental gradient availability (the Horovod hook of Figure 3):
+  // backprop calls this as each parameter's gradient becomes final, and any
+  // bucket whose parameters are all ready is packed and submitted to the
+  // background engine immediately — communication overlaps the rest of
+  // backprop, and step() only joins. Effective only with background mode in
+  // Sum/Average op on a communicating microstep; otherwise a no-op, so
+  // callers may invoke it unconditionally.
+  void notify_grad_ready(std::size_t param_index);
 
   // Number of communication rounds performed.
   long rounds() const { return rounds_; }
@@ -74,8 +96,41 @@ class DistributedOptimizer {
   const DynamicScaler& scaler() const { return scaler_; }
 
  private:
+  // One fusion bucket: a contiguous range of parameter indices reduced as a
+  // single fused allreduce. The FusionBuffer and AllreduceOptions are
+  // per-bucket and persistent so warm rounds re-stage in place and the
+  // engine can hold a stable options pointer while the op is in flight.
+  struct Bucket {
+    std::size_t first = 0, last = 0;  // [first, last) tensor indices
+    FusionBuffer fusion;
+    AllreduceOptions opts;
+    CommEngine::Ticket ticket = 0;
+    ResilientResult inline_result;  // result when reduced on this thread
+    bool launched = false;
+  };
+
   ReduceOutcome communicate_gradients(); // Sum/Average path
   void communicate_effective_gradient(); // Adasum path (Figure 3)
+  // Adasum/kNone with background mode: per-bucket delta computation
+  // pipelined against the engine (compute bucket i+1 while i reduces).
+  void communicate_effective_gradient_overlapped();
+  bool bucketed() const {
+    return options_.background || options_.bucket_bytes > 0;
+  }
+  // (Re)builds buckets_ for the byte layout of `tensors`; no-op when the
+  // layout is unchanged from the previous round.
+  void ensure_buckets(const std::vector<Tensor*>& tensors);
+  // Tag namespace of the current round, allocated on first use so buckets
+  // submitted from notify_grad_ready and from step() agree.
+  int acquire_round_index();
+  int bucket_tag_base(int round_index, std::size_t bucket) const;
+  // Packs bucket `b` from `tensors` and starts its allreduce — on the
+  // engine in background mode, inline otherwise.
+  void launch_bucket(std::size_t b, const std::vector<Tensor*>& tensors,
+                     ReduceOp op, int round_index);
+  // Joins every bucket in order, unpacks, and aggregates the worst outcome.
+  ReduceOutcome reduce_bucketed(std::vector<Tensor*>& tensors, ReduceOp op);
+  CommEngine& engine();
   // Shares the per-rank overflow flag; true -> skip the round everywhere.
   // Fault-tolerant worlds agree through the liveness-aware vote (a dead rank
   // would deadlock the plain allreduce); others keep the wire allreduce.
@@ -99,6 +154,23 @@ class DistributedOptimizer {
   DynamicScaler scaler_;
   std::unique_ptr<ErrorFeedback> error_feedback_;  // int8 path only
   int tag_round_ = 0;
+
+  // Bucketed/background state. The scratch vectors are members so warm
+  // rounds allocate nothing — the bench gate counts steady-state
+  // allocations across the whole pipelined step.
+  std::vector<Bucket> buckets_;
+  std::vector<std::size_t> bucket_signature_;  // per-tensor nbytes of layout
+  std::vector<Tensor> eff_;           // persistent deltas (background Adasum)
+  std::vector<Tensor*> eff_views_;    // pointers into eff_
+  std::vector<Tensor*> grads_view_;   // pointers at the params' grads
+  std::vector<const Tensor*> pack_views_;  // launch_bucket pack scratch
+  std::vector<Tensor*> unpack_views_;      // reduce_bucketed unpack scratch
+  std::vector<char> grad_ready_;      // notify_grad_ready marks, per tensor
+  std::size_t next_unlaunched_ = 0;   // first bucket not yet launched
+  int round_index_ = -1;              // in-flight round's tag index, -1=none
+  // Declared last so destruction drains the worker while the buckets (whose
+  // tensors/options in-flight ops point at) are still alive.
+  std::unique_ptr<CommEngine> engine_;
 };
 
 }  // namespace adasum::optim
