@@ -38,6 +38,21 @@ echo "=== overlap gate: pipelined step speedup floor ==="
 # zero steady-state pool allocations and bit-identical results.
 ./build/bench/bench_pipeline --pipeline_json
 
+echo "=== compression: codec + compressed collectives on both dispatch levels ==="
+# The wire codec's scalar and AVX2 TUs must agree bit-for-bit AND the whole
+# compression suite must hold when forced onto the scalar fallback (parity
+# tests alone can't catch a scalar-only decode bug).
+./build/tests/compress_test
+ADASUM_SIMD=scalar ./build/tests/compress_test
+
+echo "=== compression gate: wire-byte reduction + step speedup floors ==="
+# Writes BENCH_compress.json and exits nonzero unless int8 holds >= 3x step
+# speedup and >= 3.9x measured bytes-on-wire reduction (sideband-capped at
+# ~3.95x) on the 64 MiB / 4-rank Adasum step under the wire-delay model,
+# with zero steady-state pool allocations, cross-rank bit-equality, and
+# LeNet-5 accuracy parity with error feedback on.
+./build/bench/bench_compress --compress_json
+
 echo "=== allocation gate: injector-off fault path ==="
 # The fault machinery AND the (disabled) protocol analyzer must add zero
 # steady-state heap allocations (operator-new hook, same as bench_fig4's

@@ -6,6 +6,7 @@
 
 #include "analysis/analyzer.h"
 #include "base/check.h"
+#include "collectives/compressed.h"
 #include "comm/buffer_pool.h"
 #include "comm/pipeline.h"
 #include "core/adasum.h"
@@ -50,7 +51,8 @@ SliceLocal intersect(const TensorSlice& s, std::size_t begin,
 // adasum_rvh_reference.h, which tests hold bit-for-bit against this one).
 void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
                           DType dtype, std::span<const TensorSlice> slices,
-                          int tag_base, std::span<const int> group) {
+                          int tag_base, std::span<const int> group,
+                          const CompressionOptions& compression) {
   const int size =
       group.empty() ? comm.size() : static_cast<int>(group.size());
   if (size == 1) return;
@@ -78,6 +80,11 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
   // Chunk size for the bulk transfers (0 = monolithic single messages); the
   // small dot-triple allreduce always travels whole.
   const std::size_t chunk = comm.pipeline().chunk_bytes_for(elem);
+  // Wire compression for the bulk transfers (DESIGN.md §13): the halving
+  // exchange ships compressed halves (the local copy dies with the send),
+  // the allgather requantizes so every rank ends bit-identical, and the dot
+  // triples below always run on decompressed values in double (§4.4.1).
+  const CompressionOptions comp = resolve_compression(comm, compression, dtype);
 
 #if ADASUM_ANALYZE
   // Declare the full expected message schedule up front, from the same
@@ -90,6 +97,11 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
   analysis::EpochGuard epoch(comm.analyzer(), comm.rank(), "adasum_rvh");
   if (epoch.declaring()) {
     analysis::EpochExpectation& ex = epoch.expect();
+    // Bytes a transfer of n elements puts on the wire: compression shrinks
+    // the chunk counts, and the same formula drives the actual streams.
+    const auto wire = [&](std::size_t n) {
+      return wire_transfer_bytes(n, elem, comp);
+    };
     std::size_t dcl_count = count;  // segment size entering each level
     int lvl = 0;
     for (int d = 1; d < size; d <<= 1, ++lvl) {
@@ -101,18 +113,18 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       const std::size_t sent = dcl_count - kept;
       // Halving exchange: this rank streams the complement and receives its
       // kept half; the allgather unwind mirrors the sizes.
-      for (std::size_t c = chunk_messages(sent * elem, chunk); c > 0; --c)
+      for (std::size_t c = chunk_messages(wire(sent), chunk); c > 0; --c)
         ex.send(nb, tag);
-      for (std::size_t c = chunk_messages(kept * elem, chunk); c > 0; --c)
+      for (std::size_t c = chunk_messages(wire(kept), chunk); c > 0; --c)
         ex.recv(nb, tag);
       const int d2 = 2 * d;
       std::vector<int> sub(static_cast<std::size_t>(d2));
       for (int i = 0; i < d2; ++i)
         sub[static_cast<std::size_t>(i)] = world_rank((rank / d2) * d2 + i);
       ex.allreduce_doubles(sub, comm.rank(), tag + 1);
-      for (std::size_t c = chunk_messages(kept * elem, chunk); c > 0; --c)
+      for (std::size_t c = chunk_messages(wire(kept), chunk); c > 0; --c)
         ex.send(nb, tag + 2);
-      for (std::size_t c = chunk_messages(sent * elem, chunk); c > 0; --c)
+      for (std::size_t c = chunk_messages(wire(sent), chunk); c > 0; --c)
         ex.recv(nb, tag + 2);
       dcl_count = kept;
     }
@@ -136,6 +148,9 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
                                sizeof(LevelRecord));
   const std::span<LevelRecord> records =
       records_buf.as<LevelRecord>(static_cast<std::size_t>(levels));
+  // Compressed-wire helper (inert when comp is off); the largest single
+  // transfer is the level-0 half.
+  WireCompressor wc(comm, dtype, comp, (count + 1) / 2);
 
   // Current segment of the logical vector owned by this rank, in place.
   std::size_t seg_begin = 0;  // global element offset of the segment
@@ -157,19 +172,26 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     // combined result, the other is staged in `half`. The outgoing half is
     // streamed in chunks so the neighbor can overlap its dot passes with the
     // remaining transfers.
+    // The outgoing half's local copy is dead after the send (its ownership
+    // moves to the neighbor), so the compressed path ships a plain blob —
+    // no requantize needed until the allgather.
+    const auto send_half = [&](std::byte* p, std::size_t n) {
+      if (wc.active())
+        wc.send(world_rank(neighbor), p, n, chunk, tag);
+      else
+        comm.send_chunks(world_rank(neighbor), {p, n * elem}, chunk, tag);
+    };
     const std::byte* a;
     const std::byte* b;
     std::byte* own;
     if (is_left) {
-      comm.send_chunks(world_rank(neighbor),
-                       {seg + mid * elem, (seg_count - mid) * elem}, chunk,
-                       tag);
+      send_half(seg + mid * elem, seg_count - mid);
       a = seg;
       b = half;
       own = seg;
       seg_count = mid;
     } else {
-      comm.send_chunks(world_rank(neighbor), {seg, mid * elem}, chunk, tag);
+      send_half(seg, mid);
       a = half;
       b = seg + mid * elem;
       own = seg + mid * elem;
@@ -206,10 +228,18 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
         ++next_layer;
       }
     };
-    comm.recv_chunks_into(world_rank(neighbor), {half, seg_count * elem},
-                          chunk, tag, [&](std::size_t off, std::size_t len) {
-                            flush_dots((off + len) / elem);
-                          });
+    if (wc.active()) {
+      // A compressed half decompresses after the full blob lands (the scale
+      // sideband precedes the payload), so the dot passes run once over the
+      // whole half; the wire stream itself stays chunked.
+      wc.recv_into(world_rank(neighbor), half, seg_count, chunk, tag);
+      flush_dots(seg_count);
+    } else {
+      comm.recv_chunks_into(world_rank(neighbor), {half, seg_count * elem},
+                            chunk, tag, [&](std::size_t off, std::size_t len) {
+                              flush_dots((off + len) / elem);
+                            });
+    }
     ADASUM_CHECK_EQ(next_layer, num_layers);
 
     // Finish the dot products across the 2d-rank group (line 16-17).
@@ -240,22 +270,34 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
   // Allgather unwind (lines 22-24): send the combined segment, receive the
   // neighbor's half directly at its final offset in the caller's buffer,
   // both as chunk streams so consecutive levels' transfers interleave.
+  // Compressed unwind: the sender requantizes (ships one blob, then decodes
+  // it over its own copy), so partners hold bit-identical segments at every
+  // level — and since the codec is deterministic, the blobs they then emit
+  // upward are identical too, keeping the whole group consistent.
   for (int l = levels - 1; l >= 0; --l) {
     const LevelRecord& r = records[static_cast<std::size_t>(l)];
-    comm.send_chunks(world_rank(r.neighbor),
-                     {data + seg_begin * elem, seg_count * elem}, chunk,
-                     r.tag + 2);
+    if (wc.active())
+      wc.send_requantize(world_rank(r.neighbor), data + seg_begin * elem,
+                         seg_count, chunk, r.tag + 2);
+    else
+      comm.send_chunks(world_rank(r.neighbor),
+                       {data + seg_begin * elem, seg_count * elem}, chunk,
+                       r.tag + 2);
+    std::byte* dest;
+    std::size_t dest_count;
     if (r.is_left) {
-      comm.recv_chunks_into(world_rank(r.neighbor),
-                            {data + (seg_begin + r.mid) * elem,
-                             (r.seg_count - r.mid) * elem},
-                            chunk, r.tag + 2);
+      dest = data + (seg_begin + r.mid) * elem;
+      dest_count = r.seg_count - r.mid;
     } else {
-      comm.recv_chunks_into(world_rank(r.neighbor),
-                            {data + (seg_begin - r.mid) * elem, r.mid * elem},
-                            chunk, r.tag + 2);
+      dest = data + (seg_begin - r.mid) * elem;
+      dest_count = r.mid;
       seg_begin -= r.mid;
     }
+    if (wc.active())
+      wc.recv_into(world_rank(r.neighbor), dest, dest_count, chunk, r.tag + 2);
+    else
+      comm.recv_chunks_into(world_rank(r.neighbor),
+                            {dest, dest_count * elem}, chunk, r.tag + 2);
     seg_count = r.seg_count;
   }
 
@@ -265,9 +307,10 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
 
 void adasum_rvh_allreduce(Comm& comm, Tensor& tensor,
                           std::span<const TensorSlice> slices, int tag_base,
-                          std::span<const int> group) {
+                          std::span<const int> group,
+                          const CompressionOptions& compression) {
   adasum_rvh_allreduce(comm, tensor.data(), tensor.size(), tensor.dtype(),
-                       slices, tag_base, group);
+                       slices, tag_base, group, compression);
 }
 
 }  // namespace adasum

@@ -33,15 +33,19 @@ namespace adasum {
 // collective's messages so several collectives can share a Comm. `group`
 // restricts the reduction to a subset of world ranks (all of whom must call
 // with the same group; empty = all ranks) — the hierarchical allreduce uses
-// this for its cross-node phase.
+// this for its cross-node phase. `compression` selects the wire codec for
+// the halving exchange and allgather transfers (DESIGN.md §13); kAuto
+// follows the World, and the dot-triple allreduce always travels exact.
 void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
                           DType dtype,
                           std::span<const TensorSlice> slices = {},
-                          int tag_base = 0, std::span<const int> group = {});
+                          int tag_base = 0, std::span<const int> group = {},
+                          const CompressionOptions& compression = {});
 
 // Tensor convenience overload (in place).
 void adasum_rvh_allreduce(Comm& comm, Tensor& tensor,
                           std::span<const TensorSlice> slices = {},
-                          int tag_base = 0, std::span<const int> group = {});
+                          int tag_base = 0, std::span<const int> group = {},
+                          const CompressionOptions& compression = {});
 
 }  // namespace adasum

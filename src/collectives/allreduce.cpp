@@ -82,20 +82,21 @@ void allreduce(Comm& comm, Tensor& tensor, const AllreduceOptions& options,
     case ReduceOp::kAverage: {
       switch (options.algo) {
         case AllreduceAlgo::kRing:
-          ring_allreduce_sum(comm, tensor, tag_base);
+          ring_allreduce_sum(comm, tensor, tag_base, options.compression);
           break;
         case AllreduceAlgo::kRvh:
-          rvh_allreduce_sum(comm, tensor, tag_base);
+          rvh_allreduce_sum(comm, tensor, tag_base, options.compression);
           break;
         case AllreduceAlgo::kHierarchical:
           hierarchical_allreduce(comm, tensor, options.ranks_per_node,
-                                 /*use_adasum=*/false, slices, tag_base);
+                                 /*use_adasum=*/false, slices, tag_base,
+                                 options.compression);
           break;
         case AllreduceAlgo::kAuto:
           if (power_of_two(p))
-            rvh_allreduce_sum(comm, tensor, tag_base);
+            rvh_allreduce_sum(comm, tensor, tag_base, options.compression);
           else
-            ring_allreduce_sum(comm, tensor, tag_base);
+            ring_allreduce_sum(comm, tensor, tag_base, options.compression);
           break;
       }
       if (options.op == ReduceOp::kAverage) {
@@ -107,19 +108,26 @@ void allreduce(Comm& comm, Tensor& tensor, const AllreduceOptions& options,
     case ReduceOp::kAdasum: {
       switch (options.algo) {
         case AllreduceAlgo::kRing:
+          // The linear pairwise schedule stays exact: it is the reference
+          // oracle the RVH variants are tested against.
           adasum_linear_allreduce(comm, tensor, slices, tag_base);
           break;
         case AllreduceAlgo::kRvh:
-          adasum_rvh_allreduce(comm, tensor, slices, tag_base);
+          adasum_rvh_allreduce(comm, tensor, slices, tag_base, {},
+                               options.compression);
           break;
         case AllreduceAlgo::kHierarchical:
           hierarchical_allreduce(comm, tensor, options.ranks_per_node,
-                                 /*use_adasum=*/true, slices, tag_base);
+                                 /*use_adasum=*/true, slices, tag_base,
+                                 options.compression);
           break;
         case AllreduceAlgo::kAuto:
           if (power_of_two(p))
-            adasum_rvh_allreduce(comm, tensor, slices, tag_base);
+            adasum_rvh_allreduce(comm, tensor, slices, tag_base, {},
+                                 options.compression);
           else
+            // Gather-tree ships whole vectors point-to-point; it is the
+            // fallback correctness path and stays uncompressed.
             adasum_gather_tree(comm, tensor, slices, tag_base);
           break;
       }

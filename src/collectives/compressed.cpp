@@ -1,0 +1,62 @@
+#include "collectives/compressed.h"
+
+#include "base/check.h"
+
+namespace adasum {
+
+WireCompressor::WireCompressor(Comm& comm, DType dtype,
+                               const CompressionOptions& opts,
+                               std::size_t max_elems)
+    : comm_(comm), opts_(opts) {
+  if (!opts_.active()) return;  // inactive: touch neither pool nor dtype
+  ADASUM_CHECK(dtype == DType::kFloat32);
+  const std::size_t bytes = compressed_wire_bytes(max_elems, opts_);
+  blobs_[0].emplace(comm.pool(), bytes);
+  blobs_[1].emplace(comm.pool(), bytes);
+}
+
+void WireCompressor::encode(int slot, const std::byte* data,
+                            std::size_t elems) {
+  compress_f32({reinterpret_cast<const float*>(data), elems}, opts_,
+               blobs_[slot]->data());
+}
+
+void WireCompressor::decode(int slot, std::byte* dest, std::size_t elems) {
+  decompress_f32(blobs_[slot]->data(), opts_,
+                 {reinterpret_cast<float*>(dest), elems});
+}
+
+void WireCompressor::send_blob(int dst, int slot, std::size_t elems,
+                               std::size_t chunk, int tag) {
+  comm_.send_chunks(dst, blobs_[slot]->bytes(wire_bytes(elems)), chunk, tag);
+}
+
+void WireCompressor::recv_blob(int src, int slot, std::size_t elems,
+                               std::size_t chunk, int tag) {
+  comm_.recv_chunks_into(src, blobs_[slot]->bytes(wire_bytes(elems)), chunk,
+                         tag);
+}
+
+void WireCompressor::send(int dst, const std::byte* data, std::size_t elems,
+                          std::size_t chunk, int tag) {
+  encode(0, data, elems);
+  send_blob(dst, 0, elems, chunk, tag);
+}
+
+void WireCompressor::send_requantize(int dst, std::byte* data,
+                                     std::size_t elems, std::size_t chunk,
+                                     int tag) {
+  encode(0, data, elems);
+  send_blob(dst, 0, elems, chunk, tag);
+  // The mailbox owns a copy once send returns, so decoding over the source
+  // is safe — and leaves this rank bit-identical to every receiver.
+  decode(0, data, elems);
+}
+
+void WireCompressor::recv_into(int src, std::byte* dest, std::size_t elems,
+                               std::size_t chunk, int tag) {
+  recv_blob(src, 0, elems, chunk, tag);
+  decode(0, dest, elems);
+}
+
+}  // namespace adasum

@@ -1,0 +1,111 @@
+// Compressed wire transfers for the collectives (DESIGN.md §13).
+//
+// Composition rule: compression applies to TRANSFERRED payload bytes only.
+// Every reduction — the Adasum dot triples, the elementwise sums, the local
+// combiners — runs on decompressed fp32 values with double accumulation
+// exactly as before (§4.4.1); the codec never touches resident data except
+// through the explicit requantize step below. Chunk pipelining composes
+// transparently: a compressed transfer is a normal chunk stream over the
+// (smaller) wire blob, and checksums/fault injection see plain byte
+// messages.
+//
+// Replica consistency (the reason requantize exists): a lossy wire would let
+// a sender keep exact values while receivers hold approximations, and ranks
+// would silently diverge. Two mechanisms prevent that:
+//  * requantize-on-allgather — the sender compresses its segment ONCE,
+//    ships the blob, and decompresses that same blob back over its own copy,
+//    so sender and receivers hold bit-identical floats;
+//  * determinism — the codec is a pure function of (bytes, options), so two
+//    ranks holding identical segments (the RVH unwind invariant) emit
+//    identical blobs for their partners. The ring allgather instead forwards
+//    each owner's blob VERBATIM hop to hop, so every rank decodes the same
+//    stream. tests/compress_test.cpp asserts the resulting cross-rank
+//    bit-equality for every schedule.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "comm/buffer_pool.h"
+#include "comm/world.h"
+#include "tensor/compress/compress.h"
+#include "tensor/dtype.h"
+
+namespace adasum {
+
+// Resolves a per-call request against the world default: kAuto defers to
+// comm.compression(), and non-fp32 payloads always transfer uncompressed
+// (the codec is fp32-only).
+inline CompressionOptions resolve_compression(
+    const Comm& comm, const CompressionOptions& requested, DType dtype) {
+  CompressionOptions r = requested;
+  if (r.mode == CompressionMode::kAuto) r = comm.compression();
+  if (r.mode == CompressionMode::kAuto) r.mode = CompressionMode::kNone;
+  if (dtype != DType::kFloat32) r.mode = CompressionMode::kNone;
+  return r;
+}
+
+// Bytes a transfer of `elems` elements of `elem_size` puts on the wire under
+// `opts` — the single formula shared by the transfers, the EpochGuard
+// schedule declarations and the cost model, so a drift shows up as an
+// analyzer diff rather than a hang.
+inline std::size_t wire_transfer_bytes(std::size_t elems,
+                                       std::size_t elem_size,
+                                       const CompressionOptions& opts) {
+  return opts.active() ? compressed_wire_bytes(elems, opts)
+                       : elems * elem_size;
+}
+
+// Pooled compress/transfer helper, leased once per collective call (zero
+// steady-state allocation, DESIGN.md §8). Two blob slots sized for the
+// largest transfer: the ring allgather holds a received blob in one slot
+// while the next lands in the other; every other schedule uses slot 0.
+// Inactive options make active() false and the collectives keep their
+// uncompressed code paths byte-identical to before.
+class WireCompressor {
+ public:
+  // `max_elems` bounds the largest single transfer of the collective.
+  WireCompressor(Comm& comm, DType dtype, const CompressionOptions& opts,
+                 std::size_t max_elems);
+
+  bool active() const { return opts_.active(); }
+  const CompressionOptions& options() const { return opts_; }
+  std::size_t wire_bytes(std::size_t elems) const {
+    return compressed_wire_bytes(elems, opts_);
+  }
+
+  // ---- low-level blob ops (the ring allgather composes these) ------------
+  void encode(int slot, const std::byte* data, std::size_t elems);
+  void decode(int slot, std::byte* dest, std::size_t elems);
+  void send_blob(int dst, int slot, std::size_t elems, std::size_t chunk,
+                 int tag);
+  void recv_blob(int src, int slot, std::size_t elems, std::size_t chunk,
+                 int tag);
+
+  // ---- one-shot transfers ------------------------------------------------
+  // Compress `data` and stream the blob. For payloads whose local copy is
+  // dead after the send (reduce-scatter halves — ownership moves to the
+  // receiver).
+  void send(int dst, const std::byte* data, std::size_t elems,
+            std::size_t chunk, int tag);
+  // Compress, stream, then decompress the blob back over `data`: afterwards
+  // the local copy is bit-identical to what the receiver decodes. For
+  // allgather sends, where both sides keep the segment.
+  void send_requantize(int dst, std::byte* data, std::size_t elems,
+                       std::size_t chunk, int tag);
+  // Receive a blob and decompress it into `dest` (elems floats).
+  void recv_into(int src, std::byte* dest, std::size_t elems,
+                 std::size_t chunk, int tag);
+
+ private:
+  Comm& comm_;
+  CompressionOptions opts_;
+  // Engaged only when active: an inactive compressor must not lease from the
+  // pool at all — even a zero-byte lease would pull a warmed buffer off the
+  // shared free list and perturb concurrent ranks' capacity hits (the
+  // zero-warm-allocation chaos gates measure exactly this).
+  std::optional<PooledBuffer> blobs_[2];
+};
+
+}  // namespace adasum

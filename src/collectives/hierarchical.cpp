@@ -16,7 +16,8 @@ namespace adasum {
 void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
                             DType dtype, int ranks_per_node, bool use_adasum,
                             std::span<const TensorSlice> slices,
-                            int tag_base) {
+                            int tag_base,
+                            const CompressionOptions& compression) {
   const int world = comm.size();
   const int local_size = ranks_per_node;
   ADASUM_CHECK_GE(local_size, 1);
@@ -78,13 +79,14 @@ void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
         if (hi > lo) rebased.push_back(TensorSlice{s.name, lo - cb, hi - lo});
       }
       adasum_rvh_allreduce(comm, data + cb * elem, chunk_count, dtype,
-                           rebased, tag_base + 1000, cross_group);
+                           rebased, tag_base + 1000, cross_group,
+                           compression);
     } else {
       // Plain sum across nodes: the in-place sum-RVH runs the identical
       // pairwise-halving schedule this blob used to spell out by hand, with
       // pooled scratch instead of per-level vectors.
       rvh_allreduce_sum(comm, data + cb * elem, chunk_count, dtype,
-                        tag_base + 2000, cross_group);
+                        tag_base + 2000, cross_group, compression);
     }
   }
 
@@ -95,9 +97,11 @@ void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
 void hierarchical_allreduce(Comm& comm, Tensor& tensor, int ranks_per_node,
                             bool use_adasum,
                             std::span<const TensorSlice> slices,
-                            int tag_base) {
+                            int tag_base,
+                            const CompressionOptions& compression) {
   hierarchical_allreduce(comm, tensor.data(), tensor.size(), tensor.dtype(),
-                         ranks_per_node, use_adasum, slices, tag_base);
+                         ranks_per_node, use_adasum, slices, tag_base,
+                         compression);
 }
 
 }  // namespace adasum

@@ -29,14 +29,19 @@ namespace adasum {
 // two. When `use_adasum` is false the cross-node phase is a plain sum-RVH
 // (the baseline hierarchical allreduce of §5.1.1); the local phase averages
 // either way only when `use_adasum` is true (sum mode matches plain sum).
+// `compression` applies to the CROSS-NODE phase only — that is the slow
+// inter-node wire the codec exists for; the intra-node reduce-scatter and
+// allgather model fast local links and stay exact (DESIGN.md §13).
 void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
                             DType dtype, int ranks_per_node, bool use_adasum,
                             std::span<const TensorSlice> slices = {},
-                            int tag_base = 0);
+                            int tag_base = 0,
+                            const CompressionOptions& compression = {});
 
 void hierarchical_allreduce(Comm& comm, Tensor& tensor, int ranks_per_node,
                             bool use_adasum,
                             std::span<const TensorSlice> slices = {},
-                            int tag_base = 0);
+                            int tag_base = 0,
+                            const CompressionOptions& compression = {});
 
 }  // namespace adasum

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/compress/compress.h"
 #include "tensor/fusion.h"
 
 namespace adasum {
@@ -38,6 +39,10 @@ struct AllreduceOptions {
   std::vector<TensorSlice> slices;
   // For kHierarchical: how many consecutive ranks form one "node".
   int ranks_per_node = 1;
+  // Wire compression for transferred payloads (DESIGN.md §13). kAuto defers
+  // to the World's configuration (ADASUM_COMPRESS / World::set_compression);
+  // fp32 payloads only — other dtypes transfer uncompressed.
+  CompressionOptions compression;
 };
 
 }  // namespace adasum

@@ -6,6 +6,7 @@
 
 #include "analysis/analyzer.h"
 #include "base/check.h"
+#include "collectives/compressed.h"
 #include "comm/buffer_pool.h"
 #include "comm/pipeline.h"
 #include "tensor/kernels.h"
@@ -22,7 +23,8 @@ std::size_t chunk_begin(std::size_t count, int p, int c) {
 }  // namespace
 
 void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
-                        DType dtype, int tag_base) {
+                        DType dtype, int tag_base,
+                        const CompressionOptions& compression) {
   const int p = comm.size();
   if (p == 1 || count == 0) return;
   const int rank = comm.rank();
@@ -30,6 +32,7 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
   const int next = (rank + 1) % p;
   const int prev = (rank + p - 1) % p;
   const std::size_t chunk = comm.pipeline().chunk_bytes_for(elem);
+  const CompressionOptions comp = resolve_compression(comm, compression, dtype);
 
 #if ADASUM_ANALYZE
   // Ring schedule: p-1 reduce-scatter steps on tag_base+s, p-1 allgather
@@ -40,7 +43,10 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
   if (epoch.declaring()) {
     analysis::EpochExpectation& ex = epoch.expect();
     const auto seg_bytes = [&](int c) {
-      return (chunk_begin(count, p, c + 1) - chunk_begin(count, p, c)) * elem;
+      // Wire bytes per segment: a compressed segment travels as a blob of
+      // the same size at every hop (the allgather forwards it verbatim).
+      return wire_transfer_bytes(
+          chunk_begin(count, p, c + 1) - chunk_begin(count, p, c), elem, comp);
     };
     for (int s = 0; s < p - 1; ++s) {
       for (std::size_t c =
@@ -70,40 +76,77 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
   const std::size_t max_chunk =
       (count + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
   PooledBuffer scratch(comm.pool(), max_chunk * elem);
+  WireCompressor wc(comm, dtype, comp, max_chunk);
   for (int s = 0; s < p - 1; ++s) {
     const int send_chunk = (rank - s + p) % p;
     const int recv_chunk = (rank - s - 1 + p) % p;
     const std::size_t sb = chunk_begin(count, p, send_chunk);
     const std::size_t se = chunk_begin(count, p, send_chunk + 1);
-    comm.send_chunks(next, {data + sb * elem, (se - sb) * elem}, chunk,
-                     tag_base + s);
+    // The outgoing partial's local copy is overwritten by the allgather, so
+    // the compressed path ships a plain blob.
+    if (wc.active())
+      wc.send(next, data + sb * elem, se - sb, chunk, tag_base + s);
+    else
+      comm.send_chunks(next, {data + sb * elem, (se - sb) * elem}, chunk,
+                       tag_base + s);
     const std::size_t rb = chunk_begin(count, p, recv_chunk);
     const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
-    // The sum is elementwise, so each chunk is added the moment it lands —
-    // bit-identical to the whole-segment add, but overlapped with the
-    // remaining transfers of the stream.
-    comm.recv_chunks_into(prev, scratch.bytes((re - rb) * elem), chunk,
-                          tag_base + s,
-                          [&](std::size_t off, std::size_t len) {
-                            kernels::add_bytes(scratch.data() + off,
-                                               data + rb * elem + off,
-                                               len / elem, dtype);
-                          });
+    if (wc.active()) {
+      // Decompress the staged partial, then add — accumulation stays on
+      // fp32 values through the double-accumulating kernel (§4.4.1).
+      wc.recv_into(prev, scratch.data(), re - rb, chunk, tag_base + s);
+      kernels::add_bytes(scratch.data(), data + rb * elem, re - rb, dtype);
+    } else {
+      // The sum is elementwise, so each chunk is added the moment it lands —
+      // bit-identical to the whole-segment add, but overlapped with the
+      // remaining transfers of the stream.
+      comm.recv_chunks_into(prev, scratch.bytes((re - rb) * elem), chunk,
+                            tag_base + s,
+                            [&](std::size_t off, std::size_t len) {
+                              kernels::add_bytes(scratch.data() + off,
+                                                 data + rb * elem + off,
+                                                 len / elem, dtype);
+                            });
+    }
   }
 
   // Allgather: circulate the owned (fully reduced) chunks, each received
   // directly at its final offset.
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_chunk = (rank + 1 - s + p) % p;
-    const int recv_chunk = (rank - s + p) % p;
-    const std::size_t sb = chunk_begin(count, p, send_chunk);
-    const std::size_t se = chunk_begin(count, p, send_chunk + 1);
-    comm.send_chunks(next, {data + sb * elem, (se - sb) * elem}, chunk,
-                     tag_base + p + s);
-    const std::size_t rb = chunk_begin(count, p, recv_chunk);
-    const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
-    comm.recv_chunks_into(prev, {data + rb * elem, (re - rb) * elem}, chunk,
-                          tag_base + p + s);
+  if (wc.active()) {
+    // Verbatim blob forwarding: chunk c's blob is created ONCE by its owner
+    // and forwarded unchanged hop to hop; every rank (owner included, via
+    // the s == 0 decode of its own blob) materializes chunk c from the same
+    // bytes, so replicas end bit-identical. Re-encoding at each hop would
+    // instead hand every rank a different quantization generation.
+    int hold = 0;
+    int incoming = 1;
+    for (int s = 0; s < p - 1; ++s) {
+      const int send_chunk = (rank + 1 - s + p) % p;
+      const int recv_chunk = (rank - s + p) % p;
+      const std::size_t sb = chunk_begin(count, p, send_chunk);
+      const std::size_t se = chunk_begin(count, p, send_chunk + 1);
+      if (s == 0) wc.encode(hold, data + sb * elem, se - sb);
+      wc.send_blob(next, hold, se - sb, chunk, tag_base + p + s);
+      if (s == 0) wc.decode(hold, data + sb * elem, se - sb);
+      const std::size_t rb = chunk_begin(count, p, recv_chunk);
+      const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
+      wc.recv_blob(prev, incoming, re - rb, chunk, tag_base + p + s);
+      wc.decode(incoming, data + rb * elem, re - rb);
+      std::swap(hold, incoming);
+    }
+  } else {
+    for (int s = 0; s < p - 1; ++s) {
+      const int send_chunk = (rank + 1 - s + p) % p;
+      const int recv_chunk = (rank - s + p) % p;
+      const std::size_t sb = chunk_begin(count, p, send_chunk);
+      const std::size_t se = chunk_begin(count, p, send_chunk + 1);
+      comm.send_chunks(next, {data + sb * elem, (se - sb) * elem}, chunk,
+                       tag_base + p + s);
+      const std::size_t rb = chunk_begin(count, p, recv_chunk);
+      const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
+      comm.recv_chunks_into(prev, {data + rb * elem, (re - rb) * elem}, chunk,
+                            tag_base + p + s);
+    }
   }
 }
 
@@ -112,7 +155,8 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
 // staged in pooled scratch, and the allgather deposits halves at their final
 // offsets — no per-level vectors, no merged rebuild, no trailing memcpy.
 void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
-                       DType dtype, int tag_base, std::span<const int> group) {
+                       DType dtype, int tag_base, std::span<const int> group,
+                       const CompressionOptions& compression) {
   const int size =
       group.empty() ? comm.size() : static_cast<int>(group.size());
   if (size == 1 || count == 0) return;
@@ -130,6 +174,7 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
   }
   const std::size_t elem = dtype_size(dtype);
   const std::size_t chunk = comm.pipeline().chunk_bytes_for(elem);
+  const CompressionOptions comp = resolve_compression(comm, compression, dtype);
 
 #if ADASUM_ANALYZE
   // Pairwise halving/doubling: per level one half exchange on
@@ -141,6 +186,11 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
                              "rvh_allreduce_sum");
   if (epoch.declaring()) {
     analysis::EpochExpectation& ex = epoch.expect();
+    // Every payload transfer (halves and unwound segments) travels through
+    // the wire codec, so the declaration sizes messages the same way.
+    const auto wire = [&](std::size_t n) {
+      return wire_transfer_bytes(n, elem, comp);
+    };
     std::size_t dcl_count = count;
     int lvl = 0;
     for (int d = 1; d < size; d <<= 1, ++lvl) {
@@ -149,13 +199,13 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
       const std::size_t dcl_mid = dcl_count / 2;
       const std::size_t kept = left ? dcl_mid : dcl_count - dcl_mid;
       const std::size_t sent = dcl_count - kept;
-      for (std::size_t c = chunk_messages(sent * elem, chunk); c > 0; --c)
+      for (std::size_t c = chunk_messages(wire(sent), chunk); c > 0; --c)
         ex.send(nb, tag_base + 4 * lvl);
-      for (std::size_t c = chunk_messages(kept * elem, chunk); c > 0; --c)
+      for (std::size_t c = chunk_messages(wire(kept), chunk); c > 0; --c)
         ex.recv(nb, tag_base + 4 * lvl);
-      for (std::size_t c = chunk_messages(kept * elem, chunk); c > 0; --c)
+      for (std::size_t c = chunk_messages(wire(kept), chunk); c > 0; --c)
         ex.send(nb, tag_base + 4 * lvl + 1);
-      for (std::size_t c = chunk_messages(sent * elem, chunk); c > 0; --c)
+      for (std::size_t c = chunk_messages(wire(sent), chunk); c > 0; --c)
         ex.recv(nb, tag_base + 4 * lvl + 1);
       dcl_count = kept;
     }
@@ -175,6 +225,7 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
                            static_cast<std::size_t>(levels) * sizeof(Level));
   const std::span<Level> records =
       records_buf.as<Level>(static_cast<std::size_t>(levels));
+  WireCompressor wc(comm, dtype, comp, (count + 1) / 2);
 
   std::size_t seg_begin = 0;
   std::size_t seg_count = count;
@@ -188,59 +239,88 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     std::byte* const seg = data + seg_begin * elem;
     records[static_cast<std::size_t>(level)] =
         Level{neighbor, is_left, mid, seg_count, tag};
+    // The half shipped here leaves this rank's working set for good
+    // (ownership transfers to the neighbor), so the compressed path sends a
+    // plain blob — no requantize needed until the unwind.
+    const auto send_half = [&](std::byte* ptr, std::size_t n) {
+      if (wc.active())
+        wc.send(world_rank(neighbor), ptr, n, chunk, tag);
+      else
+        comm.send_chunks(world_rank(neighbor), {ptr, n * elem}, chunk, tag);
+    };
     std::byte* kept;
     std::size_t kept_count;
     if (is_left) {
-      comm.send_chunks(world_rank(neighbor),
-                       {seg + mid * elem, (seg_count - mid) * elem}, chunk,
-                       tag);
+      send_half(seg + mid * elem, seg_count - mid);
       kept = seg;
       kept_count = mid;
     } else {
-      comm.send_chunks(world_rank(neighbor), {seg, mid * elem}, chunk, tag);
+      send_half(seg, mid);
       kept = seg + mid * elem;
       kept_count = seg_count - mid;
       seg_begin += mid;
     }
-    // Elementwise sum: add each incoming chunk where it lands, overlapping
-    // the remaining transfers of the stream. Bit-identical to the
-    // whole-half add.
-    comm.recv_chunks_into(world_rank(neighbor), {half, kept_count * elem},
-                          chunk, tag, [&](std::size_t off, std::size_t len) {
-                            kernels::add_bytes(half + off, kept + off,
-                                               len / elem, dtype);
-                          });
+    if (wc.active()) {
+      // Decompress the whole half, then add — the sum itself stays on the
+      // decoded fp32 values through the double-accumulating kernel.
+      wc.recv_into(world_rank(neighbor), half, kept_count, chunk, tag);
+      kernels::add_bytes(half, kept, kept_count, dtype);
+    } else {
+      // Elementwise sum: add each incoming chunk where it lands, overlapping
+      // the remaining transfers of the stream. Bit-identical to the
+      // whole-half add.
+      comm.recv_chunks_into(world_rank(neighbor), {half, kept_count * elem},
+                            chunk, tag, [&](std::size_t off, std::size_t len) {
+                              kernels::add_bytes(half + off, kept + off,
+                                                 len / elem, dtype);
+                            });
+    }
     seg_count = kept_count;
   }
 
   for (int l = levels - 1; l >= 0; --l) {
     const Level& r = records[static_cast<std::size_t>(l)];
-    comm.send_chunks(world_rank(r.neighbor),
-                     {data + seg_begin * elem, seg_count * elem}, chunk,
-                     r.tag + 1);
-    if (r.is_left) {
-      comm.recv_chunks_into(world_rank(r.neighbor),
-                            {data + (seg_begin + r.mid) * elem,
-                             (r.seg_count - r.mid) * elem},
-                            chunk, r.tag + 1);
+    if (wc.active()) {
+      // Requantize-on-unwind: decode the blob just shipped over the local
+      // copy so both sides of the exchange hold bit-identical values — the
+      // same consistency argument as the Adasum RVH allgather.
+      wc.send_requantize(world_rank(r.neighbor), data + seg_begin * elem,
+                         seg_count, chunk, r.tag + 1);
     } else {
-      comm.recv_chunks_into(world_rank(r.neighbor),
-                            {data + (seg_begin - r.mid) * elem, r.mid * elem},
-                            chunk, r.tag + 1);
+      comm.send_chunks(world_rank(r.neighbor),
+                       {data + seg_begin * elem, seg_count * elem}, chunk,
+                       r.tag + 1);
+    }
+    std::byte* dest;
+    std::size_t dest_count;
+    if (r.is_left) {
+      dest = data + (seg_begin + r.mid) * elem;
+      dest_count = r.seg_count - r.mid;
+    } else {
+      dest = data + (seg_begin - r.mid) * elem;
+      dest_count = r.mid;
       seg_begin -= r.mid;
     }
+    if (wc.active())
+      wc.recv_into(world_rank(r.neighbor), dest, dest_count, chunk,
+                   r.tag + 1);
+    else
+      comm.recv_chunks_into(world_rank(r.neighbor),
+                            {dest, dest_count * elem}, chunk, r.tag + 1);
     seg_count = r.seg_count;
   }
   ADASUM_CHECK_EQ(seg_count, count);
 }
 
-void ring_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base) {
+void ring_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base,
+                        const CompressionOptions& compression) {
   ring_allreduce_sum(comm, tensor.data(), tensor.size(), tensor.dtype(),
-                     tag_base);
+                     tag_base, compression);
 }
-void rvh_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base) {
+void rvh_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base,
+                       const CompressionOptions& compression) {
   rvh_allreduce_sum(comm, tensor.data(), tensor.size(), tensor.dtype(),
-                    tag_base);
+                    tag_base, {}, compression);
 }
 
 }  // namespace adasum

@@ -16,19 +16,28 @@
 
 namespace adasum {
 
-// In-place ring sum-allreduce. Any world size.
+// In-place ring sum-allreduce. Any world size. `compression` selects the
+// wire codec (DESIGN.md §13; kAuto follows the World): reduce-scatter
+// segments ship as fresh blobs, while the allgather forwards each owner's
+// blob VERBATIM hop to hop so every rank decodes the same stream and
+// replicas stay bit-identical.
 void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
-                        DType dtype, int tag_base = 0);
+                        DType dtype, int tag_base = 0,
+                        const CompressionOptions& compression = {});
 
 // In-place recursive-vector-halving sum-allreduce. `group` restricts the
 // reduction to a subset of world ranks (empty = the whole world; all members
 // must call with the same group) — the hierarchical allreduce runs its
-// cross-node sum phase this way. Power-of-two group size.
+// cross-node sum phase this way. Power-of-two group size. Compressed
+// doubling requantizes like the Adasum RVH unwind (see compressed.h).
 void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
                        DType dtype, int tag_base = 0,
-                       std::span<const int> group = {});
+                       std::span<const int> group = {},
+                       const CompressionOptions& compression = {});
 
-void ring_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base = 0);
-void rvh_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base = 0);
+void ring_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base = 0,
+                        const CompressionOptions& compression = {});
+void rvh_allreduce_sum(Comm& comm, Tensor& tensor, int tag_base = 0,
+                       const CompressionOptions& compression = {});
 
 }  // namespace adasum

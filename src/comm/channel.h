@@ -105,6 +105,17 @@ inline std::uint64_t payload_checksum(const std::byte* data, std::size_t n) {
 
 class Mailbox {
  public:
+  Mailbox() {
+    // Grown lazily, the queue's capacity would depend on how far a sender
+    // happened to run ahead of its receiver during warm-up — an interleaving
+    // accident that makes the zero-allocation gates flaky. One allreduce
+    // puts at most a handful of messages in flight per channel; reserving
+    // that bound up front makes the steady state allocation-free
+    // deterministically.
+    queue_.reserve(kReservedDepth);
+    held_.reserve(2);
+  }
+
   struct Message {
     int tag = 0;
     std::vector<std::byte> payload;
@@ -245,6 +256,8 @@ class Mailbox {
   std::size_t drain_into(BufferPool& pool);
 
  private:
+  static constexpr std::size_t kReservedDepth = 16;
+
   // Moves the first message with `tag` into `payload`. Caller holds mutex_.
   bool take_locked(int tag, std::vector<std::byte>& payload) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {

@@ -41,6 +41,9 @@ World::World(int size) : size_(size) {
   // below) so any existing binary can run the chunk-streaming collectives
   // without a code change.
   pipeline_ = PipelineOptions::from_env();
+  // Wire compression likewise opts in from the environment
+  // (ADASUM_COMPRESS=int8|int4|sign); off by default since it is lossy.
+  compression_ = CompressionOptions::from_env();
 #if ADASUM_ANALYZE
   // Opt into the protocol analyzer from the environment so any existing test
   // binary can run under analysis without a code change.

@@ -41,6 +41,7 @@
 #include "comm/channel.h"
 #include "comm/fault_injector.h"
 #include "comm/pipeline.h"
+#include "tensor/compress/compress.h"
 
 namespace adasum {
 
@@ -109,6 +110,14 @@ class World {
   // runs for tests and benches.
   void set_pipeline(PipelineOptions options) { pipeline_ = options; }
   const PipelineOptions& pipeline() const { return pipeline_; }
+
+  // ---- wire compression (DESIGN.md §13; see tensor/compress/compress.h) --
+  // Default compression mode for the collectives' transferred payloads.
+  // Initialized from ADASUM_COMPRESS / ADASUM_COMPRESS_BLOCK at
+  // construction (off unless the environment opts in); AllreduceOptions can
+  // override per call. Settable between runs for tests and benches.
+  void set_compression(CompressionOptions options) { compression_ = options; }
+  const CompressionOptions& compression() const { return compression_; }
 
   void enable_checksums(bool on) { checksums_ = on; }
   bool checksums_enabled() const { return checksums_; }
@@ -181,6 +190,7 @@ class World {
   std::uint64_t barrier_generation_ = 0;
 
   PipelineOptions pipeline_;
+  CompressionOptions compression_;
 
   // Fault-model state.
   bool ft_enabled_ = false;
@@ -261,6 +271,10 @@ class Comm {
   // Chunking configuration of the world (comm/pipeline.h); collectives ask
   // pipeline().chunk_bytes_for(elem) for their transfer granularity.
   const PipelineOptions& pipeline() const { return world_->pipeline_; }
+
+  // World-default wire compression (tensor/compress/compress.h); the
+  // collectives resolve AllreduceOptions::compression == kAuto against it.
+  const CompressionOptions& compression() const { return world_->compression_; }
 
   // Bounded receive with an explicit deadline: nullopt on timeout, throws
   // PeerFailed/CommCorrupt/WorldAborted like recv_bytes. The mailbox stays

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/check.h"
+#include "comm/buffer_pool.h"
 #include "tensor/kernels.h"
 
 namespace adasum::optim {
@@ -71,6 +72,7 @@ ReduceOutcome DistributedOptimizer::reduce_tensors(
   opts.op = op;
   opts.algo = options_.algo;
   opts.ranks_per_node = options_.ranks_per_node;
+  opts.compression = options_.wire_compression;
   // tag namespace per round so back-to-back rounds cannot cross-talk.
   const int tag_base = (tag_round_++ % 64) * 65536;
   // Pack through the persistent FusionBuffer: one fuse per round (the old
@@ -136,6 +138,7 @@ void DistributedOptimizer::ensure_buckets(
   for (Bucket& bk : buckets_) {
     bk.opts.algo = options_.algo;
     bk.opts.ranks_per_node = options_.ranks_per_node;
+    bk.opts.compression = options_.wire_compression;
     bk.opts.slices.clear();
     bk.launched = false;
   }
@@ -337,8 +340,16 @@ void DistributedOptimizer::communicate_effective_gradient_overlapped() {
 }
 
 void DistributedOptimizer::communicate_effective_gradient() {
+  // Resolve the wire codec the collectives will apply; the error-feedback
+  // pre-pass below must mirror it exactly.
+  CompressionOptions wirec = options_.wire_compression;
+  if (wirec.mode == CompressionMode::kAuto) wirec = comm_.compression();
+  const bool wire_ef = wirec.active() && options_.error_feedback &&
+                       options_.compression == GradientCompression::kNone;
   if (options_.background &&
-      options_.compression == GradientCompression::kNone) {
+      options_.compression == GradientCompression::kNone && !wire_ef) {
+    // Wire compression without error feedback still flows through here: the
+    // collectives compress transfers on the engine thread transparently.
     communicate_effective_gradient_overlapped();
     return;
   }
@@ -391,24 +402,53 @@ void DistributedOptimizer::communicate_effective_gradient() {
     return;
   }
 
-  if (options_.compression == GradientCompression::kInt8) {
-    // Error-feedback int8: compensate with last round's residual, quantize,
-    // transmit the dequantized values (decompress-reduce transport model),
-    // and bank the new residual.
+  if (options_.compression == GradientCompression::kInt8 || wire_ef) {
     if (!error_feedback_) {
       std::vector<std::size_t> sizes;
       for (const Tensor& t : eff) sizes.push_back(t.size());
       error_feedback_ = std::make_unique<ErrorFeedback>(std::move(sizes));
     }
-    for (std::size_t i = 0; i < eff.size(); ++i) {
-      auto values = eff[i].span<float>();
-      error_feedback_->compensate(i, values);
-      const Int8Quantized q = quantize_int8(values);
-      std::vector<float> transmitted(values.size());
-      dequantize_int8(q, transmitted);
-      error_feedback_->record(i, values, transmitted);
-      std::memcpy(values.data(), transmitted.data(),
-                  transmitted.size() * sizeof(float));
+    std::size_t max_elems = 0;
+    for (const Tensor& t : eff) max_elems = std::max(max_elems, t.size());
+    // Pooled scratch sized once for the largest layer: warm rounds lease the
+    // same blocks back from the pool, so the steady state allocates nothing
+    // (the bench gate counts allocations across whole compressed steps).
+    PooledBuffer roundtrip_buf(comm_.pool(), max_elems * sizeof(float));
+    if (wire_ef) {
+      // Error feedback for the wire codec: compensate with last round's
+      // residual, snap the effective gradient through the exact codec the
+      // collectives apply on the wire, and bank what the snap dropped. The
+      // collective then re-quantizes grid-point values, so the transfer adds
+      // no error beyond what the residual already captured.
+      PooledBuffer blob(comm_.pool(), compressed_wire_bytes(max_elems, wirec));
+      for (std::size_t i = 0; i < eff.size(); ++i) {
+        auto values = eff[i].span<float>();
+        error_feedback_->compensate(i, values);
+        compress_f32(values, wirec, blob.data());
+        const std::span<float> transmitted =
+            roundtrip_buf.as<float>(values.size());
+        decompress_f32(blob.data(), wirec, transmitted);
+        error_feedback_->record(i, values, transmitted);
+        std::memcpy(values.data(), transmitted.data(),
+                    values.size() * sizeof(float));
+      }
+    } else {
+      // Legacy per-tensor int8 with error feedback: compensate, quantize,
+      // transmit the dequantized values (decompress-reduce transport model),
+      // and bank the new residual.
+      PooledBuffer q8_buf(comm_.pool(), max_elems);
+      for (std::size_t i = 0; i < eff.size(); ++i) {
+        auto values = eff[i].span<float>();
+        error_feedback_->compensate(i, values);
+        const std::span<std::int8_t> q = q8_buf.as<std::int8_t>(values.size());
+        const float scale = quantize_int8_into(values, q);
+        const std::span<float> transmitted =
+            roundtrip_buf.as<float>(values.size());
+        dequantize_int8(q, scale, transmitted);
+        error_feedback_->record(i, values, transmitted);
+        std::memcpy(values.data(), transmitted.data(),
+                    values.size() * sizeof(float));
+      }
     }
   }
 

@@ -29,6 +29,7 @@
 #include "collectives/resilient.h"
 #include "comm/world.h"
 #include "optim/optimizer.h"
+#include "tensor/compress/compress.h"
 #include "tensor/quantize.h"
 #include "tensor/scaling.h"
 
@@ -51,6 +52,21 @@ struct DistributedOptions {
   int local_steps = 1;      // microbatches per communication round
   bool layerwise = true;    // per-layer Adasum boundaries (§3.6)
   GradientCompression compression = GradientCompression::kNone;
+  // Wire codec for the allreduce transfers (DESIGN.md §13): blockwise
+  // int8/int4/sign applied inside the collectives to transferred payloads
+  // only — reductions still run on decompressed fp32. kAuto (the default)
+  // defers to the World's ADASUM_COMPRESS configuration. Independent of the
+  // legacy per-tensor `compression` above; the intended pairing is
+  // wire_compression + error_feedback with compression == kNone.
+  CompressionOptions wire_compression{};
+  // Error feedback for the wire codec in Adasum mode: each round adds back
+  // the previous round's quantization residual, then snaps the effective
+  // gradient through a local codec roundtrip so the banked residual is
+  // exactly what the wire drops. This is what keeps the biased compressors
+  // convergent (Seide et al., the paper's [33]); bench_compress gates
+  // convergence parity with it on. No effect unless wire compression is
+  // active; Sum/Average rounds compress the wire but carry no residual.
+  bool error_feedback = true;
   // Horovod-style tensor fusion buckets (§4, Figure 3): parameters are
   // packed into buckets of about this many bytes, each reduced as its own
   // fused allreduce. 0 (the default) keeps the seed behavior — one fused

@@ -1,0 +1,62 @@
+#include "tensor/compress/compress.h"
+
+#include "base/check.h"
+#include "tensor/simd/simd.h"
+
+namespace adasum {
+
+void compress_f32(std::span<const float> values, const CompressionOptions& opts,
+                  std::byte* dst) {
+  ADASUM_CHECK(opts.active());
+  const std::size_t n = values.size();
+  const std::size_t blocks = compressed_num_blocks(n, opts);
+  auto* scales = reinterpret_cast<float*>(dst);
+  std::byte* payload = dst + blocks * sizeof(float);
+  const simd::KernelTable& t = simd::active_table();
+  switch (opts.mode) {
+    case CompressionMode::kInt8:
+      t.quantize_int8_blocks(values.data(), n, opts.block_elems(), opts.seed,
+                             opts.stochastic, scales,
+                             reinterpret_cast<std::int8_t*>(payload));
+      break;
+    case CompressionMode::kInt4:
+      t.quantize_int4_blocks(values.data(), n, opts.block_elems(), opts.seed,
+                             opts.stochastic, scales,
+                             reinterpret_cast<std::uint8_t*>(payload));
+      break;
+    case CompressionMode::kSign:
+      t.quantize_sign_blocks(values.data(), n, opts.block_elems(), scales,
+                             reinterpret_cast<std::uint8_t*>(payload));
+      break;
+    default:
+      ADASUM_CHECK(false);
+  }
+}
+
+void decompress_f32(const std::byte* src, const CompressionOptions& opts,
+                    std::span<float> values) {
+  ADASUM_CHECK(opts.active());
+  const std::size_t n = values.size();
+  const std::size_t blocks = compressed_num_blocks(n, opts);
+  const auto* scales = reinterpret_cast<const float*>(src);
+  const std::byte* payload = src + blocks * sizeof(float);
+  const simd::KernelTable& t = simd::active_table();
+  switch (opts.mode) {
+    case CompressionMode::kInt8:
+      t.dequantize_int8_blocks(reinterpret_cast<const std::int8_t*>(payload),
+                               n, opts.block_elems(), scales, values.data());
+      break;
+    case CompressionMode::kInt4:
+      t.dequantize_int4_blocks(reinterpret_cast<const std::uint8_t*>(payload),
+                               n, opts.block_elems(), scales, values.data());
+      break;
+    case CompressionMode::kSign:
+      t.dequantize_sign_blocks(reinterpret_cast<const std::uint8_t*>(payload),
+                               n, opts.block_elems(), scales, values.data());
+      break;
+    default:
+      ADASUM_CHECK(false);
+  }
+}
+
+}  // namespace adasum

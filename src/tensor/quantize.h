@@ -31,6 +31,16 @@ Int8Quantized quantize_int8(std::span<const float> values);
 // out[i] = q.data[i] * q.scale. `out.size()` must equal `q.data.size()`.
 void dequantize_int8(const Int8Quantized& q, std::span<float> out);
 
+// Zero-allocation variants for hot paths (DESIGN.md §8): identical
+// arithmetic to the struct API, but the caller owns the storage — the
+// DistributedOptimizer's per-round compression runs on pooled scratch
+// instead of a fresh vector per tensor per round. `out.size()` must equal
+// `values.size()`; returns the scale.
+float quantize_int8_into(std::span<const float> values,
+                         std::span<std::int8_t> out);
+void dequantize_int8(std::span<const std::int8_t> data, float scale,
+                     std::span<float> out);
+
 // Error-feedback accumulator for a fixed-layout set of tensors: before
 // compressing, add the residual left over from the previous round; after
 // compressing, store the new residual (original - transmitted).

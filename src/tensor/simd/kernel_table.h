@@ -53,6 +53,50 @@ struct KernelTable {
   // storage representation of adasum::Half.
   void (*half_to_float)(const std::uint16_t* src, float* dst, std::size_t n);
   void (*float_to_half)(const float* src, std::uint16_t* dst, std::size_t n);
+
+  // ---- blockwise compression casts (DESIGN.md §13) -------------------------
+  //
+  // fp32 payloads only (the compress layer rejects other dtypes before
+  // dispatch). `block` is the block length in ELEMENTS — a multiple of 8 and
+  // at least 8, so int4 nibble pairs and sign bytes never straddle a block
+  // boundary; the final block may be short. `scales` holds ceil(n/block)
+  // floats, one per block.
+  //
+  // Contract shared by both TUs, bit-for-bit (tests/compress_test.cpp):
+  //  * int8:  scale_b = max|block| / 127, q in [-127, 127], x ≈ q * scale_b.
+  //  * int4:  scale_b = max|block| / 7, q in [-7, 7], two elements per byte
+  //           with the EVEN index in the low nibble (two's complement).
+  //  * sign:  scale_b = mean|block| via an 8-lane-structured sum (the lane
+  //           assignment is part of the contract so scalar and AVX2 agree
+  //           exactly); payload bit i of byte i/8 (LSB first) is set when
+  //           the sign BIT of x is clear (so -0.0 counts as negative), and
+  //           x ≈ ±scale_b.
+  //  * An all-zero block stores scale 0 and a zero payload. When 1/scale_b
+  //    is not finite (denormal max), both TUs fall back to dividing by the
+  //    block max instead of multiplying by the reciprocal.
+  //  * `seed` plus the span-relative element index drive the counter-based
+  //    stochastic-rounding hash (floor(x/scale + u), u in [0,1) from a
+  //    murmur3 finalizer); stochastic=false rounds to nearest-even. Inputs
+  //    must be finite — NaN/inf propagation is the caller's overflow check.
+  void (*quantize_int8_blocks)(const float* src, std::size_t n,
+                               std::size_t block, std::uint32_t seed,
+                               bool stochastic, float* scales, std::int8_t* q);
+  void (*dequantize_int8_blocks)(const std::int8_t* q, std::size_t n,
+                                 std::size_t block, const float* scales,
+                                 float* dst);
+  void (*quantize_int4_blocks)(const float* src, std::size_t n,
+                               std::size_t block, std::uint32_t seed,
+                               bool stochastic, float* scales,
+                               std::uint8_t* packed);
+  void (*dequantize_int4_blocks)(const std::uint8_t* packed, std::size_t n,
+                                 std::size_t block, const float* scales,
+                                 float* dst);
+  void (*quantize_sign_blocks)(const float* src, std::size_t n,
+                               std::size_t block, float* scales,
+                               std::uint8_t* bits);
+  void (*dequantize_sign_blocks)(const std::uint8_t* bits, std::size_t n,
+                                 std::size_t block, const float* scales,
+                                 float* dst);
 };
 
 // Defined in kernels_scalar.cpp; always available, bit-identical to the seed

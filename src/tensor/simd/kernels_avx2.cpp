@@ -558,6 +558,243 @@ bool has_nonfinite_f16(const std::byte* pa, std::size_t n) {
   return false;
 }
 
+// ---- blockwise compression casts (DESIGN.md §13) --------------------------
+//
+// Bit-parity with the scalar oracle is a hard contract (tests/
+// compress_test.cpp compares payload bytes with memcmp). Two rules keep it:
+// every float operation mirrors the scalar sequence exactly (same op, same
+// order, same single-precision intermediates — intrinsics are never
+// FMA-contracted), and block tails run as MASKED full vectors instead of
+// scalar cleanup loops, so this -mfma TU contains no scalar mul-then-add
+// sequence the compiler could fuse. Integer-only work (nibble packing, sign
+// bits) reuses the scalar loops verbatim — integers cannot diverge.
+
+inline __m256i lane_mask(std::size_t rem) {
+  const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  return _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(rem)), idx);
+}
+
+inline __m256 abs_ps(__m256 v) {
+  return _mm256_andnot_ps(_mm256_set1_ps(-0.0f), v);
+}
+
+inline float hmax(__m256 v) {
+  // max is exact, so the reduction order is free — unlike the sums below.
+  __m128 m =
+      _mm_max_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  return _mm_cvtss_f32(m);
+}
+
+inline float block_max_abs8(const float* src, std::size_t s, std::size_t e) {
+  __m256 acc = _mm256_setzero_ps();
+  for (std::size_t i = s; i < e; i += 8) {
+    const std::size_t rem = e - i;
+    const __m256 x = rem >= 8 ? _mm256_loadu_ps(src + i)
+                              : _mm256_maskload_ps(src + i, lane_mask(rem));
+    acc = _mm256_max_ps(acc, abs_ps(x));  // masked lanes are 0, like scalar
+  }
+  return hmax(acc);
+}
+
+// Vector murmur3 finalizer matching sr_uniform() in the scalar TU: 32-bit
+// lane arithmetic wraps identically, and the final int -> float conversion
+// of a 24-bit value is exact in both.
+inline __m256 sr_uniform8(std::uint32_t seed, std::uint32_t base) {
+  const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  __m256i h = _mm256_add_epi32(
+      _mm256_set1_epi32(static_cast<int>(seed)),
+      _mm256_mullo_epi32(
+          _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(base)), idx),
+          _mm256_set1_epi32(static_cast<int>(0x9E3779B9u))));
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
+  h = _mm256_mullo_epi32(h, _mm256_set1_epi32(static_cast<int>(0x85EBCA6Bu)));
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 13));
+  h = _mm256_mullo_epi32(h, _mm256_set1_epi32(static_cast<int>(0xC2B2AE35u)));
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
+  return _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_srli_epi32(h, 8)),
+                       _mm256_set1_ps(1.0f / 16777216.0f));
+}
+
+// floor(v + u) or round-to-nearest-even, clamped after rounding — the same
+// min(kMax, max(-kMax, r)) order as the scalar quantized_level. The
+// _MM_FROUND_TO_NEAREST_INT mode is statically RTNE, matching scalar
+// nearbyint under the default rounding mode (the only mode this process
+// ever runs in).
+template <int kMax>
+inline __m256 quantized_level8(__m256 v, std::uint32_t seed,
+                               std::uint32_t base, bool stochastic) {
+  const __m256 r =
+      stochastic
+          ? _mm256_floor_ps(_mm256_add_ps(v, sr_uniform8(seed, base)))
+          : _mm256_round_ps(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  return _mm256_min_ps(
+      _mm256_set1_ps(static_cast<float>(kMax)),
+      _mm256_max_ps(_mm256_set1_ps(static_cast<float>(-kMax)), r));
+}
+
+// Shared int8/int4 block walk: computes 8 integer levels at a time and hands
+// them to `emit(i, rem, tmp)` with tmp[0..rem) holding the lane values.
+template <int kMax, typename Emit>
+void quantize_blocks_vec(const float* src, std::size_t n, std::size_t block,
+                         std::uint32_t seed, bool stochastic, float* scales,
+                         Emit&& emit) {
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = s + block < n ? s + block : n;
+    const float m = block_max_abs8(src, s, e);
+    const float scale = m / static_cast<float>(kMax);
+    scales[b] = scale;
+    alignas(32) std::int32_t tmp[8];
+    if (m == 0.0f) {
+      for (int k = 0; k < 8; ++k) tmp[k] = 0;
+      for (std::size_t i = s; i < e; i += 8)
+        emit(i, e - i >= 8 ? std::size_t{8} : e - i, tmp);
+      continue;
+    }
+    const float inv = 1.0f / scale;
+    const bool use_inv = std::isfinite(inv);
+    for (std::size_t i = s; i < e; i += 8) {
+      const std::size_t rem = e - i >= 8 ? std::size_t{8} : e - i;
+      const __m256 x =
+          rem == 8 ? _mm256_loadu_ps(src + i)
+                   : _mm256_maskload_ps(src + i, lane_mask(rem));
+      const __m256 v =
+          use_inv ? _mm256_mul_ps(x, _mm256_set1_ps(inv))
+                  : _mm256_mul_ps(_mm256_div_ps(x, _mm256_set1_ps(m)),
+                                  _mm256_set1_ps(static_cast<float>(kMax)));
+      const __m256 r = quantized_level8<kMax>(
+          v, seed, static_cast<std::uint32_t>(i), stochastic);
+      // Levels are exact small integers, so the truncating convert is exact.
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp),
+                         _mm256_cvttps_epi32(r));
+      emit(i, rem, tmp);
+    }
+  }
+}
+
+void ax_quantize_int8_blocks(const float* src, std::size_t n,
+                             std::size_t block, std::uint32_t seed,
+                             bool stochastic, float* scales, std::int8_t* q) {
+  quantize_blocks_vec<127>(
+      src, n, block, seed, stochastic, scales,
+      [&](std::size_t i, std::size_t rem, const std::int32_t* tmp) {
+        if (rem == 8) {
+          // Saturating packs are exact: levels already sit in [-127, 127].
+          const __m256i vi =
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+          const __m128i p16 = _mm_packs_epi32(
+              _mm256_castsi256_si128(vi), _mm256_extracti128_si256(vi, 1));
+          _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i),
+                           _mm_packs_epi16(p16, p16));
+        } else {
+          for (std::size_t k = 0; k < rem; ++k)
+            q[i + k] = static_cast<std::int8_t>(tmp[k]);
+        }
+      });
+}
+
+void ax_quantize_int4_blocks(const float* src, std::size_t n,
+                             std::size_t block, std::uint32_t seed,
+                             bool stochastic, float* scales,
+                             std::uint8_t* packed) {
+  quantize_blocks_vec<7>(
+      src, n, block, seed, stochastic, scales,
+      [&](std::size_t i, std::size_t rem, const std::int32_t* tmp) {
+        // Same nibble layout as the scalar TU: even index low, odd high.
+        for (std::size_t k = 0; k < rem; ++k) {
+          const auto nib =
+              static_cast<std::uint8_t>(static_cast<std::int8_t>(tmp[k])) &
+              0x0Fu;
+          const std::size_t gi = i + k;
+          if ((gi & 1) == 0)
+            packed[gi / 2] = static_cast<std::uint8_t>(nib);
+          else
+            packed[gi / 2] =
+                static_cast<std::uint8_t>(packed[gi / 2] | (nib << 4));
+        }
+      });
+}
+
+void ax_dequantize_int8_blocks(const std::int8_t* q, std::size_t n,
+                               std::size_t block, const float* scales,
+                               float* dst) {
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = s + block < n ? s + block : n;
+    const float scale = scales[b];
+    const __m256 vs = _mm256_set1_ps(scale);
+    std::size_t i = s;
+    for (; i + 8 <= e; i += 8) {
+      const __m128i b8 =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i));
+      _mm256_storeu_ps(
+          dst + i,
+          _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b8)), vs));
+    }
+    // Single multiply per element — nothing for FMA contraction to fuse.
+    for (; i < e; ++i) dst[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+void ax_dequantize_int4_blocks(const std::uint8_t* packed, std::size_t n,
+                               std::size_t block, const float* scales,
+                               float* dst) {
+  // Verbatim scalar loop: integer unpack plus one exact multiply.
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = s + block < n ? s + block : n;
+    const float scale = scales[b];
+    for (std::size_t i = s; i < e; ++i) {
+      const int nib = (i & 1) ? (packed[i / 2] >> 4) : (packed[i / 2] & 0x0F);
+      dst[i] = static_cast<float>((nib ^ 8) - 8) * scale;
+    }
+  }
+}
+
+void ax_quantize_sign_blocks(const float* src, std::size_t n,
+                             std::size_t block, float* scales,
+                             std::uint8_t* bits) {
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = s + block < n ? s + block : n;
+    // 8-lane |x| accumulator; the horizontal add below IS the tree the
+    // scalar oracle spells out, so the sums agree bit-for-bit.
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t i = s; i < e; i += 8) {
+      const std::size_t rem = e - i;
+      const __m256 x = rem >= 8 ? _mm256_loadu_ps(src + i)
+                                : _mm256_maskload_ps(src + i, lane_mask(rem));
+      acc = _mm256_add_ps(acc, abs_ps(x));
+    }
+    const __m128 q4 = _mm_add_ps(_mm256_castps256_ps128(acc),
+                                 _mm256_extractf128_ps(acc, 1));
+    const __m128 q2 = _mm_add_ps(q4, _mm_movehl_ps(q4, q4));
+    const float total =
+        _mm_cvtss_f32(q2) + _mm_cvtss_f32(_mm_shuffle_ps(q2, q2, 1));
+    scales[b] = total / static_cast<float>(e - s);
+    for (std::size_t i = s; i < e; ++i) {
+      if ((i & 7) == 0) bits[i / 8] = 0;
+      if (!std::signbit(src[i]))
+        bits[i / 8] = static_cast<std::uint8_t>(bits[i / 8] | (1u << (i & 7)));
+    }
+  }
+}
+
+void ax_dequantize_sign_blocks(const std::uint8_t* bits, std::size_t n,
+                               std::size_t block, const float* scales,
+                               float* dst) {
+  // Verbatim scalar loop: selection and exact negation only.
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = s + block < n ? s + block : n;
+    const float scale = scales[b];
+    for (std::size_t i = s; i < e; ++i)
+      dst[i] = ((bits[i / 8] >> (i & 7)) & 1) ? scale : -scale;
+  }
+}
+
 }  // namespace
 
 const KernelTable& avx2_table() {
@@ -573,6 +810,12 @@ const KernelTable& avx2_table() {
       {has_nonfinite_f16, has_nonfinite_f32, has_nonfinite_f64},
       h2f,
       f2h,
+      ax_quantize_int8_blocks,
+      ax_dequantize_int8_blocks,
+      ax_quantize_int4_blocks,
+      ax_dequantize_int4_blocks,
+      ax_quantize_sign_blocks,
+      ax_dequantize_sign_blocks,
   };
   return table;
 }

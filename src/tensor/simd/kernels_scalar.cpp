@@ -6,6 +6,7 @@
 // forces the whole binary onto them. The loop structure (independent partial
 // accumulators, double accumulation per §4.4.1) must therefore stay exactly
 // as the seed wrote it: any change here silently moves the yardstick.
+#include <algorithm>
 #include <cmath>
 
 #include "base/half.h"
@@ -152,6 +153,175 @@ bool k_has_nonfinite(const std::byte* a, std::size_t n) {
   return has_nonfinite_impl(in<T>(a), n);
 }
 
+// ---- blockwise compression casts (DESIGN.md §13) --------------------------
+//
+// The scalar reference for the compressed-collective wire format. Every
+// floating-point operation here is mirrored one-for-one by the AVX2 TU
+// (same op, same order, same single-precision intermediates), which is what
+// makes the cross-TU bit-parity tests in tests/compress_test.cpp hold. This
+// TU is compiled without FMA, so no contraction can reassociate the
+// mul-then-add sequences below.
+
+// Counter-based stochastic-rounding uniform: murmur3 finalizer of
+// (seed + golden-ratio * index), mapped to [0, 1) through the top 24 bits so
+// the int -> float conversion is exact. Pure integer math plus one exact
+// multiply — identical in every TU by construction.
+inline float sr_uniform(std::uint32_t seed, std::uint32_t i) {
+  std::uint32_t h = seed + i * 0x9E3779B9u;
+  h ^= h >> 16;
+  h *= 0x85EBCA6Bu;
+  h ^= h >> 13;
+  h *= 0xC2B2AE35u;
+  h ^= h >> 16;
+  return static_cast<float>(h >> 8) * (1.0f / 16777216.0f);
+}
+
+inline float block_max_abs(const float* src, std::size_t s, std::size_t e) {
+  float m = 0.0f;
+  for (std::size_t i = s; i < e; ++i) m = std::max(m, std::fabs(src[i]));
+  return m;
+}
+
+// Rounds v (= x/scale) to an integer level in [-kMax, kMax]. The clamp runs
+// AFTER rounding: floor(v + u) can land exactly one level above kMax in
+// float when v is already kMax-point-something.
+template <int kMax>
+inline float quantized_level(float v, std::uint32_t seed, std::uint32_t i,
+                             bool stochastic) {
+  const float r = stochastic ? std::floor(v + sr_uniform(seed, i))
+                             : std::nearbyint(v);
+  return std::min(static_cast<float>(kMax),
+                  std::max(static_cast<float>(-kMax), r));
+}
+
+// Walks one block, handing each element's rounded level to `emit`. The
+// reciprocal path (one multiply per element) is the common case; when
+// 1/scale is not finite (denormal block max) it falls back to dividing by
+// the max, which keeps every level exact instead of producing inf * 0.
+template <int kMax, typename Emit>
+void quantize_block(const float* src, std::size_t s, std::size_t e,
+                    std::uint32_t seed, bool stochastic, float* scale_out,
+                    Emit&& emit) {
+  const float m = block_max_abs(src, s, e);
+  const float scale = m / static_cast<float>(kMax);
+  *scale_out = scale;
+  if (m == 0.0f) {
+    for (std::size_t i = s; i < e; ++i) emit(i, 0.0f);
+    return;
+  }
+  const float inv = 1.0f / scale;
+  if (std::isfinite(inv)) {
+    for (std::size_t i = s; i < e; ++i)
+      emit(i, quantized_level<kMax>(src[i] * inv, seed,
+                                    static_cast<std::uint32_t>(i), stochastic));
+  } else {
+    for (std::size_t i = s; i < e; ++i)
+      emit(i, quantized_level<kMax>((src[i] / m) * static_cast<float>(kMax),
+                                    seed, static_cast<std::uint32_t>(i),
+                                    stochastic));
+  }
+}
+
+void sc_quantize_int8_blocks(const float* src, std::size_t n,
+                             std::size_t block, std::uint32_t seed,
+                             bool stochastic, float* scales, std::int8_t* q) {
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = std::min(n, s + block);
+    quantize_block<127>(src, s, e, seed, stochastic, &scales[b],
+                        [&](std::size_t i, float r) {
+                          q[i] = static_cast<std::int8_t>(r);
+                        });
+  }
+}
+
+void sc_dequantize_int8_blocks(const std::int8_t* q, std::size_t n,
+                               std::size_t block, const float* scales,
+                               float* dst) {
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = std::min(n, s + block);
+    const float scale = scales[b];
+    for (std::size_t i = s; i < e; ++i)
+      dst[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+void sc_quantize_int4_blocks(const float* src, std::size_t n,
+                             std::size_t block, std::uint32_t seed,
+                             bool stochastic, float* scales,
+                             std::uint8_t* packed) {
+  // `block` is a multiple of 8, so nibble pairs never straddle blocks and
+  // byte i/2 is written low-nibble-first; an odd-length span leaves the
+  // final high nibble zero.
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = std::min(n, s + block);
+    quantize_block<7>(
+        src, s, e, seed, stochastic, &scales[b], [&](std::size_t i, float r) {
+          const auto nib =
+              static_cast<std::uint8_t>(static_cast<std::int8_t>(r)) & 0x0Fu;
+          if ((i & 1) == 0)
+            packed[i / 2] = static_cast<std::uint8_t>(nib);
+          else
+            packed[i / 2] = static_cast<std::uint8_t>(packed[i / 2] | (nib << 4));
+        });
+  }
+}
+
+void sc_dequantize_int4_blocks(const std::uint8_t* packed, std::size_t n,
+                               std::size_t block, const float* scales,
+                               float* dst) {
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = std::min(n, s + block);
+    const float scale = scales[b];
+    for (std::size_t i = s; i < e; ++i) {
+      const int nib = (i & 1) ? (packed[i / 2] >> 4) : (packed[i / 2] & 0x0F);
+      dst[i] = static_cast<float>((nib ^ 8) - 8) * scale;  // sign-extend
+    }
+  }
+}
+
+void sc_quantize_sign_blocks(const float* src, std::size_t n,
+                             std::size_t block, float* scales,
+                             std::uint8_t* bits) {
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = std::min(n, s + block);
+    // 8-lane-structured |x| sum with a fixed tree reduction — exactly the
+    // shape an AVX2 accumulator plus its horizontal add produces, so the
+    // scale matches bit-for-bit across TUs.
+    float acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (std::size_t i = s; i < e; ++i) acc[(i - s) & 7] += std::fabs(src[i]);
+    float s4[4];
+    for (int j = 0; j < 4; ++j) s4[j] = acc[j] + acc[j + 4];
+    const float total = (s4[0] + s4[2]) + (s4[1] + s4[3]);
+    scales[b] = total / static_cast<float>(e - s);
+    // Block starts are multiples of 8, so bit i%8 of byte i/8 never
+    // straddles a block; each byte is zeroed when its first bit arrives.
+    for (std::size_t i = s; i < e; ++i) {
+      if ((i & 7) == 0) bits[i / 8] = 0;
+      if (!std::signbit(src[i]))
+        bits[i / 8] = static_cast<std::uint8_t>(bits[i / 8] | (1u << (i & 7)));
+    }
+  }
+}
+
+void sc_dequantize_sign_blocks(const std::uint8_t* bits, std::size_t n,
+                               std::size_t block, const float* scales,
+                               float* dst) {
+  std::size_t b = 0;
+  for (std::size_t s = 0; s < n; s += block, ++b) {
+    const std::size_t e = std::min(n, s + block);
+    const float scale = scales[b];
+    // Negation is exact, so a zero-scale block decodes to ±0 with the sign
+    // bit preserved — the parity tests compare these floats bitwise.
+    for (std::size_t i = s; i < e; ++i)
+      dst[i] = ((bits[i / 8] >> (i & 7)) & 1) ? scale : -scale;
+  }
+}
+
 // Batched software fp16 converters: the same bit logic as per-element Half
 // access (half.h keeps it header-inline precisely so this loop and Half can
 // never diverge), but in a flat loop the compiler can pipeline without a
@@ -178,6 +348,12 @@ const KernelTable& scalar_table() {
       {k_has_nonfinite<Half>, k_has_nonfinite<float>, k_has_nonfinite<double>},
       sw_half_to_float,
       sw_float_to_half,
+      sc_quantize_int8_blocks,
+      sc_dequantize_int8_blocks,
+      sc_quantize_int4_blocks,
+      sc_dequantize_int4_blocks,
+      sc_quantize_sign_blocks,
+      sc_dequantize_sign_blocks,
   };
   return table;
 }

@@ -478,6 +478,24 @@ TEST(Chaos, AnalyzerOffPathIsByteAndAllocationIdenticalToSeed) {
       allreduce(comm, warm[0], opts, i * 65536);
     }
     comm.barrier();
+    if (comm.rank() == 0) {
+      // Organic warm-up leaves the pool holding whatever peak concurrent
+      // demand those four iterations happened to hit — an interleaving
+      // accident. Top it up to the schedule's static bound (RVH on 2048
+      // floats leases 4 KiB halves, 2 KiB quarters and small control
+      // buffers) so the measured iteration cannot miss.
+      BufferPool& pool = comm.pool();
+      const std::size_t half = (s.count / 2) * sizeof(float);
+      std::vector<std::vector<std::byte>> held;
+      for (int i = 0; i < 4 * comm.size(); ++i)
+        held.push_back(pool.acquire(half));
+      for (int i = 0; i < 2 * comm.size(); ++i)
+        held.push_back(pool.acquire(half / 2));
+      for (int i = 0; i < 8 * comm.size(); ++i)
+        held.push_back(pool.acquire(128));
+      for (auto& b : held) pool.release(std::move(b));
+    }
+    comm.barrier();
     if (comm.rank() == 0)
       baseline = g_heap_allocs.load(std::memory_order_relaxed);
     comm.barrier();

@@ -1,0 +1,634 @@
+// Tests for the blockwise wire codec (src/tensor/compress/, DESIGN.md §13)
+// and the compressed collectives (src/collectives/compressed.h).
+//
+// Four layers of guarantees:
+//  * codec kernels — scalar vs AVX2 bit parity for every mode across odd
+//    tails, block sizes, stochastic rounding and unaligned inputs; per-block
+//    scale edge cases (all-zero block, single huge outlier, denormal max,
+//    negative zero); round-trip error bounds; and a chi-square test that the
+//    counter-based stochastic rounding is unbiased.
+//  * oracle — with one block covering the tensor and round-to-nearest, the
+//    blockwise int8 codec reproduces tensor/quantize.h bit-for-bit (that
+//    scalar per-tensor path is the ancestor of the wire format).
+//  * compressed collectives — every rank ends bit-identical (the requantize
+//    and verbatim-forwarding consistency argument), results stay near the
+//    uncompressed reduction, non-fp32 payloads pass through uncompressed,
+//    and warm compressed iterations make zero pool allocations.
+//  * systems composition — the strict protocol analyzer validates the
+//    compressed schedules, and per-message corruption is still detected
+//    through checksums with compression on (blobs are plain byte messages).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "collectives/allreduce.h"
+#include "collectives/compressed.h"
+#include "collectives/resilient.h"
+#include "collectives/sum_allreduce.h"
+#include "comm/fault_injector.h"
+#include "comm/world.h"
+#include "tensor/compress/compress.h"
+#include "tensor/kernels.h"
+#include "tensor/quantize.h"
+#include "tensor/simd/simd.h"
+#include "tensor/tensor.h"
+#include "chaos_util.h"
+
+namespace adasum {
+namespace {
+
+using simd::KernelTable;
+using simd::Level;
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed,
+                                 float scale = 2.0f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0, 1)) * scale;
+  return v;
+}
+
+CompressionOptions make_opts(CompressionMode mode, std::size_t block_bytes,
+                             bool stochastic) {
+  CompressionOptions o;
+  o.mode = mode;
+  o.block_bytes = block_bytes;
+  o.stochastic = stochastic;
+  return o;
+}
+
+// Runs one mode's quantize+dequantize through a specific kernel table,
+// returning the raw compressed stream and the reconstruction.
+struct CodecRun {
+  std::vector<float> scales;
+  std::vector<std::uint8_t> payload;
+  std::vector<float> decoded;
+};
+
+CodecRun run_table(const KernelTable& table, CompressionMode mode,
+                   std::span<const float> src, std::size_t block,
+                   std::uint32_t seed, bool stochastic) {
+  const std::size_t n = src.size();
+  const std::size_t blocks = (n + block - 1) / block;
+  CodecRun r;
+  r.scales.assign(blocks, -1.0f);
+  r.payload.assign(compressed_payload_bytes(n, mode), 0xAB);
+  r.decoded.assign(n, -1.0f);
+  switch (mode) {
+    case CompressionMode::kInt8:
+      table.quantize_int8_blocks(src.data(), n, block, seed, stochastic,
+                                 r.scales.data(),
+                                 reinterpret_cast<std::int8_t*>(
+                                     r.payload.data()));
+      table.dequantize_int8_blocks(
+          reinterpret_cast<const std::int8_t*>(r.payload.data()), n, block,
+          r.scales.data(), r.decoded.data());
+      break;
+    case CompressionMode::kInt4:
+      table.quantize_int4_blocks(src.data(), n, block, seed, stochastic,
+                                 r.scales.data(), r.payload.data());
+      table.dequantize_int4_blocks(r.payload.data(), n, block,
+                                   r.scales.data(), r.decoded.data());
+      break;
+    case CompressionMode::kSign:
+      table.quantize_sign_blocks(src.data(), n, block, r.scales.data(),
+                                 r.payload.data());
+      table.dequantize_sign_blocks(r.payload.data(), n, block,
+                                   r.scales.data(), r.decoded.data());
+      break;
+    default:
+      ADD_FAILURE() << "inactive mode in codec run";
+  }
+  return r;
+}
+
+constexpr CompressionMode kModes[] = {CompressionMode::kInt8,
+                                      CompressionMode::kInt4,
+                                      CompressionMode::kSign};
+
+TEST(CompressKernels, ScalarVsAvx2BitParity) {
+  const KernelTable* avx2 = simd::table_for(Level::kAvx2);
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this host/build";
+  const KernelTable& scalar = simd::scalar_table();
+  const std::size_t sizes[] = {1, 7, 8, 9, 31, 64, 255, 256, 1000, 4099};
+  const std::size_t blocks[] = {8, 64, 256};
+  int cases = 0;
+  for (const std::size_t n : sizes) {
+    // +1 slack so the offset run reads from a misaligned base pointer.
+    const std::vector<float> data = random_floats(n + 1, 7000 + n);
+    for (const std::size_t block : blocks) {
+      for (const bool stochastic : {false, true}) {
+        for (const std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+          const std::span<const float> src(data.data() + offset, n);
+          for (const CompressionMode mode : kModes) {
+            if (mode == CompressionMode::kSign && stochastic) continue;
+            const CodecRun s =
+                run_table(scalar, mode, src, block, 0x1234u, stochastic);
+            const CodecRun v =
+                run_table(*avx2, mode, src, block, 0x1234u, stochastic);
+            ASSERT_EQ(0, std::memcmp(s.scales.data(), v.scales.data(),
+                                     s.scales.size() * sizeof(float)))
+                << "scales diverge: mode=" << static_cast<int>(mode)
+                << " n=" << n << " block=" << block << " sr=" << stochastic
+                << " off=" << offset;
+            ASSERT_EQ(s.payload, v.payload)
+                << "payload diverges: mode=" << static_cast<int>(mode)
+                << " n=" << n << " block=" << block << " sr=" << stochastic
+                << " off=" << offset;
+            ASSERT_EQ(0, std::memcmp(s.decoded.data(), v.decoded.data(),
+                                     n * sizeof(float)))
+                << "decode diverges: mode=" << static_cast<int>(mode)
+                << " n=" << n << " block=" << block << " sr=" << stochastic
+                << " off=" << offset;
+            ++cases;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(cases, 200);
+}
+
+TEST(CompressCodec, AllZeroBlockStoresZeroScaleAndDecodesZeros) {
+  for (const CompressionMode mode : kModes) {
+    const CompressionOptions opts = make_opts(mode, 32, false);  // block = 8
+    std::vector<float> src(24, 0.0f);
+    std::vector<std::byte> wire(compressed_wire_bytes(src.size(), opts),
+                                std::byte{0x5C});
+    compress_f32(src, opts, wire.data());
+    float scales[3];
+    std::memcpy(scales, wire.data(), sizeof(scales));
+    for (const float s : scales) EXPECT_EQ(s, 0.0f);
+    std::vector<float> out(src.size(), -1.0f);
+    decompress_f32(wire.data(), opts, out);
+    for (const float x : out) EXPECT_EQ(x, 0.0f);
+  }
+}
+
+TEST(CompressCodec, SingleOutlierOwnsItsBlockScale) {
+  // One huge element: its block's scale follows the outlier (and stays
+  // finite through the reciprocal fallback); other blocks keep their small
+  // scale, so blockwise quantization does NOT flush them to zero — the
+  // whole point of per-block scales.
+  const CompressionOptions opts = make_opts(CompressionMode::kInt8, 32, false);
+  std::vector<float> src(16, 0.25f);
+  src[3] = 1e30f;
+  std::vector<std::byte> wire(compressed_wire_bytes(src.size(), opts));
+  compress_f32(src, opts, wire.data());
+  float scales[2];
+  std::memcpy(scales, wire.data(), sizeof(scales));
+  EXPECT_FLOAT_EQ(scales[0], 1e30f / 127.0f);
+  EXPECT_FLOAT_EQ(scales[1], 0.25f / 127.0f);
+  std::vector<float> out(src.size());
+  decompress_f32(wire.data(), opts, out);
+  EXPECT_NEAR(out[3], 1e30f, 1e30f / 127.0f);
+  for (std::size_t i = 8; i < 16; ++i)
+    EXPECT_NEAR(out[i], 0.25f, 0.25f / 127.0f);
+  // The outlier's block neighbors are casualties of its scale — they round
+  // to 0 — but blocks beyond it are untouched.
+  EXPECT_EQ(out[0], 0.0f);
+}
+
+TEST(CompressCodec, DenormalBlockMaxSurvivesReciprocalFallback) {
+  // max|block| so small that 1/scale overflows to inf: the kernels fall back
+  // to dividing by the max. Quantized values must stay finite and the max
+  // element must reconstruct near itself.
+  const float tiny = 1e-41f;  // subnormal
+  for (const CompressionMode mode :
+       {CompressionMode::kInt8, CompressionMode::kInt4}) {
+    const CompressionOptions opts = make_opts(mode, 32, false);
+    std::vector<float> src(8, tiny / 2);
+    src[0] = tiny;
+    src[1] = -tiny;
+    std::vector<std::byte> wire(compressed_wire_bytes(src.size(), opts));
+    compress_f32(src, opts, wire.data());
+    std::vector<float> out(src.size(), NAN);
+    decompress_f32(wire.data(), opts, out);
+    for (const float x : out) ASSERT_TRUE(std::isfinite(x));
+    EXPECT_NEAR(out[0], tiny, tiny / 2);
+    EXPECT_NEAR(out[1], -tiny, tiny / 2);
+  }
+}
+
+TEST(CompressCodec, SignFollowsTheSignBitIncludingNegativeZero) {
+  // The contract is sign-BIT based: -0.0 transfers as negative, +0.0 as
+  // positive, so scalar and AVX2 (which movemasks the sign bit) agree
+  // exactly.
+  const CompressionOptions opts = make_opts(CompressionMode::kSign, 32, false);
+  std::vector<float> src = {-0.0f, 0.5f, -0.5f, 1.0f, -1.0f, -0.0f, 0.0f,
+                            0.25f};
+  std::vector<std::byte> wire(compressed_wire_bytes(src.size(), opts));
+  compress_f32(src, opts, wire.data());
+  std::vector<float> out(src.size());
+  decompress_f32(wire.data(), opts, out);
+  float scale;
+  std::memcpy(&scale, wire.data(), sizeof(float));
+  EXPECT_GT(scale, 0.0f);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(std::abs(out[i]), scale) << "i=" << i;
+    EXPECT_EQ(std::signbit(out[i]), std::signbit(src[i])) << "i=" << i;
+  }
+}
+
+TEST(CompressCodec, RoundTripErrorBounds) {
+  const std::size_t n = 4096;
+  const std::vector<float> src = random_floats(n, 42);
+  for (const CompressionMode mode : kModes) {
+    for (const bool stochastic : {false, true}) {
+      if (mode == CompressionMode::kSign && stochastic) continue;
+      const CompressionOptions opts = make_opts(mode, 1024, stochastic);
+      std::vector<std::byte> wire(compressed_wire_bytes(n, opts));
+      compress_f32(src, opts, wire.data());
+      std::vector<float> out(n);
+      decompress_f32(wire.data(), opts, out);
+      const std::size_t be = opts.block_elems();
+      for (std::size_t b = 0; b * be < n; ++b) {
+        float mx = 0.0f, mean_abs = 0.0f;
+        const std::size_t lo = b * be, hi = std::min(n, lo + be);
+        for (std::size_t i = lo; i < hi; ++i) {
+          mx = std::max(mx, std::abs(src[i]));
+          mean_abs += std::abs(src[i]);
+        }
+        mean_abs /= static_cast<float>(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          switch (mode) {
+            case CompressionMode::kInt8:
+              // RTN: half a step; SR: anywhere within one step.
+              ASSERT_LE(std::abs(out[i] - src[i]),
+                        (stochastic ? 1.0f : 0.51f) * mx / 127.0f)
+                  << "i=" << i;
+              break;
+            case CompressionMode::kInt4:
+              ASSERT_LE(std::abs(out[i] - src[i]),
+                        (stochastic ? 1.0f : 0.51f) * mx / 7.0f)
+                  << "i=" << i;
+              break;
+            case CompressionMode::kSign:
+              // The kernel's mean uses a fixed 8-lane tree sum, so it can
+              // differ from this naive loop by a few ulps.
+              ASSERT_NEAR(std::abs(out[i]), mean_abs, 1e-5f * mean_abs)
+                  << "i=" << i;
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CompressCodec, StochasticRoundingIsUnbiasedChiSquare) {
+  // One block spanning the tensor; src[0] pins scale = 0.01, every other
+  // element sits at 10.3 quantization steps, so SR must emit 11 with
+  // probability 0.3. Chi-square with 1 dof at p = 0.001 is 10.83; the
+  // counter-based hash is deterministic, so this either always passes or
+  // flags a real bias.
+  const std::size_t n = 10000;  // one 10000-element block (multiple of 8)
+  const CompressionOptions opts =
+      make_opts(CompressionMode::kInt8, n * sizeof(float), true);
+  ASSERT_EQ(opts.block_elems(), n);
+  std::vector<float> src(n, 0.103f);
+  src[0] = 1.27f;
+  std::vector<std::byte> wire(compressed_wire_bytes(n, opts));
+  compress_f32(src, opts, wire.data());
+  float scale;
+  std::memcpy(&scale, wire.data(), sizeof(float));
+  EXPECT_FLOAT_EQ(scale, 1.27f / 127.0f);
+  const auto* q = reinterpret_cast<const std::int8_t*>(wire.data() +
+                                                       sizeof(float));
+  const double frac = 0.103 / 0.01 - 10.0;  // exact step fraction
+  double up = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_TRUE(q[i] == 10 || q[i] == 11) << "i=" << i << " q=" << int{q[i]};
+    up += q[i] == 11;
+  }
+  const double trials = static_cast<double>(n - 1);
+  const double expected_up = frac * trials;
+  const double chi =
+      (up - expected_up) * (up - expected_up) / expected_up +
+      (trials - up - (trials - expected_up)) *
+          (trials - up - (trials - expected_up)) / (trials - expected_up);
+  EXPECT_LT(chi, 10.83) << "up=" << up << " expected=" << expected_up;
+}
+
+TEST(CompressCodec, OneBlockRtnMatchesPerTensorOracle) {
+  // Block covering the whole tensor + round-to-nearest reproduces the
+  // per-tensor int8 path of tensor/quantize.h bit-for-bit: same scale, same
+  // quantized bytes, same reconstruction.
+  const std::size_t n = 1000;
+  const std::vector<float> src = random_floats(n, 99);
+  const CompressionOptions opts =
+      make_opts(CompressionMode::kInt8, 8192, false);  // block 2048 >= n
+  std::vector<std::byte> wire(compressed_wire_bytes(n, opts));
+  compress_f32(src, opts, wire.data());
+  float scale;
+  std::memcpy(&scale, wire.data(), sizeof(float));
+  const Int8Quantized oracle = quantize_int8(src);
+  EXPECT_EQ(scale, oracle.scale);
+  EXPECT_EQ(0, std::memcmp(wire.data() + sizeof(float), oracle.data.data(),
+                           n));
+  std::vector<float> ours(n), theirs(n);
+  decompress_f32(wire.data(), opts, ours);
+  dequantize_int8(oracle, theirs);
+  EXPECT_EQ(0, std::memcmp(ours.data(), theirs.data(), n * sizeof(float)));
+}
+
+TEST(CompressCodec, DeterministicAcrossCalls) {
+  // The codec is a pure function of (bytes, options) — the property replica
+  // consistency rests on. Two calls, two buffers, identical streams.
+  const std::vector<float> src = random_floats(2048, 1234);
+  for (const CompressionMode mode : kModes) {
+    const CompressionOptions opts = make_opts(mode, 256, true);
+    std::vector<std::byte> a(compressed_wire_bytes(src.size(), opts),
+                             std::byte{0x00});
+    std::vector<std::byte> b(a.size(), std::byte{0xFF});
+    compress_f32(src, opts, a.data());
+    compress_f32(src, opts, b.data());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size()));
+  }
+}
+
+// ---- compressed collectives ------------------------------------------------
+
+struct CollectiveCase {
+  AllreduceAlgo algo;
+  ReduceOp op;
+  int ranks;
+  std::size_t count;
+  CompressionMode mode;
+  bool pipeline;
+  int ranks_per_node = 1;
+};
+
+class CompressedCollectivesTest
+    : public ::testing::TestWithParam<CollectiveCase> {};
+
+TEST_P(CompressedCollectivesTest, AllRanksEndBitIdentical) {
+  const CollectiveCase c = GetParam();
+  World world(c.ranks);
+  if (c.pipeline) {
+    PipelineOptions pipe;
+    pipe.enabled = true;
+    pipe.chunk_bytes = 512;  // many chunks even for small payloads
+    world.set_pipeline(pipe);
+  }
+  std::vector<std::vector<float>> inputs;
+  for (int r = 0; r < c.ranks; ++r)
+    inputs.push_back(random_floats(c.count, 500 + static_cast<unsigned>(r)));
+  std::vector<std::vector<float>> outputs(
+      static_cast<std::size_t>(c.ranks));
+  world.run([&](Comm& comm) {
+    Tensor t(std::vector<std::size_t>{c.count}, DType::kFloat32);
+    const auto& in = inputs[static_cast<std::size_t>(comm.rank())];
+    std::memcpy(t.data(), in.data(), c.count * sizeof(float));
+    AllreduceOptions opts;
+    opts.op = c.op;
+    opts.algo = c.algo;
+    opts.ranks_per_node = c.ranks_per_node;
+    opts.compression.mode = c.mode;
+    allreduce(comm, t, opts, /*tag_base=*/0);
+    const auto v = t.span<float>();
+    outputs[static_cast<std::size_t>(comm.rank())].assign(v.begin(),
+                                                          v.end());
+  });
+  for (int r = 1; r < c.ranks; ++r)
+    ASSERT_EQ(0, std::memcmp(outputs[0].data(),
+                             outputs[static_cast<std::size_t>(r)].data(),
+                             c.count * sizeof(float)))
+        << "rank " << r << " diverged from rank 0";
+
+  // Compressed sums must stay NEAR the exact sum (lossy, but bounded): the
+  // int8 grid is ~1/254 of each transfer's block max per hop.
+  if (c.op == ReduceOp::kSum && c.mode == CompressionMode::kInt8) {
+    std::vector<double> exact(c.count, 0.0);
+    for (const auto& in : inputs)
+      for (std::size_t i = 0; i < c.count; ++i) exact[i] += in[i];
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < c.count; ++i) {
+      const double d = outputs[0][i] - exact[i];
+      num += d * d;
+      den += exact[i] * exact[i];
+    }
+    EXPECT_LT(std::sqrt(num / den), 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressedCollectivesTest,
+    ::testing::Values(
+        CollectiveCase{AllreduceAlgo::kRvh, ReduceOp::kAdasum, 2, 255,
+                       CompressionMode::kInt8, false},
+        CollectiveCase{AllreduceAlgo::kRvh, ReduceOp::kAdasum, 4, 1024,
+                       CompressionMode::kInt8, true},
+        CollectiveCase{AllreduceAlgo::kRvh, ReduceOp::kAdasum, 8, 257,
+                       CompressionMode::kInt4, false},
+        CollectiveCase{AllreduceAlgo::kRvh, ReduceOp::kAdasum, 4, 4096,
+                       CompressionMode::kSign, true},
+        CollectiveCase{AllreduceAlgo::kRvh, ReduceOp::kSum, 4, 1000,
+                       CompressionMode::kInt8, false},
+        CollectiveCase{AllreduceAlgo::kRvh, ReduceOp::kSum, 8, 4096,
+                       CompressionMode::kInt8, true},
+        CollectiveCase{AllreduceAlgo::kRing, ReduceOp::kSum, 3, 1000,
+                       CompressionMode::kInt8, false},
+        CollectiveCase{AllreduceAlgo::kRing, ReduceOp::kSum, 5, 2048,
+                       CompressionMode::kInt8, true},
+        CollectiveCase{AllreduceAlgo::kRing, ReduceOp::kSum, 4, 513,
+                       CompressionMode::kInt4, false},
+        CollectiveCase{AllreduceAlgo::kHierarchical, ReduceOp::kAdasum, 8,
+                       1024, CompressionMode::kInt8, false, 2},
+        CollectiveCase{AllreduceAlgo::kHierarchical, ReduceOp::kSum, 8, 777,
+                       CompressionMode::kInt8, true, 4}),
+    [](const auto& param_info) {
+      const CollectiveCase& c = param_info.param;
+      std::string name = c.algo == AllreduceAlgo::kRvh    ? "rvh"
+                         : c.algo == AllreduceAlgo::kRing ? "ring"
+                                                          : "hier";
+      name += c.op == ReduceOp::kAdasum ? "_adasum" : "_sum";
+      name += "_r" + std::to_string(c.ranks) + "_n" +
+              std::to_string(c.count) + "_";
+      name += compression_mode_name(c.mode);
+      if (c.pipeline) name += "_pipe";
+      return name;
+    });
+
+TEST(CompressedCollectives, NonF32PayloadsPassThroughUncompressed) {
+  // The codec is fp32-only; an f64 allreduce under a world-level compression
+  // default must still be EXACT.
+  const int ranks = 4;
+  const std::size_t count = 333;
+  World world(ranks);
+  CompressionOptions comp;
+  comp.mode = CompressionMode::kInt8;
+  world.set_compression(comp);
+  std::vector<std::vector<double>> inputs;
+  for (int r = 0; r < ranks; ++r) {
+    Rng rng(900 + static_cast<unsigned>(r));
+    std::vector<double> v(count);
+    for (auto& x : v) x = rng.normal(0, 1);
+    inputs.push_back(std::move(v));
+  }
+  std::vector<double> expected(count, 0.0);
+  for (const auto& in : inputs)
+    for (std::size_t i = 0; i < count; ++i) expected[i] += in[i];
+  world.run([&](Comm& comm) {
+    Tensor t(std::vector<std::size_t>{count}, DType::kFloat64);
+    std::memcpy(t.data(),
+                inputs[static_cast<std::size_t>(comm.rank())].data(),
+                count * sizeof(double));
+    AllreduceOptions opts;
+    opts.op = ReduceOp::kSum;
+    opts.algo = AllreduceAlgo::kRvh;
+    allreduce(comm, t, opts, 0);
+    const auto v = t.span<double>();
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_NEAR(v[i], expected[i], 1e-9) << "i=" << i;
+  });
+}
+
+TEST(CompressedCollectives, WarmCompressedIterationsMakeNoPoolAllocations) {
+  const int ranks = 4;
+  const std::size_t count = 4096;
+  const int steady_iters = 10;
+  World world(ranks);
+  CompressionOptions comp;
+  comp.mode = CompressionMode::kInt8;
+  world.set_compression(comp);
+  BufferPool::Stats warm{};
+  std::vector<std::vector<float>> inputs;
+  for (int r = 0; r < ranks; ++r)
+    inputs.push_back(random_floats(count, 116 + static_cast<unsigned>(r)));
+  world.run([&](Comm& comm) {
+    Tensor t(std::vector<std::size_t>{count}, DType::kFloat32);
+    std::memcpy(t.data(),
+                inputs[static_cast<std::size_t>(comm.rank())].data(),
+                count * sizeof(float));
+    AllreduceOptions opts;
+    opts.op = ReduceOp::kAdasum;
+    opts.algo = AllreduceAlgo::kRvh;
+    allreduce(comm, t, opts, 0);
+    rvh_allreduce_sum(comm, t, 1 << 16);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      // The uncompressed worst case (halves + in-flight sends, see the
+      // ZeroCopy tests) plus the WireCompressor's two blob slots per rank
+      // per collective call.
+      BufferPool& pool = world.buffer_pool();
+      std::vector<std::vector<std::byte>> held;
+      CompressionOptions blob_opts;
+      blob_opts.mode = CompressionMode::kInt8;
+      const std::size_t half = (count + 1) / 2;
+      for (int i = 0; i < 8 * ranks; ++i)
+        held.push_back(pool.acquire(half * sizeof(float)));
+      for (int i = 0; i < 4 * ranks; ++i)
+        held.push_back(
+            pool.acquire(compressed_wire_bytes(half, blob_opts)));
+      for (int i = 0; i < 8 * ranks; ++i) held.push_back(pool.acquire(128));
+      for (auto& b : held) pool.release(std::move(b));
+      pool.reset_stats();
+    }
+    comm.barrier();
+    for (int it = 1; it <= steady_iters; ++it) {
+      allreduce(comm, t, opts, (2 * it) << 16);
+      rvh_allreduce_sum(comm, t, (2 * it + 1) << 16);
+    }
+    comm.barrier();
+    if (comm.rank() == 0) warm = world.buffer_pool().stats();
+  });
+  EXPECT_EQ(warm.allocations, 0u)
+      << "steady-state compressed allreduces allocated " << warm.allocations
+      << " new buffers (reuses=" << warm.reuses << ")";
+  EXPECT_GT(warm.reuses, 0u);
+}
+
+#if ADASUM_ANALYZE
+TEST(CompressedCollectives, StrictAnalyzerValidatesCompressedSchedules) {
+  // The EpochGuard declarations account compressed wire bytes through the
+  // same wire_transfer_bytes() formula the transfers use; a drift would
+  // surface here as a schedule violation, not a hang.
+  const int ranks = 4;
+  const std::size_t count = 2048;
+  World world(ranks);
+  world.enable_analyzer();
+  CompressionOptions comp;
+  comp.mode = CompressionMode::kInt8;
+  world.set_compression(comp);
+  world.run([&](Comm& comm) {
+    Tensor t(std::vector<std::size_t>{count}, DType::kFloat32);
+    auto in = random_floats(count, 60 + static_cast<unsigned>(comm.rank()));
+    std::memcpy(t.data(), in.data(), count * sizeof(float));
+    AllreduceOptions opts;
+    opts.op = ReduceOp::kAdasum;
+    opts.algo = AllreduceAlgo::kRvh;
+    allreduce(comm, t, opts, 0);
+    rvh_allreduce_sum(comm, t, 1 << 16);
+    ring_allreduce_sum(comm, t, 2 << 16);
+  });
+  ASSERT_NE(world.analyzer(), nullptr);
+  EXPECT_FALSE(world.analyzer()->has_violations());
+  EXPECT_GT(world.analyzer()->epochs_validated(), 0u);
+  EXPECT_FALSE(world.analyzer()->deadlock_detected());
+}
+#endif
+
+TEST(CompressedCollectives, CorruptionStillDetectedWithCompressionOn) {
+  // Compressed blobs are ordinary byte messages: per-message checksums must
+  // keep tripping on injected bit flips, and the resilient wrapper must
+  // skip the round with the input intact.
+  const int p = 2;
+  const std::size_t count = 64;
+  World world(p);
+  FaultToleranceOptions ft;
+  ft.recv_deadline = std::chrono::milliseconds(100);
+  ft.max_recovery_attempts = 2;
+  world.enable_fault_tolerance(ft);
+  world.enable_checksums(true);
+  CompressionOptions comp;
+  comp.mode = CompressionMode::kInt8;
+  world.set_compression(comp);
+  FaultSpec spec;
+  spec.corrupt_prob = 1.0;
+  world.set_fault_injector(std::make_shared<FaultInjector>(p, spec));
+
+  std::vector<ResilientResult> res(p);
+  std::vector<std::vector<float>> after(p);
+  std::mutex mutex;
+  const chaos::WatchdogResult wr = chaos::run_with_watchdog(
+      world,
+      [&](Comm& comm) {
+        Tensor t(std::vector<std::size_t>{count}, DType::kFloat32);
+        auto in =
+            random_floats(count, 800 + static_cast<unsigned>(comm.rank()));
+        std::memcpy(t.data(), in.data(), count * sizeof(float));
+        AllreduceOptions opts;
+        opts.op = ReduceOp::kAdasum;
+        opts.algo = AllreduceAlgo::kRvh;
+        const ResilientResult r = resilient_allreduce(comm, t, opts);
+        std::lock_guard<std::mutex> lock(mutex);
+        res[static_cast<std::size_t>(comm.rank())] = r;
+        const auto v = t.span<float>();
+        after[static_cast<std::size_t>(comm.rank())].assign(v.begin(),
+                                                            v.end());
+      },
+      std::chrono::seconds(20));
+  ASSERT_FALSE(wr.watchdog_fired);
+  ASSERT_FALSE(static_cast<bool>(wr.error));
+  EXPECT_GE(world.corruptions_detected(), 1u);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(static_cast<int>(res[static_cast<std::size_t>(r)].outcome),
+              static_cast<int>(ReduceOutcome::kSkipped));
+    const auto in = random_floats(count, 800 + static_cast<unsigned>(r));
+    EXPECT_EQ(0, std::memcmp(after[static_cast<std::size_t>(r)].data(),
+                             in.data(), count * sizeof(float)))
+        << "rank " << r << " input not restored after skipped round";
+  }
+}
+
+}  // namespace
+}  // namespace adasum
