@@ -35,3 +35,4 @@ adasum_add_bench(bench_ablation_compression)
 adasum_add_bench(bench_async_baselines)
 adasum_add_bench(bench_pipeline)
 adasum_add_bench(bench_compress)
+adasum_add_bench(bench_scaleout)

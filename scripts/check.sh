@@ -38,6 +38,17 @@ echo "=== overlap gate: pipelined step speedup floor ==="
 # zero steady-state pool allocations and bit-identical results.
 ./build/bench/bench_pipeline --pipeline_json
 
+echo "=== scale-out gate: large-world parity + hierarchical/autotuner floors ==="
+# The release-mode property sweep at full width (randomized worlds up to
+# p = 512, non-pow2 node counts, ragged last nodes) plus the zero-allocation
+# steady state at p = 256.
+./build/tests/scaleout_test
+# Writes BENCH_scaleout.json and exits nonzero unless topology-aware
+# hierarchical Adasum holds >= 1.5x over the placement-oblivious flat RVH at
+# 256 modeled ranks AND the autotuner's pick lands within 1.2x of the best
+# measured candidate on the wire-delay world.
+./build/bench/bench_scaleout --scaleout_json
+
 echo "=== compression: codec + compressed collectives on both dispatch levels ==="
 # The wire codec's scalar and AVX2 TUs must agree bit-for-bit AND the whole
 # compression suite must hold when forced onto the scalar fallback (parity
@@ -73,7 +84,7 @@ else
   echo "=== tsan: comm_test + collectives_test + chaos_test + analysis_test ==="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)" --target comm_test \
-    collectives_test chaos_test analysis_test
+    collectives_test chaos_test analysis_test scaleout_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/comm_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/collectives_test
   # A fixed, smaller seed window keeps the TSan pass deterministic and fast
@@ -83,6 +94,11 @@ else
   # The analyzer's watchdog/epoch machinery under the race detector, with the
   # hooks live on every message.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/analysis_test
+  # Reduced width: p = 512 under the race detector means 512 instrumented
+  # threads per world — the parity properties hold identically at p <= 128
+  # while the pass stays minutes, not hours.
+  TSAN_OPTIONS="halt_on_error=1" SCALEOUT_MAX_P=128 \
+    ./build-tsan/tests/scaleout_test
   TSAN_OPTIONS="halt_on_error=1" ADASUM_ANALYZE=on \
     ./build-tsan/tests/collectives_test
 
@@ -93,7 +109,7 @@ else
   # reduced chaos window keeps the pass deterministic and bounded.
   cmake --build --preset tsan -j "$(nproc)"
   TSAN_OPTIONS="halt_on_error=1" ADASUM_PIPELINE=on \
-    CHAOS_SCHEDULES=24 CHAOS_SEED_BASE=1000 \
+    CHAOS_SCHEDULES=24 CHAOS_SEED_BASE=1000 SCALEOUT_MAX_P=128 \
     ctest --preset tsan -j "$(nproc)"
   # Strict epoch validation over the chunked schedules, hooks on every chunk.
   TSAN_OPTIONS="halt_on_error=1" ADASUM_ANALYZE=on ADASUM_PIPELINE=on \
@@ -107,6 +123,6 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 # already ran in tier-1; the sanitizer pass is after memory/UB bugs, not the
 # statistical coverage.
 ASAN_OPTIONS="detect_leaks=1" CHAOS_SCHEDULES=48 CHAOS_SEED_BASE=1000 \
-  ctest --preset asan-ubsan -j "$(nproc)"
+  SCALEOUT_MAX_P=256 ctest --preset asan-ubsan -j "$(nproc)"
 
 echo "=== all checks passed ==="

@@ -1,4 +1,4 @@
-// Hierarchical Adasum allreduce (paper §4.2.2).
+// Hierarchical Adasum allreduce (paper §4.2.2), topology-aware.
 //
 // When HOROVOD_HIERARCHICAL_ALLREDUCE is set, Horovod reduces in three
 // phases: (1) an NCCL reduce-scatter among the GPUs inside each node, (2) a
@@ -7,6 +7,22 @@
 // phase averages the node's gradients — the node acts as one logical Adasum
 // worker with a larger effective microbatch — and the Adasum operator is
 // applied only across nodes, matching Horovod's semantics.
+//
+// Group formation is no longer fixed-arity. The world splits into nodes of
+// `ranks_per_node` consecutive ranks with a possibly RAGGED last node (world
+// need not be a multiple), and the cross-node phase handles ANY node count:
+// a non-power-of-two group runs the standard fold — the extra nodes
+// pre-combine pairwise into the power-of-two core before the RVH recursion
+// and receive the result afterwards. The local phases of a ragged node use
+// shard-aligned chunk boundaries (primitives.h bounds variants) so every
+// node partitions the payload on the same world-wide `ranks_per_node`-way
+// shard grid and the per-shard cross groups reduce matching element ranges;
+// a ragged rank simply owns several shards and runs their cross collectives
+// back to back (the groups are channel-disjoint, so they cannot interfere).
+// The overloads taking a Topology derive the grouping from modeled link
+// speed — `Topology::group_size_by_link_speed` — instead of a caller-fixed
+// arity: grouping collapses to flat when the local fabric is no faster than
+// the network.
 //
 // Note on dot-product scope: the cross-node Adasum computes its dot products
 // within each shard (further split by any layer boundaries that intersect
@@ -18,6 +34,7 @@
 
 #include <span>
 
+#include "comm/topology.h"
 #include "comm/world.h"
 #include "tensor/fusion.h"
 #include "tensor/tensor.h"
@@ -25,13 +42,16 @@
 namespace adasum {
 
 // In-place hierarchical allreduce. `ranks_per_node` consecutive ranks form a
-// node; world size must be a multiple of it and the node count a power of
-// two. When `use_adasum` is false the cross-node phase is a plain sum-RVH
-// (the baseline hierarchical allreduce of §5.1.1); the local phase averages
-// either way only when `use_adasum` is true (sum mode matches plain sum).
-// `compression` applies to the CROSS-NODE phase only — that is the slow
-// inter-node wire the codec exists for; the intra-node reduce-scatter and
-// allgather model fast local links and stay exact (DESIGN.md §13).
+// node; any world size works (the last node may be ragged and the node count
+// need not be a power of two — see the header comment). When `use_adasum` is
+// false the cross-node phase is a plain sum-RVH (the baseline hierarchical
+// allreduce of §5.1.1); the local phase averages either way only when
+// `use_adasum` is true (sum mode matches plain sum). `compression` applies
+// to the CROSS-NODE phase only — that is the slow inter-node wire the codec
+// exists for; the intra-node reduce-scatter and allgather model fast local
+// links and stay exact (DESIGN.md §13). The non-power-of-two fold transfers
+// also stay exact: they are one hop each way and carry a payload the codec
+// would requantize twice for no wire saved on the critical path.
 void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
                             DType dtype, int ranks_per_node, bool use_adasum,
                             std::span<const TensorSlice> slices = {},
@@ -40,6 +60,23 @@ void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
 
 void hierarchical_allreduce(Comm& comm, Tensor& tensor, int ranks_per_node,
                             bool use_adasum,
+                            std::span<const TensorSlice> slices = {},
+                            int tag_base = 0,
+                            const CompressionOptions& compression = {});
+
+// Topology-aware overloads: the grouping arity comes from the modeled link
+// speeds (Topology::group_size_by_link_speed) instead of the caller — flat
+// when intra is no faster than inter, gpus_per_node otherwise. Identical to
+// calling the explicit-arity form with that derived value (tests pin this).
+void hierarchical_allreduce(Comm& comm, std::byte* data, std::size_t count,
+                            DType dtype, const Topology& topology,
+                            bool use_adasum,
+                            std::span<const TensorSlice> slices = {},
+                            int tag_base = 0,
+                            const CompressionOptions& compression = {});
+
+void hierarchical_allreduce(Comm& comm, Tensor& tensor,
+                            const Topology& topology, bool use_adasum,
                             std::span<const TensorSlice> slices = {},
                             int tag_base = 0,
                             const CompressionOptions& compression = {});

@@ -1,0 +1,205 @@
+#include "collectives/hierarchical_reference.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "base/check.h"
+#include "collectives/adasum_rvh_reference.h"
+#include "collectives/sum_allreduce.h"
+#include "core/adasum.h"
+#include "tensor/kernels.h"
+
+namespace adasum {
+namespace {
+
+// Shard-grid helpers, spelled independently of hierarchical.cpp so the two
+// files cannot share a bug by construction (same closed forms, though — the
+// grid is part of the wire contract, not an implementation detail).
+int first_shard_of_chunk(int S, int s, int c) { return S * c / s; }
+int chunk_of_shard(int S, int s, int k) { return (s * (k + 1) - 1) / S; }
+int local_owner_of_shard(int S, int s, int k) {
+  return (chunk_of_shard(S, s, k) - 1 + s) % s;
+}
+
+void send_copy(Comm& comm, int dst, const std::byte* p, std::size_t n,
+               int tag) {
+  comm.send_bytes_owned(dst, std::vector<std::byte>(p, p + n), tag);
+}
+
+}  // namespace
+
+void hierarchical_allreduce_reference(Comm& comm, std::byte* data,
+                                      std::size_t count, DType dtype,
+                                      int ranks_per_node, bool use_adasum,
+                                      std::span<const TensorSlice> slices,
+                                      int tag_base) {
+  const int world = comm.size();
+  ADASUM_CHECK_GE(ranks_per_node, 1);
+  if (world == 1 || count == 0) return;
+  const int S = std::min(ranks_per_node, world);
+  const int num_nodes = (world + S - 1) / S;
+  const int rank = comm.rank();
+  const int node = rank / S;
+  const int local = rank % S;
+  const int node_base = node * S;
+  const int s = std::min(S, world - node_base);
+  const std::size_t elem = dtype_size(dtype);
+
+  // Private working copy of the payload; the caller's buffer is written once
+  // at the end.
+  std::vector<std::byte> buf(data, data + count * elem);
+
+  // Shard-aligned chunk bounds for this node's local ring phases.
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(s) + 1);
+  for (int c = 0; c <= s; ++c)
+    bounds[static_cast<std::size_t>(c)] =
+        count * static_cast<std::size_t>(first_shard_of_chunk(S, s, c)) /
+        static_cast<std::size_t>(S);
+  const auto chunk_begin = [&](int c) {
+    return bounds[static_cast<std::size_t>(c)];
+  };
+  const auto chunk_size = [&](int c) {
+    return bounds[static_cast<std::size_t>(c) + 1] -
+           bounds[static_cast<std::size_t>(c)];
+  };
+
+  // ---- Phase 1: local ring reduce-scatter (copy-staged) ------------------
+  if (s > 1) {
+    const int next = node_base + (local + 1) % s;
+    const int prev = node_base + (local - 1 + s) % s;
+    for (int st = 0; st < s - 1; ++st) {
+      const int send_chunk = (local - st + s) % s;
+      const int recv_chunk = (local - st - 1 + s) % s;
+      send_copy(comm, next, buf.data() + chunk_begin(send_chunk) * elem,
+                chunk_size(send_chunk) * elem, tag_base + st);
+      const std::vector<std::byte> in =
+          comm.recv_bytes(prev, tag_base + st);
+      ADASUM_CHECK_EQ(in.size(), chunk_size(recv_chunk) * elem);
+      kernels::add_bytes(in.data(), buf.data() + chunk_begin(recv_chunk) * elem,
+                         chunk_size(recv_chunk), dtype);
+    }
+  }
+
+  const int owned_chunk = s > 1 ? (local + 1) % s : 0;
+  const std::size_t cb = chunk_begin(owned_chunk);
+  const std::size_t csize = chunk_size(owned_chunk);
+
+  if (use_adasum && s > 1 && csize > 0)
+    kernels::scale_bytes(1.0 / s, buf.data() + cb * elem, csize, dtype);
+
+  // ---- Phase 2: cross-node reduction per owned shard ---------------------
+  if (num_nodes > 1) {
+    const int k_begin = first_shard_of_chunk(S, s, owned_chunk);
+    const int k_end = first_shard_of_chunk(S, s, owned_chunk + 1);
+    for (int k = k_begin; k < k_end; ++k) {
+      const std::size_t sb =
+          count * static_cast<std::size_t>(k) / static_cast<std::size_t>(S);
+      const std::size_t se = count * static_cast<std::size_t>(k + 1) /
+                             static_cast<std::size_t>(S);
+      if (se <= sb) continue;
+      const std::size_t n = se - sb;
+      std::byte* shard = buf.data() + sb * elem;
+      std::vector<int> group;
+      for (int nn = 0; nn < num_nodes; ++nn) {
+        const int sn = std::min(S, world - nn * S);
+        group.push_back(nn * S + local_owner_of_shard(S, sn, k));
+      }
+      const int G = static_cast<int>(group.size());
+      const int m =
+          static_cast<int>(std::bit_floor(static_cast<unsigned>(G)));
+      const int extras = G - m;
+      int idx = -1;
+      for (int i = 0; i < G; ++i)
+        if (group[static_cast<std::size_t>(i)] == rank) idx = i;
+      ADASUM_CHECK_GE(idx, 0);
+      const int tag = tag_base + (use_adasum ? 1000 : 2000);
+
+      // Rebase the layer table onto the shard.
+      const TensorSlice whole{"all", 0, count};
+      const std::span<const TensorSlice> layers =
+          slices.empty() ? std::span<const TensorSlice>{&whole, 1} : slices;
+      std::vector<TensorSlice> rebased;
+      for (const TensorSlice& sl : layers) {
+        const std::size_t lo = std::max(sl.offset, sb);
+        const std::size_t hi = std::min(sl.offset + sl.count, se);
+        if (hi > lo) rebased.push_back(TensorSlice{sl.name, lo - sb, hi - lo});
+      }
+
+      if (extras > 0 && idx >= m) {
+        // Extra node: fold into the core partner, wait for the result.
+        const int core_peer = group[static_cast<std::size_t>(idx - m)];
+        send_copy(comm, core_peer, shard, n * elem, tag + 800);
+        const std::vector<std::byte> back =
+            comm.recv_bytes(core_peer, tag + 801);
+        ADASUM_CHECK_EQ(back.size(), n * elem);
+        std::memcpy(shard, back.data(), back.size());
+        continue;
+      }
+      const bool folds = extras > 0 && idx < extras;
+      if (folds) {
+        const int extra_peer = group[static_cast<std::size_t>(m + idx)];
+        const std::vector<std::byte> theirs =
+            comm.recv_bytes(extra_peer, tag + 800);
+        ADASUM_CHECK_EQ(theirs.size(), n * elem);
+        if (use_adasum) {
+          for (const TensorSlice& sl : rebased) {
+            const std::size_t off = sl.offset * elem;
+            const kernels::DotTriple t = kernels::dot_triple_bytes(
+                shard + off, theirs.data() + off, sl.count, dtype);
+            const AdasumFactors f = adasum_factors(t);
+            kernels::scaled_sum_bytes(shard + off, f.ca, theirs.data() + off,
+                                      f.cb, shard + off, sl.count, dtype);
+          }
+        } else {
+          kernels::add_bytes(theirs.data(), shard, n, dtype);
+        }
+      }
+      if (m > 1) {
+        const std::span<const int> core(group.data(),
+                                        static_cast<std::size_t>(m));
+        if (use_adasum) {
+          adasum_rvh_allreduce_reference(comm, shard, n, dtype, rebased, tag,
+                                         core);
+        } else {
+          rvh_allreduce_sum(comm, shard, n, dtype, tag, core);
+        }
+      }
+      if (folds) {
+        const int extra_peer = group[static_cast<std::size_t>(m + idx)];
+        send_copy(comm, extra_peer, shard, n * elem, tag + 801);
+      }
+    }
+  }
+
+  // ---- Phase 3: local ring allgather (copy-staged) -----------------------
+  if (s > 1) {
+    const int next = node_base + (local + 1) % s;
+    const int prev = node_base + (local - 1 + s) % s;
+    for (int st = 0; st < s - 1; ++st) {
+      const int send_chunk = (local + 1 - st + s) % s;
+      const int recv_chunk = (local - st + s) % s;
+      send_copy(comm, next, buf.data() + chunk_begin(send_chunk) * elem,
+                chunk_size(send_chunk) * elem, tag_base + 3000 + st);
+      const std::vector<std::byte> in =
+          comm.recv_bytes(prev, tag_base + 3000 + st);
+      ADASUM_CHECK_EQ(in.size(), chunk_size(recv_chunk) * elem);
+      std::memcpy(buf.data() + chunk_begin(recv_chunk) * elem, in.data(),
+                  in.size());
+    }
+  }
+
+  std::memcpy(data, buf.data(), buf.size());
+}
+
+void hierarchical_allreduce_reference(Comm& comm, Tensor& tensor,
+                                      int ranks_per_node, bool use_adasum,
+                                      std::span<const TensorSlice> slices,
+                                      int tag_base) {
+  hierarchical_allreduce_reference(comm, tensor.data(), tensor.size(),
+                                   tensor.dtype(), ranks_per_node, use_adasum,
+                                   slices, tag_base);
+}
+
+}  // namespace adasum

@@ -1,0 +1,38 @@
+// Copy-based hierarchical allreduce reference — the scale-out oracle.
+//
+// Same role as adasum_rvh_reference.h, one level up: a deliberately naive
+// spelling of the three-phase hierarchical schedule (local ring
+// reduce-scatter, per-shard cross-node reduction with the non-power-of-two
+// fold, local ring allgather) that stages every message through freshly
+// allocated vectors and works on a private copy of the payload. The
+// production path in hierarchical.h must produce BYTE-IDENTICAL results to
+// this one across world sizes, node arities (including ragged last nodes
+// and non-power-of-two node counts), dtypes and layer tables — the
+// scaleout_test property sweep pins that at up to 512 ranks.
+//
+// The cross-node Adasum recursion delegates to
+// adasum_rvh_allreduce_reference (itself pinned bit-identical to the
+// production RVH); the sum-mode cross phase reuses the production
+// rvh_allreduce_sum, which has its own independent oracle tests.
+#pragma once
+
+#include <span>
+
+#include "comm/world.h"
+#include "tensor/fusion.h"
+#include "tensor/tensor.h"
+
+namespace adasum {
+
+void hierarchical_allreduce_reference(Comm& comm, std::byte* data,
+                                      std::size_t count, DType dtype,
+                                      int ranks_per_node, bool use_adasum,
+                                      std::span<const TensorSlice> slices = {},
+                                      int tag_base = 0);
+
+void hierarchical_allreduce_reference(Comm& comm, Tensor& tensor,
+                                      int ranks_per_node, bool use_adasum,
+                                      std::span<const TensorSlice> slices = {},
+                                      int tag_base = 0);
+
+}  // namespace adasum

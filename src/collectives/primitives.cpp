@@ -1,5 +1,6 @@
 #include "collectives/primitives.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "analysis/analyzer.h"
@@ -23,6 +24,98 @@ int index_in_group(std::span<const int> group, int rank) {
   for (std::size_t i = 0; i < group.size(); ++i)
     if (group[i] == rank) return static_cast<int>(i);
   return -1;
+}
+
+// Shared ring bodies, parameterized on the chunk table so the default
+// (chunk_range) and explicit-bounds entry points run one schedule. ChunkFn:
+// int chunk index -> ChunkRange.
+template <typename ChunkFn>
+void ring_reduce_scatter_sum_impl(Comm& comm, std::byte* data, DType dtype,
+                                  std::span<const int> group, int tag_base,
+                                  const ChunkFn& chunk_of) {
+  const int p = static_cast<int>(group.size());
+  ADASUM_CHECK_GT(p, 0);
+  const int me = index_in_group(group, comm.rank());
+  ADASUM_CHECK_MSG(me >= 0, "calling rank must be in the group");
+  if (p == 1) return;
+  const std::size_t elem = dtype_size(dtype);
+  const int next = group[static_cast<std::size_t>((me + 1) % p)];
+  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  // A ring sender only stalls when the dependency chain wraps back through
+  // its successor — up to p-1 sends can queue on this channel first.
+  comm.reserve_channel_depth(next, static_cast<std::size_t>(p) + 2);
+#if ADASUM_ANALYZE
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(),
+                             "ring_reduce_scatter_sum");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    for (int s = 0; s < p - 1; ++s) {
+      ex.send(next, tag_base + s);
+      ex.recv(prev, tag_base + s);
+    }
+  }
+#endif
+  // Incoming chunks stage in one pooled buffer sized for the largest chunk.
+  std::size_t max_chunk = 0;
+  for (int c = 0; c < p; ++c)
+    max_chunk = std::max(max_chunk, chunk_of(c).size());
+  PooledBuffer scratch(comm.pool(), max_chunk * elem);
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (me - s + p) % p;
+    const int recv_chunk = (me - s - 1 + p) % p;
+    const ChunkRange sc = chunk_of(send_chunk);
+    comm.send_bytes(next, {data + sc.begin * elem, sc.size() * elem},
+                    tag_base + s);
+    const ChunkRange rc = chunk_of(recv_chunk);
+    comm.recv_bytes_into(prev, scratch.bytes(rc.size() * elem), tag_base + s);
+    kernels::add_bytes(scratch.data(), data + rc.begin * elem, rc.size(),
+                       dtype);
+  }
+}
+
+template <typename ChunkFn>
+void ring_allgather_impl(Comm& comm, std::byte* data, DType dtype,
+                         std::span<const int> group, int tag_base,
+                         const ChunkFn& chunk_of) {
+  const int p = static_cast<int>(group.size());
+  ADASUM_CHECK_GT(p, 0);
+  const int me = index_in_group(group, comm.rank());
+  ADASUM_CHECK_MSG(me >= 0, "calling rank must be in the group");
+  if (p == 1) return;
+  const std::size_t elem = dtype_size(dtype);
+  const int next = group[static_cast<std::size_t>((me + 1) % p)];
+  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  comm.reserve_channel_depth(next, static_cast<std::size_t>(p) + 2);
+#if ADASUM_ANALYZE
+  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(), "ring_allgather");
+  if (epoch.declaring()) {
+    analysis::EpochExpectation& ex = epoch.expect();
+    for (int s = 0; s < p - 1; ++s) {
+      ex.send(next, tag_base + s);
+      ex.recv(prev, tag_base + s);
+    }
+  }
+#endif
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (me + 1 - s + p) % p;
+    const int recv_chunk = (me - s + p) % p;
+    const ChunkRange sc = chunk_of(send_chunk);
+    comm.send_bytes(next, {data + sc.begin * elem, sc.size() * elem},
+                    tag_base + s);
+    const ChunkRange rc = chunk_of(recv_chunk);
+    // Deposit straight into the chunk's final position — no staging copy.
+    comm.recv_bytes_into(prev, {data + rc.begin * elem, rc.size() * elem},
+                         tag_base + s);
+  }
+}
+
+void check_bounds(std::span<const std::size_t> bounds,
+                  std::span<const int> group, std::size_t count) {
+  ADASUM_CHECK_EQ(bounds.size(), group.size() + 1);
+  ADASUM_CHECK_EQ(bounds.front(), 0u);
+  ADASUM_CHECK_EQ(bounds.back(), count);
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i)
+    ADASUM_CHECK_LE(bounds[i], bounds[i + 1]);
 }
 
 }  // namespace
@@ -78,73 +171,44 @@ void broadcast(Comm& comm, std::byte* data, std::size_t bytes,
 void ring_reduce_scatter_sum(Comm& comm, std::byte* data, std::size_t count,
                              DType dtype, std::span<const int> group,
                              int tag_base) {
+  if (count == 0) return;
   const int p = static_cast<int>(group.size());
-  ADASUM_CHECK_GT(p, 0);
-  const int me = index_in_group(group, comm.rank());
-  ADASUM_CHECK_MSG(me >= 0, "calling rank must be in the group");
-  if (p == 1 || count == 0) return;
-  const std::size_t elem = dtype_size(dtype);
-  const int next = group[static_cast<std::size_t>((me + 1) % p)];
-  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
-#if ADASUM_ANALYZE
-  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(),
-                             "ring_reduce_scatter_sum");
-  if (epoch.declaring()) {
-    analysis::EpochExpectation& ex = epoch.expect();
-    for (int s = 0; s < p - 1; ++s) {
-      ex.send(next, tag_base + s);
-      ex.recv(prev, tag_base + s);
-    }
-  }
-#endif
-  // Incoming chunks stage in one pooled buffer sized for the largest chunk.
-  const std::size_t max_chunk =
-      (count + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
-  PooledBuffer scratch(comm.pool(), max_chunk * elem);
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_chunk = (me - s + p) % p;
-    const int recv_chunk = (me - s - 1 + p) % p;
-    const ChunkRange sc = chunk_range(count, p, send_chunk);
-    comm.send_bytes(next, {data + sc.begin * elem, sc.size() * elem},
-                    tag_base + s);
-    const ChunkRange rc = chunk_range(count, p, recv_chunk);
-    comm.recv_bytes_into(prev, scratch.bytes(rc.size() * elem), tag_base + s);
-    kernels::add_bytes(scratch.data(), data + rc.begin * elem, rc.size(),
-                       dtype);
-  }
+  ring_reduce_scatter_sum_impl(
+      comm, data, dtype, group, tag_base,
+      [count, p](int c) { return chunk_range(count, p, c); });
 }
 
 void ring_allgather(Comm& comm, std::byte* data, std::size_t count,
                     DType dtype, std::span<const int> group, int tag_base) {
+  if (count == 0) return;
   const int p = static_cast<int>(group.size());
-  ADASUM_CHECK_GT(p, 0);
-  const int me = index_in_group(group, comm.rank());
-  ADASUM_CHECK_MSG(me >= 0, "calling rank must be in the group");
-  if (p == 1 || count == 0) return;
-  const std::size_t elem = dtype_size(dtype);
-  const int next = group[static_cast<std::size_t>((me + 1) % p)];
-  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
-#if ADASUM_ANALYZE
-  analysis::EpochGuard epoch(comm.analyzer(), comm.rank(), "ring_allgather");
-  if (epoch.declaring()) {
-    analysis::EpochExpectation& ex = epoch.expect();
-    for (int s = 0; s < p - 1; ++s) {
-      ex.send(next, tag_base + s);
-      ex.recv(prev, tag_base + s);
-    }
-  }
-#endif
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_chunk = (me + 1 - s + p) % p;
-    const int recv_chunk = (me - s + p) % p;
-    const ChunkRange sc = chunk_range(count, p, send_chunk);
-    comm.send_bytes(next, {data + sc.begin * elem, sc.size() * elem},
-                    tag_base + s);
-    const ChunkRange rc = chunk_range(count, p, recv_chunk);
-    // Deposit straight into the chunk's final position — no staging copy.
-    comm.recv_bytes_into(prev, {data + rc.begin * elem, rc.size() * elem},
-                         tag_base + s);
-  }
+  ring_allgather_impl(comm, data, dtype, group, tag_base, [count, p](int c) {
+    return chunk_range(count, p, c);
+  });
+}
+
+void ring_reduce_scatter_sum(Comm& comm, std::byte* data, std::size_t count,
+                             DType dtype, std::span<const int> group,
+                             std::span<const std::size_t> bounds,
+                             int tag_base) {
+  check_bounds(bounds, group, count);
+  if (count == 0) return;
+  ring_reduce_scatter_sum_impl(
+      comm, data, dtype, group, tag_base, [bounds](int c) {
+        return ChunkRange{bounds[static_cast<std::size_t>(c)],
+                          bounds[static_cast<std::size_t>(c) + 1]};
+      });
+}
+
+void ring_allgather(Comm& comm, std::byte* data, std::size_t count,
+                    DType dtype, std::span<const int> group,
+                    std::span<const std::size_t> bounds, int tag_base) {
+  check_bounds(bounds, group, count);
+  if (count == 0) return;
+  ring_allgather_impl(comm, data, dtype, group, tag_base, [bounds](int c) {
+    return ChunkRange{bounds[static_cast<std::size_t>(c)],
+                      bounds[static_cast<std::size_t>(c) + 1]};
+  });
 }
 
 void broadcast(Comm& comm, Tensor& tensor, std::span<const int> group,

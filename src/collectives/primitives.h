@@ -49,6 +49,21 @@ void ring_allgather(Comm& comm, std::byte* data, std::size_t count,
                     DType dtype, std::span<const int> group,
                     int tag_base = 0);
 
+// Explicit chunk-boundary variants: `bounds` is an ascending offset table of
+// group.size()+1 element offsets (bounds.front() == 0, bounds.back() ==
+// count); chunk c covers [bounds[c], bounds[c+1]). The functions above are
+// the bounds == chunk_range(count, p, ·) special case and run the identical
+// schedule. The topology-aware hierarchical allreduce (hierarchical.h) uses
+// these to keep a RAGGED last node's local phase aligned to the world-wide
+// shard grid, so its cross-node groups reduce matching element ranges.
+void ring_reduce_scatter_sum(Comm& comm, std::byte* data, std::size_t count,
+                             DType dtype, std::span<const int> group,
+                             std::span<const std::size_t> bounds,
+                             int tag_base = 0);
+void ring_allgather(Comm& comm, std::byte* data, std::size_t count,
+                    DType dtype, std::span<const int> group,
+                    std::span<const std::size_t> bounds, int tag_base = 0);
+
 // Tensor conveniences.
 void broadcast(Comm& comm, Tensor& tensor, std::span<const int> group,
                int root_index, int tag_base = 0);

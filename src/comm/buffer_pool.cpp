@@ -48,7 +48,7 @@ void BufferPool::release(std::vector<std::byte> buffer) {
   if (buffer.capacity() == 0) return;  // nothing worth pooling
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.releases;
-  if (free_.size() >= kMaxFreeBuffers) {
+  if (free_.size() >= max_free_) {
     const auto smallest = std::min_element(
         free_.begin(), free_.end(), [](const auto& a, const auto& b) {
           return a.capacity() < b.capacity();
@@ -86,6 +86,24 @@ void BufferPool::trim() {
   std::lock_guard<std::mutex> lock(mutex_);
   free_.clear();
   free_.shrink_to_fit();
+}
+
+void BufferPool::set_max_free_buffers(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_free_ = cap;
+  while (free_.size() > max_free_) {
+    const auto smallest = std::min_element(
+        free_.begin(), free_.end(), [](const auto& a, const auto& b) {
+          return a.capacity() < b.capacity();
+        });
+    *smallest = std::move(free_.back());
+    free_.pop_back();
+  }
+}
+
+std::size_t BufferPool::max_free_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_free_;
 }
 
 }  // namespace adasum

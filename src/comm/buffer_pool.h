@@ -52,12 +52,18 @@ class BufferPool {
   // Drops every pooled buffer (stats are kept). Mainly for tests.
   void trim();
 
- private:
-  // Generous: a p-rank collective keeps O(p log p) buffers in flight.
-  static constexpr std::size_t kMaxFreeBuffers = 256;
+  // Free-list capacity. The default suits small worlds; a p-rank collective
+  // retires O(p) payload and scratch buffers per round, so a World sizes its
+  // pool to its rank count at construction — a cap below the round's retire
+  // count would shed buffers every round and re-allocate them the next,
+  // making large-p steady state impossible to keep allocation-free.
+  void set_max_free_buffers(std::size_t cap);
+  std::size_t max_free_buffers() const;
 
+ private:
   mutable std::mutex mutex_;
   std::vector<std::vector<std::byte>> free_;
+  std::size_t max_free_ = 256;
   Stats stats_;
 };
 

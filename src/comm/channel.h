@@ -250,6 +250,16 @@ class Mailbox {
     return queue_.size();
   }
 
+  // Grows the queue's reserved depth (never shrinks). Ring schedules let a
+  // sender run up to group-size steps ahead of a descheduled receiver, past
+  // the default reservation; collectives that know their run-ahead bound
+  // call this so whether a channel grows mid-measurement is not an
+  // interleaving accident (see the zero-allocation gates).
+  void reserve_depth(std::size_t depth) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (depth > queue_.capacity()) queue_.reserve(depth);
+  }
+
   // Empties the queue (and the reorder hold slot), returning every payload
   // to `pool` so an aborted or degraded run cannot bleed buffers out of the
   // steady-state recycling set. Returns the number of messages discarded.

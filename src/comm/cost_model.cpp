@@ -9,10 +9,17 @@
 namespace adasum {
 namespace {
 
-int log2_exact(int p) {
-  ADASUM_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(p)),
-                   "cost model requires power-of-two rank counts");
-  return std::countr_zero(static_cast<unsigned>(p));
+// Levels of the power-of-two RVH core. Non-power-of-two rank counts run the
+// standard fold: the G - bit_floor(G) extra ranks pre-combine pairwise into
+// the core before the recursion and receive the result after it (the
+// schedule hierarchical.cpp's cross phase executes); the fold's own transfers
+// are priced by the callers below.
+int core_levels(int p) {
+  return std::countr_zero(std::bit_floor(static_cast<unsigned>(p)));
+}
+
+int fold_extras(int p) {
+  return p - static_cast<int>(std::bit_floor(static_cast<unsigned>(p)));
 }
 
 }  // namespace
@@ -78,8 +85,17 @@ double CostModel::nccl_allreduce_sum(double bytes) const {
 double CostModel::rvh_allreduce_sum(double bytes) const {
   const int p = topology_.total_gpus();
   if (p == 1) return 0.0;
-  const int levels = log2_exact(p);
+  const int levels = core_levels(p);
   double total = 0.0;
+  // Non-power-of-two fold: the extra ranks ship their full payload to a core
+  // partner (which sums it) before the recursion and get the result back
+  // after — two exact full-size transfers plus one sum pass, all paid before
+  // any halving shrinks the segment. The fold partner sits bit_floor(p)
+  // ranks away. Power-of-two p pays nothing here.
+  if (fold_extras(p) > 0) {
+    const LinkParams& link = link_for_distance(1 << levels);
+    total += 2.0 * link.transfer_time(bytes) + bytes / compute_.sum_Bps;
+  }
   double segment = bytes;
   for (int k = 0; k < levels; ++k) {
     const LinkParams& link = link_for_distance(1 << k);
@@ -115,9 +131,16 @@ double CostModel::rvh_allreduce_adasum(double bytes, int num_layers) const {
   const int p = topology_.total_gpus();
   if (p == 1) return 0.0;
   ADASUM_CHECK_GE(num_layers, 1);
-  const int levels = log2_exact(p);
+  const int levels = core_levels(p);
   const double triple_bytes = 3.0 * 8.0 * num_layers;  // 3 doubles per layer
   double total = 0.0;
+  // Non-power-of-two fold (see rvh_allreduce_sum): the pairwise pre-combine
+  // is a local Adasum — dot-triple pass plus scaled sum, no triple allreduce.
+  if (fold_extras(p) > 0) {
+    const LinkParams& link = link_for_distance(1 << levels);
+    total += 2.0 * link.transfer_time(bytes) + bytes / compute_.dot_Bps +
+             bytes / compute_.combine_Bps;
+  }
   double segment = bytes;
   for (int k = 0; k < levels; ++k) {
     const LinkParams& link = link_for_distance(1 << k);
@@ -140,9 +163,15 @@ double CostModel::rvh_allreduce_adasum_pipelined(double bytes,
   const int p = topology_.total_gpus();
   if (p == 1) return 0.0;
   ADASUM_CHECK_GE(num_layers, 1);
-  const int levels = log2_exact(p);
+  const int levels = core_levels(p);
   const double triple_bytes = 3.0 * 8.0 * num_layers;
   double total = 0.0;
+  // Non-power-of-two fold, chunk-streamed like every other bulk transfer.
+  if (fold_extras(p) > 0) {
+    const LinkParams& link = link_for_distance(1 << levels);
+    total += 2.0 * chunked_transfer_time(link, bytes) +
+             bytes / compute_.dot_Bps + bytes / compute_.combine_Bps;
+  }
   double segment = bytes;
   for (int k = 0; k < levels; ++k) {
     const LinkParams& link = link_for_distance(1 << k);

@@ -71,6 +71,10 @@ class CostModel {
   double nccl_allreduce_sum(double bytes) const;
 
   // Recursive-vector-halving (reduce-scatter + allgather) sum-allreduce.
+  // Non-power-of-two rank counts are priced as the power-of-two core plus
+  // the pairwise fold the implementation runs (hierarchical.cpp cross
+  // phase): extras ship their payload in, the core recurses, results ship
+  // back. The rvh_/*adasum*/ predictions below fold the same way.
   double rvh_allreduce_sum(double bytes) const;
 
   // Paper Algorithm 1: RVH data movement + per-level dot-product triple

@@ -25,6 +25,19 @@ FaultInjector::FaultInjector(int world_size, const FaultSpec& spec)
 FaultInjector::Action FaultInjector::on_send(int src, int dst,
                                              std::span<std::byte> payload) {
   Channel& ch = channels_[static_cast<std::size_t>(src) * size_ + dst];
+  // Topology wire-delay model: a fixed per-message service time by link
+  // class (intra- vs inter-node under node-major placement). Deterministic —
+  // no RNG draw — so it composes with the probabilistic faults below without
+  // shifting their channel streams.
+  if (spec_.wire_ranks_per_node > 0) {
+    const bool same_node = src / spec_.wire_ranks_per_node ==
+                           dst / spec_.wire_ranks_per_node;
+    const int us = same_node ? spec_.wire_intra_us : spec_.wire_inter_us;
+    if (us > 0) {
+      ++ch.stats.delayed;
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
   // Fixed draw order — delay, corrupt, then the delivery action — so every
   // fault type consumes its slot of the channel stream deterministically.
   if (spec_.delay_prob > 0 && ch.rng.uniform() < spec_.delay_prob) {

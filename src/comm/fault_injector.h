@@ -43,6 +43,20 @@ struct FaultSpec {
 
   int delay_max_us = 200;  // upper bound of an injected delay
 
+  // Topology wire-delay model (DESIGN.md §14): when wire_ranks_per_node > 0
+  // every message additionally pays a FIXED sender-side service time chosen
+  // by the link class of its channel under node-major placement —
+  // wire_intra_us when src and dst share a node, wire_inter_us across nodes.
+  // This is the 2-tier generalization of the uniform delay bench_pipeline
+  // injects: it makes measured step times topology-shaped (a flat collective
+  // crosses the slow tier more often than a hierarchical one), which is what
+  // the autotuner's measured-vs-predicted validation runs against. The
+  // delays are deterministic and draw nothing from the channel RNG streams,
+  // so enabling them never shifts the probabilistic fault sequences above.
+  int wire_ranks_per_node = 0;  // 0 disables the wire-delay model
+  int wire_intra_us = 0;
+  int wire_inter_us = 0;
+
   // Kill fault: `kill_rank` unwinds with RankKilled on its
   // (kill_after_ops + 1)-th comm operation. -1 disables.
   int kill_rank = -1;

@@ -1,0 +1,69 @@
+#include "comm/topology.h"
+
+#include <cstdlib>
+
+namespace adasum {
+namespace {
+
+// Parses a positive int out of `s`; nullopt on garbage, overflow or <= 0.
+std::optional<int> parse_positive_int(std::string_view s) {
+  if (s.empty() || s.size() > 9) return std::nullopt;
+  int value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  if (value <= 0) return std::nullopt;
+  return value;
+}
+
+std::optional<LinkParams> link_by_name(std::string_view name) {
+  if (name == "nvlink") return links::nvlink();
+  if (name == "pcie3") return links::pcie3();
+  if (name == "ib100") return links::infiniband100();
+  if (name == "tcp40") return links::tcp40();
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Topology> Topology::parse(std::string_view spec) {
+  if (spec.empty()) return std::nullopt;
+  // Named presets first.
+  if (spec == "azure_fig4") return azure_fig4();
+  if (spec == "tcp_cluster") return tcp_cluster();
+  if (spec.substr(0, 5) == "dgx2:") {
+    const std::optional<int> nodes = parse_positive_int(spec.substr(5));
+    if (!nodes) return std::nullopt;
+    return dgx2(*nodes);
+  }
+  // "<nodes>x<gpus>[:<intra>/<inter>]".
+  const std::size_t colon = spec.find(':');
+  const std::string_view shape = spec.substr(0, colon);
+  const std::size_t x = shape.find('x');
+  if (x == std::string_view::npos) return std::nullopt;
+  const std::optional<int> nodes = parse_positive_int(shape.substr(0, x));
+  const std::optional<int> gpus = parse_positive_int(shape.substr(x + 1));
+  if (!nodes || !gpus) return std::nullopt;
+  LinkParams intra = links::nvlink();
+  LinkParams inter = links::infiniband100();
+  if (colon != std::string_view::npos) {
+    const std::string_view pair = spec.substr(colon + 1);
+    const std::size_t slash = pair.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    const std::optional<LinkParams> in = link_by_name(pair.substr(0, slash));
+    const std::optional<LinkParams> out = link_by_name(pair.substr(slash + 1));
+    if (!in || !out) return std::nullopt;
+    intra = *in;
+    inter = *out;
+  }
+  return cluster(*nodes, *gpus, intra, inter);
+}
+
+std::optional<Topology> Topology::from_env() {
+  const char* env = std::getenv("ADASUM_TOPOLOGY");
+  if (env == nullptr) return std::nullopt;
+  return parse(env);
+}
+
+}  // namespace adasum

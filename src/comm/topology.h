@@ -6,7 +6,10 @@
 // fan-out at each level; the cost model prices collective schedules on it.
 #pragma once
 
+#include <algorithm>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "base/check.h"
 
@@ -46,6 +49,50 @@ struct Topology {
   LinkParams inter;  // node<->node
 
   int total_gpus() const { return num_nodes * gpus_per_node; }
+
+  // ---- node-major rank placement for a `world`-rank job -------------------
+  // Ranks fill nodes in order: rank r lives on node r / gpus_per_node. The
+  // job need not fill the topology — when world is not a multiple of
+  // gpus_per_node the LAST populated node is ragged (fewer ranks), which the
+  // topology-aware hierarchical allreduce supports directly.
+  int node_of(int rank) const { return rank / gpus_per_node; }
+  // Number of populated nodes for a `world`-rank job (last may be ragged).
+  int node_count(int world) const {
+    return (world + gpus_per_node - 1) / gpus_per_node;
+  }
+  // Ranks actually living on `node` in a `world`-rank job (0 past the end).
+  int node_size(int node, int world) const {
+    const int base = node * gpus_per_node;
+    if (base >= world) return 0;
+    return std::min(gpus_per_node, world - base);
+  }
+
+  // Group-by-link-speed decision for hierarchical Adasum: how many
+  // consecutive ranks should form one reduction group. The fast local fabric
+  // is worth a dedicated intra-node phase only when it actually beats the
+  // network at a representative transfer — otherwise (uniform fabrics,
+  // gpus_per_node == 1, or a world that fits one node's worth of ranks is
+  // still grouped — a single node degenerates to a pure local phase) the
+  // grouping collapses to 1 and the schedule is flat. This replaces the old
+  // fixed-arity convention where callers hardcoded ranks_per_node.
+  int group_size_by_link_speed(int world,
+                               double reference_bytes = 64.0 * 1024.0) const {
+    if (gpus_per_node <= 1 || world <= 1) return 1;
+    if (intra.transfer_time(reference_bytes) >=
+        inter.transfer_time(reference_bytes))
+      return 1;  // local link no faster than the network: flat grouping
+    return std::min(gpus_per_node, world);
+  }
+
+  // Parses a topology spec:
+  //   "azure_fig4" | "dgx2:<nodes>" | "tcp_cluster" — the named presets;
+  //   "<nodes>x<gpus>[:<intra>/<inter>]" with link names nvlink | pcie3 |
+  //   ib100 | tcp40 (default nvlink/ib100), e.g. "32x8:nvlink/ib100".
+  // Returns nullopt (never throws) on a malformed spec.
+  static std::optional<Topology> parse(std::string_view spec);
+  // Topology from the ADASUM_TOPOLOGY environment variable, parsed as above;
+  // nullopt when unset or malformed.
+  static std::optional<Topology> from_env();
 
   static Topology single_node(int gpus, LinkParams intra) {
     return Topology{1, gpus, std::move(intra), LinkParams{}};

@@ -37,6 +37,11 @@ World::World(int size) : size_(size) {
   for (int r = 0; r < size; ++r)
     dead_[r].store(false, std::memory_order_relaxed);
   alive_count_.store(size, std::memory_order_relaxed);
+  // Scale the buffer-pool free list with the world: one collective round at
+  // p ranks retires several payload/scratch buffers per rank, and a cap
+  // below that sheds (and next round re-allocates) buffers forever.
+  pool_.set_max_free_buffers(
+      std::max<std::size_t>(256, 16 * static_cast<std::size_t>(size)));
   // Chunked pipelining opts in from the environment (like the analyzer
   // below) so any existing binary can run the chunk-streaming collectives
   // without a code change.

@@ -347,6 +347,15 @@ class Comm {
 
   BufferPool& pool() { return world_->pool_; }
 
+  // Provisions the outgoing channel to `dst` for `depth` queued messages.
+  // Ring collectives call this with their run-ahead bound (a sender can run
+  // group-size steps ahead of a descheduled receiver) so the queue reaches
+  // its steady-state capacity deterministically instead of growing — and
+  // allocating — whenever the scheduler happens to starve a receiver.
+  void reserve_channel_depth(int dst, std::size_t depth) {
+    world_->mailbox(rank_, dst).reserve_depth(depth);
+  }
+
   // Protocol analyzer handle for collective epoch declarations
   // (analysis::EpochGuard); null whenever the analyzer is not observing.
   analysis::ProtocolAnalyzer* analyzer() { return world_->analyzer_.get(); }

@@ -1,6 +1,7 @@
 #include "optim/distributed_optimizer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "base/check.h"
@@ -14,11 +15,59 @@ DistributedOptimizer::DistributedOptimizer(Comm& comm,
                                            DistributedOptions options)
     : comm_(comm), inner_(std::move(inner)), options_(options) {
   ADASUM_CHECK_GE(options_.local_steps, 1);
+  if (autotune_enabled_from_env()) options_.autotune = true;
+}
+
+void DistributedOptimizer::resolve_autotune() {
+  tuned_resolved_ = true;
+  const auto& params = inner_->params();
+  AutotuneRequest req;
+  for (const nn::Parameter* p : params)
+    req.payload_bytes += static_cast<double>(p->value.nbytes());
+  req.num_layers =
+      options_.layerwise ? std::max<int>(1, static_cast<int>(params.size()))
+                         : 1;
+  req.adasum = options_.op == ReduceOp::kAdasum;
+  // The optimizer tunes the ALGORITHM for the world as configured: the
+  // pipeline chunk is World-level state it does not own and the fusion
+  // bucket is caller policy, so both enter as the single current value and
+  // the pick's chunk/bucket merely echo them (see TunedConfig docs).
+  const std::size_t chunk[1] = {comm_.pipeline().chunk_bytes_for(1)};
+  const std::size_t bucket[1] = {options_.bucket_bytes};
+  req.chunk_grid = chunk;
+  req.bucket_grid = bucket;
+  const Topology topo = Topology::from_env().value_or(Topology::cluster(
+      comm_.size(), 1, links::infiniband100(), links::infiniband100()));
+  tuned_ = autotune_allreduce(topo, req);
+  if (options_.algo != AllreduceAlgo::kAuto) return;  // explicit choice wins
+  switch (tuned_.algo) {
+    case TunedAlgo::kRing:
+      options_.algo = AllreduceAlgo::kRing;
+      options_.ranks_per_node = 1;
+      break;
+    case TunedAlgo::kRvh:
+      if (std::has_single_bit(static_cast<unsigned>(comm_.size()))) {
+        options_.algo = AllreduceAlgo::kRvh;
+        options_.ranks_per_node = 1;
+      } else {
+        // Flat RVH on a non-power-of-two world runs as the hierarchical
+        // path with single-rank nodes: identical schedule plus the fold,
+        // which plain kRvh cannot express.
+        options_.algo = AllreduceAlgo::kHierarchical;
+        options_.ranks_per_node = 1;
+      }
+      break;
+    case TunedAlgo::kHierarchical:
+      options_.algo = AllreduceAlgo::kHierarchical;
+      options_.ranks_per_node = std::min(tuned_.ranks_per_node, comm_.size());
+      break;
+  }
 }
 
 bool DistributedOptimizer::step(double lr) {
   const auto& params = inner_->params();
   ADASUM_CHECK(!params.empty());
+  if (options_.autotune && !tuned_resolved_) resolve_autotune();
 
   if (options_.op == ReduceOp::kSum || options_.op == ReduceOp::kAverage) {
     // Synchronous SGD: gradients accumulate across local steps; on the

@@ -27,6 +27,7 @@
 #include "collectives/allreduce.h"
 #include "collectives/comm_engine.h"
 #include "collectives/resilient.h"
+#include "comm/autotune.h"
 #include "comm/world.h"
 #include "optim/optimizer.h"
 #include "tensor/compress/compress.h"
@@ -79,6 +80,13 @@ struct DistributedOptions {
   // communication overlaps gradient/delta computation. Off: every reduction
   // happens inline on the calling thread (the seed behavior).
   bool background = false;
+  // Cost-model autotuning (DESIGN.md §14): at the first step(), price the
+  // model's payload on the ADASUM_TOPOLOGY topology (uniform single-rank
+  // nodes when unset) and resolve algo/ranks_per_node from the arg-min —
+  // only when algo is kAuto, so an explicit algorithm choice always wins.
+  // The ADASUM_AUTOTUNE env var (on/1/true) force-enables this flag at
+  // construction. The full pick is exposed via tuned() for tests/benches.
+  bool autotune = false;
 };
 
 class DistributedOptimizer {
@@ -110,6 +118,13 @@ class DistributedOptimizer {
   long degraded_rounds() const { return degraded_rounds_; }
   Optimizer& inner() { return *inner_; }
   const DynamicScaler& scaler() const { return scaler_; }
+  // The autotuner's pick, available after the first step() when
+  // options.autotune was set (nullptr otherwise). chunk_bytes in the pick is
+  // advisory — the pipeline chunk is World-level configuration the optimizer
+  // does not own; algo/ranks_per_node are what this layer applies.
+  const TunedConfig* tuned() const {
+    return tuned_resolved_ ? &tuned_ : nullptr;
+  }
 
  private:
   // One fusion bucket: a contiguous range of parameter indices reduced as a
@@ -157,6 +172,9 @@ class DistributedOptimizer {
   ReduceOutcome reduce_tensors(std::vector<Tensor*>& tensors, ReduceOp op);
   // Restores all parameters to the round-start snapshot (Adasum mode).
   void revert_to_round_start();
+  // First-step autotune resolution (options_.autotune): prices the payload
+  // on the env topology and rewrites options_.algo / ranks_per_node.
+  void resolve_autotune();
 
   Comm& comm_;
   std::unique_ptr<Optimizer> inner_;
@@ -170,6 +188,8 @@ class DistributedOptimizer {
   DynamicScaler scaler_;
   std::unique_ptr<ErrorFeedback> error_feedback_;  // int8 path only
   int tag_round_ = 0;
+  TunedConfig tuned_{};          // autotuner pick (valid when resolved)
+  bool tuned_resolved_ = false;
 
   // Bucketed/background state. The scratch vectors are members so warm
   // rounds allocate nothing — the bench gate counts steady-state

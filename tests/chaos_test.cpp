@@ -105,7 +105,11 @@ struct ScheduleRun {
   std::uint64_t corruptions = 0;
 };
 
-ScheduleRun run_schedule(const ChaosSchedule& s) {
+ScheduleRun run_schedule(const ChaosSchedule& s,
+                         std::chrono::milliseconds recv_deadline =
+                             std::chrono::milliseconds(250),
+                         std::chrono::seconds watchdog =
+                             std::chrono::seconds(20)) {
   ScheduleRun run;
   const int p = s.world_size;
   run.finished.assign(static_cast<std::size_t>(p), false);
@@ -122,7 +126,7 @@ ScheduleRun run_schedule(const ChaosSchedule& s) {
   // message (a spurious timeout would degrade a clean schedule and break
   // the bit-for-bit property); short enough that drop-profile recoveries
   // stay well inside the watchdog budget.
-  ft.recv_deadline = std::chrono::milliseconds(250);
+  ft.recv_deadline = recv_deadline;
   ft.max_recovery_attempts = 3;
   world.enable_fault_tolerance(ft);
   world.enable_checksums(true);
@@ -152,7 +156,7 @@ ScheduleRun run_schedule(const ChaosSchedule& s) {
             concat_bytes(tensors);
         run.finished[static_cast<std::size_t>(comm.rank())] = true;
       },
-      std::chrono::seconds(20));
+      watchdog);
   run.dead = world.dead_ranks();
   run.stats = injector->stats();
   run.corruptions = world.corruptions_detected();
@@ -375,6 +379,116 @@ TEST(Chaos, FullCorruptionIsDetectedAndRoundSkipped) {
     EXPECT_EQ(res[static_cast<std::size_t>(r)].attempts, 3);  // 1 + 2
     EXPECT_EQ(results[static_cast<std::size_t>(r)],
               concat_bytes(make_tensors(s, r)));
+  }
+}
+
+// ---- chaos at scale-out world sizes ----------------------------------------
+
+TEST(Chaos, SixtyFourRankCleanScheduleMatchesReferenceBitForBit) {
+  // The fault-tolerance machinery at a scale-out world size, fault-free:
+  // 64 ranks must complete at full strength and reproduce the copy-based
+  // reference exactly. Payloads stay small — the point is schedule width
+  // (six RVH levels, 64 enrolled voters), not bytes. The recv deadline is
+  // generous because 64 simulated ranks oversubscribe a CI box and a
+  // descheduled thread must not masquerade as a drop fault; a spurious
+  // recovery would still converge, but kOk-at-full-strength is the property
+  // under test.
+  ChaosSchedule s;
+  s.seed = 64641;
+  s.world_size = 64;
+  s.count = 96;
+  const ScheduleRun run = run_schedule(s, std::chrono::milliseconds(2000),
+                                       std::chrono::seconds(60));
+  ASSERT_FALSE(run.wr.watchdog_fired);
+  ASSERT_FALSE(static_cast<bool>(run.wr.error));
+  EXPECT_TRUE(run.dead.empty());
+  for (int r = 0; r < s.world_size; ++r)
+    ASSERT_TRUE(run.finished[static_cast<std::size_t>(r)]) << "rank " << r;
+  const std::vector<std::byte> want = reference_result(s);
+  for (int r = 0; r < s.world_size; ++r) {
+    const ResilientResult& rr = run.res[static_cast<std::size_t>(r)];
+    EXPECT_EQ(static_cast<int>(rr.outcome),
+              static_cast<int>(ReduceOutcome::kOk))
+        << "rank " << r;
+    EXPECT_EQ(rr.participants, s.world_size) << "rank " << r;
+    ASSERT_EQ(run.results[static_cast<std::size_t>(r)], want) << "rank " << r;
+  }
+}
+
+TEST(Chaos, SixtyFourRankKillDegradesToSurvivorAgreement) {
+  // Kill + degrade at scale: a mid-world rank dies a few operations into a
+  // 64-rank collective, with timing jitter layered on top to widen the
+  // interleaving space. The 63 survivors must land on one outcome and one
+  // payload, inside a hard watchdog — a membership protocol whose stalls
+  // compound with world size would blow the budget here long before it
+  // showed up at p=8.
+  const int p = 64;
+  ChaosSchedule s;
+  s.seed = 64642;
+  s.world_size = p;
+  s.count = 96;
+  s.profile = ChaosSchedule::Profile::kKill;
+  s.spec.seed = s.seed ^ 0x9E3779B97F4A7C15ull;
+  s.spec.kill_rank = 37;       // interior rank: both RVH subtrees see the hole
+  s.spec.kill_after_ops = 24;  // dies mid-collective, after real traffic
+  s.spec.delay_prob = 0.02;
+  s.spec.delay_max_us = 50;
+  const ScheduleRun run = run_schedule(s, std::chrono::milliseconds(250),
+                                       std::chrono::seconds(60));
+  ASSERT_FALSE(run.wr.watchdog_fired);
+  if (run.wr.error) {
+    try {
+      std::rethrow_exception(run.wr.error);
+    } catch (const std::exception& e) {
+      FAIL() << "world.run threw: " << e.what();
+    }
+  }
+  ASSERT_GT(run.stats.killed, 0u);
+  EXPECT_EQ(run.dead, std::vector<int>{37});
+
+  std::vector<int> survivors;
+  for (int r = 0; r < p; ++r) {
+    if (std::find(run.dead.begin(), run.dead.end(), r) != run.dead.end())
+      continue;
+    ASSERT_TRUE(run.finished[static_cast<std::size_t>(r)]) << "rank " << r;
+    survivors.push_back(r);
+  }
+  ASSERT_EQ(static_cast<int>(survivors.size()), p - 1);
+
+  // With rank 37 dead before the round completed, full strength is
+  // unreachable: every survivor must agree on degraded (or, if recoveries
+  // were exhausted, skipped-with-input-restored) — never a split verdict.
+  const ResilientResult& first =
+      run.res[static_cast<std::size_t>(survivors.front())];
+  EXPECT_NE(static_cast<int>(first.outcome),
+            static_cast<int>(ReduceOutcome::kOk));
+  for (int r : survivors) {
+    const ResilientResult& rr = run.res[static_cast<std::size_t>(r)];
+    ASSERT_EQ(static_cast<int>(rr.outcome), static_cast<int>(first.outcome))
+        << "rank " << r;
+    if (rr.outcome == ReduceOutcome::kSkipped) {
+      ASSERT_EQ(run.results[static_cast<std::size_t>(r)],
+                run.inputs[static_cast<std::size_t>(r)])
+          << "rank " << r;
+    } else {
+      ASSERT_EQ(run.results[static_cast<std::size_t>(r)],
+                run.results[static_cast<std::size_t>(survivors.front())])
+          << "rank " << r;
+    }
+  }
+
+  // When the common path fires — one clean degrade over the full survivor
+  // set — the result is deterministic: the §3.4 serial tree over the
+  // survivors' ORIGINAL inputs (snapshots restore them) in enrollment order.
+  if (first.outcome == ReduceOutcome::kDegraded &&
+      first.participants == p - 1) {
+    std::vector<Tensor> grads;
+    for (int r : survivors) grads.push_back(std::move(make_tensors(s, r)[0]));
+    const Tensor expected = adasum_tree(grads);
+    const std::vector<std::byte> expected_bytes(
+        expected.data(), expected.data() + expected.nbytes());
+    EXPECT_EQ(run.results[static_cast<std::size_t>(survivors.front())],
+              expected_bytes);
   }
 }
 
