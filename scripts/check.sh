@@ -64,6 +64,22 @@ echo "=== compression gate: wire-byte reduction + step speedup floors ==="
 # LeNet-5 accuracy parity with error feedback on.
 ./build/bench/bench_compress --compress_json
 
+echo "=== transport: conformance suite + shm zero-copy stage ==="
+# The delivery contract on every registered transport (DESIGN.md §15), then
+# the whole RVH / pipelining / compression surface rerun with the one-sided
+# shared-memory transport selected — results must be bit-identical to the
+# mailbox default, so any test that passes above must pass here too.
+./build/tests/transport_test
+ADASUM_TRANSPORT=shm ./build/tests/collectives_test
+ADASUM_TRANSPORT=shm ./build/tests/pipeline_test
+ADASUM_TRANSPORT=shm ./build/tests/compress_test
+
+echo "=== transport gate: zero-copy throughput floor ==="
+# Writes BENCH_rvh.json and exits nonzero unless the shm transport holds
+# >= 2x the mailbox transport on the in-place 64 Mi-float allreduce with
+# bit parity and zero steady-state allocations on both transports.
+./build/bench/bench_fig4_allreduce_latency
+
 echo "=== allocation gate: injector-off fault path ==="
 # The fault machinery AND the (disabled) protocol analyzer must add zero
 # steady-state heap allocations (operator-new hook, same as bench_fig4's
@@ -84,9 +100,14 @@ else
   echo "=== tsan: comm_test + collectives_test + chaos_test + analysis_test ==="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)" --target comm_test \
-    collectives_test chaos_test analysis_test scaleout_test
+    collectives_test chaos_test analysis_test scaleout_test transport_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/comm_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/collectives_test
+  # The seqlock publish/consume path under the race detector: the transport
+  # conformance contract, then the collectives riding the zero-copy views.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/transport_test
+  TSAN_OPTIONS="halt_on_error=1" ADASUM_TRANSPORT=shm \
+    ./build-tsan/tests/collectives_test
   # A fixed, smaller seed window keeps the TSan pass deterministic and fast
   # while still sweeping every fault profile under the race detector.
   TSAN_OPTIONS="halt_on_error=1" CHAOS_SCHEDULES=48 CHAOS_SEED_BASE=1000 \

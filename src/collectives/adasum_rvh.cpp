@@ -77,9 +77,14 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       if (group[i] == comm.rank()) rank = static_cast<int>(i);
     ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
   }
-  // Chunk size for the bulk transfers (0 = monolithic single messages); the
-  // small dot-triple allreduce always travels whole.
-  const std::size_t chunk = comm.pipeline().chunk_bytes_for(elem);
+  // Chunk size for the bulk transfers (0 = monolithic single messages),
+  // resolved through the transport: a zero-copy transport collapses the
+  // stream to one monolithic view (there is no payload movement left to
+  // overlap), so the analyzer declarations below and the actual transfers
+  // agree by construction. The small dot-triple allreduce always travels
+  // whole.
+  const std::size_t chunk =
+      comm.bulk_chunk_bytes(comm.pipeline().chunk_bytes_for(elem));
   // Wire compression for the bulk transfers (DESIGN.md §13): the halving
   // exchange ships compressed halves (the local copy dies with the send),
   // the allgather requantizes so every rank ends bit-identical, and the dot
@@ -150,7 +155,7 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       records_buf.as<LevelRecord>(static_cast<std::size_t>(levels));
   // Compressed-wire helper (inert when comp is off); the largest single
   // transfer is the level-0 half.
-  WireCompressor wc(comm, dtype, comp, (count + 1) / 2);
+  WireCompressor wc(comm, dtype, comp, (count + 1) / 2, /*bulk_views=*/true);
 
   // Current segment of the logical vector owned by this rank, in place.
   std::size_t seg_begin = 0;  // global element offset of the segment
@@ -175,30 +180,36 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     // The outgoing half's local copy is dead after the send (its ownership
     // moves to the neighbor), so the compressed path ships a plain blob —
     // no requantize needed until the allgather.
+    // On a zero-copy transport send_bulk publishes a VIEW of the caller's
+    // buffer. That region stays untouched by this rank until the matching
+    // unwind receive — which happens-after the neighbor released the view
+    // (its combiner is sequenced before its unwind send) — so the span is
+    // stable for as long as the neighbor reads it.
     const auto send_half = [&](std::byte* p, std::size_t n) {
       if (wc.active())
         wc.send(world_rank(neighbor), p, n, chunk, tag);
       else
-        comm.send_chunks(world_rank(neighbor), {p, n * elem}, chunk, tag);
+        comm.send_bulk(world_rank(neighbor), {p, n * elem}, chunk, tag);
     };
-    const std::byte* a;
-    const std::byte* b;
     std::byte* own;
     if (is_left) {
       send_half(seg + mid * elem, seg_count - mid);
-      a = seg;
-      b = half;
       own = seg;
       seg_count = mid;
     } else {
       send_half(seg, mid);
-      a = half;
-      b = seg + mid * elem;
       own = seg + mid * elem;
       seg_begin += mid;
       seg_count = seg_count - mid;
     }
     const std::size_t seg_end = seg_begin + seg_count;
+    // Where the neighbor's half actually lives while we reduce over it: the
+    // pooled scratch on the eager path, the PEER's published span on a
+    // zero-copy transport (the recv_bulk callback rebinds it). `a` is always
+    // the left subgroup's slice, `b` the right's.
+    const std::byte* theirs = half;
+    const auto a_ptr = [&]() { return is_left ? own : theirs; };
+    const auto b_ptr = [&]() { return is_left ? theirs : own; };
 
     // Receive the neighbor's half as a chunk stream (half[i] lines up with
     // segment-local element i), computing each layer's partial dot triple
@@ -211,6 +222,8 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     // zero triples, exactly like the monolithic loop.
     std::size_t next_layer = 0;
     const auto flush_dots = [&](std::size_t received_elems) {
+      const std::byte* const a = a_ptr();
+      const std::byte* const b = b_ptr();
       while (next_layer < num_layers) {
         const SliceLocal loc =
             intersect(layers[next_layer], seg_begin, seg_end);
@@ -228,6 +241,11 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
         ++next_layer;
       }
     };
+    // The view (when one is live) must survive past the dot triples: the
+    // combiner below reads the peer's span again after the allreduce. `held`
+    // keeps it alive to the end of the iteration, whose close releases it —
+    // unblocking the neighbor's fence.
+    BulkRecv held;
     if (wc.active()) {
       // A compressed half decompresses after the full blob lands (the scale
       // sideband precedes the payload), so the dot passes run once over the
@@ -235,8 +253,11 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       wc.recv_into(world_rank(neighbor), half, seg_count, chunk, tag);
       flush_dots(seg_count);
     } else {
-      comm.recv_chunks_into(world_rank(neighbor), {half, seg_count * elem},
-                            chunk, tag, [&](std::size_t off, std::size_t len) {
+      held = comm.recv_bulk(world_rank(neighbor), {half, seg_count * elem},
+                            chunk, tag,
+                            [&](const std::byte* base, std::size_t off,
+                                std::size_t len) {
+                              theirs = base;
                               flush_dots((off + len) / elem);
                             });
     }
@@ -254,6 +275,8 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     // Apply the combiner per layer straight into the caller's storage
     // (line 18). Elements the boundary table does not cover keep this rank's
     // own contribution (they never occur when the layers tile the payload).
+    const std::byte* const a = a_ptr();
+    const std::byte* const b = b_ptr();
     for (std::size_t l = 0; l < num_layers; ++l) {
       const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
       if (loc.count == 0) continue;
@@ -280,9 +303,9 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       wc.send_requantize(world_rank(r.neighbor), data + seg_begin * elem,
                          seg_count, chunk, r.tag + 2);
     else
-      comm.send_chunks(world_rank(r.neighbor),
-                       {data + seg_begin * elem, seg_count * elem}, chunk,
-                       r.tag + 2);
+      comm.send_bulk(world_rank(r.neighbor),
+                     {data + seg_begin * elem, seg_count * elem}, chunk,
+                     r.tag + 2);
     std::byte* dest;
     std::size_t dest_count;
     if (r.is_left) {
@@ -293,13 +316,27 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
       dest_count = r.mid;
       seg_begin -= r.mid;
     }
-    if (wc.active())
+    if (wc.active()) {
       wc.recv_into(world_rank(r.neighbor), dest, dest_count, chunk, r.tag + 2);
-    else
-      comm.recv_chunks_into(world_rank(r.neighbor),
-                            {dest, dest_count * elem}, chunk, r.tag + 2);
+    } else {
+      // The landed segment is final output the caller reads much later, so
+      // the zero-copy path deposits the peer's span with non-temporal
+      // stores; the eager path already received straight into `dest`
+      // (base == dest) and needs no copy at all.
+      BulkRecv held = comm.recv_bulk(
+          world_rank(r.neighbor), {dest, dest_count * elem}, chunk, r.tag + 2,
+          [&](const std::byte* base, std::size_t off, std::size_t len) {
+            if (base != dest)
+              kernels::stream_copy_bytes(base + off, dest + off, len);
+          });
+    }
     seg_count = r.seg_count;
   }
+
+  // Close the tail race: the last unwind views this rank published may still
+  // be under the neighbor's memcpy. Past the fence the caller owns its
+  // buffer again. (No-op on buffered transports.)
+  comm.bulk_fence();
 
   ADASUM_CHECK_EQ(seg_begin, 0u);
   ADASUM_CHECK_EQ(seg_count, count);

@@ -66,8 +66,17 @@ inline std::size_t wire_transfer_bytes(std::size_t elems,
 class WireCompressor {
  public:
   // `max_elems` bounds the largest single transfer of the collective.
+  // `bulk_views` opts the one-shot transfers (send / send_requantize /
+  // recv_into) into the transport's bulk path: on a zero-copy transport the
+  // blob travels as a VIEW of the sender's slot and the receiver decodes
+  // straight off the peer's published span. Only safe for schedules where
+  // every publish is consumed by a receive the publisher's next transfer
+  // already waits on transitively (the RVH pairwise exchanges); the ring's
+  // verbatim blob forwarding reuses slots on a cycle where the required
+  // fence would deadlock, so it stays on the default eager path.
   WireCompressor(Comm& comm, DType dtype, const CompressionOptions& opts,
-                 std::size_t max_elems);
+                 std::size_t max_elems, bool bulk_views = false);
+  ~WireCompressor();
 
   bool active() const { return opts_.active(); }
   const CompressionOptions& options() const { return opts_; }
@@ -94,13 +103,23 @@ class WireCompressor {
   // allgather sends, where both sides keep the segment.
   void send_requantize(int dst, std::byte* data, std::size_t elems,
                        std::size_t chunk, int tag);
-  // Receive a blob and decompress it into `dest` (elems floats).
+  // Receive a blob and decompress it into `dest` (elems floats). In bulk
+  // mode on a zero-copy transport the decode reads the peer's published
+  // blob span directly, with no staging copy.
   void recv_into(int src, std::byte* dest, std::size_t elems,
                  std::size_t chunk, int tag);
 
  private:
+  // Bulk-path blob send out of slot 0, recording the outstanding view.
+  void send_bulk_blob(int dst, std::size_t elems, std::size_t chunk, int tag);
+
   Comm& comm_;
   CompressionOptions opts_;
+  bool bulk_views_ = false;
+  // A blob view published to a peer may still be under its decode; slot 0
+  // must not be rewritten (encode) until it retires. Cleared by the fence in
+  // encode() and by the destructor's safety fence.
+  bool blob_view_out_ = false;
   // Engaged only when active: an inactive compressor must not lease from the
   // pool at all — even a zero-byte lease would pull a warmed buffer off the
   // shared free list and perturb concurrent ranks' capacity hits (the

@@ -173,7 +173,10 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     ADASUM_CHECK_MSG(rank >= 0, "calling rank must belong to the group");
   }
   const std::size_t elem = dtype_size(dtype);
-  const std::size_t chunk = comm.pipeline().chunk_bytes_for(elem);
+  // Resolved through the transport: a zero-copy transport collapses each
+  // transfer to one monolithic view, and the declarations below follow.
+  const std::size_t chunk =
+      comm.bulk_chunk_bytes(comm.pipeline().chunk_bytes_for(elem));
   const CompressionOptions comp = resolve_compression(comm, compression, dtype);
 
 #if ADASUM_ANALYZE
@@ -225,7 +228,7 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
                            static_cast<std::size_t>(levels) * sizeof(Level));
   const std::span<Level> records =
       records_buf.as<Level>(static_cast<std::size_t>(levels));
-  WireCompressor wc(comm, dtype, comp, (count + 1) / 2);
+  WireCompressor wc(comm, dtype, comp, (count + 1) / 2, /*bulk_views=*/true);
 
   std::size_t seg_begin = 0;
   std::size_t seg_count = count;
@@ -242,11 +245,16 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     // The half shipped here leaves this rank's working set for good
     // (ownership transfers to the neighbor), so the compressed path sends a
     // plain blob — no requantize needed until the unwind.
+    // On a zero-copy transport the uncompressed branch publishes a VIEW of
+    // the caller's buffer. The region stays untouched until this level's
+    // unwind receive, which happens-after the neighbor consumed the view
+    // (its forward receive precedes its unwind send) — same argument as the
+    // Adasum variant in adasum_rvh.cpp.
     const auto send_half = [&](std::byte* ptr, std::size_t n) {
       if (wc.active())
         wc.send(world_rank(neighbor), ptr, n, chunk, tag);
       else
-        comm.send_chunks(world_rank(neighbor), {ptr, n * elem}, chunk, tag);
+        comm.send_bulk(world_rank(neighbor), {ptr, n * elem}, chunk, tag);
     };
     std::byte* kept;
     std::size_t kept_count;
@@ -266,14 +274,16 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
       wc.recv_into(world_rank(neighbor), half, kept_count, chunk, tag);
       kernels::add_bytes(half, kept, kept_count, dtype);
     } else {
-      // Elementwise sum: add each incoming chunk where it lands, overlapping
-      // the remaining transfers of the stream. Bit-identical to the
-      // whole-half add.
-      comm.recv_chunks_into(world_rank(neighbor), {half, kept_count * elem},
-                            chunk, tag, [&](std::size_t off, std::size_t len) {
-                              kernels::add_bytes(half + off, kept + off,
-                                                 len / elem, dtype);
-                            });
+      // Elementwise sum: add each incoming span where it lands — pooled
+      // scratch on the eager path (overlapping the remaining transfers of
+      // the stream), the PEER's published span on a zero-copy transport.
+      // Bit-identical to the whole-half add either way. Every read finishes
+      // inside the callback, so the view retires when the handle does.
+      BulkRecv held = comm.recv_bulk(
+          world_rank(neighbor), {half, kept_count * elem}, chunk, tag,
+          [&](const std::byte* base, std::size_t off, std::size_t len) {
+            kernels::add_bytes(base + off, kept + off, len / elem, dtype);
+          });
     }
     seg_count = kept_count;
   }
@@ -287,9 +297,11 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
       wc.send_requantize(world_rank(r.neighbor), data + seg_begin * elem,
                          seg_count, chunk, r.tag + 1);
     } else {
-      comm.send_chunks(world_rank(r.neighbor),
-                       {data + seg_begin * elem, seg_count * elem}, chunk,
-                       r.tag + 1);
+      // Unwind segments published as views are never rewritten before the
+      // collective's closing fence.
+      comm.send_bulk(world_rank(r.neighbor),
+                     {data + seg_begin * elem, seg_count * elem}, chunk,
+                     r.tag + 1);
     }
     std::byte* dest;
     std::size_t dest_count;
@@ -301,14 +313,27 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
       dest_count = r.mid;
       seg_begin -= r.mid;
     }
-    if (wc.active())
+    if (wc.active()) {
       wc.recv_into(world_rank(r.neighbor), dest, dest_count, chunk,
                    r.tag + 1);
-    else
-      comm.recv_chunks_into(world_rank(r.neighbor),
-                            {dest, dest_count * elem}, chunk, r.tag + 1);
+    } else {
+      // The landed segment is final output the caller reads much later, so
+      // the zero-copy path deposits the peer's span with non-temporal
+      // stores; the eager path already received straight into `dest`
+      // (base == dest) and needs no copy at all.
+      BulkRecv held = comm.recv_bulk(
+          world_rank(r.neighbor), {dest, dest_count * elem}, chunk, r.tag + 1,
+          [&](const std::byte* base, std::size_t off, std::size_t len) {
+            if (base != dest)
+              kernels::stream_copy_bytes(base + off, dest + off, len);
+          });
+    }
     seg_count = r.seg_count;
   }
+  // Retire any views this rank still has published (the last unwind sends)
+  // before the caller touches its buffer again. No-op on buffered
+  // transports.
+  comm.bulk_fence();
   ADASUM_CHECK_EQ(seg_count, count);
 }
 

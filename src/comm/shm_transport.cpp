@@ -1,0 +1,442 @@
+#include "comm/shm_transport.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "comm/buffer_pool.h"
+#include "comm/channel.h"
+
+namespace adasum {
+
+namespace {
+
+// One spin-loop breath: a pause-class instruction where the ISA has one, so
+// the spinning hyperthread yields pipeline resources to the publishing core.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+constexpr auto kWaitSliceMin = std::chrono::microseconds(100);
+constexpr auto kWaitSliceMax = std::chrono::milliseconds(16);
+
+}  // namespace
+
+ShmTransport::Channel::Channel() {
+  parked.reserve(kSlots);
+  held.reserve(4);
+}
+
+ShmTransport::ShmTransport(int world_size, BufferPool& pool)
+    : size_(world_size),
+      pool_(pool),
+      channel_ptrs_(static_cast<std::size_t>(world_size) * world_size) {
+  // Channels materialize lazily on first use: at p=512 the full grid would
+  // be ~256k rings, but a hierarchical collective only ever touches
+  // O(p log p) pairs.
+  channels_.reserve(static_cast<std::size_t>(world_size) * 2);
+  // Spinning only pays when the sender can make progress in parallel. With
+  // fewer hardware threads than ranks, every pause iteration steals CPU from
+  // the thread we are waiting ON — switch to a short yield-based budget
+  // (hardware_concurrency() == 0 means "unknown"; assume parallel then).
+  const unsigned hw = std::thread::hardware_concurrency();
+  oversubscribed_ = hw != 0 && hw < static_cast<unsigned>(world_size);
+  spin_iters_ = oversubscribed_ ? kOversubscribedSpinIters : kSpinIters;
+}
+
+ShmTransport::~ShmTransport() = default;
+
+ShmTransport::Channel& ShmTransport::channel(int src, int dst) {
+  const std::size_t idx = static_cast<std::size_t>(src) * size_ + dst;
+  Channel* ch = channel_ptrs_[idx].load(std::memory_order_acquire);
+  if (ch != nullptr) return *ch;
+  std::lock_guard<std::mutex> lk(create_mutex_);
+  ch = channel_ptrs_[idx].load(std::memory_order_relaxed);
+  if (ch == nullptr) {
+    channels_.push_back(std::make_unique<Channel>());
+    ch = channels_.back().get();
+    channel_ptrs_[idx].store(ch, std::memory_order_release);
+  }
+  return *ch;
+}
+
+void ShmTransport::publish_locked(Channel& ch, const TransportMeta& meta,
+                                  bool is_view, const std::byte* view_data,
+                                  std::size_t view_size,
+                                  std::vector<std::byte> owned) {
+  // Try to claim a free (even-epoch) ring slot, starting at the rotating
+  // hint; receivers free slots in tag-match order, not ring order, so any
+  // even slot is claimable — arrival stamps, not positions, carry ordering.
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& s = ch.slots[(ch.head + i) % kSlots];
+    const std::uint64_t e = s.epoch.load(std::memory_order_relaxed);
+    if ((e & 1) != 0) continue;  // published, still unconsumed
+    s.arrival = ch.arrival_next++;
+    s.meta = meta;
+    s.tag.store(meta.tag, std::memory_order_relaxed);
+    s.is_view = is_view;
+    s.view_data = view_data;
+    s.view_size = view_size;
+    s.owned = std::move(owned);
+    ch.head = (ch.head + i + 1) % kSlots;
+    // The release publish: every descriptor write above — and, for a view,
+    // the sender's payload writes sequenced before send_view() — becomes
+    // visible to any acquire observer of the odd epoch.
+    s.epoch.store(e + 1, std::memory_order_release);
+    if (is_view) ch.views_published.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  // Ring full: park. The sender never blocks — buffered-send semantics even
+  // against a receiver that is slow, absent, or dead.
+  Parked p;
+  p.arrival = ch.arrival_next++;
+  p.meta = meta;
+  p.is_view = is_view;
+  p.view_data = view_data;
+  p.view_size = view_size;
+  p.owned = std::move(owned);
+  ch.parked.push_back(std::move(p));
+  ch.parked_count.store(ch.parked.size(), std::memory_order_release);
+  if (is_view) ch.views_published.fetch_add(1, std::memory_order_release);
+}
+
+void ShmTransport::flush_held_locked(Channel& ch) {
+  if (ch.held.empty()) return;
+  std::vector<Parked> held = std::move(ch.held);
+  ch.held.clear();
+  for (Parked& p : held)
+    publish_locked(ch, p.meta, p.is_view, p.view_data, p.view_size,
+                   std::move(p.owned));
+}
+
+void ShmTransport::publish(Channel& ch, const TransportMeta& meta,
+                           bool is_view, const std::byte* view_data,
+                           std::size_t view_size,
+                           std::vector<std::byte> owned) {
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lk(ch.mutex);
+    publish_locked(ch, meta, is_view, view_data, view_size, std::move(owned));
+    // A reorder-held message is released BEHIND the next send: flush after
+    // the newcomer so the held one gets the later arrival stamp.
+    flush_held_locked(ch);
+    // waiters is written under this mutex, so reading it here cannot miss a
+    // receiver that is about to wait (it re-checks under the lock first).
+    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  }
+  if (wake) ch.cv.notify_all();
+}
+
+void ShmTransport::send(int src, int dst, const TransportMeta& meta,
+                        std::vector<std::byte> payload) {
+  publish(channel(src, dst), meta, false, nullptr, 0, std::move(payload));
+}
+
+void ShmTransport::send_view(int src, int dst, const TransportMeta& meta,
+                             std::span<const std::byte> data) {
+  publish(channel(src, dst), meta, true, data.data(), data.size(), {});
+}
+
+void ShmTransport::hold(int src, int dst, const TransportMeta& meta,
+                        std::vector<std::byte> payload) {
+  Channel& ch = channel(src, dst);
+  std::lock_guard<std::mutex> lk(ch.mutex);
+  Parked p;
+  p.meta = meta;
+  p.is_view = false;
+  p.owned = std::move(payload);
+  ch.held.push_back(std::move(p));
+}
+
+void ShmTransport::flush_held(int src, int dst) {
+  Channel& ch = channel(src, dst);
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lk(ch.mutex);
+    flush_held_locked(ch);
+    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  }
+  if (wake) ch.cv.notify_all();
+}
+
+bool ShmTransport::take(Channel& ch, int tag, int src, int dst, Inbound& out,
+                        std::unique_lock<std::mutex>* locked) {
+  // Consumption happens under the channel mutex: publishes serialize on the
+  // same lock, so descriptor fields need no per-field synchronization here.
+  // The lock-free part of the protocol is DETECTION (the epoch/tag scan in
+  // recv's spin phase) and the payload itself (epoch release/acquire orders
+  // a view's bytes; the mutex orders everything else).
+  std::unique_lock<std::mutex> local;
+  if (locked == nullptr) {
+    local = std::unique_lock<std::mutex>(ch.mutex);
+    locked = &local;
+  }
+
+  Slot* best_slot = nullptr;
+  std::uint64_t best_arrival = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& s = ch.slots[i];
+    if ((s.epoch.load(std::memory_order_acquire) & 1) == 0) continue;
+    if (s.meta.tag != tag) continue;
+    if (best_slot == nullptr || s.arrival < best_arrival) {
+      best_slot = &s;
+      best_arrival = s.arrival;
+    }
+  }
+  // parked entries carry strictly increasing arrivals (appended under the
+  // mutex), so the first tag match is the earliest parked one.
+  std::size_t parked_idx = ch.parked.size();
+  for (std::size_t i = 0; i < ch.parked.size(); ++i) {
+    if (ch.parked[i].meta.tag == tag) {
+      parked_idx = i;
+      break;
+    }
+  }
+
+  const bool use_parked =
+      parked_idx < ch.parked.size() &&
+      (best_slot == nullptr || ch.parked[parked_idx].arrival < best_arrival);
+
+  if (use_parked) {
+    Parked p = std::move(ch.parked[parked_idx]);
+    ch.parked.erase(ch.parked.begin() +
+                    static_cast<std::ptrdiff_t>(parked_idx));
+    ch.parked_count.store(ch.parked.size(), std::memory_order_release);
+    out.checksum = p.meta.checksum;
+    out.checked = p.meta.checked;
+    out.seq = p.meta.seq;
+    out.is_view = p.is_view;
+    out.view_data = p.view_data;
+    out.view_size = p.view_size;
+    out.owned = std::move(p.owned);
+    out.src = src;
+    out.dst = dst;
+    return true;
+  }
+  if (best_slot == nullptr) return false;
+
+  Slot& s = *best_slot;
+  out.checksum = s.meta.checksum;
+  out.checked = s.meta.checked;
+  out.seq = s.meta.seq;
+  out.is_view = s.is_view;
+  out.view_data = s.view_data;
+  out.view_size = s.view_size;
+  out.owned = std::move(s.owned);
+  out.src = src;
+  out.dst = dst;
+  s.owned = std::vector<std::byte>();
+  s.view_data = nullptr;
+  s.view_size = 0;
+  // Return the slot to the sender (odd -> even).
+  s.epoch.store(s.epoch.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  return true;
+}
+
+Transport::Inbound ShmTransport::recv(int src, int dst, int tag,
+                                      const std::atomic<bool>& aborted) {
+  Channel& ch = channel(src, dst);
+  Inbound out;
+  std::chrono::steady_clock::duration slice = kWaitSliceMin;
+  for (;;) {
+    // Fast path: cv-free bounded spin over the ring. Loads are all atomics
+    // (epoch acquire, tag relaxed) so the scan is race-free; a hit is only a
+    // hint — the locked take() re-verifies and may lose a race.
+    for (int i = 0; i < spin_iters_; ++i) {
+      bool hit = ch.parked_count.load(std::memory_order_relaxed) > 0;
+      if (!hit) {
+        for (std::size_t sidx = 0; sidx < kSlots; ++sidx) {
+          const Slot& s = ch.slots[sidx];
+          if ((s.epoch.load(std::memory_order_acquire) & 1) != 0 &&
+              s.tag.load(std::memory_order_relaxed) == tag) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit && take(ch, tag, src, dst, out, nullptr)) return out;
+      if ((i & 63) == 63 && aborted.load(std::memory_order_relaxed)) break;
+      if (oversubscribed_)
+        std::this_thread::yield();  // hand the core to the publishing peer
+      else
+        cpu_relax();
+    }
+    // Slow path. A queued match wins over abort, so try once more under the
+    // lock before surrendering to WorldAborted.
+    std::unique_lock<std::mutex> lk(ch.mutex);
+    if (take(ch, tag, src, dst, out, &lk)) return out;
+    if (aborted.load(std::memory_order_relaxed))
+      throw WorldAborted();
+    ch.waiters.fetch_add(1, std::memory_order_relaxed);
+    ch.cv.wait_for(lk, slice);
+    ch.waiters.fetch_sub(1, std::memory_order_relaxed);
+    if (take(ch, tag, src, dst, out, &lk)) return out;
+    lk.unlock();
+    slice = std::min<std::chrono::steady_clock::duration>(slice * 2,
+                                                          kWaitSliceMax);
+  }
+}
+
+Transport::RecvStatus ShmTransport::recv_wait(
+    int src, int dst, int tag, const std::atomic<bool>& aborted,
+    const std::atomic<bool>& src_dead,
+    std::chrono::steady_clock::time_point deadline, Inbound& out) {
+  Channel& ch = channel(src, dst);
+  std::chrono::steady_clock::duration slice = kWaitSliceMin;
+  for (;;) {
+    // Shorter spin than recv(): this path is the fault-tolerant one, where
+    // the peer may be dead and spin cycles are pure waste.
+    for (int i = 0; i < spin_iters_ / 4; ++i) {
+      bool hit = ch.parked_count.load(std::memory_order_relaxed) > 0;
+      if (!hit) {
+        for (std::size_t sidx = 0; sidx < kSlots; ++sidx) {
+          const Slot& s = ch.slots[sidx];
+          if ((s.epoch.load(std::memory_order_acquire) & 1) != 0 &&
+              s.tag.load(std::memory_order_relaxed) == tag) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit && take(ch, tag, src, dst, out, nullptr))
+        return RecvStatus::kOk;
+      if ((i & 63) == 63 && (aborted.load(std::memory_order_relaxed) ||
+                             src_dead.load(std::memory_order_relaxed)))
+        break;
+      if (oversubscribed_)
+        std::this_thread::yield();
+      else
+        cpu_relax();
+    }
+    // Completed deliveries win over every failure report, matching
+    // Mailbox::pop_wait's priority order: ok > aborted > peer-dead >
+    // timeout.
+    std::unique_lock<std::mutex> lk(ch.mutex);
+    if (take(ch, tag, src, dst, out, &lk)) return RecvStatus::kOk;
+    if (aborted.load(std::memory_order_relaxed)) return RecvStatus::kAborted;
+    if (src_dead.load(std::memory_order_relaxed))
+      return RecvStatus::kPeerDead;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return RecvStatus::kTimeout;
+    ch.waiters.fetch_add(1, std::memory_order_relaxed);
+    ch.cv.wait_for(lk, std::min<std::chrono::steady_clock::duration>(
+                           slice, deadline - now));
+    ch.waiters.fetch_sub(1, std::memory_order_relaxed);
+    if (take(ch, tag, src, dst, out, &lk)) return RecvStatus::kOk;
+    lk.unlock();
+    slice = std::min<std::chrono::steady_clock::duration>(slice * 2,
+                                                          kWaitSliceMax);
+  }
+}
+
+void ShmTransport::release(Inbound&& in) {
+  if (in.is_view) {
+    // The receiver is done reading the sender's span: retire it. The
+    // release increment pairs with fence()'s acquire load, ordering every
+    // payload read sequenced before this call ahead of the sender's next
+    // write to that buffer.
+    Channel* ch = channel_if_exists(in.src, in.dst);
+    if (ch != nullptr)
+      ch->views_consumed.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  pool_.release(std::move(in.owned));
+}
+
+void ShmTransport::fence(int rank, const std::atomic<bool>& aborted) {
+  // Wait until every view this rank published (on any outgoing channel) has
+  // been consumed. Views retire quickly — the receiver is actively reducing
+  // over them — so spin briefly, then yield; abort breaks the wait.
+  for (int dst = 0; dst < size_; ++dst) {
+    if (dst == rank) continue;
+    Channel* ch = channel_if_exists(rank, dst);
+    if (ch == nullptr) continue;
+    int spins = 0;
+    while (ch->views_consumed.load(std::memory_order_acquire) <
+           ch->views_published.load(std::memory_order_relaxed)) {
+      if (aborted.load(std::memory_order_relaxed))
+        throw WorldAborted();
+      if (++spins < spin_iters_) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+std::size_t ShmTransport::pending(int src, int dst) {
+  Channel* ch = channel_if_exists(src, dst);
+  if (ch == nullptr) return 0;
+  std::lock_guard<std::mutex> lk(ch->mutex);
+  std::size_t n = ch->parked.size();
+  for (std::size_t i = 0; i < kSlots; ++i)
+    if ((ch->slots[i].epoch.load(std::memory_order_relaxed) & 1) != 0) ++n;
+  return n;
+}
+
+std::size_t ShmTransport::drain(int src, int dst) {
+  Channel* ch = channel_if_exists(src, dst);
+  if (ch == nullptr) return 0;
+  std::lock_guard<std::mutex> lk(ch->mutex);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& s = ch->slots[i];
+    const std::uint64_t e = s.epoch.load(std::memory_order_relaxed);
+    if ((e & 1) == 0) continue;
+    if (s.is_view) {
+      ch->views_consumed.fetch_add(1, std::memory_order_release);
+    } else {
+      pool_.release(std::move(s.owned));
+    }
+    s.owned = std::vector<std::byte>();
+    s.view_data = nullptr;
+    s.view_size = 0;
+    s.epoch.store(e + 1, std::memory_order_release);
+    ++n;
+  }
+  auto discard = [&](std::vector<Parked>& q) {
+    for (Parked& p : q) {
+      if (p.is_view) {
+        ch->views_consumed.fetch_add(1, std::memory_order_release);
+      } else {
+        pool_.release(std::move(p.owned));
+      }
+      ++n;
+    }
+    q.clear();
+  };
+  discard(ch->parked);
+  ch->parked_count.store(0, std::memory_order_release);
+  discard(ch->held);
+  return n;
+}
+
+std::size_t ShmTransport::drain_all() {
+  std::size_t n = 0;
+  for (int src = 0; src < size_; ++src)
+    for (int dst = 0; dst < size_; ++dst) n += drain(src, dst);
+  return n;
+}
+
+void ShmTransport::reserve_depth(int src, int dst, std::size_t depth) {
+  Channel& ch = channel(src, dst);
+  std::lock_guard<std::mutex> lk(ch.mutex);
+  ch.parked.reserve(depth);
+}
+
+void ShmTransport::notify_abort() {
+  // Wake every parked receiver so its aborted-flag check runs. Waits are
+  // slice-bounded, so a wakeup racing past an about-to-wait receiver only
+  // costs one slice, never a hang.
+  std::lock_guard<std::mutex> clk(create_mutex_);
+  for (auto& ch : channels_) ch->cv.notify_all();
+}
+
+}  // namespace adasum

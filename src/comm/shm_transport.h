@@ -1,0 +1,190 @@
+// One-sided shared-region transport (DESIGN.md §15): per-rank-pair rings of
+// epoch-stamped slots with seqlock-style publication, over which a receiver
+// reduces DIRECTLY out of the peer's buffer — the "remote span" formulation.
+//
+// Layout. Each ordered rank pair (src, dst) lazily materializes a Channel: a
+// fixed ring of kSlots descriptor slots plus an unbounded parked queue for
+// overflow. A slot carries either an OWNED payload (the vector travels
+// through the slot, exactly one heap buffer end to end — the generic
+// send/recv path) or a VIEW (pointer + length into the SENDER's memory — the
+// zero-copy bulk path; nothing is copied at all, the receiver's kernels read
+// the peer's buffer in place).
+//
+// Publication protocol (the seqlock): every slot has a single atomic epoch
+// counter. EVEN epoch — the slot belongs to the sender (empty); ODD — it is
+// published (full). The sender fills the descriptor fields while the epoch
+// is even (it owns the slot; a spinning reader never dereferences them), then
+// bumps the epoch odd with a RELEASE store. The receiver scans the ring with
+// ACQUIRE loads and only reads descriptor fields behind an odd epoch, then
+// bumps the epoch even again (release) to return the slot. The memory-
+// ordering argument is the classic publication pattern: the sender's plain
+// field writes are sequenced before its release store; the receiver's
+// acquire load synchronizes with that store, so the field reads (and, for a
+// view, the reads of the peer's payload bytes the fields point at) are
+// data-race-free — there is no window where a torn descriptor is observable,
+// and TSan agrees because the ordering is carried by real atomics, not
+// fences it cannot see. The receive fast path is condition-variable-free: a
+// bounded spin over the ring; only a genuinely idle channel falls back to a
+// slice-bounded cv wait (senders notify only when a waiter is registered).
+//
+// Ordering. Delivery order must reproduce the mailbox's queue semantics
+// (per-tag FIFO, reorder holds released behind the next send), so every
+// enqueue — ring or parked — gets a monotone per-channel arrival stamp and
+// the receiver takes the lowest-arrival match for its tag. Publishes happen
+// under the channel's sender mutex (uncontended in the single-sender common
+// case), which also makes multi-threaded senders (the background CommEngine
+// next to the rank thread) safe; the receiver's scan never takes it.
+//
+// Views and the fence. A published view aliases the sender's buffer, so the
+// sender must not reuse that memory until the receiver is done. Each channel
+// counts views_published / views_consumed; Transport::fence(rank) spins (with
+// abort observation) until every view the rank published has been consumed —
+// the collectives call it once per collective (Comm::bulk_fence), closing the
+// tail race where the last allgather segment is still being read while the
+// caller starts the next training step.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "comm/transport.h"
+
+namespace adasum {
+
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(int world_size, BufferPool& pool);
+  ~ShmTransport() override;
+
+  const char* name() const override { return "shm"; }
+  bool zero_copy() const override { return true; }
+  // A view moves no payload bytes, so there is nothing for chunk streaming
+  // to overlap: bulk transfers collapse to one monolithic publication.
+  std::size_t bulk_chunk_bytes(std::size_t /*requested*/) const override {
+    return 0;
+  }
+
+  void send(int src, int dst, const TransportMeta& meta,
+            std::vector<std::byte> payload) override;
+  void send_view(int src, int dst, const TransportMeta& meta,
+                 std::span<const std::byte> data) override;
+  void hold(int src, int dst, const TransportMeta& meta,
+            std::vector<std::byte> payload) override;
+  void flush_held(int src, int dst) override;
+
+  Inbound recv(int src, int dst, int tag,
+               const std::atomic<bool>& aborted) override;
+  RecvStatus recv_wait(int src, int dst, int tag,
+                       const std::atomic<bool>& aborted,
+                       const std::atomic<bool>& src_dead,
+                       std::chrono::steady_clock::time_point deadline,
+                       Inbound& out) override;
+  void release(Inbound&& in) override;
+  void fence(int rank, const std::atomic<bool>& aborted) override;
+
+  std::size_t pending(int src, int dst) override;
+  std::size_t drain(int src, int dst) override;
+  std::size_t drain_all() override;
+  void reserve_depth(int src, int dst, std::size_t depth) override;
+  void notify_abort() override;
+
+ private:
+  // Ring depth per channel; overflow parks in an unbounded queue so a sender
+  // NEVER blocks on a slow (or dead) receiver — buffered-send semantics,
+  // like the mailbox. 16 matches Mailbox::kReservedDepth: one collective
+  // puts at most a handful of messages in flight per channel.
+  static constexpr std::size_t kSlots = 16;
+  // Receive-side spin budget before falling back to the cv slow path, when
+  // the publishing peer can actually run on another core.
+  static constexpr int kSpinIters = 2048;
+  // Spin budget when the world is OVERSUBSCRIBED (fewer hardware threads
+  // than ranks): a pause-spin there burns the very quantum the sender needs,
+  // so the fast path shrinks to a handful of scan+yield rounds — each yield
+  // hands the core to the peer, which typically publishes before we resume.
+  static constexpr int kOversubscribedSpinIters = 16;
+
+  struct Slot {
+    // Even: sender-owned (empty). Odd: published (full). See header comment.
+    std::atomic<std::uint64_t> epoch{0};
+    // Mirror of meta.tag readable by the lock-free detection scan (the
+    // authoritative copy in `meta` is only touched under the channel mutex).
+    std::atomic<int> tag{0};
+    std::uint64_t arrival = 0;
+    TransportMeta meta{};
+    bool is_view = false;
+    const std::byte* view_data = nullptr;
+    std::size_t view_size = 0;
+    std::vector<std::byte> owned;
+  };
+
+  // A message waiting outside the ring: ring overflow or a reorder hold.
+  struct Parked {
+    std::uint64_t arrival = 0;
+    TransportMeta meta{};
+    bool is_view = false;
+    const std::byte* view_data = nullptr;
+    std::size_t view_size = 0;
+    std::vector<std::byte> owned;
+  };
+
+  struct Channel {
+    Channel();
+
+    // Sender-side state, all guarded by mutex (publishes serialize on it so
+    // arrival stamps are contiguous even with a background engine thread
+    // sending next to the rank thread).
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::uint64_t head = 0;          // next ring slot to claim
+    std::uint64_t arrival_next = 0;  // delivery-order stamp
+    std::vector<Parked> parked;      // ring overflow, arrival-ordered
+    std::vector<Parked> held;        // reorder-faulted, awaiting release
+    // Receiver-visible summaries, so the lock-free scan can skip the mutex
+    // when there is nothing parked and senders can skip the notify when
+    // nobody waits.
+    std::atomic<std::size_t> parked_count{0};
+    std::atomic<int> waiters{0};
+    // View retirement counters for fence().
+    std::atomic<std::uint64_t> views_published{0};
+    std::atomic<std::uint64_t> views_consumed{0};
+    alignas(64) Slot slots[kSlots];
+  };
+
+  Channel& channel(int src, int dst);
+  Channel* channel_if_exists(int src, int dst) const {
+    return channel_ptrs_[static_cast<std::size_t>(src) * size_ + dst].load(
+        std::memory_order_acquire);
+  }
+
+  // Enqueues under ch.mutex (ring slot if the head slot is free, parked
+  // queue otherwise) and releases any reorder-held messages behind it.
+  void publish(Channel& ch, const TransportMeta& meta, bool is_view,
+               const std::byte* view_data, std::size_t view_size,
+               std::vector<std::byte> owned);
+  void publish_locked(Channel& ch, const TransportMeta& meta, bool is_view,
+                      const std::byte* view_data, std::size_t view_size,
+                      std::vector<std::byte> owned);
+  void flush_held_locked(Channel& ch);
+  // Takes the lowest-arrival message matching `tag`. `locked` is non-null
+  // when the caller already holds ch.mutex (the cv slow path).
+  bool take(Channel& ch, int tag, int src, int dst, Inbound& out,
+            std::unique_lock<std::mutex>* locked);
+
+  int size_;
+  BufferPool& pool_;
+  // True when hardware_concurrency() < world size (a 1-core CI box running a
+  // 4-rank world, say). Chosen once at construction; recv/fence pick their
+  // spin budget and relax instruction (pause vs yield) off it.
+  bool oversubscribed_ = false;
+  int spin_iters_ = kSpinIters;
+  // Lazily created channels: the atomic pointer grid is the lookup path
+  // (lock-free after creation), the unique_ptr list the owner.
+  std::vector<std::atomic<Channel*>> channel_ptrs_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::mutex create_mutex_;
+};
+
+}  // namespace adasum

@@ -22,6 +22,7 @@ std::optional<LinkParams> link_by_name(std::string_view name) {
   if (name == "pcie3") return links::pcie3();
   if (name == "ib100") return links::infiniband100();
   if (name == "tcp40") return links::tcp40();
+  if (name == "shm") return links::shm_zero_copy();
   return std::nullopt;
 }
 

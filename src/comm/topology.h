@@ -37,6 +37,12 @@ inline LinkParams pcie3() { return {"PCIe3", 5e-6, 12e9}; }
 inline LinkParams infiniband100() { return {"IB-100Gb", 2e-6, 12e9}; }
 // 40 Gb/s TCP (§5.2.1): ~4.5 GB/s effective, high per-message latency.
 inline LinkParams tcp40() { return {"TCP-40Gb", 50e-6, 4.5e9}; }
+// Intra-node one-sided shared memory (the shm transport, DESIGN.md §15): a
+// "transfer" publishes a view of the sender's buffer, so α is a few hundred
+// nanoseconds of slot protocol and β is effectively the receiver's memory
+// bandwidth while it reduces out of the peer's span — near-zero compared to
+// any real interconnect.
+inline LinkParams shm_zero_copy() { return {"SHM-0copy", 3e-7, 50e9}; }
 // NCCL-like effective launch overhead for the GPU-kernel baseline in Fig 4.
 inline LinkParams nccl_overhead() { return {"NCCL-launch", 15e-6, 12e9}; }
 
@@ -87,7 +93,8 @@ struct Topology {
   // Parses a topology spec:
   //   "azure_fig4" | "dgx2:<nodes>" | "tcp_cluster" — the named presets;
   //   "<nodes>x<gpus>[:<intra>/<inter>]" with link names nvlink | pcie3 |
-  //   ib100 | tcp40 (default nvlink/ib100), e.g. "32x8:nvlink/ib100".
+  //   ib100 | tcp40 | shm (default nvlink/ib100), e.g. "32x8:nvlink/ib100"
+  //   or "1x8:shm/ib100" for the zero-copy intra-node transport.
   // Returns nullopt (never throws) on a malformed spec.
   static std::optional<Topology> parse(std::string_view spec);
   // Topology from the ADASUM_TOPOLOGY environment variable, parsed as above;

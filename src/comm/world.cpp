@@ -29,9 +29,6 @@ std::size_t Mailbox::drain_into(BufferPool& pool) {
 
 World::World(int size) : size_(size) {
   ADASUM_CHECK_GE(size, 1);
-  mailboxes_.reserve(static_cast<std::size_t>(size) * size);
-  for (int i = 0; i < size * size; ++i)
-    mailboxes_.push_back(std::make_unique<Mailbox>());
   stats_.resize(size);
   dead_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r)
@@ -42,6 +39,10 @@ World::World(int size) : size_(size) {
   // below that sheds (and next round re-allocates) buffers forever.
   pool_.set_max_free_buffers(
       std::max<std::size_t>(256, 16 * static_cast<std::size_t>(size)));
+  // Point-to-point mechanism under every send/recv (DESIGN.md §15):
+  // ADASUM_TRANSPORT selects mailbox (buffered default) or shm (one-sided
+  // zero-copy).
+  transport_ = make_transport_from_env(size, pool_);
   // Chunked pipelining opts in from the environment (like the analyzer
   // below) so any existing binary can run the chunk-streaming collectives
   // without a code change.
@@ -83,9 +84,16 @@ std::vector<int> World::dead_ranks() const {
   return out;
 }
 
+bool World::set_transport(std::string_view name) {
+  std::unique_ptr<Transport> t = make_transport(name, size_, pool_);
+  if (t == nullptr) return false;
+  transport_ = std::move(t);
+  return true;
+}
+
 void World::request_abort() {
   aborted_.store(true);
-  for (auto& mb : mailboxes_) mb->notify_abort();
+  transport_->notify_abort();
   { std::lock_guard<std::mutex> lock(barrier_mutex_); }
   barrier_cv_.notify_all();
   { std::lock_guard<std::mutex> lock(sync_mutex_); }
@@ -160,7 +168,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
     // payload to the pool — rather than rebuilding the mailboxes — so the
     // next run starts clean without bleeding buffers out of the
     // steady-state recycling set.
-    for (auto& mb : mailboxes_) mb->drain_into(pool_);
+    transport_->drain_all();
   }
 #if ADASUM_ANALYZE
   if (analyzer_on) {
@@ -194,8 +202,8 @@ void World::on_rank_death(int rank) {
   // reorder-held message on its outgoing channels, then wake every blocked
   // receive so waits on the corpse turn into PeerFailed.
   for (int dst = 0; dst < size_; ++dst)
-    if (dst != rank) mailbox(rank, dst).flush_held();
-  for (auto& mb : mailboxes_) mb->notify_abort();
+    if (dst != rank) transport_->flush_held(rank, dst);
+  transport_->notify_abort();
   // A barrier / vote / enrollment that was only waiting on the dead rank is
   // now complete for the survivors — finish it on their behalf.
   {
@@ -291,31 +299,35 @@ void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {
   ADASUM_CHECK_LT(dst, size());
   ADASUM_CHECK_NE(dst, rank_);
   const std::size_t bytes = payload.size();
+  Transport& tr = *world_->transport_;
   if (!world_->chaos() && !world_->analyzed()) {
     // Seed fast path: untouched by the fault and analysis machinery.
     if (world_->aborted_.load()) throw WorldAborted();
-    world_->mailbox(rank_, dst).push(tag, std::move(payload));
+    TransportMeta meta;
+    meta.tag = tag;
+    tr.send(rank_, dst, meta, std::move(payload));
   } else {
     maybe_kill();
     if (world_->aborted_.load()) throw WorldAborted();
-    std::uint64_t seq = 0;
+    TransportMeta meta;
+    meta.tag = tag;
 #if ADASUM_ANALYZE
     // Stamp the channel sequence number after the kill/abort gates so every
     // logged send corresponds to a message that actually reached the wire
     // (or the injector, which counts: drops break balance only in runs where
     // the strict checks are already downgraded).
     if (world_->analyzed())
-      seq = world_->analyzer_->on_send(rank_, dst, tag, bytes);
+      meta.seq = world_->analyzer_->on_send(rank_, dst, tag, bytes);
 #endif
     // The checksum is computed BEFORE the injector gets at the payload, so a
     // wire corruption is a mismatch the receiver can detect.
-    const bool checked = world_->checksums_;
-    const std::uint64_t sum =
-        checked ? payload_checksum(payload.data(), payload.size()) : 0;
+    meta.checked = world_->checksums_;
+    meta.checksum = meta.checked
+                        ? payload_checksum(payload.data(), payload.size())
+                        : 0;
     FaultInjector::Action action = FaultInjector::Action::kDeliver;
     if (world_->injector_ != nullptr)
       action = world_->injector_->on_send(rank_, dst, payload);
-    Mailbox& mb = world_->mailbox(rank_, dst);
     switch (action) {
       case FaultInjector::Action::kDrop:
         world_->pool_.release(std::move(payload));
@@ -326,15 +338,15 @@ void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {
           std::memcpy(copy.data(), payload.data(), payload.size());
         // Both deliveries carry the SAME sequence number — exactly what the
         // receive-side duplicate check keys on.
-        mb.push(tag, std::move(payload), sum, checked, seq);
-        mb.push(tag, std::move(copy), sum, checked, seq);
+        tr.send(rank_, dst, meta, std::move(payload));
+        tr.send(rank_, dst, meta, std::move(copy));
         break;
       }
       case FaultInjector::Action::kReorder:
-        mb.hold(tag, std::move(payload), sum, checked, seq);
+        tr.hold(rank_, dst, meta, std::move(payload));
         break;
       case FaultInjector::Action::kDeliver:
-        mb.push(tag, std::move(payload), sum, checked, seq);
+        tr.send(rank_, dst, meta, std::move(payload));
         break;
     }
   }
@@ -343,7 +355,7 @@ void Comm::send_bytes_owned(int dst, std::vector<std::byte> payload, int tag) {
   s.bytes_sent += bytes;
 }
 
-std::vector<std::byte> Comm::chaos_recv(
+Transport::Inbound Comm::chaos_recv_inbound(
     int src, int tag, std::chrono::steady_clock::time_point deadline) {
   maybe_kill();
 #if ADASUM_ANALYZE
@@ -352,58 +364,78 @@ std::vector<std::byte> Comm::chaos_recv(
     an->on_recv_started(rank_, src, tag);
     // Register the wait-for edge up front; a message that is already queued
     // unblocks immediately and the watchdog's grace period absorbs the
-    // window. The edge MUST be cleared on every exit of pop_wait.
+    // window. The edge MUST be cleared on every exit of recv_wait.
     an->on_recv_blocked(rank_, src, tag);
   }
 #endif
-  Mailbox::PopResult r = world_->mailbox(src, rank_).pop_wait(
-      tag, world_->aborted_, world_->dead_[static_cast<std::size_t>(src)],
-      deadline);
+  Transport::Inbound in;
+  const Transport::RecvStatus status = world_->transport_->recv_wait(
+      src, rank_, tag, world_->aborted_,
+      world_->dead_[static_cast<std::size_t>(src)], deadline, in);
 #if ADASUM_ANALYZE
   if (an != nullptr) {
     an->on_recv_unblocked(rank_);
-    if (r.status == Mailbox::PopStatus::kOk)
-      an->on_recv(rank_, src, tag, r.payload.size(), r.seq);
-    else if (r.status == Mailbox::PopStatus::kAborted)
+    if (status == Transport::RecvStatus::kOk)
+      an->on_recv(rank_, src, tag, in.data().size(), in.seq);
+    else if (status == Transport::RecvStatus::kAborted)
       an->on_abort_observed(rank_);
   }
 #endif
-  switch (r.status) {
-    case Mailbox::PopStatus::kOk:
+  switch (status) {
+    case Transport::RecvStatus::kOk:
       break;
-    case Mailbox::PopStatus::kAborted:
+    case Transport::RecvStatus::kAborted:
       throw WorldAborted();
-    case Mailbox::PopStatus::kPeerDead:
+    case Transport::RecvStatus::kPeerDead:
       throw PeerFailed("rank " + std::to_string(rank_) + " recv(src=" +
                        std::to_string(src) + ", tag=" + std::to_string(tag) +
                        "): peer is dead");
-    case Mailbox::PopStatus::kTimeout:
+    case Transport::RecvStatus::kTimeout:
       throw CommTimeout("rank " + std::to_string(rank_) + " recv(src=" +
                         std::to_string(src) + ", tag=" + std::to_string(tag) +
                         "): deadline expired");
   }
-  if (r.checked && world_->checksums_ &&
-      payload_checksum(r.payload.data(), r.payload.size()) != r.checksum) {
+  if (in.checked && world_->checksums_ &&
+      payload_checksum(in.data().data(), in.data().size()) != in.checksum) {
     world_->corruptions_detected_.fetch_add(1, std::memory_order_relaxed);
-    world_->pool_.release(std::move(r.payload));
+    world_->transport_->release(std::move(in));
     throw CommCorrupt("rank " + std::to_string(rank_) + " recv(src=" +
                       std::to_string(src) + ", tag=" + std::to_string(tag) +
                       "): payload checksum mismatch");
   }
-  return std::move(r.payload);
+  return in;
 }
 
-std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+Transport::Inbound Comm::recv_inbound(int src, int tag) {
   ADASUM_CHECK_GE(src, 0);
   ADASUM_CHECK_LT(src, size());
   ADASUM_CHECK_NE(src, rank_);
   if (!world_->chaos() && !world_->analyzed())
-    return world_->mailbox(src, rank_).pop(tag, world_->aborted_);
+    return world_->transport_->recv(src, rank_, tag, world_->aborted_);
   const auto deadline =
       world_->ft_enabled_
           ? std::chrono::steady_clock::now() + world_->ft_.recv_deadline
           : std::chrono::steady_clock::time_point::max();
-  return chaos_recv(src, tag, deadline);
+  return chaos_recv_inbound(src, tag, deadline);
+}
+
+std::vector<std::byte> Comm::take_payload(Transport::Inbound&& in) {
+  if (!in.is_view) {
+    // The buffer leaves the transport with the caller (it re-enters the pool
+    // whenever the caller releases it); nothing left to retire.
+    return std::move(in.owned);
+  }
+  // A view on a copy-returning API: materialize the one unavoidable copy,
+  // then retire the view so the sender's fence can complete.
+  std::vector<std::byte> out = world_->pool_.acquire(in.view_size);
+  if (in.view_size != 0)
+    std::memcpy(out.data(), in.view_data, in.view_size);
+  world_->transport_->release(std::move(in));
+  return out;
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  return take_payload(recv_inbound(src, tag));
 }
 
 std::optional<std::vector<std::byte>> Comm::try_recv_bytes_for(
@@ -412,21 +444,22 @@ std::optional<std::vector<std::byte>> Comm::try_recv_bytes_for(
   ADASUM_CHECK_LT(src, size());
   ADASUM_CHECK_NE(src, rank_);
   try {
-    return chaos_recv(src, tag, std::chrono::steady_clock::now() + timeout);
+    return take_payload(chaos_recv_inbound(
+        src, tag, std::chrono::steady_clock::now() + timeout));
   } catch (const CommTimeout&) {
     return std::nullopt;
   }
 }
 
 void Comm::recv_bytes_into(int src, std::span<std::byte> dest, int tag) {
-  std::vector<std::byte> payload = recv_bytes(src, tag);
-  // The payload goes back to the pool on EVERY exit path, including the size
-  // mismatch below — an abandoned transfer must not bleed its buffer.
-  const std::size_t got = payload.size();
+  Transport::Inbound in = recv_inbound(src, tag);
+  // The payload is retired on EVERY exit path, including the size mismatch
+  // below — an abandoned transfer must not bleed its buffer.
+  const std::size_t got = in.data().size();
   const bool ok = got == dest.size();
   if (ok && !dest.empty())
-    std::memcpy(dest.data(), payload.data(), payload.size());
-  world_->pool_.release(std::move(payload));
+    std::memcpy(dest.data(), in.data().data(), got);
+  world_->transport_->release(std::move(in));
   if (!ok) {
     if (world_->ft_enabled_)
       throw CommProtocol("rank " + std::to_string(rank_) + " recv(src=" +
@@ -435,6 +468,50 @@ void Comm::recv_bytes_into(int src, std::span<std::byte> dest, int tag) {
                          std::to_string(dest.size()));
     ADASUM_CHECK_EQ(got, dest.size());
   }
+}
+
+void Comm::send_bulk(int dst, std::span<const std::byte> data,
+                     std::size_t chunk_bytes, int tag) {
+  if (!bulk_zero_copy()) {
+    send_chunks(dst, data, chunk_bytes, tag);
+    return;
+  }
+  ADASUM_CHECK_GE(dst, 0);
+  ADASUM_CHECK_LT(dst, size());
+  ADASUM_CHECK_NE(dst, rank_);
+  if (world_->aborted_.load()) throw WorldAborted();
+  TransportMeta meta;
+  meta.tag = tag;
+#if ADASUM_ANALYZE
+  // Views skip chaos (no injector/checksum can touch a live window into the
+  // sender's buffer) but NOT analysis: the analyzer sees one monolithic
+  // message per bulk publish, matching bulk_chunk_bytes() == 0.
+  if (world_->analyzed())
+    meta.seq = world_->analyzer_->on_send(rank_, dst, tag, data.size());
+#endif
+  world_->transport_->send_view(rank_, dst, meta, data);
+  CommStats& s = world_->stats_[rank_];
+  ++s.messages_sent;
+  s.bytes_sent += data.size();
+}
+
+void Comm::recv_bulk_into(int src, std::span<std::byte> dest,
+                          std::size_t chunk_bytes, int tag) {
+  if (!bulk_zero_copy()) {
+    recv_chunks_into(src, dest, chunk_bytes, tag);
+    return;
+  }
+  Transport::Inbound in = recv_inbound(src, tag);
+  const std::size_t got = in.data().size();
+  const bool ok = got == dest.size();
+  if (ok && !dest.empty())
+    std::memcpy(dest.data(), in.data().data(), got);
+  world_->transport_->release(std::move(in));
+  if (!ok) ADASUM_CHECK_EQ(got, dest.size());
+}
+
+void Comm::bulk_fence() {
+  world_->transport_->fence(rank_, world_->aborted_);
 }
 
 int Comm::lowest_alive() const {
@@ -446,7 +523,7 @@ int Comm::lowest_alive() const {
 void Comm::drain_inboxes() {
   for (int src = 0; src < size(); ++src) {
     if (src == rank_) continue;
-    world_->mailbox(src, rank_).drain_into(world_->pool_);
+    world_->transport_->drain(src, rank_);
   }
 }
 

@@ -34,6 +34,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "analysis/analyzer.h"
@@ -41,6 +42,7 @@
 #include "comm/channel.h"
 #include "comm/fault_injector.h"
 #include "comm/pipeline.h"
+#include "comm/transport.h"
 #include "tensor/compress/compress.h"
 
 namespace adasum {
@@ -81,6 +83,15 @@ class World {
   // body and every collective workspace is leased from here, so warm
   // iterations of a collective allocate nothing.
   BufferPool& buffer_pool() { return pool_; }
+
+  // ---- transport (DESIGN.md §15; see comm/transport.h) -------------------
+  // The point-to-point mechanism under every send/recv. Selected at
+  // construction from ADASUM_TRANSPORT ("mailbox" — the buffered default —
+  // or "shm", the one-sided zero-copy path); switchable between runs for
+  // tests and benches. Returns false (and keeps the current transport) for
+  // an unknown name.
+  bool set_transport(std::string_view name);
+  const char* transport_name() const { return transport_->name(); }
 
   // ---- fault model (all off by default; see header comment) --------------
   void enable_fault_tolerance(FaultToleranceOptions options = {});
@@ -142,10 +153,7 @@ class World {
 
  private:
   friend class Comm;
-
-  Mailbox& mailbox(int src, int dst) {
-    return *mailboxes_[static_cast<std::size_t>(src) * size_ + dst];
-  }
+  friend class BulkRecv;
 
   // Any feature routing send/recv off the seed fast path?
   bool chaos() const {
@@ -178,9 +186,9 @@ class World {
   void finish_enroll_locked();  // caller holds sync_mutex_
 
   int size_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CommStats> stats_;
   BufferPool pool_;
+  std::unique_ptr<Transport> transport_;
   std::atomic<bool> aborted_{false};
 
   // Sense-reversing central barrier state.
@@ -212,6 +220,51 @@ class World {
   int enroll_count_ = 0;
   std::uint64_t enroll_generation_ = 0;
   std::vector<int> recovery_group_;
+};
+
+// RAII handle to one received bulk message. On a zero-copy transport data()
+// aliases the SENDER's buffer; destruction (or release()) retires the view
+// so the sender's Comm::bulk_fence can complete. On the buffered path the
+// payload was already deposited into the receiver's scratch and this handle
+// is empty. Must not outlive the World::run that produced it.
+class BulkRecv {
+ public:
+  BulkRecv() = default;
+  BulkRecv(World* world, Transport::Inbound in)
+      : world_(world), in_(std::move(in)), live_(true) {}
+  BulkRecv(BulkRecv&& other) noexcept
+      : world_(other.world_), in_(std::move(other.in_)), live_(other.live_) {
+    other.live_ = false;
+  }
+  BulkRecv& operator=(BulkRecv&& other) noexcept {
+    if (this != &other) {
+      release();
+      world_ = other.world_;
+      in_ = std::move(other.in_);
+      live_ = other.live_;
+      other.live_ = false;
+    }
+    return *this;
+  }
+  BulkRecv(const BulkRecv&) = delete;
+  BulkRecv& operator=(const BulkRecv&) = delete;
+  ~BulkRecv() { release(); }
+
+  // Retires the message early (views unblock the sender's fence). Idempotent.
+  void release() {
+    if (live_) {
+      world_->transport_->release(std::move(in_));
+      live_ = false;
+    }
+  }
+
+  bool holds_view() const { return live_ && in_.is_view; }
+  std::span<const std::byte> data() const { return in_.data(); }
+
+ private:
+  World* world_ = nullptr;
+  Transport::Inbound in_;
+  bool live_ = false;
 };
 
 // Handle a rank uses to communicate. Valid only inside World::run.
@@ -267,6 +320,69 @@ class Comm {
     recv_chunks_into(src, dest, chunk_bytes, tag,
                      [](std::size_t, std::size_t) {});
   }
+
+  // ---- bulk transfers (DESIGN.md §15) ------------------------------------
+  // The collectives' large-payload path. On a zero-copy transport (and only
+  // with the fault machinery off — an injector must own a payload to
+  // drop/corrupt it, and a checksum needs a stable copy) a bulk send
+  // publishes a VIEW of the sender's buffer and the receiver's kernels
+  // reduce directly over the peer's memory; otherwise it degrades to the
+  // eager chunk-streamed copies of send_chunks/recv_chunks_into. Protocol:
+  // every send_bulk must be matched by recv_bulk/recv_bulk_into with the
+  // same chunk size, and each rank must call bulk_fence() before reusing a
+  // buffer it published (the collectives fence once per collective).
+  bool bulk_zero_copy() const {
+    return world_->transport_->zero_copy() && !world_->chaos();
+  }
+  // The chunk size a bulk transfer will ACTUALLY use: `requested` on the
+  // eager path, the transport's answer (0 — monolithic — for zero-copy) when
+  // views are live. Collectives resolve their chunking through this so their
+  // EpochGuard schedule declarations match the real message count.
+  std::size_t bulk_chunk_bytes(std::size_t requested) const {
+    return bulk_zero_copy() ? world_->transport_->bulk_chunk_bytes(requested)
+                            : requested;
+  }
+  // Sends `data` as one view (zero-copy) or as chunk-streamed copies. The
+  // caller must keep `data` stable until bulk_fence() returns.
+  void send_bulk(int dst, std::span<const std::byte> data,
+                 std::size_t chunk_bytes, int tag = 0);
+  // Receives a matching send_bulk. On the eager path the payload lands in
+  // `scratch` chunk by chunk; zero-copy delivers one monolithic span of the
+  // peer's buffer and `scratch` is untouched. Either way on_data(base, off,
+  // len) fires per chunk with base+off addressing the bytes — reduce from
+  // there, NOT from `scratch`, to be transport-agnostic. The returned handle
+  // keeps base valid after this returns (for reads that must happen later,
+  // e.g. the combiner after a dot allreduce); drop it as soon as the last
+  // read is done so the sender's fence can retire the view.
+  template <typename OnData>
+  [[nodiscard]] BulkRecv recv_bulk(int src, std::span<std::byte> scratch,
+                                   std::size_t chunk_bytes, int tag,
+                                   OnData&& on_data) {
+    if (!bulk_zero_copy()) {
+      recv_chunks_into(src, scratch, chunk_bytes, tag,
+                       [&](std::size_t off, std::size_t len) {
+                         on_data(scratch.data(), off, len);
+                       });
+      return BulkRecv();
+    }
+    Transport::Inbound in = recv_inbound(src, tag);
+    const std::size_t got = in.data().size();
+    if (got != scratch.size()) {
+      world_->transport_->release(std::move(in));
+      ADASUM_CHECK_EQ(got, scratch.size());
+    }
+    on_data(in.data().data(), std::size_t{0}, got);
+    return BulkRecv(world_, std::move(in));
+  }
+  // Receives a matching send_bulk directly into `dest` (the allgather /
+  // unwind pattern, where the bytes must persist in the receiver's own
+  // buffer): one memcpy from the view on zero-copy transports, the usual
+  // chunk stream otherwise.
+  void recv_bulk_into(int src, std::span<std::byte> dest,
+                      std::size_t chunk_bytes, int tag = 0);
+  // Blocks until every view this rank published has been consumed, making
+  // its buffers safe to reuse. No-op on buffered transports.
+  void bulk_fence();
 
   // Chunking configuration of the world (comm/pipeline.h); collectives ask
   // pipeline().chunk_bytes_for(elem) for their transfer granularity.
@@ -353,7 +469,7 @@ class Comm {
   // its steady-state capacity deterministically instead of growing — and
   // allocating — whenever the scheduler happens to starve a receiver.
   void reserve_channel_depth(int dst, std::size_t depth) {
-    world_->mailbox(rank_, dst).reserve_depth(depth);
+    world_->transport_->reserve_depth(rank_, dst, depth);
   }
 
   // Protocol analyzer handle for collective epoch declarations
@@ -374,10 +490,16 @@ class Comm {
   // Ticks the fault injector's kill counter for this rank; on the fatal op,
   // marks the rank dead and unwinds with RankKilled.
   void maybe_kill();
-  // Slow-path receive honoring deadline / liveness / checksum.
-  std::vector<std::byte> chaos_recv(int src, int tag,
-                                    std::chrono::steady_clock::time_point
-                                        deadline);
+  // Transport-level receive: seed fast path or the chaos path below,
+  // depending on the world's mode. The Inbound must be retired exactly once
+  // (transport release, or take_payload moving the buffer out).
+  Transport::Inbound recv_inbound(int src, int tag);
+  // Slow-path receive honoring deadline / liveness / checksum / analyzer.
+  Transport::Inbound chaos_recv_inbound(
+      int src, int tag, std::chrono::steady_clock::time_point deadline);
+  // Extracts an owned payload from an Inbound (materializing a copy in the
+  // view case), retiring the Inbound.
+  std::vector<std::byte> take_payload(Transport::Inbound&& in);
 
   World* world_;
   int rank_;

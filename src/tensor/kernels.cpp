@@ -160,4 +160,9 @@ void copy_bytes(const std::byte* src, std::byte* dst, std::size_t count,
   std::memcpy(dst, src, count * dtype_size(dtype));
 }
 
+void stream_copy_bytes(const std::byte* src, std::byte* dst,
+                       std::size_t bytes) {
+  simd::active_table().stream_copy(src, dst, bytes);
+}
+
 }  // namespace adasum::kernels

@@ -142,5 +142,11 @@ bool has_nonfinite_bytes(const std::byte* a, std::size_t count, DType dtype);
 // Straight payload copy (fusion pack/unpack); src and dst must not overlap.
 void copy_bytes(const std::byte* src, std::byte* dst, std::size_t count,
                 DType dtype);
+// Raw byte copy tuned for one-shot landings the destination will not be
+// re-read from soon (a zero-copy receive depositing a peer's span into the
+// caller's buffer): uses non-temporal stores on large payloads where
+// available, memcpy otherwise. Regions must not overlap.
+void stream_copy_bytes(const std::byte* src, std::byte* dst,
+                       std::size_t bytes);
 
 }  // namespace adasum::kernels

@@ -54,6 +54,16 @@ struct KernelTable {
   void (*half_to_float)(const std::uint16_t* src, float* dst, std::size_t n);
   void (*float_to_half)(const float* src, std::uint16_t* dst, std::size_t n);
 
+  // Bulk byte copy for one-shot landings the destination will not re-read
+  // soon (a zero-copy receive depositing a peer's published span into the
+  // caller's buffer). The vector implementation uses non-temporal stores —
+  // skipping the read-for-ownership of every destination cache line cuts the
+  // copy's memory traffic from 3x to 2x the payload — and fences before
+  // returning, so a subsequent release-publish of `dst` is safe. Regions
+  // must not overlap; small or misaligned copies fall back to memcpy.
+  void (*stream_copy)(const std::byte* src, std::byte* dst,
+                      std::size_t bytes);
+
   // ---- blockwise compression casts (DESIGN.md §13) -------------------------
   //
   // fp32 payloads only (the compress layer rejects other dtypes before

@@ -795,6 +795,51 @@ void ax_dequantize_sign_blocks(const std::uint8_t* bits, std::size_t n,
   }
 }
 
+// Non-temporal bulk copy. Below the threshold (or with a misaligned
+// destination tail pattern) the cache-allocating memcpy wins — NT stores
+// only pay off once the destination exceeds what the cache could usefully
+// keep. 1 MiB is comfortably past L2 on everything this targets.
+constexpr std::size_t kStreamCopyMin = 1u << 20;
+
+void stream_copy_avx2(const std::byte* src, std::byte* dst,
+                      std::size_t bytes) {
+  if (bytes < kStreamCopyMin) {
+    if (bytes != 0) std::memcpy(dst, src, bytes);
+    return;
+  }
+  // Head: copy up to the destination's next 32-byte boundary so the NT
+  // stores are aligned (movntdq requires it).
+  const std::size_t mis =
+      reinterpret_cast<std::uintptr_t>(dst) & std::uintptr_t{31};
+  if (mis != 0) {
+    const std::size_t head = 32 - mis;
+    std::memcpy(dst, src, head);
+    src += head;
+    dst += head;
+    bytes -= head;
+  }
+  std::size_t i = 0;
+  for (; i + 128 <= bytes; i += 128) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 64));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 96));
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i), a);
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i + 32), b);
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i + 64), c);
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i + 96), d);
+  }
+  if (i < bytes) std::memcpy(dst + i, src + i, bytes - i);
+  // NT stores are weakly ordered: drain the write-combining buffers before
+  // returning so the caller's subsequent release-store publication (the shm
+  // slot epoch) actually covers these bytes.
+  _mm_sfence();
+}
+
 }  // namespace
 
 const KernelTable& avx2_table() {
@@ -810,6 +855,7 @@ const KernelTable& avx2_table() {
       {has_nonfinite_f16, has_nonfinite_f32, has_nonfinite_f64},
       h2f,
       f2h,
+      stream_copy_avx2,
       ax_quantize_int8_blocks,
       ax_dequantize_int8_blocks,
       ax_quantize_int4_blocks,

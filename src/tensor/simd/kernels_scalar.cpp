@@ -8,6 +8,7 @@
 // as the seed wrote it: any change here silently moves the yardstick.
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "base/half.h"
 #include "tensor/simd/kernel_table.h"
@@ -333,6 +334,12 @@ void sw_float_to_half(const float* src, std::uint16_t* dst, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) dst[i] = Half::float_to_bits(src[i]);
 }
 
+// Baseline stream_copy: plain memcpy (no cache-bypass path without vector
+// stores; the contract is only "copies the bytes").
+void sw_stream_copy(const std::byte* src, std::byte* dst, std::size_t bytes) {
+  if (bytes != 0) std::memcpy(dst, src, bytes);
+}
+
 }  // namespace
 
 const KernelTable& scalar_table() {
@@ -348,6 +355,7 @@ const KernelTable& scalar_table() {
       {k_has_nonfinite<Half>, k_has_nonfinite<float>, k_has_nonfinite<double>},
       sw_half_to_float,
       sw_float_to_half,
+      sw_stream_copy,
       sc_quantize_int8_blocks,
       sc_dequantize_int8_blocks,
       sc_quantize_int4_blocks,

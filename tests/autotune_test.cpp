@@ -87,6 +87,61 @@ TEST(Autotune, NonPow2FoldIsPricedOnTopOfThePow2Core) {
   EXPECT_NEAR(p3, p2 + fold, 1e-12);
 }
 
+TEST(Autotune, ShmZeroCopyLinkClassMatchesHandComputedClosedForm) {
+  // "1x8:shm/ib100" resolves the intra fabric to the zero-copy shared-memory
+  // link class (the shm transport, DESIGN.md §15) and the planner prices a
+  // flat RVH on it: 3 levels, every exchange on the intra link since all
+  // neighbor distances (1, 2, 4) are < gpus_per_node.
+  const std::optional<Topology> parsed = Topology::parse("1x8:shm/ib100");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->intra.name, "SHM-0copy");
+  EXPECT_EQ(parsed->inter.name, "IB-100Gb");
+  const LinkParams shm = links::shm_zero_copy();
+  EXPECT_NEAR(parsed->intra.latency_s, shm.latency_s, 0.0);
+  EXPECT_NEAR(parsed->intra.bandwidth_Bps, shm.bandwidth_Bps, 0.0);
+
+  ComputeParams compute;
+  compute.sum_Bps = 10e9;
+  const double bytes = 8 << 20;
+  AutotuneRequest req;
+  req.payload_bytes = bytes;
+  req.adasum = false;
+  const double got =
+      predict_allreduce_s(*parsed, TunedAlgo::kRvh, 1, 0, 0, req, compute);
+  double want = 0.0;
+  for (const double frac : {2.0, 4.0, 8.0}) {
+    const double half = bytes / frac;
+    want += 2.0 * (shm.latency_s + half / shm.bandwidth_Bps) +
+            half / compute.sum_Bps;
+  }
+  EXPECT_NEAR(got, want, 1e-12);
+
+  // Zero-copy pays off in the model too: the identical schedule on a PCIe
+  // intra fabric must price strictly slower.
+  const Topology pcie = Topology::single_node(8, links::pcie3());
+  EXPECT_LT(got,
+            predict_allreduce_s(pcie, TunedAlgo::kRvh, 1, 0, 0, req, compute));
+}
+
+TEST(Autotune, ShmIntraFabricMakesGroupingWinOnTwoTier) {
+  // 2 nodes x 4 ranks, shm inside / TCP across: the link-speed rule groups
+  // at 4, and the planner's pick exploits the near-free local phase — the
+  // grouped schedule must beat flat RVH, which pays the TCP α–β on its
+  // distance >= 4 levels.
+  const std::optional<Topology> t = Topology::parse("2x4:shm/tcp40");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->group_size_by_link_speed(t->total_gpus()), 4);
+  AutotuneRequest req;
+  req.payload_bytes = 8 << 20;
+  req.num_layers = 8;
+  const double hier =
+      predict_allreduce_s(*t, TunedAlgo::kHierarchical, 4, 0, 0, req);
+  const double flat = predict_allreduce_s(*t, TunedAlgo::kRvh, 1, 0, 0, req);
+  EXPECT_LT(hier, flat);
+  const TunedConfig pick = autotune_allreduce(*t, req);
+  EXPECT_LE(pick.predicted_s, hier);
+}
+
 TEST(Autotune, BucketPipelineModelMatchesHandComputedClosedForm) {
   // n buckets: T = c + max((n-1)c, (n-1)m) + m with per-bucket compute
   // c = overlap/n and per-bucket comm m = comm(payload/n).
