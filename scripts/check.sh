@@ -4,16 +4,20 @@
 #   1. Release build (CMakePresets.json `release`) + full ctest under both
 #      SIMD dispatch levels, the micro-kernel speedup gate and the
 #      injector-off allocation gate.
-#   2. Repo lint (scripts/lint.sh): naked-allocation / sleep_for rules,
-#      header self-sufficiency, and — when the clang tools exist —
-#      clang-format and clang-tidy.
-#   3. ThreadSanitizer preset over the suites that exercise the cross-thread
+#   2. Model-checker stage (CMakePresets.json `verify`): the schedule
+#      explorer's clean gate, mutation self-tests and deterministic replay,
+#      plus the transport conformance suite with schedule points compiled in.
+#   3. Repo lint (scripts/lint.sh): naked-allocation / sleep_for /
+#      relaxed-allowlist rules, header self-sufficiency, and — when the
+#      clang tools exist — thread-safety analysis, clang-format, clang-tidy.
+#   4. ThreadSanitizer preset over the suites that exercise the cross-thread
 #      buffer handoff and the protocol analyzer's watchdog.
-#   4. ASan+UBSan preset over the ENTIRE test suite.
+#   5. ASan+UBSan preset over the ENTIRE test suite.
 #
-# Usage: scripts/check.sh               # from the repo root
-#        SKIP_TSAN=1 scripts/check.sh   # skip stage 3
-#        SKIP_SAN=1  scripts/check.sh   # skip stages 3 and 4
+# Usage: scripts/check.sh                 # from the repo root
+#        SKIP_VERIFY=1 scripts/check.sh   # skip stage 2
+#        SKIP_TSAN=1   scripts/check.sh   # skip stage 4
+#        SKIP_SAN=1    scripts/check.sh   # skip stages 4 and 5
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,6 +89,22 @@ echo "=== allocation gate: injector-off fault path ==="
 # steady-state heap allocations (operator-new hook, same as bench_fig4's
 # zero-copy gate).
 ./build/tests/chaos_test --gtest_filter='Chaos.FaultTolerantHotPathAddsNoSteadyStateAllocations:Chaos.AnalyzerOffPathIsByteAndAllocationIdenticalToSeed'
+
+if [[ "${SKIP_VERIFY:-0}" == "1" ]]; then
+  echo "=== verify: skipped (SKIP_VERIFY=1) ==="
+else
+  echo "=== verify: model checker + mutation self-tests (ADASUM_VERIFY=ON) ==="
+  # The schedule-exploring model checker (DESIGN.md §16): clean-run gate,
+  # mutation-table detection, deterministic replay, and the verify-ON rerun
+  # of the transport conformance suite. Off the tier-1 path by construction
+  # (its own build tree); tier-1 binaries carry zero schedule points, which
+  # VerifyOffParity pins above.
+  cmake --preset verify >/dev/null
+  cmake --build --preset verify -j "$(nproc)" --target verify_test \
+    transport_test
+  ./build-verify/tests/verify_test
+  ./build-verify/tests/transport_test
+fi
 
 echo "=== lint: repo rules + clang tools (if installed) ==="
 scripts/lint.sh

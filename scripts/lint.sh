@@ -6,12 +6,16 @@
 #          the only owning allocations are make_unique/make_shared)
 #        - no sleep_for in src/comm hot paths (fault_injector.cpp is the one
 #          sanctioned exception: injected latency IS its job)
+#        - memory_order_relaxed ceilings per file (scripts/
+#          relaxed_allowlist.txt): a new relaxed access must raise the
+#          allowlist in the same change, so its invariant lands in review
 #   2. header self-sufficiency: every header under src/ must compile on its
 #      own with -fsyntax-only (no hidden include-order dependencies)
-#   3. clang-format --dry-run (format CHECK, never a reformat) and
-#      clang-tidy over compile_commands.json — both availability-gated:
-#      the pinned toolchain image ships only GCC, so missing binaries skip
-#      with a notice instead of failing the gate.
+#   3. clang -Wthread-safety over the TUs carrying ADASUM_GUARDED_BY /
+#      REQUIRES annotations, clang-format --dry-run (format CHECK, never a
+#      reformat) and clang-tidy over compile_commands.json — all
+#      availability-gated: the pinned toolchain image ships only GCC, so
+#      missing binaries skip with a notice instead of failing the gate.
 #
 # Usage: scripts/lint.sh          # from anywhere; exits nonzero on violation
 set -uo pipefail
@@ -40,6 +44,32 @@ if [[ -n "${hits}" ]]; then
   fail=1
 fi
 
+echo "--- lint: memory_order_relaxed allowlist ---"
+# Every relaxed access must carry an invariant comment (memory-order audit,
+# DESIGN.md §16.5); the allowlist freezes the audited per-file counts so a
+# new relaxed use fails lint until scripts/relaxed_allowlist.txt is raised
+# in the same change — forcing the justification into the diff.
+while IFS= read -r line; do
+  count=${line%% *}
+  file=${line#* }
+  have=$(grep -c 'memory_order_relaxed' "${file}" 2>/dev/null || true)
+  if [[ "${have}" -gt "${count}" ]]; then
+    echo "${file}: ${have} memory_order_relaxed uses, allowlist permits ${count}"
+    echo "  (audit the new site, comment its invariant, then raise scripts/relaxed_allowlist.txt)"
+    fail=1
+  fi
+done < <(grep -vE '^(#|$)' scripts/relaxed_allowlist.txt)
+hits=$(grep -rl 'memory_order_relaxed' src --include='*.cpp' --include='*.h' \
+  | while IFS= read -r f; do
+      grep -vE '^(#|$)' scripts/relaxed_allowlist.txt | cut -d' ' -f2- \
+        | grep -qxF "${f}" || echo "${f}"
+    done)
+if [[ -n "${hits}" ]]; then
+  echo "memory_order_relaxed in files absent from scripts/relaxed_allowlist.txt:"
+  echo "${hits}"
+  fail=1
+fi
+
 echo "--- lint: header self-sufficiency (g++ -fsyntax-only) ---"
 tmp=$(mktemp -d)
 trap 'rm -rf "${tmp}"' EXIT
@@ -52,6 +82,28 @@ while IFS= read -r hdr; do
     fail=1
   fi
 done < <(find src -name '*.h' | sort)
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "--- lint: clang -Wthread-safety over annotated TUs ---"
+  # The ADASUM_GUARDED_BY/REQUIRES annotations (base/thread_annotations.h)
+  # only bite under Clang's thread-safety analysis; GCC compiles them away.
+  # Availability-gated like the other clang stages: the pinned toolchain
+  # image ships only GCC, so CI hosts with clang get the real check and the
+  # rest skip with a notice.
+  tsa_files=(
+    src/comm/buffer_pool.cpp
+    src/comm/shm_transport.cpp
+    src/comm/world.cpp
+    src/collectives/comm_engine.cpp
+  )
+  if ! clang++ -std=c++20 -fsyntax-only -I src \
+      -Wthread-safety -Werror=thread-safety "${tsa_files[@]}"; then
+    echo "clang thread-safety analysis failed"
+    fail=1
+  fi
+else
+  echo "--- lint: clang++ not installed, skipping thread-safety analysis ---"
+fi
 
 if command -v clang-format >/dev/null 2>&1; then
   echo "--- lint: clang-format (check only) ---"

@@ -1,7 +1,8 @@
 #include "analysis/deadlock_detector.h"
 
 #include <algorithm>
-#include <sstream>
+
+#include "analysis/trace_format.h"
 
 namespace adasum::analysis {
 
@@ -72,12 +73,9 @@ std::string DeadlockDetector::describe(int rank) const {
   if (!s.blocked) {
     return done_[static_cast<std::size_t>(rank)] ? "finished" : "running";
   }
-  std::ostringstream os;
-  os << "blocked in recv(src=" << s.src << ", tag=" << s.tag << ") for "
-     << std::chrono::duration_cast<std::chrono::milliseconds>(now - s.since)
-            .count()
-     << " ms";
-  return os.str();
+  return format_wait(
+      "recv", s.src, s.tag,
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - s.since));
 }
 
 }  // namespace adasum::analysis

@@ -1,0 +1,56 @@
+// Shared formatting for diagnostics that describe blocked threads and event
+// traces — used by the wait-for-graph watchdog (deadlock_detector.cpp) and
+// the model checker's schedule reports (verify/runtime.cpp), so a human
+// reading either sees the same shapes: `T<id>: <state>` thread lines and
+// `#<step> T<id> <event>` trace lines.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adasum::analysis {
+
+// "blocked in recv(src=2, tag=7) for 1500 ms"
+inline std::string format_wait(std::string_view what, int src, int tag,
+                               std::chrono::milliseconds waited) {
+  std::string out = "blocked in ";
+  out += what;
+  out += "(src=" + std::to_string(src) + ", tag=" + std::to_string(tag) +
+         ") for " + std::to_string(waited.count()) + " ms";
+  return out;
+}
+
+// "  T3: <state>\n" appended to `out`.
+inline void append_thread_state(std::string& out, int tid,
+                                std::string_view state) {
+  out += "  T";
+  out += std::to_string(tid);
+  out += ": ";
+  out += state;
+  out += '\n';
+}
+
+// "  #42 T1 <event>\n" appended to `out`.
+inline void append_trace_line(std::string& out, std::uint64_t step, int tid,
+                              std::string_view event) {
+  out += "  #";
+  out += std::to_string(step);
+  out += " T";
+  out += std::to_string(tid);
+  out += ' ';
+  out += event;
+  out += '\n';
+}
+
+// Title line followed by an already-formatted indented body.
+inline std::string format_block(std::string_view title,
+                                std::string_view body) {
+  std::string out(title);
+  out += '\n';
+  out += body;
+  return out;
+}
+
+}  // namespace adasum::analysis

@@ -1,0 +1,35 @@
+// Clang thread-safety-analysis attribute macros (-Wthread-safety).
+//
+// The analysis is a compile-time lock-discipline checker: data members carry
+// ADASUM_GUARDED_BY(mutex), functions that must run under a lock carry
+// ADASUM_REQUIRES(mutex), and the sync::mutex / sync::lock_guard wrappers in
+// verify/sync.h are annotated as capabilities so clang can prove every
+// guarded access happens under its guard. GCC (the pinned toolchain) does
+// not implement the attributes, so everything expands to nothing there —
+// the macros are documentation locally and a hard error gate when
+// scripts/lint.sh finds a clang to run (`-Werror=thread-safety`).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ADASUM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ADASUM_THREAD_ANNOTATION(x)
+#endif
+
+#define ADASUM_CAPABILITY(x) ADASUM_THREAD_ANNOTATION(capability(x))
+#define ADASUM_SCOPED_CAPABILITY ADASUM_THREAD_ANNOTATION(scoped_lockable)
+#define ADASUM_GUARDED_BY(x) ADASUM_THREAD_ANNOTATION(guarded_by(x))
+#define ADASUM_PT_GUARDED_BY(x) ADASUM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ADASUM_REQUIRES(...) \
+  ADASUM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ADASUM_ACQUIRE(...) \
+  ADASUM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ADASUM_RELEASE(...) \
+  ADASUM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ADASUM_TRY_ACQUIRE(...) \
+  ADASUM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ADASUM_EXCLUDES(...) \
+  ADASUM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ADASUM_RETURN_CAPABILITY(x) ADASUM_THREAD_ANNOTATION(lock_returned(x))
+#define ADASUM_NO_THREAD_SAFETY_ANALYSIS \
+  ADASUM_THREAD_ANNOTATION(no_thread_safety_analysis)

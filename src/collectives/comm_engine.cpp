@@ -1,13 +1,14 @@
 #include "collectives/comm_engine.h"
 
 #include "base/check.h"
+#include "verify/mutation.h"
 
 namespace adasum {
 
 CommEngine::CommEngine(Comm& comm, std::size_t capacity)
     : comm_(comm), slots_(capacity) {
   ADASUM_CHECK_GE(capacity, 1u);
-  thread_ = std::thread([this]() { worker(); });
+  thread_ = sync::thread([this]() { worker(); });
 }
 
 CommEngine::~CommEngine() {
@@ -17,7 +18,7 @@ CommEngine::~CommEngine() {
   // join below cannot deadlock. A clean destruction just drains the queue.
   if (std::uncaught_exceptions() > 0) comm_.request_abort();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::lock_guard<sync::mutex> lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -29,7 +30,7 @@ CommEngine::Ticket CommEngine::submit_allreduce(Tensor& tensor,
                                                int tag_base) {
   Ticket ticket;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::lock_guard<sync::mutex> lock(mutex_);
     ADASUM_CHECK_MSG(!stop_, "submit_allreduce on a stopping CommEngine");
     ADASUM_CHECK_MSG(submitted_ - consumed_ < slots_.size(),
                      "CommEngine ring full: wait() earlier tickets first");
@@ -46,9 +47,11 @@ CommEngine::Ticket CommEngine::submit_allreduce(Tensor& tensor,
 }
 
 ResilientResult CommEngine::wait(Ticket ticket) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  sync::unique_lock<sync::mutex> lock(mutex_);
   ADASUM_CHECK_LT(ticket, submitted_);
-  done_cv_.wait(lock, [&]() { return completed_ > ticket; });
+  done_cv_.wait(lock, [&]() ADASUM_NO_THREAD_SAFETY_ANALYSIS {
+    return completed_ > ticket;
+  });
   if (consumed_ <= ticket) consumed_ = ticket + 1;
   Op& op = slots_[ticket % slots_.size()];
   if (op.error != nullptr) {
@@ -61,9 +64,11 @@ ResilientResult CommEngine::wait(Ticket ticket) {
 }
 
 void CommEngine::wait_all() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  sync::unique_lock<sync::mutex> lock(mutex_);
   const std::uint64_t target = submitted_;
-  done_cv_.wait(lock, [&]() { return completed_ >= target; });
+  done_cv_.wait(lock, [&]() ADASUM_NO_THREAD_SAFETY_ANALYSIS {
+    return completed_ >= target;
+  });
   std::exception_ptr first;
   for (std::uint64_t t = consumed_; t < target; ++t) {
     Op& op = slots_[t % slots_.size()];
@@ -76,14 +81,16 @@ void CommEngine::wait_all() {
 }
 
 std::uint64_t CommEngine::submitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   return submitted_;
 }
 
 void CommEngine::worker() {
   for (;;) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_cv_.wait(lock, [&]() { return stop_ || completed_ < submitted_; });
+    sync::unique_lock<sync::mutex> lock(mutex_);
+    work_cv_.wait(lock, [&]() ADASUM_NO_THREAD_SAFETY_ANALYSIS {
+      return stop_ || completed_ < submitted_;
+    });
     if (completed_ == submitted_) return;  // stop_ && drained
     Op& op = slots_[completed_ % slots_.size()];
     if (killed_) {
@@ -112,7 +119,11 @@ void CommEngine::worker() {
     op.result = result;
     op.error = error;
     ++completed_;
-    done_cv_.notify_all();
+    // The completion notify is what unblocks wait()/wait_all(). The
+    // kEngineDropDoneNotify mutation drops exactly this call; the model
+    // checker's engine kernel then reports the waiter's deadlock. (The
+    // killed-branch notify above is deliberately left intact.)
+    if (!ADASUM_VERIFY_MUTATED(kEngineDropDoneNotify)) done_cv_.notify_all();
   }
 }
 

@@ -38,14 +38,13 @@
 // killed without executing them — a killed rank stops participating.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "collectives/resilient.h"
+#include "verify/sync.h"
 
 namespace adasum {
 
@@ -92,15 +91,16 @@ class CommEngine {
 
   Comm& comm_;
   std::vector<Op> slots_;
-  std::uint64_t submitted_ = 0;  // next ticket to hand out
-  std::uint64_t completed_ = 0;  // ops finished by the worker
-  std::uint64_t consumed_ = 0;   // tickets waited (slot-reuse floor)
-  bool stop_ = false;
-  bool killed_ = false;  // worker saw RankKilled; drain without executing
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::thread thread_;
+  std::uint64_t submitted_ ADASUM_GUARDED_BY(mutex_) = 0;  // next ticket
+  std::uint64_t completed_ ADASUM_GUARDED_BY(mutex_) = 0;  // worker-finished
+  std::uint64_t consumed_ ADASUM_GUARDED_BY(mutex_) = 0;   // slot-reuse floor
+  bool stop_ ADASUM_GUARDED_BY(mutex_) = false;
+  // Worker saw RankKilled; drain without executing.
+  bool killed_ ADASUM_GUARDED_BY(mutex_) = false;
+  mutable sync::mutex mutex_;
+  sync::condition_variable work_cv_;
+  sync::condition_variable done_cv_;
+  sync::thread thread_;
 };
 
 }  // namespace adasum

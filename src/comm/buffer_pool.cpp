@@ -8,7 +8,7 @@ std::vector<std::byte> BufferPool::acquire(std::size_t bytes) {
   // An empty request must not shrink a pooled buffer into a useless husk.
   if (bytes == 0) return {};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::lock_guard<sync::mutex> lock(mutex_);
     // Best fit by CAPACITY, not size. Capacity is immutable across the
     // buffer's pool lifetime, so serving a small request from a big buffer
     // never destroys the big size class — the next big request still finds
@@ -46,7 +46,7 @@ std::vector<std::byte> BufferPool::acquire(std::size_t bytes) {
 
 void BufferPool::release(std::vector<std::byte> buffer) {
   if (buffer.capacity() == 0) return;  // nothing worth pooling
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   ++stats_.releases;
   if (free_.size() >= max_free_) {
     const auto smallest = std::min_element(
@@ -61,35 +61,35 @@ void BufferPool::release(std::vector<std::byte> buffer) {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   return stats_;
 }
 
 void BufferPool::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   stats_ = Stats{};
 }
 
 std::size_t BufferPool::free_buffers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   return free_.size();
 }
 
 std::size_t BufferPool::free_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& b : free_) total += b.capacity();
   return total;
 }
 
 void BufferPool::trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   free_.clear();
   free_.shrink_to_fit();
 }
 
 void BufferPool::set_max_free_buffers(std::size_t cap) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   max_free_ = cap;
   while (free_.size() > max_free_) {
     const auto smallest = std::min_element(
@@ -102,7 +102,7 @@ void BufferPool::set_max_free_buffers(std::size_t cap) {
 }
 
 std::size_t BufferPool::max_free_buffers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::lock_guard<sync::mutex> lock(mutex_);
   return max_free_;
 }
 

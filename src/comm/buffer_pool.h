@@ -17,11 +17,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "base/check.h"
+#include "base/thread_annotations.h"
+#include "verify/sync.h"
 
 namespace adasum {
 
@@ -61,10 +62,10 @@ class BufferPool {
   std::size_t max_free_buffers() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::vector<std::byte>> free_;
-  std::size_t max_free_ = 256;
-  Stats stats_;
+  mutable sync::mutex mutex_;
+  std::vector<std::vector<std::byte>> free_ ADASUM_GUARDED_BY(mutex_);
+  std::size_t max_free_ ADASUM_GUARDED_BY(mutex_) = 256;
+  Stats stats_ ADASUM_GUARDED_BY(mutex_);
 };
 
 // RAII lease of a pool buffer, used by the collectives for their per-call

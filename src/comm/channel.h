@@ -20,14 +20,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "base/check.h"
+#include "base/thread_annotations.h"
+#include "verify/mutation.h"
+#include "verify/sync.h"
 
 namespace adasum {
 
@@ -134,7 +135,7 @@ class Mailbox {
   void push(int tag, std::vector<std::byte> payload, std::uint64_t checksum,
             bool checked, std::uint64_t seq = 0) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::lock_guard<sync::mutex> lock(mutex_);
       queue_.push_back(Message{tag, std::move(payload), checksum, checked,
                                seq});
       // A held (reorder-faulted) message is released behind the newcomer —
@@ -151,7 +152,7 @@ class Mailbox {
   // releases it behind the newcomer) or flush_held()/drain_into().
   void hold(int tag, std::vector<std::byte> payload, std::uint64_t checksum,
             bool checked, std::uint64_t seq = 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::lock_guard<sync::mutex> lock(mutex_);
     held_.push_back(Message{tag, std::move(payload), checksum, checked, seq});
   }
 
@@ -159,7 +160,7 @@ class Mailbox {
   // it had "on the wire" must still arrive).
   void flush_held() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::lock_guard<sync::mutex> lock(mutex_);
       for (auto& m : held_) queue_.push_back(std::move(m));
       held_.clear();
     }
@@ -171,10 +172,10 @@ class Mailbox {
   // queued is delivered even when the world is aborting, mirroring MPI's
   // "completed operations complete" rule.
   std::vector<std::byte> pop(int tag, const std::atomic<bool>& aborted) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    sync::unique_lock<sync::mutex> lock(mutex_);
     std::vector<std::byte> payload;
     bool found = false;
-    cv_.wait(lock, [&]() {
+    cv_.wait(lock, [&]() ADASUM_NO_THREAD_SAFETY_ANALYSIS {
       found = take_locked(tag, payload);
       return found || aborted.load();
     });
@@ -200,13 +201,13 @@ class Mailbox {
   PopResult pop_wait(int tag, const std::atomic<bool>& aborted,
                      const std::atomic<bool>& src_dead,
                      std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    sync::unique_lock<sync::mutex> lock(mutex_);
     PopResult result;
     auto slice = std::chrono::milliseconds(1);
     for (;;) {
       Message msg;
       bool found = false;
-      const auto wake = [&]() {
+      const auto wake = [&]() ADASUM_NO_THREAD_SAFETY_ANALYSIS {
         found = take_message_locked(tag, msg);
         return found || aborted.load() || src_dead.load();
       };
@@ -240,13 +241,17 @@ class Mailbox {
   void notify_abort() {
     // Acquire-release of the mutex closes the window where a popper has
     // checked its predicate but not yet blocked; without it that popper can
-    // miss the wakeup entirely.
-    { std::lock_guard<std::mutex> lock(mutex_); }
+    // miss the wakeup entirely. (The kMailboxAbortSkipLock mutation removes
+    // exactly this acquire/release; the model checker's 3-rank mailbox
+    // kernel then finds the lost-wakeup deadlock.)
+    if (!ADASUM_VERIFY_MUTATED(kMailboxAbortSkipLock)) {
+      sync::lock_guard<sync::mutex> lock(mutex_);
+    }
     cv_.notify_all();
   }
 
   std::size_t pending() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::lock_guard<sync::mutex> lock(mutex_);
     return queue_.size();
   }
 
@@ -256,7 +261,7 @@ class Mailbox {
   // call this so whether a channel grows mid-measurement is not an
   // interleaving accident (see the zero-allocation gates).
   void reserve_depth(std::size_t depth) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::lock_guard<sync::mutex> lock(mutex_);
     if (depth > queue_.capacity()) queue_.reserve(depth);
   }
 
@@ -269,7 +274,8 @@ class Mailbox {
   static constexpr std::size_t kReservedDepth = 16;
 
   // Moves the first message with `tag` into `payload`. Caller holds mutex_.
-  bool take_locked(int tag, std::vector<std::byte>& payload) {
+  bool take_locked(int tag, std::vector<std::byte>& payload)
+      ADASUM_REQUIRES(mutex_) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->tag != tag) continue;
       payload = std::move(it->payload);
@@ -279,7 +285,7 @@ class Mailbox {
     return false;
   }
 
-  bool take_message_locked(int tag, Message& out) {
+  bool take_message_locked(int tag, Message& out) ADASUM_REQUIRES(mutex_) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->tag != tag) continue;
       out = std::move(*it);
@@ -289,13 +295,14 @@ class Mailbox {
     return false;
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  sync::mutex mutex_;
+  sync::condition_variable cv_;
   // A vector, not a deque: the queue holds at most a handful of in-flight
   // messages, and a vector's capacity persists across push/pop cycles so the
   // steady state allocates nothing (deque nodes churn at chunk boundaries).
-  std::vector<Message> queue_;
-  std::vector<Message> held_;  // reorder-faulted messages awaiting release
+  std::vector<Message> queue_ ADASUM_GUARDED_BY(mutex_);
+  // Reorder-faulted messages awaiting release.
+  std::vector<Message> held_ ADASUM_GUARDED_BY(mutex_);
 };
 
 }  // namespace adasum

@@ -10,18 +10,6 @@ namespace adasum {
 
 namespace {
 
-// One spin-loop breath: a pause-class instruction where the ISA has one, so
-// the spinning hyperthread yields pipeline resources to the publishing core.
-inline void cpu_relax() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield" ::: "memory");
-#else
-  std::this_thread::yield();
-#endif
-}
-
 constexpr auto kWaitSliceMin = std::chrono::microseconds(100);
 constexpr auto kWaitSliceMax = std::chrono::milliseconds(16);
 
@@ -53,14 +41,27 @@ ShmTransport::~ShmTransport() = default;
 
 ShmTransport::Channel& ShmTransport::channel(int src, int dst) {
   const std::size_t idx = static_cast<std::size_t>(src) * size_ + dst;
+  // Acquire pairs with the release store below: a non-null hit implies the
+  // Channel's construction is fully visible to this thread.
   Channel* ch = channel_ptrs_[idx].load(std::memory_order_acquire);
-  if (ch != nullptr) return *ch;
-  std::lock_guard<std::mutex> lk(create_mutex_);
+  if (ch != nullptr) {
+    ADASUM_VERIFY_PLAIN_READ(ch, "shm channel init");
+    return *ch;
+  }
+  sync::lock_guard<sync::mutex> lk(create_mutex_);
+  // Relaxed is enough for the re-check: create_mutex_ orders this load
+  // after any racing creator's store, and the grid cell is only ever
+  // written under the same mutex.
   ch = channel_ptrs_[idx].load(std::memory_order_relaxed);
   if (ch == nullptr) {
     channels_.push_back(std::make_unique<Channel>());
     ch = channels_.back().get();
-    channel_ptrs_[idx].store(ch, std::memory_order_release);
+    ADASUM_VERIFY_PLAIN_WRITE(ch, "shm channel init");
+    // Release publish of the lazily built Channel; pairs with the acquire
+    // fast-path loads (here and channel_if_exists). The
+    // kChannelPublishRelaxed mutation weakens exactly this store.
+    channel_ptrs_[idx].store(
+        ch, ADASUM_MO(kChannelPublish, std::memory_order_release));
   }
   return *ch;
 }
@@ -74,10 +75,15 @@ void ShmTransport::publish_locked(Channel& ch, const TransportMeta& meta,
   // even slot is claimable — arrival stamps, not positions, carry ordering.
   for (std::size_t i = 0; i < kSlots; ++i) {
     Slot& s = ch.slots[(ch.head + i) % kSlots];
+    // Relaxed claim check: an even epoch means the slot is sender-owned and
+    // nobody else can flip it (publishes hold ch.mutex), so no ordering is
+    // needed to read it.
     const std::uint64_t e = s.epoch.load(std::memory_order_relaxed);
     if ((e & 1) != 0) continue;  // published, still unconsumed
     s.arrival = ch.arrival_next++;
     s.meta = meta;
+    // Relaxed tag mirror: it is only a scan HINT — take() re-verifies the
+    // authoritative meta.tag under the mutex before consuming.
     s.tag.store(meta.tag, std::memory_order_relaxed);
     s.is_view = is_view;
     s.view_data = view_data;
@@ -86,8 +92,11 @@ void ShmTransport::publish_locked(Channel& ch, const TransportMeta& meta,
     ch.head = (ch.head + i + 1) % kSlots;
     // The release publish: every descriptor write above — and, for a view,
     // the sender's payload writes sequenced before send_view() — becomes
-    // visible to any acquire observer of the odd epoch.
-    s.epoch.store(e + 1, std::memory_order_release);
+    // visible to any acquire observer of the odd epoch. The
+    // kSeqlockPublishRelaxed mutation weakens exactly this store.
+    s.epoch.store(e + 1, ADASUM_MO(kSeqlockPublish, std::memory_order_release));
+    // Release on the counter: orders the publish above before the counter
+    // value a racing fence() acquires.
     if (is_view) ch.views_published.fetch_add(1, std::memory_order_release);
     return;
   }
@@ -101,7 +110,12 @@ void ShmTransport::publish_locked(Channel& ch, const TransportMeta& meta,
   p.view_size = view_size;
   p.owned = std::move(owned);
   ch.parked.push_back(std::move(p));
+  // Release so a scanning receiver that observes the nonzero count also
+  // observes enough of the park to make taking the mutex worthwhile (the
+  // authoritative queue is still read under ch.mutex).
   ch.parked_count.store(ch.parked.size(), std::memory_order_release);
+  // Release on the counter: orders the park above before the counter value
+  // a racing fence() acquires.
   if (is_view) ch.views_published.fetch_add(1, std::memory_order_release);
 }
 
@@ -120,13 +134,14 @@ void ShmTransport::publish(Channel& ch, const TransportMeta& meta,
                            std::vector<std::byte> owned) {
   bool wake;
   {
-    std::lock_guard<std::mutex> lk(ch.mutex);
+    sync::lock_guard<sync::mutex> lk(ch.mutex);
     publish_locked(ch, meta, is_view, view_data, view_size, std::move(owned));
     // A reorder-held message is released BEHIND the next send: flush after
     // the newcomer so the held one gets the later arrival stamp.
     flush_held_locked(ch);
-    // waiters is written under this mutex, so reading it here cannot miss a
-    // receiver that is about to wait (it re-checks under the lock first).
+    // Relaxed: waiters is written under this mutex, so the lock (not the
+    // load's order) guarantees we cannot miss a receiver that is about to
+    // wait — it re-checks under the lock first.
     wake = ch.waiters.load(std::memory_order_relaxed) > 0;
   }
   if (wake) ch.cv.notify_all();
@@ -145,7 +160,7 @@ void ShmTransport::send_view(int src, int dst, const TransportMeta& meta,
 void ShmTransport::hold(int src, int dst, const TransportMeta& meta,
                         std::vector<std::byte> payload) {
   Channel& ch = channel(src, dst);
-  std::lock_guard<std::mutex> lk(ch.mutex);
+  sync::lock_guard<sync::mutex> lk(ch.mutex);
   Parked p;
   p.meta = meta;
   p.is_view = false;
@@ -157,23 +172,24 @@ void ShmTransport::flush_held(int src, int dst) {
   Channel& ch = channel(src, dst);
   bool wake;
   {
-    std::lock_guard<std::mutex> lk(ch.mutex);
+    sync::lock_guard<sync::mutex> lk(ch.mutex);
     flush_held_locked(ch);
+    // Relaxed: same mutex-ordered waiters handshake as publish().
     wake = ch.waiters.load(std::memory_order_relaxed) > 0;
   }
   if (wake) ch.cv.notify_all();
 }
 
 bool ShmTransport::take(Channel& ch, int tag, int src, int dst, Inbound& out,
-                        std::unique_lock<std::mutex>* locked) {
+                        sync::unique_lock<sync::mutex>* locked) {
   // Consumption happens under the channel mutex: publishes serialize on the
   // same lock, so descriptor fields need no per-field synchronization here.
   // The lock-free part of the protocol is DETECTION (the epoch/tag scan in
   // recv's spin phase) and the payload itself (epoch release/acquire orders
   // a view's bytes; the mutex orders everything else).
-  std::unique_lock<std::mutex> local;
+  sync::unique_lock<sync::mutex> local;
   if (locked == nullptr) {
-    local = std::unique_lock<std::mutex>(ch.mutex);
+    local = sync::unique_lock<sync::mutex>(ch.mutex);
     locked = &local;
   }
 
@@ -181,7 +197,12 @@ bool ShmTransport::take(Channel& ch, int tag, int src, int dst, Inbound& out,
   std::uint64_t best_arrival = 0;
   for (std::size_t i = 0; i < kSlots; ++i) {
     Slot& s = ch.slots[i];
-    if ((s.epoch.load(std::memory_order_acquire) & 1) == 0) continue;
+    // Acquire scan of the epoch: an odd observation orders every descriptor
+    // read below after the sender's release publish. The
+    // kSeqlockScanRelaxed mutation weakens exactly this load.
+    if ((s.epoch.load(ADASUM_MO(kSeqlockScan, std::memory_order_acquire)) &
+         1) == 0)
+      continue;
     if (s.meta.tag != tag) continue;
     if (best_slot == nullptr || s.arrival < best_arrival) {
       best_slot = &s;
@@ -206,6 +227,8 @@ bool ShmTransport::take(Channel& ch, int tag, int src, int dst, Inbound& out,
     Parked p = std::move(ch.parked[parked_idx]);
     ch.parked.erase(ch.parked.begin() +
                     static_cast<std::ptrdiff_t>(parked_idx));
+    // Release mirror of the authoritative (mutex-guarded) queue size; see
+    // publish_locked.
     ch.parked_count.store(ch.parked.size(), std::memory_order_release);
     out.checksum = p.meta.checksum;
     out.checked = p.meta.checked;
@@ -233,7 +256,9 @@ bool ShmTransport::take(Channel& ch, int tag, int src, int dst, Inbound& out,
   s.owned = std::vector<std::byte>();
   s.view_data = nullptr;
   s.view_size = 0;
-  // Return the slot to the sender (odd -> even).
+  // Return the slot to the sender (odd -> even). Relaxed load: we own the
+  // odd slot, nobody else can change the epoch under us. Release store: the
+  // field resets above must be visible before a sender claims the slot.
   s.epoch.store(s.epoch.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
   return true;
@@ -244,16 +269,22 @@ Transport::Inbound ShmTransport::recv(int src, int dst, int tag,
   Channel& ch = channel(src, dst);
   Inbound out;
   std::chrono::steady_clock::duration slice = kWaitSliceMin;
+  const int spin_iters = sync::spin_budget(spin_iters_);
   for (;;) {
     // Fast path: cv-free bounded spin over the ring. Loads are all atomics
     // (epoch acquire, tag relaxed) so the scan is race-free; a hit is only a
     // hint — the locked take() re-verifies and may lose a race.
-    for (int i = 0; i < spin_iters_; ++i) {
+    for (int i = 0; i < spin_iters; ++i) {
+      // Relaxed count probe: a stale zero only delays the hit to the locked
+      // re-check; a nonzero sends us straight to take().
       bool hit = ch.parked_count.load(std::memory_order_relaxed) > 0;
       if (!hit) {
         for (std::size_t sidx = 0; sidx < kSlots; ++sidx) {
           const Slot& s = ch.slots[sidx];
-          if ((s.epoch.load(std::memory_order_acquire) & 1) != 0 &&
+          // Acquire epoch / relaxed tag hint: same scan contract as take().
+          if ((s.epoch.load(
+                   ADASUM_MO(kSeqlockScan, std::memory_order_acquire)) &
+               1) != 0 &&
               s.tag.load(std::memory_order_relaxed) == tag) {
             hit = true;
             break;
@@ -261,18 +292,23 @@ Transport::Inbound ShmTransport::recv(int src, int dst, int tag,
         }
       }
       if (hit && take(ch, tag, src, dst, out, nullptr)) return out;
+      // Relaxed abort probe: the slow path re-checks before throwing.
       if ((i & 63) == 63 && aborted.load(std::memory_order_relaxed)) break;
       if (oversubscribed_)
-        std::this_thread::yield();  // hand the core to the publishing peer
+        sync::spin_yield();  // hand the core to the publishing peer
       else
-        cpu_relax();
+        sync::cpu_relax();
     }
     // Slow path. A queued match wins over abort, so try once more under the
     // lock before surrendering to WorldAborted.
-    std::unique_lock<std::mutex> lk(ch.mutex);
+    sync::unique_lock<sync::mutex> lk(ch.mutex);
     if (take(ch, tag, src, dst, out, &lk)) return out;
+    // Relaxed: the mutex already orders this load against notify_abort's
+    // lock/unlock of the same channel.
     if (aborted.load(std::memory_order_relaxed))
       throw WorldAborted();
+    // Relaxed: waiters is only read under ch.mutex (publish) or as a skip
+    // hint; registration happens while holding the lock.
     ch.waiters.fetch_add(1, std::memory_order_relaxed);
     ch.cv.wait_for(lk, slice);
     ch.waiters.fetch_sub(1, std::memory_order_relaxed);
@@ -289,15 +325,20 @@ Transport::RecvStatus ShmTransport::recv_wait(
     std::chrono::steady_clock::time_point deadline, Inbound& out) {
   Channel& ch = channel(src, dst);
   std::chrono::steady_clock::duration slice = kWaitSliceMin;
+  const int spin_iters = sync::spin_budget(spin_iters_ / 4);
   for (;;) {
     // Shorter spin than recv(): this path is the fault-tolerant one, where
     // the peer may be dead and spin cycles are pure waste.
-    for (int i = 0; i < spin_iters_ / 4; ++i) {
+    for (int i = 0; i < spin_iters; ++i) {
+      // Relaxed count probe: see recv().
       bool hit = ch.parked_count.load(std::memory_order_relaxed) > 0;
       if (!hit) {
         for (std::size_t sidx = 0; sidx < kSlots; ++sidx) {
           const Slot& s = ch.slots[sidx];
-          if ((s.epoch.load(std::memory_order_acquire) & 1) != 0 &&
+          // Acquire epoch / relaxed tag hint: same scan contract as take().
+          if ((s.epoch.load(
+                   ADASUM_MO(kSeqlockScan, std::memory_order_acquire)) &
+               1) != 0 &&
               s.tag.load(std::memory_order_relaxed) == tag) {
             hit = true;
             break;
@@ -306,24 +347,28 @@ Transport::RecvStatus ShmTransport::recv_wait(
       }
       if (hit && take(ch, tag, src, dst, out, nullptr))
         return RecvStatus::kOk;
+      // Relaxed liveness probes: the locked slow path re-checks both.
       if ((i & 63) == 63 && (aborted.load(std::memory_order_relaxed) ||
                              src_dead.load(std::memory_order_relaxed)))
         break;
       if (oversubscribed_)
-        std::this_thread::yield();
+        sync::spin_yield();
       else
-        cpu_relax();
+        sync::cpu_relax();
     }
     // Completed deliveries win over every failure report, matching
     // Mailbox::pop_wait's priority order: ok > aborted > peer-dead >
     // timeout.
-    std::unique_lock<std::mutex> lk(ch.mutex);
+    sync::unique_lock<sync::mutex> lk(ch.mutex);
     if (take(ch, tag, src, dst, out, &lk)) return RecvStatus::kOk;
+    // Relaxed: mutex-ordered against the abort/death publication, as in
+    // recv().
     if (aborted.load(std::memory_order_relaxed)) return RecvStatus::kAborted;
     if (src_dead.load(std::memory_order_relaxed))
       return RecvStatus::kPeerDead;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return RecvStatus::kTimeout;
+    // Relaxed: same mutex-held registration as recv().
     ch.waiters.fetch_add(1, std::memory_order_relaxed);
     ch.cv.wait_for(lk, std::min<std::chrono::steady_clock::duration>(
                            slice, deadline - now));
@@ -340,10 +385,12 @@ void ShmTransport::release(Inbound&& in) {
     // The receiver is done reading the sender's span: retire it. The
     // release increment pairs with fence()'s acquire load, ordering every
     // payload read sequenced before this call ahead of the sender's next
-    // write to that buffer.
+    // write to that buffer. The kViewConsumeRelaxed mutation weakens
+    // exactly this increment.
     Channel* ch = channel_if_exists(in.src, in.dst);
     if (ch != nullptr)
-      ch->views_consumed.fetch_add(1, std::memory_order_release);
+      ch->views_consumed.fetch_add(
+          1, ADASUM_MO(kViewConsume, std::memory_order_release));
     return;
   }
   pool_.release(std::move(in.owned));
@@ -353,19 +400,28 @@ void ShmTransport::fence(int rank, const std::atomic<bool>& aborted) {
   // Wait until every view this rank published (on any outgoing channel) has
   // been consumed. Views retire quickly — the receiver is actively reducing
   // over them — so spin briefly, then yield; abort breaks the wait.
+  const int spin_iters = sync::spin_budget(spin_iters_);
   for (int dst = 0; dst < size_; ++dst) {
     if (dst == rank) continue;
     Channel* ch = channel_if_exists(rank, dst);
     if (ch == nullptr) continue;
     int spins = 0;
-    while (ch->views_consumed.load(std::memory_order_acquire) <
+    // Acquire on consumed pairs with release()'s increment, ordering the
+    // receiver's payload reads before this rank's next buffer write.
+    // Relaxed on published: this rank wrote it itself. The
+    // kFenceConsumeWindow mutation lets the fence tolerate one unconsumed
+    // view (slack 0 everywhere else).
+    while (ch->views_consumed.load(std::memory_order_acquire) +
+               ADASUM_VERIFY_FENCE_SLACK() <
            ch->views_published.load(std::memory_order_relaxed)) {
+      // Relaxed abort probe: fence() holds no lock; the throw path needs no
+      // ordering beyond the flag itself.
       if (aborted.load(std::memory_order_relaxed))
         throw WorldAborted();
-      if (++spins < spin_iters_) {
-        cpu_relax();
+      if (++spins < spin_iters) {
+        sync::cpu_relax();
       } else {
-        std::this_thread::yield();
+        sync::spin_yield();
       }
     }
   }
@@ -374,7 +430,9 @@ void ShmTransport::fence(int rank, const std::atomic<bool>& aborted) {
 std::size_t ShmTransport::pending(int src, int dst) {
   Channel* ch = channel_if_exists(src, dst);
   if (ch == nullptr) return 0;
-  std::lock_guard<std::mutex> lk(ch->mutex);
+  sync::lock_guard<sync::mutex> lk(ch->mutex);
+  // Relaxed: an advisory count; the mutex orders parked, and the epoch scan
+  // tolerates concurrent receiver take()s (it is a snapshot either way).
   std::size_t n = ch->parked.size();
   for (std::size_t i = 0; i < kSlots; ++i)
     if ((ch->slots[i].epoch.load(std::memory_order_relaxed) & 1) != 0) ++n;
@@ -384,13 +442,17 @@ std::size_t ShmTransport::pending(int src, int dst) {
 std::size_t ShmTransport::drain(int src, int dst) {
   Channel* ch = channel_if_exists(src, dst);
   if (ch == nullptr) return 0;
-  std::lock_guard<std::mutex> lk(ch->mutex);
+  sync::lock_guard<sync::mutex> lk(ch->mutex);
   std::size_t n = 0;
   for (std::size_t i = 0; i < kSlots; ++i) {
     Slot& s = ch->slots[i];
+    // Relaxed load: drain runs post-abort with no live receiver racing the
+    // scan; odd slots are ours to reclaim.
     const std::uint64_t e = s.epoch.load(std::memory_order_relaxed);
     if ((e & 1) == 0) continue;
     if (s.is_view) {
+      // Release: a fencing sender must see its view retired (pairs with
+      // fence()'s acquire), same contract as release().
       ch->views_consumed.fetch_add(1, std::memory_order_release);
     } else {
       pool_.release(std::move(s.owned));
@@ -398,6 +460,8 @@ std::size_t ShmTransport::drain(int src, int dst) {
     s.owned = std::vector<std::byte>();
     s.view_data = nullptr;
     s.view_size = 0;
+    // Release: field resets above must be visible before a sender reclaims
+    // the now-even slot.
     s.epoch.store(e + 1, std::memory_order_release);
     ++n;
   }
@@ -413,6 +477,8 @@ std::size_t ShmTransport::drain(int src, int dst) {
     q.clear();
   };
   discard(ch->parked);
+  // Release: mirrors publish_locked's parked_count contract (count visible
+  // after the queue mutation it summarizes).
   ch->parked_count.store(0, std::memory_order_release);
   discard(ch->held);
   return n;
@@ -427,7 +493,7 @@ std::size_t ShmTransport::drain_all() {
 
 void ShmTransport::reserve_depth(int src, int dst, std::size_t depth) {
   Channel& ch = channel(src, dst);
-  std::lock_guard<std::mutex> lk(ch.mutex);
+  sync::lock_guard<sync::mutex> lk(ch.mutex);
   ch.parked.reserve(depth);
 }
 
@@ -435,7 +501,7 @@ void ShmTransport::notify_abort() {
   // Wake every parked receiver so its aborted-flag check runs. Waits are
   // slice-bounded, so a wakeup racing past an about-to-wait receiver only
   // costs one slice, never a hang.
-  std::lock_guard<std::mutex> clk(create_mutex_);
+  sync::lock_guard<sync::mutex> clk(create_mutex_);
   for (auto& ch : channels_) ch->cv.notify_all();
 }
 

@@ -44,13 +44,14 @@
 // caller starts the next training step.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "comm/transport.h"
+#include "verify/mutation.h"
+#include "verify/sync.h"
 
 namespace adasum {
 
@@ -108,10 +109,10 @@ class ShmTransport final : public Transport {
 
   struct Slot {
     // Even: sender-owned (empty). Odd: published (full). See header comment.
-    std::atomic<std::uint64_t> epoch{0};
+    sync::atomic<std::uint64_t> epoch{0};
     // Mirror of meta.tag readable by the lock-free detection scan (the
     // authoritative copy in `meta` is only touched under the channel mutex).
-    std::atomic<int> tag{0};
+    sync::atomic<int> tag{0};
     std::uint64_t arrival = 0;
     TransportMeta meta{};
     bool is_view = false;
@@ -136,27 +137,36 @@ class ShmTransport final : public Transport {
     // Sender-side state, all guarded by mutex (publishes serialize on it so
     // arrival stamps are contiguous even with a background engine thread
     // sending next to the rank thread).
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::uint64_t head = 0;          // next ring slot to claim
-    std::uint64_t arrival_next = 0;  // delivery-order stamp
-    std::vector<Parked> parked;      // ring overflow, arrival-ordered
-    std::vector<Parked> held;        // reorder-faulted, awaiting release
+    sync::mutex mutex;
+    sync::condition_variable cv;
+    // Next ring slot to claim.
+    std::uint64_t head ADASUM_GUARDED_BY(mutex) = 0;
+    // Delivery-order stamp.
+    std::uint64_t arrival_next ADASUM_GUARDED_BY(mutex) = 0;
+    // Ring overflow, arrival-ordered.
+    std::vector<Parked> parked ADASUM_GUARDED_BY(mutex);
+    // Reorder-faulted, awaiting release.
+    std::vector<Parked> held ADASUM_GUARDED_BY(mutex);
     // Receiver-visible summaries, so the lock-free scan can skip the mutex
     // when there is nothing parked and senders can skip the notify when
     // nobody waits.
-    std::atomic<std::size_t> parked_count{0};
-    std::atomic<int> waiters{0};
+    sync::atomic<std::size_t> parked_count{0};
+    sync::atomic<int> waiters{0};
     // View retirement counters for fence().
-    std::atomic<std::uint64_t> views_published{0};
-    std::atomic<std::uint64_t> views_consumed{0};
+    sync::atomic<std::uint64_t> views_published{0};
+    sync::atomic<std::uint64_t> views_consumed{0};
     alignas(64) Slot slots[kSlots];
   };
 
   Channel& channel(int src, int dst);
   Channel* channel_if_exists(int src, int dst) const {
-    return channel_ptrs_[static_cast<std::size_t>(src) * size_ + dst].load(
-        std::memory_order_acquire);
+    // Acquire pairs with channel()'s release store: a non-null pointer
+    // implies the Channel's construction is fully visible.
+    Channel* ch =
+        channel_ptrs_[static_cast<std::size_t>(src) * size_ + dst].load(
+            std::memory_order_acquire);
+    if (ch != nullptr) ADASUM_VERIFY_PLAIN_READ(ch, "shm channel init");
+    return ch;
   }
 
   // Enqueues under ch.mutex (ring slot if the head slot is free, parked
@@ -166,12 +176,15 @@ class ShmTransport final : public Transport {
                std::vector<std::byte> owned);
   void publish_locked(Channel& ch, const TransportMeta& meta, bool is_view,
                       const std::byte* view_data, std::size_t view_size,
-                      std::vector<std::byte> owned);
-  void flush_held_locked(Channel& ch);
+                      std::vector<std::byte> owned)
+      ADASUM_REQUIRES(ch.mutex);
+  void flush_held_locked(Channel& ch) ADASUM_REQUIRES(ch.mutex);
   // Takes the lowest-arrival message matching `tag`. `locked` is non-null
-  // when the caller already holds ch.mutex (the cv slow path).
+  // when the caller already holds ch.mutex (the cv slow path). Conditional
+  // locking is beyond the static analysis, hence the suppression.
   bool take(Channel& ch, int tag, int src, int dst, Inbound& out,
-            std::unique_lock<std::mutex>* locked);
+            sync::unique_lock<sync::mutex>* locked)
+      ADASUM_NO_THREAD_SAFETY_ANALYSIS;
 
   int size_;
   BufferPool& pool_;
@@ -182,9 +195,10 @@ class ShmTransport final : public Transport {
   int spin_iters_ = kSpinIters;
   // Lazily created channels: the atomic pointer grid is the lookup path
   // (lock-free after creation), the unique_ptr list the owner.
-  std::vector<std::atomic<Channel*>> channel_ptrs_;
-  std::vector<std::unique_ptr<Channel>> channels_;
-  std::mutex create_mutex_;
+  std::vector<sync::atomic<Channel*>> channel_ptrs_;
+  std::vector<std::unique_ptr<Channel>> channels_ ADASUM_GUARDED_BY(
+      create_mutex_);
+  sync::mutex create_mutex_;
 };
 
 }  // namespace adasum

@@ -12,6 +12,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 
 #include "base/logging.h"
@@ -154,9 +155,15 @@ std::unique_ptr<Transport> make_transport_from_env(int world_size,
   const std::string_view requested = env != nullptr ? env : "";
   std::unique_ptr<Transport> t = make_transport(requested, world_size, pool);
   if (t == nullptr) {
-    ADASUM_LOG(Warning) << "ADASUM_TRANSPORT=" << std::string(requested)
-                        << " is not a known transport (mailbox|shm); using "
-                           "mailbox";
+    // Warn once per process: tests and benchmark sweeps construct many
+    // Worlds, and repeating the same misconfiguration line per World buries
+    // the signal it carries.
+    static std::once_flag warned;
+    std::call_once(warned, [&]() {
+      ADASUM_LOG(Warning) << "ADASUM_TRANSPORT=" << std::string(requested)
+                          << " is not a known transport (mailbox|shm); using "
+                             "mailbox";
+    });
     t = make_transport("mailbox", world_size, pool);
   }
   return t;

@@ -17,7 +17,7 @@ std::size_t Mailbox::drain_into(BufferPool& pool) {
   std::vector<Message> stale;
   std::vector<Message> stale_held;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::lock_guard<sync::mutex> lock(mutex_);
     stale.swap(queue_);
     stale_held.swap(held_);
   }

@@ -1,0 +1,273 @@
+#include "verify/explore.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <random>
+#include <set>
+
+namespace adasum::verify {
+
+namespace {
+
+const Candidate* find_tid(const std::vector<Candidate>& cands, int tid) {
+  for (const Candidate& c : cands)
+    if (c.tid == tid) return &c;
+  return nullptr;
+}
+
+std::size_t index_of_tid(const std::vector<Candidate>& cands, int tid) {
+  for (std::size_t i = 0; i < cands.size(); ++i)
+    if (cands[i].tid == tid) return i;
+  return 0;  // divergence fallback; candidates are keyed by stable tids
+}
+
+// ---- DFS with sleep sets -------------------------------------------------
+//
+// One node per decision point (>= 2 candidates). Candidate OBJECTS are
+// refreshed every run (heap addresses change between schedules; tids are the
+// stable identity), so nodes store only tid sets and the per-run replay
+// keeps this run's candidate vectors for backtracking.
+class DfsState {
+ public:
+  void begin_run() {
+    depth_ = 0;
+    cur_sleep_.clear();
+    run_cands_.clear();
+  }
+
+  std::size_t choose(const std::vector<Candidate>& cands) {
+    if (cands.size() < 2) {
+      // Forced op: no node, but sleep sets still propagate through it —
+      // an op dependent on a sleeper's pending op wakes the sleeper.
+      if (!cands.empty()) propagate(cands, cands[0]);
+      return 0;
+    }
+    int chosen_tid;
+    if (depth_ < stack_.size()) {
+      // Replaying the planned prefix. The branch's sleep set is the node's
+      // entry sleep plus every sibling explored before this branch.
+      Node& node = stack_[depth_];
+      chosen_tid = node.chosen;
+      cur_sleep_ = node.entry_sleep;
+      for (int t : node.explored)
+        if (t != node.chosen) cur_sleep_.insert(t);
+    } else {
+      // Frontier: create a node whose entry sleep is the propagated set.
+      Node node;
+      node.entry_sleep = cur_sleep_;
+      chosen_tid = -1;
+      for (const Candidate& c : cands) {
+        if (cur_sleep_.count(c.tid) == 0) {
+          chosen_tid = c.tid;
+          break;
+        }
+      }
+      // All candidates asleep: a sleep-set-blocked branch. Executing the
+      // lowest anyway is redundant work, never missed coverage.
+      if (chosen_tid < 0) chosen_tid = cands.front().tid;
+      node.chosen = chosen_tid;
+      node.explored.insert(chosen_tid);
+      stack_.push_back(std::move(node));
+    }
+    if (run_cands_.size() <= depth_) run_cands_.resize(depth_ + 1);
+    run_cands_[depth_] = cands;
+    const std::size_t idx = index_of_tid(cands, chosen_tid);
+    propagate(cands, cands[idx]);
+    ++depth_;
+    return idx;
+  }
+
+  // Advance to the next unexplored branch; false when the space is done.
+  bool advance() {
+    // A report/truncation can end a run before the full planned prefix
+    // replayed; drop nodes this run never reached.
+    if (run_cands_.size() < stack_.size()) stack_.resize(run_cands_.size());
+    while (!stack_.empty()) {
+      Node& node = stack_.back();
+      const std::vector<Candidate>& cands = run_cands_[stack_.size() - 1];
+      int next_tid = -1;
+      for (const Candidate& c : cands) {
+        if (node.explored.count(c.tid) == 0 &&
+            node.entry_sleep.count(c.tid) == 0) {
+          next_tid = c.tid;
+          break;
+        }
+      }
+      if (next_tid >= 0) {
+        node.chosen = next_tid;
+        node.explored.insert(next_tid);
+        return true;
+      }
+      stack_.pop_back();
+      run_cands_.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  struct Node {
+    std::set<int> entry_sleep;  // tids asleep on entering this node
+    std::set<int> explored;     // branches taken so far (incl. current)
+    int chosen = -1;
+  };
+
+  void propagate(const std::vector<Candidate>& cands, const Candidate& ran) {
+    std::set<int> next;
+    for (int t : cur_sleep_) {
+      if (t == ran.tid) continue;
+      const Candidate* pending = find_tid(cands, t);
+      // A sleeper whose pending op is disabled (absent) stays out of the
+      // set: when re-enabled its op may differ. Conservative, never prunes.
+      if (pending != nullptr && !dependent(*pending, ran)) next.insert(t);
+    }
+    cur_sleep_ = next;
+  }
+
+  std::vector<Node> stack_;
+  std::size_t depth_ = 0;
+  std::set<int> cur_sleep_;
+  std::vector<std::vector<Candidate>> run_cands_;
+};
+
+// ---- PCT -----------------------------------------------------------------
+class PctChooser {
+ public:
+  PctChooser(std::uint64_t seed, int depth, std::uint64_t horizon)
+      : rng_(seed) {
+    const std::uint64_t span = horizon == 0 ? 1 : horizon;
+    for (int i = 1; i < depth; ++i)
+      change_points_.push_back(rng_() % span + 1);
+    std::sort(change_points_.begin(), change_points_.end());
+  }
+
+  std::size_t operator()(const std::vector<Candidate>& cands,
+                         std::uint64_t step) {
+    while (next_cp_ < change_points_.size() &&
+           step >= change_points_[next_cp_]) {
+      // Priority change point: the thread running at this step falls to the
+      // bottom of the priority order.
+      if (last_chosen_ >= 0) prio_[last_chosen_] = demote_next_--;
+      ++next_cp_;
+    }
+    std::size_t best = 0;
+    std::int64_t best_prio = std::numeric_limits<std::int64_t>::min();
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const std::int64_t p = priority(cands[i].tid);
+      if (p > best_prio) {
+        best_prio = p;
+        best = i;  // cands sorted by tid: ties go to the lowest tid
+      }
+    }
+    last_chosen_ = cands[best].tid;
+    return best;
+  }
+
+ private:
+  std::int64_t priority(int tid) {
+    auto it = prio_.find(tid);
+    if (it != prio_.end()) return it->second;
+    // Lazily drawn base priorities sit far above the demotion band.
+    const std::int64_t p =
+        static_cast<std::int64_t>(rng_() % (1u << 20)) + (1 << 20);
+    prio_.emplace(tid, p);
+    return p;
+  }
+
+  std::mt19937_64 rng_;
+  std::vector<std::uint64_t> change_points_;
+  std::size_t next_cp_ = 0;
+  std::map<int, std::int64_t> prio_;
+  std::int64_t demote_next_ = 0;  // 0, -1, -2, ... below every base priority
+  int last_chosen_ = -1;
+};
+
+void record_schedule(ExploreResult& res, const Runtime& rt) {
+  ++res.schedules;
+  if (rt.truncated()) ++res.truncated;
+}
+
+// First failing schedule wins; later ones only bump counters.
+bool record_failure(ExploreResult& res, const Runtime& rt) {
+  if (rt.reports().empty()) return false;
+  if (res.reports.empty()) {
+    res.reports = rt.reports();
+    res.first_report_trace = rt.trace_string();
+    for (const Runtime::Decision& d : rt.decisions())
+      res.first_report_plan.push_back(d.cands[d.chosen].tid);
+  }
+  return true;
+}
+
+}  // namespace
+
+ExploreResult explore(const ExploreOptions& opts,
+                      const std::function<void(Runtime&)>& body) {
+  ExploreResult res;
+  if (opts.strategy == Strategy::kDfs) {
+    DfsState dfs;
+    bool more = true;
+    while (more && res.schedules < opts.max_schedules) {
+      dfs.begin_run();
+      Runtime rt(opts.runtime,
+                 [&dfs](const std::vector<Candidate>& cands, std::uint64_t) {
+                   return dfs.choose(cands);
+                 });
+      body(rt);
+      record_schedule(res, rt);
+      if (record_failure(res, rt) && opts.stop_on_first_report) return res;
+      more = dfs.advance();
+    }
+    res.complete = !more;
+    return res;
+  }
+
+  for (std::uint64_t s = 0; s < opts.seed_count; ++s) {
+    if (res.schedules >= opts.max_schedules) break;
+    const std::uint64_t seed = opts.seed_begin + s;
+    PctChooser pct(seed, opts.pct_depth, opts.pct_step_horizon);
+    Runtime rt(opts.runtime,
+               [&pct](const std::vector<Candidate>& cands,
+                      std::uint64_t step) { return pct(cands, step); });
+    body(rt);
+    record_schedule(res, rt);
+    if (!rt.reports().empty()) {
+      if (res.reports.empty()) res.first_report_seed = seed;
+      record_failure(res, rt);
+      if (opts.stop_on_first_report) return res;
+    }
+  }
+  return res;  // sampling is never "complete"
+}
+
+ExploreResult run_seed(const ExploreOptions& opts, std::uint64_t seed,
+                       const std::function<void(Runtime&)>& body) {
+  ExploreOptions one = opts;
+  one.strategy = Strategy::kPct;
+  one.seed_begin = seed;
+  one.seed_count = 1;
+  one.stop_on_first_report = false;
+  ExploreResult res = explore(one, body);
+  res.first_report_seed = seed;
+  return res;
+}
+
+ExploreResult run_plan(const ExploreOptions& opts,
+                       const std::vector<int>& plan,
+                       const std::function<void(Runtime&)>& body) {
+  ExploreResult res;
+  std::size_t k = 0;
+  Runtime rt(opts.runtime,
+             [&plan, &k](const std::vector<Candidate>& cands, std::uint64_t) {
+               if (cands.size() < 2) return std::size_t{0};
+               const int tid = k < plan.size() ? plan[k] : cands.front().tid;
+               ++k;
+               return index_of_tid(cands, tid);
+             });
+  body(rt);
+  record_schedule(res, rt);
+  record_failure(res, rt);
+  return res;
+}
+
+}  // namespace adasum::verify

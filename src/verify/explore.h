@@ -1,0 +1,81 @@
+// Schedule exploration strategies over verify::Runtime (DESIGN.md §16.3).
+//
+// explore() runs `body` once per schedule with a fresh Runtime, steering the
+// interleaving through the Runtime's chooser:
+//
+//  - kDfs: bounded exhaustive depth-first enumeration with sleep sets
+//    (DPOR-lite). Commuting choices (dependent() == false for every pair
+//    member) are pruned; the search is complete for the modeled semantics
+//    when it exhausts the frontier within max_schedules. Used for the 2-3
+//    rank transport kernels where the full space is small.
+//
+//  - kPct: probabilistic concurrency testing. Each seed draws random thread
+//    priorities plus pct_depth-1 priority change points; the highest-priority
+//    runnable candidate wins every decision. A schedule is a pure function
+//    of its seed, so a failing seed replays bit-for-bit (run_seed).
+//
+// `body` receives the Runtime and must spawn the world's threads, each
+// opening a ThreadScope with a unique tid in [0, expected_threads), and join
+// them before returning. Threads created mid-schedule go through
+// sync::thread, which reserves tids deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/runtime.h"
+
+namespace adasum::verify {
+
+enum class Strategy {
+  kDfs,  // bounded exhaustive, sleep-set pruned
+  kPct,  // seeded random-priority sampling
+};
+
+struct ExploreOptions {
+  Strategy strategy = Strategy::kDfs;
+  Runtime::Options runtime;
+  // Hard cap on schedules for either strategy (DFS completeness requires the
+  // frontier to exhaust below this).
+  std::uint64_t max_schedules = 4096;
+  // kPct: seeds [seed_begin, seed_begin + seed_count) are run in order.
+  std::uint64_t seed_begin = 0;
+  std::uint64_t seed_count = 64;
+  // kPct: number of priority bands (change points = pct_depth - 1).
+  int pct_depth = 3;
+  // kPct: change points are drawn uniformly from [1, pct_step_horizon].
+  std::uint64_t pct_step_horizon = 256;
+  bool stop_on_first_report = true;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules = 0;
+  std::uint64_t truncated = 0;  // schedules that hit max_steps
+  // kDfs only: the sleep-set frontier was exhausted within max_schedules —
+  // every non-commuting interleaving of the modeled ops was covered.
+  bool complete = false;
+  // Reports from the first failing schedule (empty when all ran clean).
+  std::vector<Report> reports;
+  // Replay coordinates of the first failing schedule.
+  std::uint64_t first_report_seed = 0;        // kPct: the seed
+  std::vector<int> first_report_plan;         // kDfs: tid per decision point
+  std::string first_report_trace;
+};
+
+ExploreResult explore(const ExploreOptions& opts,
+                      const std::function<void(Runtime&)>& body);
+
+// Replay one PCT schedule by seed. Deterministic: identical trace, identical
+// reports, every time.
+ExploreResult run_seed(const ExploreOptions& opts, std::uint64_t seed,
+                       const std::function<void(Runtime&)>& body);
+
+// Replay one schedule from a DFS decision plan (tid chosen at each decision
+// point, first_report_plan from a prior run).
+ExploreResult run_plan(const ExploreOptions& opts,
+                       const std::vector<int>& plan,
+                       const std::function<void(Runtime&)>& body);
+
+}  // namespace adasum::verify

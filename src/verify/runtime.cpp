@@ -1,0 +1,1051 @@
+#include "verify/runtime.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "analysis/trace_format.h"
+#include "base/check.h"
+
+namespace adasum::verify {
+
+namespace {
+
+thread_local Runtime* g_tls_runtime = nullptr;
+thread_local int g_tls_tid = -1;
+
+bool acquire_class(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst ||
+         // consume is treated as acquire (conservative; no dependency
+         // tracking — same promotion every compiler performs today).
+         mo == std::memory_order_consume;
+}
+
+bool release_class(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+const char* mo_name(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+// Ops whose grant can change state another thread is spinning on (or, for
+// notifies, waiting on). These release spin-blocked threads and reset the
+// virtual-timeout hang counter.
+bool write_class(OpKind k) {
+  switch (k) {
+    case OpKind::kAtomicStore:
+    case OpKind::kAtomicRmw:
+    case OpKind::kMutexUnlock:
+    case OpKind::kCvWait:       // performs the atomic mutex release
+    case OpKind::kCvWaitTimed:
+    case OpKind::kCvNotifyOne:
+    case OpKind::kCvNotifyAll:
+    case OpKind::kPoint:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Vector clock. Thread ids are dense and tiny (schedules run 2-8 threads),
+// so a plain vector with implicit-zero tail is the whole story.
+struct VC {
+  std::vector<std::uint32_t> v;
+
+  std::uint32_t get(int i) const {
+    const auto u = static_cast<std::size_t>(i);
+    return u < v.size() ? v[u] : 0;
+  }
+  void set(int i, std::uint32_t x) {
+    const auto u = static_cast<std::size_t>(i);
+    if (u >= v.size()) v.resize(u + 1, 0);
+    v[u] = x;
+  }
+  void tick(int i) { set(i, get(i) + 1); }
+  void join(const VC& o) {
+    if (o.v.size() > v.size()) v.resize(o.v.size(), 0);
+    for (std::size_t i = 0; i < o.v.size(); ++i)
+      v[i] = std::max(v[i], o.v[i]);
+  }
+  void assign(const VC& o) { v = o.v; }
+  void clear() { v.clear(); }
+};
+
+}  // namespace
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kThreadStart: return "thread-start";
+    case OpKind::kThreadExit: return "thread-exit";
+    case OpKind::kThreadCreate: return "thread-create";
+    case OpKind::kThreadJoin: return "thread-join";
+    case OpKind::kAtomicLoad: return "atomic-load";
+    case OpKind::kAtomicStore: return "atomic-store";
+    case OpKind::kAtomicRmw: return "atomic-rmw";
+    case OpKind::kMutexLock: return "mutex-lock";
+    case OpKind::kMutexUnlock: return "mutex-unlock";
+    case OpKind::kCvWait: return "cv-wait";
+    case OpKind::kCvWaitTimed: return "cv-wait-timed";
+    case OpKind::kCvNotifyOne: return "cv-notify-one";
+    case OpKind::kCvNotifyAll: return "cv-notify-all";
+    case OpKind::kSpin: return "spin";
+    case OpKind::kPoint: return "point";
+    case OpKind::kStoreFence: return "store-fence";
+  }
+  return "?";
+}
+
+std::string Report::render() const {
+  std::string out = message;
+  out += '\n';
+  out += detail;
+  if (!trace.empty()) {
+    out += analysis::format_block("schedule trace:", trace);
+  }
+  return out;
+}
+
+bool dependent(const Candidate& a, const Candidate& b) {
+  if (a.tid == b.tid) return true;
+  // Spin pauses carry no state, but a write-class grant releases
+  // spin-blocked threads — order them conservatively so sleep sets never
+  // prune an enabling difference.
+  if ((a.kind == OpKind::kSpin && write_class(b.kind)) ||
+      (b.kind == OpKind::kSpin && write_class(a.kind)))
+    return true;
+  const auto overlaps = [](const Candidate& x, const Candidate& y) {
+    return (x.obj != nullptr && (x.obj == y.obj || x.obj == y.obj2)) ||
+           (x.obj2 != nullptr && (x.obj2 == y.obj || x.obj2 == y.obj2));
+  };
+  if (!overlaps(a, b)) return false;
+  if (a.kind == OpKind::kAtomicLoad && b.kind == OpKind::kAtomicLoad)
+    return false;  // loads of the same atomic commute
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+struct Runtime::ThreadRec {
+  enum class St {
+    kUnattached,
+    kParked,      // announced, awaiting grant (may be ineligible)
+    kRunning,     // holds the baton
+    kBlockedCv,   // cv wait applied, mutex released
+    kSpinBlocked, // exceeded futile-spin threshold
+    kExited,
+  };
+
+  int tid = -1;
+  St st = St::kUnattached;
+  Candidate pending{};
+  bool has_pending = false;
+  bool granted = false;
+  bool grant_is_timeout = false;  // timed cv wake reason
+  bool wait_applied = false;      // cv wait reached its grant (mutex released)
+  bool wait_timed = false;
+  const void* wait_cv = nullptr;
+  const void* wait_mutex = nullptr;
+  int join_target = -1;
+  int created_child = -1;
+  int futile_spins = 0;
+  std::condition_variable park;
+  VC clock;
+  std::vector<const void*> nt_pending;  // NT stores awaiting sfence
+};
+
+struct Runtime::Impl {
+  using ThreadRec = Runtime::ThreadRec;
+  using St = ThreadRec::St;
+
+  Options opts;
+  Chooser chooser;
+  Runtime* self = nullptr;
+
+  std::mutex mu;
+  std::condition_variable attach_cv;  // thread_create waits for the child
+  std::condition_variable abort_cv;   // abort-mode modeled-mutex waits
+  std::vector<std::unique_ptr<ThreadRec>> threads;
+  int attached = 0;
+  bool started = false;
+  int running = -1;
+  bool abort_mode = false;
+  int consecutive_timeouts = 0;
+
+  struct MutexRec {
+    int owner = -1;
+    VC vc;
+  };
+  struct CvRec {
+    std::deque<int> waiters;  // FIFO wake order
+  };
+  struct AtomicRec {
+    VC rel;  // release clock (cleared by a relaxed store)
+  };
+  struct Access {
+    int tid = -1;
+    std::uint32_t clk = 0;
+    std::uint64_t at = 0;  // trace line index
+    const char* label = nullptr;
+  };
+  struct PlainRec {
+    Access write;
+    VC reads;
+    std::vector<Access> read_sites;
+    bool nt_unfenced = false;
+    bool poisoned = false;
+    const char* label = nullptr;
+  };
+  std::unordered_map<const void*, MutexRec> mutexes;
+  std::unordered_map<const void*, CvRec> cvs;
+  std::unordered_map<const void*, AtomicRec> atomics;
+  std::unordered_map<const void*, PlainRec> plains;
+
+  // Symbolic names, assigned in first-touch (grant) order so replayed
+  // schedules produce byte-identical traces despite fresh heap addresses.
+  std::unordered_map<const void*, std::string> syms;
+  int sym_next[4] = {0, 0, 0, 0};  // a(tomic) m(utex) c(v) p(lain)
+
+  struct TraceEntry {
+    std::uint64_t step = 0;  // granted-op counter at this line
+    int tid = -1;
+    std::string text;
+  };
+  std::vector<TraceEntry> trace;
+
+  ThreadRec& rec(int tid) {
+    ADASUM_CHECK_LT(static_cast<std::size_t>(tid), threads.size());
+    return *threads[static_cast<std::size_t>(tid)];
+  }
+
+  const std::string& sym(const void* obj, char cls) {
+    auto it = syms.find(obj);
+    if (it != syms.end()) return it->second;
+    int idx;
+    switch (cls) {
+      case 'a': idx = 0; break;
+      case 'm': idx = 1; break;
+      case 'c': idx = 2; break;
+      default: idx = 3; break;
+    }
+    std::string name(1, cls);
+    name += std::to_string(sym_next[idx]++);
+    return syms.emplace(obj, std::move(name)).first->second;
+  }
+
+  char cls_of(OpKind k) {
+    switch (k) {
+      case OpKind::kAtomicLoad:
+      case OpKind::kAtomicStore:
+      case OpKind::kAtomicRmw:
+        return 'a';
+      case OpKind::kMutexLock:
+      case OpKind::kMutexUnlock:
+        return 'm';
+      case OpKind::kCvWait:
+      case OpKind::kCvWaitTimed:
+      case OpKind::kCvNotifyOne:
+      case OpKind::kCvNotifyAll:
+        return 'c';
+      default:
+        return 'p';
+    }
+  }
+
+  void trace_op(const Candidate& c) {
+    std::string text = op_kind_name(c.kind);
+    if (c.obj != nullptr) {
+      text += ' ';
+      text += sym(c.obj, cls_of(c.kind));
+    }
+    if (c.kind == OpKind::kAtomicLoad || c.kind == OpKind::kAtomicStore ||
+        c.kind == OpKind::kAtomicRmw) {
+      text += ' ';
+      text += mo_name(c.mo);
+    }
+    if (c.kind == OpKind::kThreadJoin) {
+      text += " T" + std::to_string(rec_of_join_target(c));
+    }
+    trace.push_back(TraceEntry{self->step_, c.tid, std::move(text)});
+  }
+
+  int rec_of_join_target(const Candidate& c) {
+    return rec(c.tid).join_target;
+  }
+
+  void trace_plain(int tid, const char* what, const std::string& s,
+                   const char* label) {
+    std::string text(what);
+    text += ' ';
+    text += s;
+    if (label != nullptr) {
+      text += " \"";
+      text += label;
+      text += '"';
+    }
+    trace.push_back(TraceEntry{self->step_, tid, std::move(text)});
+  }
+
+  bool eligible(const ThreadRec& t) {
+    if (t.st != St::kParked || !t.has_pending) return false;
+    switch (t.pending.kind) {
+      case OpKind::kMutexLock:
+        return mutexes[t.pending.obj].owner == -1;
+      case OpKind::kThreadJoin:
+        return rec(t.join_target).st == St::kExited;
+      default:
+        return true;
+    }
+  }
+
+  void enter_abort(bool truncated) {
+    if (abort_mode) return;
+    abort_mode = true;
+    if (truncated) self->truncated_ = true;
+    for (auto& t : threads)
+      if (t) t->park.notify_all();
+    abort_cv.notify_all();
+    attach_cv.notify_all();
+  }
+
+  void report(Report r) {
+    if (self->reports_.empty()) {
+      r.trace = self->trace_string_locked(*this);
+      self->reports_.push_back(std::move(r));
+    }
+    enter_abort(false);
+  }
+
+  std::string thread_state(const ThreadRec& t) {
+    switch (t.st) {
+      case St::kUnattached: return "not yet attached";
+      case St::kRunning: return "running";
+      case St::kExited: return "exited";
+      case St::kSpinBlocked: return "spin-blocked (futile pause loop)";
+      case St::kBlockedCv: {
+        std::string s = "blocked in cv ";
+        s += t.wait_timed ? "timed wait on " : "wait on ";
+        s += sym(t.wait_cv, 'c');
+        s += " (mutex ";
+        s += sym(t.wait_mutex, 'm');
+        s += " released)";
+        return s;
+      }
+      case St::kParked: {
+        std::string s = "waiting to run ";
+        s += op_kind_name(t.pending.kind);
+        if (t.pending.kind == OpKind::kMutexLock) {
+          s += ' ';
+          s += sym(t.pending.obj, 'm');
+          const int owner = mutexes[t.pending.obj].owner;
+          if (owner >= 0) s += " (held by T" + std::to_string(owner) + ")";
+        } else if (t.pending.kind == OpKind::kThreadJoin) {
+          s += " of T" + std::to_string(t.join_target);
+        }
+        return s;
+      }
+    }
+    return "?";
+  }
+
+  std::string all_thread_states() {
+    std::string out;
+    for (auto& t : threads)
+      if (t && t->st != St::kUnattached)
+        analysis::append_thread_state(out, t->tid, thread_state(*t));
+    return out;
+  }
+
+  void grant(ThreadRec& t) {
+    t.st = St::kRunning;
+    running = t.tid;
+    t.granted = true;
+    t.park.notify_all();
+  }
+
+  void release_spinners() {
+    // A write just landed, so NO thread's spinning is futile anymore — reset
+    // every counter, not just the blocked threads'. (A spin announced before
+    // the write but granted after it must not count toward the threshold:
+    // that ordering is a scheduling accident, and counting it produces false
+    // livelocks when the writer then exits.)
+    for (auto& tp : threads) {
+      if (!tp) continue;
+      ThreadRec& t = *tp;
+      t.futile_spins = 0;
+      if (t.st != St::kSpinBlocked) continue;
+      t.st = St::kParked;
+      t.pending = Candidate{t.tid, OpKind::kSpin, nullptr,
+                            std::memory_order_seq_cst};
+      t.has_pending = true;
+    }
+  }
+
+  void poison_pending_nt(ThreadRec& t) {
+    for (const void* addr : t.nt_pending) {
+      PlainRec& p = plains[addr];
+      if (p.nt_unfenced) {
+        p.nt_unfenced = false;
+        p.poisoned = true;
+      }
+    }
+    t.nt_pending.clear();
+  }
+
+  // Applies the granted op's modeled/auditor effects. Returns true when the
+  // thread is now running (was granted), false when the op left it blocked.
+  bool apply(const Candidate& c) {
+    ThreadRec& t = rec(c.tid);
+    t.has_pending = false;
+    ++self->step_;
+    trace_op(c);
+    bool runs = true;
+
+    switch (c.kind) {
+      case OpKind::kThreadStart:
+        grant(t);
+        break;
+      case OpKind::kThreadExit:
+        t.st = St::kExited;
+        t.granted = true;
+        t.park.notify_all();
+        runs = false;  // it free-runs off the end; pick another thread
+        break;
+      case OpKind::kThreadCreate: {
+        const int child = static_cast<int>(threads.size());
+        threads.push_back(std::make_unique<ThreadRec>());
+        threads.back()->tid = child;
+        t.created_child = child;
+        grant(t);
+        break;
+      }
+      case OpKind::kThreadJoin:
+        t.clock.join(rec(t.join_target).clock);
+        grant(t);
+        break;
+      case OpKind::kAtomicLoad:
+        if (acquire_class(c.mo)) t.clock.join(atomics[c.obj].rel);
+        grant(t);
+        break;
+      case OpKind::kAtomicStore: {
+        AtomicRec& a = atomics[c.obj];
+        // Release sequence: a release store starts one (publishing the
+        // writer's clock); a relaxed store REPLACES the value without
+        // release semantics, so readers of the new value get nothing.
+        if (release_class(c.mo)) {
+          a.rel.assign(t.clock);
+        } else {
+          a.rel.clear();
+        }
+        poison_pending_nt(t);
+        grant(t);
+        break;
+      }
+      case OpKind::kAtomicRmw: {
+        AtomicRec& a = atomics[c.obj];
+        if (acquire_class(c.mo)) t.clock.join(a.rel);
+        // An RMW joins the release sequence: even a relaxed RMW preserves
+        // the existing release clock (it does not publish its own).
+        if (release_class(c.mo)) {
+          a.rel.join(t.clock);
+          poison_pending_nt(t);
+        }
+        grant(t);
+        break;
+      }
+      case OpKind::kMutexLock: {
+        MutexRec& m = mutexes[c.obj];
+        ADASUM_CHECK_EQ(m.owner, -1);
+        m.owner = c.tid;
+        t.clock.join(m.vc);
+        grant(t);
+        break;
+      }
+      case OpKind::kMutexUnlock: {
+        MutexRec& m = mutexes[c.obj];
+        m.owner = -1;
+        m.vc.assign(t.clock);
+        poison_pending_nt(t);
+        grant(t);
+        break;
+      }
+      case OpKind::kCvWait:
+      case OpKind::kCvWaitTimed: {
+        // The atomic release-and-block: the mutex unlocks at THIS grant, so
+        // a notifier that was chosen between the waiter's predicate check
+        // (before announce) and this grant can still miss the waiter —
+        // faithful pthread semantics, the lost-wakeup window included.
+        MutexRec& m = mutexes[t.wait_mutex];
+        ADASUM_CHECK_EQ(m.owner, c.tid);
+        m.owner = -1;
+        m.vc.assign(t.clock);
+        poison_pending_nt(t);
+        cvs[t.wait_cv].waiters.push_back(c.tid);
+        t.st = St::kBlockedCv;
+        t.wait_applied = true;
+        t.wait_timed = c.kind == OpKind::kCvWaitTimed;
+        runs = false;
+        break;
+      }
+      case OpKind::kCvNotifyOne:
+      case OpKind::kCvNotifyAll: {
+        CvRec& cv = cvs[c.obj];
+        const std::size_t n =
+            c.kind == OpKind::kCvNotifyAll ? cv.waiters.size()
+                                           : std::min<std::size_t>(
+                                                 1, cv.waiters.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          wake_waiter(cv.waiters.front(), /*timeout=*/false);
+          cv.waiters.pop_front();
+        }
+        grant(t);
+        break;
+      }
+      case OpKind::kSpin:
+        ++t.futile_spins;
+        if (t.futile_spins >= opts.spin_block_threshold) {
+          t.st = St::kSpinBlocked;
+          runs = false;
+        } else {
+          grant(t);
+        }
+        break;
+      case OpKind::kPoint:
+        grant(t);
+        break;
+      case OpKind::kStoreFence:
+        for (const void* addr : t.nt_pending)
+          plains[addr].nt_unfenced = false;
+        t.nt_pending.clear();
+        grant(t);
+        break;
+    }
+
+    if (write_class(c.kind)) {
+      release_spinners();
+      consecutive_timeouts = 0;
+      t.futile_spins = 0;
+    }
+    t.clock.tick(c.tid);
+    return runs;
+  }
+
+  void wake_waiter(int tid, bool timeout) {
+    ThreadRec& w = rec(tid);
+    ADASUM_CHECK(w.st == St::kBlockedCv);
+    w.st = St::kParked;
+    w.grant_is_timeout = timeout;
+    // The wake re-enters through a mutex reacquire, like a real cv.
+    w.pending = Candidate{tid, OpKind::kMutexLock, w.wait_mutex,
+                          std::memory_order_seq_cst};
+    w.has_pending = true;
+  }
+
+  // Core dispatch loop: runs inside whichever thread just announced, while
+  // no thread holds the baton. Leaves with either one thread granted, the
+  // whole schedule finished, or abort mode entered.
+  void dispatch() {
+    if (!started || running != -1 || abort_mode) return;
+    std::vector<Candidate> cands;
+    for (;;) {
+      if (self->step_ >= opts.max_steps) {
+        // Budget exhausted — not a defect, but the schedule cannot continue
+        // under control. Free-run the rest.
+        enter_abort(/*truncated=*/true);
+        return;
+      }
+      cands.clear();
+      for (auto& tp : threads) {
+        if (!tp) continue;
+        if (eligible(*tp)) {
+          Candidate c = tp->pending;
+          cands.push_back(c);
+        }
+      }
+      std::sort(cands.begin(), cands.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.tid < b.tid;
+                });
+      if (!cands.empty()) {
+        // The chooser sees singleton sets too: DFS sleep-set propagation
+        // must observe every applied op, not just branching points.
+        std::size_t idx = chooser(cands, self->step_);
+        if (idx >= cands.size()) idx = 0;
+        if (cands.size() > 1) {
+          self->decisions_.push_back(
+              Decision{cands, idx, self->step_});
+        }
+        if (apply(cands[idx])) return;  // someone is running now
+        continue;                       // the op blocked its thread; repick
+      }
+
+      // Quiescence: nobody is eligible.
+      bool any_live = false, any_timed = false, any_untimed = false,
+           any_spin = false, any_parked = false;
+      int earliest_timed = -1;
+      for (auto& tp : threads) {
+        if (!tp || tp->st == St::kUnattached || tp->st == St::kExited)
+          continue;
+        any_live = true;
+        if (tp->st == St::kBlockedCv) {
+          if (tp->wait_timed) {
+            any_timed = true;
+            if (earliest_timed < 0) earliest_timed = tp->tid;
+          } else {
+            any_untimed = true;
+          }
+        } else if (tp->st == St::kSpinBlocked) {
+          any_spin = true;
+        } else if (tp->st == St::kParked) {
+          any_parked = true;  // ineligible: mutex held / join target alive
+        }
+      }
+      if (!any_live) return;  // schedule complete
+
+      if (any_timed) {
+        // Virtual timeout: no runnable thread can produce the event a timed
+        // waiter sleeps on, so time "passes". Deterministic: lowest tid.
+        if (++consecutive_timeouts > opts.hang_timeout_cap) {
+          Report r;
+          r.kind = Report::Kind::kHang;
+          r.message =
+              "hang: " + std::to_string(consecutive_timeouts) +
+              " consecutive timed-wait timeouts with no write progress";
+          r.detail = all_thread_states();
+          report(std::move(r));
+          return;
+        }
+        // Remove from its cv's waiter queue, then requeue as a reacquire.
+        ThreadRec& w = rec(earliest_timed);
+        auto& q = cvs[w.wait_cv].waiters;
+        q.erase(std::remove(q.begin(), q.end(), earliest_timed), q.end());
+        wake_waiter(earliest_timed, /*timeout=*/true);
+        continue;
+      }
+      if (any_untimed || any_parked) {
+        Report r;
+        r.kind = Report::Kind::kDeadlock;
+        r.message = "deadlock: every live thread is blocked";
+        r.detail = all_thread_states();
+        report(std::move(r));
+        return;
+      }
+      if (any_spin) {
+        Report r;
+        r.kind = Report::Kind::kLivelock;
+        r.message =
+            "livelock: only spin-blocked threads remain (no write-class op "
+            "can release them)";
+        r.detail = all_thread_states();
+        report(std::move(r));
+        return;
+      }
+      return;
+    }
+  }
+
+  // Announce `c` for the calling (attached, running) thread and block until
+  // granted. Returns false when abort mode interrupted before the grant.
+  bool announce_and_wait(ThreadRec& t, Candidate c,
+                         std::unique_lock<std::mutex>& lk) {
+    t.pending = c;
+    t.has_pending = true;
+    t.granted = false;
+    t.wait_applied = false;
+    if (t.st == St::kRunning) {
+      t.st = St::kParked;
+      running = -1;
+    }
+    dispatch();
+    t.park.wait(lk, [&]() { return t.granted || abort_mode; });
+    const bool granted = t.granted;
+    t.granted = false;
+    return granted;
+  }
+
+  // ---- abort-mode (free-running teardown) modeled mutex ----
+  void abort_lock(int tid, const void* m, std::unique_lock<std::mutex>& lk) {
+    MutexRec& mr = mutexes[m];
+    abort_cv.wait(lk, [&]() { return mr.owner == -1; });
+    mr.owner = tid;
+  }
+  void abort_unlock(const void* m) {
+    mutexes[m].owner = -1;
+    abort_cv.notify_all();
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(const Options& opts, Chooser chooser)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opts = opts;
+  impl_->chooser = std::move(chooser);
+  impl_->self = this;
+  ADASUM_CHECK_GE(opts.expected_threads, 1);
+  for (int i = 0; i < opts.expected_threads; ++i) {
+    impl_->threads.push_back(std::make_unique<ThreadRec>());
+    impl_->threads.back()->tid = i;
+  }
+}
+
+Runtime::~Runtime() = default;
+
+bool Runtime::aborted() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->abort_mode;
+}
+
+std::string Runtime::trace_string() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return trace_string_locked(*impl_);
+}
+
+std::string Runtime::trace_string_locked(Impl& impl) const {
+  std::string out;
+  for (const auto& e : impl.trace)
+    analysis::append_trace_line(out, e.step, e.tid, e.text);
+  return out;
+}
+
+void Runtime::attach(int tid) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  ADASUM_CHECK_LT(static_cast<std::size_t>(tid), im.threads.size());
+  ThreadRec& t = im.rec(tid);
+  ADASUM_CHECK(t.st == ThreadRec::St::kUnattached);
+  g_tls_runtime = this;
+  g_tls_tid = tid;
+  ++im.attached;
+  im.attach_cv.notify_all();
+  if (im.abort_mode) {
+    t.st = ThreadRec::St::kRunning;  // free-run
+    return;
+  }
+  t.st = ThreadRec::St::kParked;
+  if (!im.started && im.attached >= im.opts.expected_threads)
+    im.started = true;
+  im.announce_and_wait(
+      t, Candidate{tid, OpKind::kThreadStart, nullptr,
+                   std::memory_order_seq_cst},
+      lk);
+}
+
+void Runtime::detach() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  ThreadRec& t = im.rec(g_tls_tid);
+  if (im.abort_mode) {
+    t.st = ThreadRec::St::kExited;
+    im.abort_cv.notify_all();
+  } else {
+    im.announce_and_wait(
+        t, Candidate{t.tid, OpKind::kThreadExit, nullptr,
+                     std::memory_order_seq_cst},
+        lk);
+    // Exit grants never carry the baton; dispatch already moved on.
+  }
+  g_tls_runtime = nullptr;
+  g_tls_tid = -1;
+}
+
+void Runtime::op_atomic(const void* addr, OpKind kind, std::memory_order mo) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  if (im.abort_mode) return;  // free-run: the real op happens uninstrumented
+  ThreadRec& t = im.rec(g_tls_tid);
+  im.announce_and_wait(t, Candidate{t.tid, kind, addr, mo}, lk);
+}
+
+void Runtime::mutex_lock(const void* m) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  ThreadRec& t = im.rec(g_tls_tid);
+  if (im.abort_mode) {
+    im.abort_lock(t.tid, m, lk);
+    return;
+  }
+  if (!im.announce_and_wait(t,
+                            Candidate{t.tid, OpKind::kMutexLock, m,
+                                      std::memory_order_seq_cst},
+                            lk)) {
+    // Abort interrupted the wait before the grant: take it the free-run way.
+    im.abort_lock(t.tid, m, lk);
+  }
+}
+
+void Runtime::mutex_unlock(const void* m) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  ThreadRec& t = im.rec(g_tls_tid);
+  if (im.abort_mode) {
+    im.abort_unlock(m);
+    return;
+  }
+  if (!im.announce_and_wait(t,
+                            Candidate{t.tid, OpKind::kMutexUnlock, m,
+                                      std::memory_order_seq_cst},
+                            lk)) {
+    im.abort_unlock(m);
+  }
+}
+
+void Runtime::cv_wait(const void* cv, const void* m) { (void)cv_wait_impl(cv, m, false); }
+
+bool Runtime::cv_wait_timed(const void* cv, const void* m) {
+  return cv_wait_impl(cv, m, true);
+}
+
+bool Runtime::cv_wait_impl(const void* cv, const void* m, bool timed) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  ThreadRec& t = im.rec(g_tls_tid);
+  if (im.abort_mode) {
+    // Spurious wake: release, "wake" instantly, reacquire. Predicate loops
+    // re-check their (now abort-satisfiable) conditions.
+    im.abort_unlock(m);
+    lk.unlock();
+    std::this_thread::yield();
+    lk.lock();
+    im.abort_lock(t.tid, m, lk);
+    return timed;  // report timed waits as timeouts during teardown
+  }
+  t.wait_cv = cv;
+  t.wait_mutex = m;
+  t.grant_is_timeout = false;
+  const bool granted = im.announce_and_wait(
+      t,
+      Candidate{t.tid, timed ? OpKind::kCvWaitTimed : OpKind::kCvWait, cv,
+                std::memory_order_seq_cst, m},
+      lk);
+  if (!granted) {
+    // Abort hit mid-wait. If the wait was applied the mutex is released —
+    // reacquire; if not, we still own it and simply return (spurious).
+    if (t.wait_applied) {
+      auto& q = im.cvs[cv].waiters;
+      q.erase(std::remove(q.begin(), q.end(), t.tid), q.end());
+      im.abort_lock(t.tid, m, lk);
+    }
+    return timed;
+  }
+  return t.grant_is_timeout;
+}
+
+void Runtime::cv_notify(const void* cv, bool all) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  if (im.abort_mode) return;  // every blocked wait already woke spuriously
+  ThreadRec& t = im.rec(g_tls_tid);
+  im.announce_and_wait(
+      t,
+      Candidate{t.tid,
+                all ? OpKind::kCvNotifyAll : OpKind::kCvNotifyOne, cv,
+                std::memory_order_seq_cst},
+      lk);
+}
+
+void Runtime::point() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  if (im.abort_mode) return;
+  ThreadRec& t = im.rec(g_tls_tid);
+  im.announce_and_wait(t,
+                       Candidate{t.tid, OpKind::kPoint, nullptr,
+                                 std::memory_order_seq_cst},
+                       lk);
+}
+
+void Runtime::spin_pause() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  if (im.abort_mode) {
+    lk.unlock();
+    std::this_thread::yield();
+    return;
+  }
+  ThreadRec& t = im.rec(g_tls_tid);
+  im.announce_and_wait(t,
+                       Candidate{t.tid, OpKind::kSpin, nullptr,
+                                 std::memory_order_seq_cst},
+                       lk);
+}
+
+void Runtime::store_fence() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  if (im.abort_mode) return;
+  ThreadRec& t = im.rec(g_tls_tid);
+  im.announce_and_wait(t,
+                       Candidate{t.tid, OpKind::kStoreFence, nullptr,
+                                 std::memory_order_seq_cst},
+                       lk);
+}
+
+void Runtime::plain_access(const void* addr, bool write, bool nt,
+                           const char* label) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  if (im.abort_mode) return;
+  ThreadRec& t = im.rec(g_tls_tid);
+  Impl::PlainRec& p = im.plains[addr];
+  if (p.label == nullptr) p.label = label;
+  const std::string& s = im.sym(addr, 'p');
+  im.trace_plain(t.tid, nt ? "nt-write" : (write ? "plain-write"
+                                                 : "plain-read"),
+                 s, label);
+  const std::uint64_t here = im.trace.size() - 1;
+
+  const auto site = [&](const Impl::Access& a) {
+    std::string d = "T" + std::to_string(a.tid);
+    d += " at trace line #" + std::to_string(a.at);
+    if (a.label != nullptr) {
+      d += " (\"";
+      d += a.label;
+      d += "\")";
+    }
+    return d;
+  };
+  const auto race = [&](const char* what, const Impl::Access& prev) {
+    Report r;
+    r.kind = Report::Kind::kDataRace;
+    r.message = "data race on ";
+    r.message += s;
+    if (label != nullptr) {
+      r.message += " (\"";
+      r.message += label;
+      r.message += "\")";
+    }
+    r.detail = "  earlier ";
+    r.detail += what;
+    r.detail += ": " + site(prev) + "\n  racing ";
+    r.detail += nt ? "nt-write" : (write ? "write" : "read");
+    r.detail += ": T" + std::to_string(t.tid) + " at trace line #" +
+                std::to_string(here) + "\n";
+    im.report(std::move(r));
+  };
+
+  if (write) {
+    if (p.write.tid >= 0 && p.write.clk > t.clock.get(p.write.tid)) {
+      race("write", p.write);
+      return;
+    }
+    for (int u = 0; u < static_cast<int>(p.reads.v.size()); ++u) {
+      if (u != t.tid && p.reads.get(u) > 0 &&
+          p.reads.get(u) > t.clock.get(u)) {
+        const Impl::Access prev =
+            static_cast<std::size_t>(u) < p.read_sites.size()
+                ? p.read_sites[static_cast<std::size_t>(u)]
+                : Impl::Access{u, p.reads.get(u), 0, nullptr};
+        race("read", prev);
+        return;
+      }
+    }
+    p.write = Impl::Access{t.tid, t.clock.get(t.tid) + 1, here, label};
+    p.reads.clear();
+    p.read_sites.clear();
+    if (nt) {
+      p.nt_unfenced = true;
+      t.nt_pending.push_back(addr);
+    } else {
+      p.poisoned = false;
+    }
+  } else {
+    if (p.write.tid >= 0 && p.write.tid != t.tid &&
+        p.write.clk > t.clock.get(p.write.tid)) {
+      race("write", p.write);
+      return;
+    }
+    if (p.poisoned && p.write.tid >= 0 && p.write.tid != t.tid) {
+      Report r;
+      r.kind = Report::Kind::kUnfencedPublish;
+      r.message = "unfenced non-temporal publish of ";
+      r.message += s;
+      if (label != nullptr) {
+        r.message += " (\"";
+        r.message += label;
+        r.message += '"';
+        r.message += ')';
+      }
+      r.detail = "  NT write: " + site(p.write) +
+                 " was published (release-class write) without an "
+                 "intervening sfence\n  cross-thread read: T" +
+                 std::to_string(t.tid) + " at trace line #" +
+                 std::to_string(here) + "\n";
+      im.report(std::move(r));
+      return;
+    }
+    p.reads.set(t.tid, t.clock.get(t.tid) + 1);
+    if (p.read_sites.size() <= static_cast<std::size_t>(t.tid))
+      p.read_sites.resize(static_cast<std::size_t>(t.tid) + 1);
+    p.read_sites[static_cast<std::size_t>(t.tid)] =
+        Impl::Access{t.tid, t.clock.get(t.tid) + 1, here, label};
+  }
+  t.clock.tick(t.tid);
+}
+
+int Runtime::thread_create() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  ThreadRec& t = im.rec(g_tls_tid);
+  if (im.abort_mode) {
+    const int child = static_cast<int>(im.threads.size());
+    im.threads.push_back(std::make_unique<ThreadRec>());
+    im.threads.back()->tid = child;
+    return child;
+  }
+  t.created_child = -1;
+  im.announce_and_wait(t,
+                       Candidate{t.tid, OpKind::kThreadCreate, nullptr,
+                                 std::memory_order_seq_cst},
+                       lk);
+  if (t.created_child < 0) {
+    // Abort interrupted before the grant reserved a tid.
+    const int child = static_cast<int>(im.threads.size());
+    im.threads.push_back(std::make_unique<ThreadRec>());
+    im.threads.back()->tid = child;
+    return child;
+  }
+  return t.created_child;
+}
+
+void Runtime::await_attached(int tid) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  // Deterministic spawn: the creator keeps the baton but does not proceed
+  // until the child has registered, so the runnable set grows at a fixed
+  // point of the schedule rather than whenever the OS ran the new thread.
+  im.attach_cv.wait(lk, [&]() {
+    return im.abort_mode ||
+           im.rec(tid).st != ThreadRec::St::kUnattached;
+  });
+}
+
+void Runtime::thread_join(int tid) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  Impl& im = *impl_;
+  if (im.abort_mode) return;  // the real join below the hook still happens
+  ThreadRec& t = im.rec(g_tls_tid);
+  t.join_target = tid;
+  im.announce_and_wait(t,
+                       Candidate{t.tid, OpKind::kThreadJoin,
+                                 im.threads[static_cast<std::size_t>(tid)]
+                                     .get(),
+                                 std::memory_order_seq_cst},
+                       lk);
+}
+
+ThreadScope::ThreadScope(Runtime& rt, int tid) : rt_(rt) { rt_.attach(tid); }
+ThreadScope::~ThreadScope() { rt_.detach(); }
+
+Runtime* current() { return g_tls_runtime; }
+
+}  // namespace adasum::verify

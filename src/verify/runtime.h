@@ -1,0 +1,200 @@
+// Controlled scheduler + happens-before auditor (DESIGN.md §16).
+//
+// A Runtime serializes a fixed set of "world" threads at their sync points:
+// every operation on a sync::atomic / sync::mutex / sync::condition_variable
+// (verify/sync.h) announces itself, parks, and only executes once the
+// scheduler grants it. Exactly one thread runs between grants, so an entire
+// schedule is a deterministic function of the sequence of choices — which is
+// what lets the explorer (verify/explore.h) enumerate interleavings
+// exhaustively (DFS + sleep sets) or sample them (PCT priorities), and lets
+// a failing schedule replay bit-for-bit from its seed.
+//
+// There is no separate scheduler thread: dispatch runs inside whichever
+// thread just announced (the "baton" pattern). Mutexes and condition
+// variables are MODELED — the real std primitives underneath are never
+// locked in controlled mode — so a blocked thread is a scheduler state, not
+// an OS wait, and a lost-wakeup bug surfaces as a deterministic deadlock
+// report instead of a flaky hang. cv waits release their mutex atomically at
+// the grant, faithfully reproducing pthread semantics: a lock-free notifier
+// CAN land in the window between a waiter's predicate check and its block,
+// which is exactly the bug class the Mailbox abort-notify mutation exercises.
+//
+// The auditor runs at grant time: per-thread vector clocks, per-atomic
+// release clocks (with release-sequence rules: a relaxed store breaks the
+// sequence, a relaxed RMW continues it), per-mutex clocks, and
+// FastTrack-style checks on the plain accesses product code marks with
+// ADASUM_VERIFY_PLAIN_READ/WRITE. Non-temporal stores are tracked per
+// thread: publishing (any release-class write) while an NT store is not yet
+// sfenced poisons the region, and a cross-thread read of a poisoned region
+// reports — that is an ordering bug real fences hide from pure
+// happens-before analysis.
+//
+// Every object is named by a symbolic id assigned in first-touch order of
+// the schedule, so traces and reports are identical across replays even
+// though heap addresses differ.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace adasum::verify {
+
+enum class OpKind : std::uint8_t {
+  kThreadStart,
+  kThreadExit,
+  kThreadCreate,
+  kThreadJoin,
+  kAtomicLoad,
+  kAtomicStore,
+  kAtomicRmw,
+  kMutexLock,
+  kMutexUnlock,
+  kCvWait,       // untimed
+  kCvWaitTimed,  // slice/deadline-bounded
+  kCvNotifyOne,
+  kCvNotifyAll,
+  kSpin,        // one futile spin-loop pause
+  kPoint,       // generic write-class schedule point (sync::point())
+  kStoreFence,  // sfence: commits pending non-temporal stores
+};
+
+const char* op_kind_name(OpKind k);
+
+// A defect (or budget exhaustion) found on one schedule.
+struct Report {
+  enum class Kind {
+    kDataRace,         // plain access unordered by the recorded sync graph
+    kUnfencedPublish,  // NT store published without an sfence
+    kDeadlock,         // every live thread blocked, no timed waiter
+    kLivelock,         // only spin-blocked threads remain
+    kHang,             // virtual timeouts cycle without any write progress
+  };
+  Kind kind = Kind::kDataRace;
+  std::string message;  // one-line defect statement
+  std::string detail;   // both access sites / per-thread block states
+  std::string trace;    // full numbered schedule trace (symbolic ids)
+  std::string render() const;
+};
+
+// One announced-but-not-yet-granted operation, as shown to the strategy.
+struct Candidate {
+  int tid = -1;
+  OpKind kind = OpKind::kPoint;
+  const void* obj = nullptr;  // primary object (atomic/mutex/cv/...), may be null
+  std::memory_order mo = std::memory_order_seq_cst;
+  // Secondary object: a cv wait atomically releases its mutex, so the op
+  // touches two objects and the dependency relation must see both.
+  const void* obj2 = nullptr;
+};
+
+// Two candidate ops commute iff swapping adjacent executions cannot change
+// any state the checker observes. Used by the DFS sleep sets.
+bool dependent(const Candidate& a, const Candidate& b);
+
+class Runtime {
+ public:
+  struct Options {
+    // Initial world threads; dispatch starts once this many attached.
+    int expected_threads = 2;
+    // Hard cap on granted ops per schedule; exceeding it free-runs the rest
+    // of the schedule and marks it truncated (not a defect).
+    std::uint64_t max_steps = 20000;
+    // Consecutive futile kSpin announcements before a thread spin-blocks
+    // (released by the next write-class grant).
+    int spin_block_threshold = 4;
+    // Consecutive quiescent virtual cv timeouts with no intervening
+    // write-class grant before the schedule is reported as a hang.
+    int hang_timeout_cap = 256;
+  };
+
+  // Strategy callback: pick an index into `cands` (sorted by tid, size>=1).
+  using Chooser =
+      std::function<std::size_t(const std::vector<Candidate>& cands,
+                                std::uint64_t step)>;
+
+  Runtime(const Options& opts, Chooser chooser);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ---- results (read after every world thread returned) ----
+  const std::vector<Report>& reports() const { return reports_; }
+  bool truncated() const { return truncated_; }
+  std::uint64_t steps() const { return step_; }
+  // The granted-op trace, one formatted line per step.
+  std::string trace_string() const;
+  // Decision log: candidate sets at every step with >= 2 candidates, in
+  // order, with the chosen index — the DFS explorer's backtrack input.
+  struct Decision {
+    std::vector<Candidate> cands;
+    std::size_t chosen = 0;
+    std::uint64_t step = 0;
+  };
+  const std::vector<Decision>& decisions() const { return decisions_; }
+
+  // ---- hooks (called by verify/sync.h wrappers on attached threads) ----
+  void op_atomic(const void* addr, OpKind kind, std::memory_order mo);
+  void mutex_lock(const void* m);
+  void mutex_unlock(const void* m);
+  void cv_wait(const void* cv, const void* m);
+  // Returns true when the wake was a (virtual) timeout.
+  bool cv_wait_timed(const void* cv, const void* m);
+  void cv_notify(const void* cv, bool all);
+  void point();       // write-class progress point
+  void spin_pause();  // futile spin iteration
+  void store_fence();
+  void plain_access(const void* addr, bool write, bool nt, const char* label);
+  int thread_create();            // announce + reserve child tid
+  void await_attached(int tid);   // creator blocks until child registered
+  void thread_join(int tid);
+
+  // True once a report/truncation switched the runtime to free-running
+  // teardown (modeled waits return spuriously, grants are unconditional).
+  bool aborted() const;
+
+ private:
+  friend class ThreadScope;
+  struct ThreadRec;
+  struct Impl;
+
+  void attach(int tid);  // ThreadScope
+  void detach();
+  bool cv_wait_impl(const void* cv, const void* m, bool timed);
+  std::string trace_string_locked(Impl& impl) const;
+
+  std::unique_ptr<Impl> impl_;
+  std::vector<Report> reports_;
+  std::vector<Decision> decisions_;
+  bool truncated_ = false;
+  std::uint64_t step_ = 0;
+};
+
+// Attaches the calling thread to `rt` as controlled thread `tid` for the
+// scope's lifetime. tids are the thread's stable identity in traces and
+// must be unique per schedule; initial threads use 0..expected_threads-1,
+// sync::thread children get theirs from thread_create().
+class ThreadScope {
+ public:
+  ThreadScope(Runtime& rt, int tid);
+  ~ThreadScope();
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  Runtime& rt_;
+};
+
+// The calling thread's runtime, or nullptr when uncontrolled. Wrappers in
+// sync.h pass through to the real std primitives on nullptr, so ON builds
+// behave normally outside explore() schedules.
+Runtime* current();
+
+}  // namespace adasum::verify

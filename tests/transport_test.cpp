@@ -11,8 +11,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -24,6 +27,28 @@
 #include "comm/transport.h"
 #include "comm/world.h"
 #include "tensor/tensor.h"
+
+// Process-wide heap-allocation counter (same hook as chaos_test.cpp), for
+// the verify-OFF parity gate below: the schedule-point layer must be free
+// when compiled out, and pool statistics cannot see a malloc that bypasses
+// the pool.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace adasum {
 namespace {
@@ -347,6 +372,43 @@ TEST(TransportParity, ChaosMachineryForcesTheEagerPathAndStaysBitIdentical) {
                         mailbox.size() * sizeof(float)),
             0);
 }
+
+#if !ADASUM_VERIFY
+TEST(VerifyOffParity, SyncLayerOffPathIsByteAndAllocationFree) {
+  // With ADASUM_VERIFY=OFF the sync:: wrappers must BE the std primitives:
+  // sync.h pins the type sizes with static_asserts at compile time; this
+  // gate pins the runtime half — a warm send/recv/release steady state
+  // performs zero heap allocations through both transports (any wrapper
+  // residue would show up as an extra allocation or a dropped pool reuse)
+  // and delivers bit-identical payloads.
+  for (const char* name : {"mailbox", "shm"}) {
+    SCOPED_TRACE(name);
+    BufferPool pool;
+    std::unique_ptr<Transport> t = make_transport(name, 2, pool);
+    ASSERT_NE(t, nullptr);
+    std::atomic<bool> aborted{false};
+    const auto roundtrip = [&](int i) {
+      std::vector<std::byte> p = pool.acquire(512);
+      std::memset(p.data(), i & 0xff, p.size());
+      t->send(0, 1, meta_tag(3), std::move(p));
+      Transport::Inbound in = t->recv(0, 1, 3, aborted);
+      const std::byte got = in.data()[0];
+      t->release(std::move(in));
+      return got;
+    };
+    for (int i = 0; i < 8; ++i) roundtrip(i);  // warm pool + ring
+    const std::uint64_t baseline =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    std::byte bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = roundtrip(64 + i);
+    const std::uint64_t warm_allocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - baseline;
+    EXPECT_EQ(warm_allocs, 0u);
+    for (int i = 0; i < 8; ++i)
+      EXPECT_EQ(bytes[i], std::byte{static_cast<unsigned char>(64 + i)});
+  }
+}
+#endif  // !ADASUM_VERIFY
 
 TEST(TransportParity, UnknownEnvTransportFallsBackToMailbox) {
   // Pin a known starting point first: ADASUM_TRANSPORT may have selected shm

@@ -1,0 +1,481 @@
+// Model-checker self-tests (DESIGN.md §16.4).
+//
+// Three layers, each pinning one property the verifier must have to be worth
+// trusting:
+//
+//  1. CLEAN GATE — every kernel below, unmutated, runs report-free across a
+//     full PCT sweep and (for the small kernels) a COMPLETE sleep-set DFS.
+//     A checker that cries wolf on correct code is unusable.
+//  2. MUTATION DETECTION — each entry of verify::mutation_table() names a
+//     deliberate weakening of the transport/engine protocol; activating it
+//     must produce a report of the expected kind within a bounded schedule
+//     budget. A verifier that never fires is indistinguishable from one
+//     that cannot fire.
+//  3. DETERMINISM — a failing schedule replays bit-for-bit from its seed
+//     (PCT) or decision plan (DFS): identical trace, identical reports.
+//
+// Kernel honesty note (also in DESIGN.md §16): the real ShmTransport::take()
+// serializes on ch.mutex, so descriptor reads are mutex-ordered and the
+// seqlock epoch weakenings are NOT observable through the full transport —
+// the mutex hides them. The seqlock and NT-store kernels therefore model the
+// publication protocol directly (same ADASUM_MO sites, mutex-free), while
+// the view/fence, channel-init, mailbox-abort and engine kernels drive the
+// real product code.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "comm/buffer_pool.h"
+#include "comm/channel.h"
+#include "comm/shm_transport.h"
+#include "comm/transport.h"
+#include "verify/explore.h"
+#include "verify/mutation.h"
+#include "verify/runtime.h"
+#include "verify/sync.h"
+
+namespace adasum {
+namespace {
+
+using verify::ExploreOptions;
+using verify::ExploreResult;
+using verify::Report;
+using verify::Runtime;
+using verify::Strategy;
+using verify::ThreadScope;
+
+TransportMeta meta_tag(int tag) {
+  TransportMeta m;
+  m.tag = tag;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels. Each is a body for verify::explore(): construct the world on the
+// (uncontrolled) calling thread, spawn one OS thread per modeled rank, each
+// attached via ThreadScope with tids 0..n-1, and join them.
+// ---------------------------------------------------------------------------
+
+// Model of the slot publication protocol: seqlock publish/scan plus the
+// view-retirement fence, sharing the product's ADASUM_MO sites. The payload
+// is a marked plain location, so the auditor sees exactly the accesses the
+// zero-copy path performs on the peer's buffer.
+void seqlock_fence_kernel(Runtime& rt) {
+  struct SharedState {
+    sync::atomic<std::uint64_t> epoch{0};
+    sync::atomic<std::uint64_t> consumed{0};
+    int payload = 0;
+  };
+  auto w = std::make_unique<SharedState>();
+  std::thread sender([&]() {
+    ThreadScope scope(rt, 0);
+    w->payload = 42;
+    ADASUM_VERIFY_PLAIN_WRITE(&w->payload, "slot payload");
+    w->epoch.store(1, ADASUM_MO(kSeqlockPublish, std::memory_order_release));
+    // fence(): wait until the receiver retired the view, then reuse the
+    // buffer — the write below is the sender's next-step overwrite.
+    while (w->consumed.load(std::memory_order_acquire) +
+               ADASUM_VERIFY_FENCE_SLACK() <
+           1)
+      sync::cpu_relax();
+    w->payload = 0;
+    ADASUM_VERIFY_PLAIN_WRITE(&w->payload, "slot payload");
+  });
+  std::thread receiver([&]() {
+    ThreadScope scope(rt, 1);
+    while ((w->epoch.load(
+                ADASUM_MO(kSeqlockScan, std::memory_order_acquire)) &
+            1) == 0)
+      sync::cpu_relax();
+    ADASUM_VERIFY_PLAIN_READ(&w->payload, "slot payload");
+    w->consumed.fetch_add(
+        1, ADASUM_MO(kViewConsume, std::memory_order_release));
+  });
+  sender.join();
+  receiver.join();
+}
+
+// Non-temporal publication model: payload written with NT stores must be
+// sfenced before the epoch publish, or the publish can become globally
+// visible before the data it advertises.
+void nt_publish_kernel(Runtime& rt) {
+  struct SharedState {
+    sync::atomic<std::uint64_t> epoch{0};
+    int payload = 0;
+  };
+  auto w = std::make_unique<SharedState>();
+  std::thread sender([&]() {
+    ThreadScope scope(rt, 0);
+    w->payload = 7;
+    ADASUM_VERIFY_NT_WRITE(&w->payload, "nt payload");
+    if (!ADASUM_VERIFY_MUTATED(kDropSfence)) sync::store_fence();
+    w->epoch.store(1, ADASUM_MO(kSeqlockPublish, std::memory_order_release));
+  });
+  std::thread receiver([&]() {
+    ThreadScope scope(rt, 1);
+    while ((w->epoch.load(
+                ADASUM_MO(kSeqlockScan, std::memory_order_acquire)) &
+            1) == 0)
+      sync::cpu_relax();
+    ADASUM_VERIFY_PLAIN_READ(&w->payload, "nt payload");
+  });
+  sender.join();
+  receiver.join();
+}
+
+// The REAL Mailbox: a popper parks on the cv while a killer raises the
+// abort flag and notifies. The kMailboxAbortSkipLock mutation removes the
+// notifier's mutex acquire/release, opening the classic lost-wakeup window
+// between the popper's predicate check and its block.
+void mailbox_abort_kernel(Runtime& rt) {
+  auto mb = std::make_unique<Mailbox>();
+  auto aborted = std::make_unique<std::atomic<bool>>(false);
+  std::thread popper([&]() {
+    ThreadScope scope(rt, 0);
+    try {
+      mb->pop(7, *aborted);
+      ADD_FAILURE() << "pop returned without a message";
+    } catch (const WorldAborted&) {
+    }
+  });
+  std::thread killer([&]() {
+    ThreadScope scope(rt, 1);
+    aborted->store(true);
+    mb->notify_abort();
+  });
+  popper.join();
+  killer.join();
+}
+
+// Model of CommEngine's submit/complete handshake (the real engine runs a
+// full resilient allreduce per op — far outside the controlled world). The
+// worker's completion notify carries the same kEngineDropDoneNotify mutation
+// switch as collectives/comm_engine.cpp.
+void engine_done_kernel(Runtime& rt) {
+  struct SharedState {
+    sync::mutex mutex;
+    sync::condition_variable work_cv;
+    sync::condition_variable done_cv;
+    int submitted = 0;
+    int completed = 0;
+  };
+  auto w = std::make_unique<SharedState>();
+  std::thread owner([&]() {
+    ThreadScope scope(rt, 0);
+    {
+      sync::lock_guard<sync::mutex> lock(w->mutex);
+      w->submitted = 1;
+    }
+    w->work_cv.notify_one();
+    sync::unique_lock<sync::mutex> lock(w->mutex);
+    w->done_cv.wait(lock, [&]() { return w->completed >= 1; });
+  });
+  std::thread worker([&]() {
+    ThreadScope scope(rt, 1);
+    sync::unique_lock<sync::mutex> lock(w->mutex);
+    w->work_cv.wait(lock, [&]() { return w->submitted > 0; });
+    w->completed = 1;
+    lock.unlock();
+    if (!ADASUM_VERIFY_MUTATED(kEngineDropDoneNotify))
+      w->done_cv.notify_all();
+  });
+  owner.join();
+  worker.join();
+}
+
+// REAL ShmTransport, 2 ranks: one owned-payload send against a concurrent
+// recv. Covers the racing lazy channel creation (both threads' first touch),
+// the publish/scan/park machinery and the cv slow path under virtual time.
+void shm_send_recv_kernel(Runtime& rt) {
+  auto pool = std::make_unique<BufferPool>();
+  auto t = std::make_unique<ShmTransport>(2, *pool);
+  auto aborted = std::make_unique<std::atomic<bool>>(false);
+  std::thread sender([&]() {
+    ThreadScope scope(rt, 0);
+    std::vector<std::byte> p = pool->acquire(8);
+    std::memset(p.data(), 0x5a, p.size());
+    t->send(0, 1, meta_tag(3), std::move(p));
+  });
+  std::thread receiver([&]() {
+    ThreadScope scope(rt, 1);
+    Transport::Inbound in = t->recv(0, 1, 3, *aborted);
+    EXPECT_EQ(in.data()[0], std::byte{0x5a});
+    t->release(std::move(in));
+  });
+  sender.join();
+  receiver.join();
+}
+
+// REAL ShmTransport, zero-copy leg: send_view + fence against recv +
+// release. The marked plain accesses are the payload bytes the zero-copy
+// path really shares: the receiver reads the sender's buffer in place, and
+// the sender overwrites it the moment fence() returns. The only
+// happens-before edge protecting that pair is the views_consumed release
+// increment fence() acquires — exactly what kViewConsumeRelaxed and
+// kFenceConsumeWindow weaken.
+void shm_view_fence_kernel(Runtime& rt) {
+  auto pool = std::make_unique<BufferPool>();
+  auto t = std::make_unique<ShmTransport>(2, *pool);
+  auto aborted = std::make_unique<std::atomic<bool>>(false);
+  auto buf = std::make_unique<std::vector<std::byte>>(16, std::byte{0x11});
+  std::thread sender([&]() {
+    ThreadScope scope(rt, 0);
+    ADASUM_VERIFY_PLAIN_WRITE(buf->data(), "view payload");
+    t->send_view(0, 1, meta_tag(5),
+                 std::span<const std::byte>(buf->data(), buf->size()));
+    t->fence(0, *aborted);
+    // Buffer reuse: legal only once every receiver retired its view.
+    ADASUM_VERIFY_PLAIN_WRITE(buf->data(), "view payload");
+  });
+  std::thread receiver([&]() {
+    ThreadScope scope(rt, 1);
+    Transport::Inbound in = t->recv(0, 1, 5, *aborted);
+    EXPECT_TRUE(in.is_view);
+    ADASUM_VERIFY_PLAIN_READ(in.data().data(), "view payload");
+    t->release(std::move(in));
+  });
+  sender.join();
+  receiver.join();
+}
+
+// REAL ShmTransport teardown race: a receiver parked in recv_wait while the
+// peer dies; the main thread then drains the channel. Exercises the
+// fault-tolerant slow path, flag priority and drain's slot reclamation.
+void shm_kill_drain_kernel(Runtime& rt) {
+  auto pool = std::make_unique<BufferPool>();
+  auto t = std::make_unique<ShmTransport>(2, *pool);
+  auto aborted = std::make_unique<std::atomic<bool>>(false);
+  auto dead = std::make_unique<std::atomic<bool>>(false);
+  // One undeliverable message (wrong tag) left on the channel for drain.
+  t->send(0, 1, meta_tag(99), pool->acquire(8));
+  std::thread receiver([&]() {
+    ThreadScope scope(rt, 1);
+    Transport::Inbound in;
+    const Transport::RecvStatus st =
+        t->recv_wait(0, 1, 3, *aborted, *dead,
+                     std::chrono::steady_clock::now() +
+                         std::chrono::seconds(3600),
+                     in);
+    EXPECT_EQ(st, Transport::RecvStatus::kPeerDead);
+  });
+  std::thread killer([&]() {
+    ThreadScope scope(rt, 0);
+    dead->store(true);
+    t->notify_abort();
+  });
+  receiver.join();
+  killer.join();
+  EXPECT_EQ(t->drain_all(), 1u);
+}
+
+// REAL ShmTransport overflow: the ring is pre-filled to capacity from the
+// uncontrolled main thread, then a controlled sender parks message 17 while
+// a receiver concurrently pops — the parked queue and parked_count summary
+// are the contended state.
+void shm_overflow_kernel(Runtime& rt) {
+  auto pool = std::make_unique<BufferPool>();
+  auto t = std::make_unique<ShmTransport>(2, *pool);
+  auto aborted = std::make_unique<std::atomic<bool>>(false);
+  for (int i = 0; i < 16; ++i)
+    t->send(0, 1, meta_tag(3), pool->acquire(8));
+  std::thread sender([&]() {
+    ThreadScope scope(rt, 0);
+    t->send(0, 1, meta_tag(3), pool->acquire(8));  // ring full: parks
+  });
+  std::thread receiver([&]() {
+    ThreadScope scope(rt, 1);
+    for (int i = 0; i < 2; ++i) {
+      Transport::Inbound in = t->recv(0, 1, 3, *aborted);
+      t->release(std::move(in));
+    }
+  });
+  sender.join();
+  receiver.join();
+  EXPECT_EQ(t->drain_all(), 15u);
+}
+
+// ---------------------------------------------------------------------------
+// Exploration budgets. DFS budgets are the DOCUMENTED state bounds from
+// DESIGN.md §16.3: the model kernels must exhaust their frontier within
+// them, which is what "exhaustive within budget" means for the acceptance
+// gate.
+// ---------------------------------------------------------------------------
+
+ExploreOptions dfs_options(std::uint64_t max_schedules = 4096) {
+  ExploreOptions o;
+  o.strategy = Strategy::kDfs;
+  o.max_schedules = max_schedules;
+  o.runtime.expected_threads = 2;
+  return o;
+}
+
+ExploreOptions pct_options(std::uint64_t seeds = 48) {
+  ExploreOptions o;
+  o.strategy = Strategy::kPct;
+  o.seed_count = seeds;
+  o.runtime.expected_threads = 2;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Clean gate: unmutated kernels are report-free.
+// ---------------------------------------------------------------------------
+
+TEST(VerifyClean, SeqlockFenceKernelDfsCompleteAndClean) {
+  const ExploreResult r = verify::explore(dfs_options(), seqlock_fence_kernel);
+  EXPECT_TRUE(r.reports.empty()) << r.first_report_trace;
+  // The acceptance bound: the 2-rank publish/scan+fence kernel's full
+  // non-commuting interleaving space fits the documented budget.
+  EXPECT_TRUE(r.complete) << r.schedules << " schedules without exhausting";
+  EXPECT_LE(r.schedules, 4096u);
+}
+
+TEST(VerifyClean, NtPublishKernelDfsCompleteAndClean) {
+  const ExploreResult r = verify::explore(dfs_options(), nt_publish_kernel);
+  EXPECT_TRUE(r.reports.empty()) << r.first_report_trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(VerifyClean, MailboxAbortKernelDfsCompleteAndClean) {
+  const ExploreResult r = verify::explore(dfs_options(), mailbox_abort_kernel);
+  EXPECT_TRUE(r.reports.empty()) << r.first_report_trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(VerifyClean, EngineDoneKernelDfsCompleteAndClean) {
+  const ExploreResult r = verify::explore(dfs_options(), engine_done_kernel);
+  EXPECT_TRUE(r.reports.empty()) << r.first_report_trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(VerifyClean, RealTransportKernelsPctSweepClean) {
+  // The full-transport kernels have too many schedule points for exhaustive
+  // DFS; the false-positive gate for them is a seeded PCT sweep.
+  for (auto kernel : {shm_send_recv_kernel, shm_view_fence_kernel,
+                      shm_kill_drain_kernel, shm_overflow_kernel}) {
+    const ExploreResult r = verify::explore(pct_options(), kernel);
+    EXPECT_TRUE(r.reports.empty())
+        << "seed " << r.first_report_seed << "\n"
+        << (r.reports.empty() ? "" : r.reports.front().render());
+    EXPECT_EQ(r.truncated, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Mutation detection: every table entry caught within budget.
+// ---------------------------------------------------------------------------
+
+struct DetectionPlan {
+  void (*kernel)(Runtime&);
+  Strategy strategy;
+  Report::Kind expect;
+};
+
+DetectionPlan plan_for(verify::Mutation m) {
+  using verify::Mutation;
+  switch (m) {
+    case Mutation::kSeqlockPublishRelaxed:
+    case Mutation::kSeqlockScanRelaxed:
+      return {seqlock_fence_kernel, Strategy::kDfs, Report::Kind::kDataRace};
+    case Mutation::kViewConsumeRelaxed:
+    case Mutation::kFenceConsumeWindow:
+      // Detected on the REAL transport: the only HB edge covering the
+      // sender's post-fence overwrite is the one these entries weaken.
+      return {shm_view_fence_kernel, Strategy::kPct,
+              Report::Kind::kDataRace};
+    case Mutation::kDropSfence:
+      return {nt_publish_kernel, Strategy::kDfs,
+              Report::Kind::kUnfencedPublish};
+    case Mutation::kChannelPublishRelaxed:
+      return {shm_send_recv_kernel, Strategy::kPct,
+              Report::Kind::kDataRace};
+    case Mutation::kMailboxAbortSkipLock:
+      return {mailbox_abort_kernel, Strategy::kDfs,
+              Report::Kind::kDeadlock};
+    case Mutation::kEngineDropDoneNotify:
+      return {engine_done_kernel, Strategy::kDfs, Report::Kind::kDeadlock};
+    case Mutation::kNone:
+      break;
+  }
+  ADD_FAILURE() << "mutation without a detection plan";
+  return {seqlock_fence_kernel, Strategy::kDfs, Report::Kind::kDataRace};
+}
+
+TEST(VerifyMutation, EveryTableEntryIsCaughtWithinBudget) {
+  std::size_t count = 0;
+  const verify::MutationSpec* table = verify::mutation_table(&count);
+  ASSERT_EQ(count, static_cast<std::size_t>(verify::kMutationCount));
+  for (std::size_t i = 0; i < count; ++i) {
+    const verify::MutationSpec& spec = table[i];
+    SCOPED_TRACE(spec.name);
+    const DetectionPlan plan = plan_for(spec.id);
+    verify::ScopedMutation active(spec.id);
+    const ExploreResult r =
+        plan.strategy == Strategy::kDfs
+            ? verify::explore(dfs_options(), plan.kernel)
+            : verify::explore(pct_options(), plan.kernel);
+    ASSERT_FALSE(r.reports.empty())
+        << spec.name << " survived " << r.schedules << " schedules ("
+        << spec.weakens << ")";
+    EXPECT_EQ(r.reports.front().kind, plan.expect)
+        << r.reports.front().render();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Determinism: same seed / same plan => identical trace and report.
+// ---------------------------------------------------------------------------
+
+TEST(VerifyReplay, FailingPctSeedReplaysBitForBit) {
+  verify::ScopedMutation active(verify::Mutation::kViewConsumeRelaxed);
+  const ExploreResult found =
+      verify::explore(pct_options(), shm_view_fence_kernel);
+  ASSERT_FALSE(found.reports.empty());
+  const ExploreResult a =
+      verify::run_seed(pct_options(), found.first_report_seed,
+                       shm_view_fence_kernel);
+  const ExploreResult b =
+      verify::run_seed(pct_options(), found.first_report_seed,
+                       shm_view_fence_kernel);
+  ASSERT_FALSE(a.reports.empty());
+  ASSERT_FALSE(b.reports.empty());
+  EXPECT_EQ(a.first_report_trace, b.first_report_trace);
+  EXPECT_EQ(a.first_report_trace, found.first_report_trace);
+  EXPECT_EQ(a.reports.front().render(), b.reports.front().render());
+}
+
+TEST(VerifyReplay, FailingDfsPlanReplaysBitForBit) {
+  verify::ScopedMutation active(verify::Mutation::kMailboxAbortSkipLock);
+  const ExploreResult found =
+      verify::explore(dfs_options(), mailbox_abort_kernel);
+  ASSERT_FALSE(found.reports.empty());
+  const ExploreResult a = verify::run_plan(
+      dfs_options(), found.first_report_plan, mailbox_abort_kernel);
+  const ExploreResult b = verify::run_plan(
+      dfs_options(), found.first_report_plan, mailbox_abort_kernel);
+  ASSERT_FALSE(a.reports.empty());
+  ASSERT_FALSE(b.reports.empty());
+  EXPECT_EQ(a.first_report_trace, b.first_report_trace);
+  EXPECT_EQ(a.first_report_trace, found.first_report_trace);
+  EXPECT_EQ(a.reports.front().kind, found.reports.front().kind);
+}
+
+// A report's trace names objects symbolically (first-touch order), never by
+// heap address — the property that makes the replays above byte-comparable.
+TEST(VerifyReplay, TracesUseSymbolicIdsNotAddresses) {
+  verify::ScopedMutation active(verify::Mutation::kMailboxAbortSkipLock);
+  const ExploreResult found =
+      verify::explore(dfs_options(), mailbox_abort_kernel);
+  ASSERT_FALSE(found.reports.empty());
+  EXPECT_EQ(found.first_report_trace.find("0x"), std::string::npos)
+      << found.first_report_trace;
+}
+
+}  // namespace
+}  // namespace adasum
