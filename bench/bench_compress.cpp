@@ -335,6 +335,7 @@ int run(const char* json_path, bool enforce) {
   std::ofstream json(json_path);
   json << "{\n"
        << "  \"bench\": \"compressed_collectives\",\n"
+       << "  \"host\": " << bench::host_json() << ",\n"
        << "  \"ranks\": " << kRanks << ",\n"
        << "  \"payload_bytes\": " << kElems * sizeof(float) << ",\n"
        << "  \"chunk_bytes\": " << kChunkBytes << ",\n"

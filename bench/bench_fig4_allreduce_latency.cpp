@@ -347,6 +347,7 @@ void zero_copy_throughput() {
   std::ofstream json("BENCH_rvh.json");
   json << "{\n"
        << "  \"bench\": \"adasum_rvh_zero_copy\",\n"
+       << "  \"host\": " << bench::host_json() << ",\n"
        << "  \"payload_bytes\": " << static_cast<std::uint64_t>(payload_bytes)
        << ",\n"
        << "  \"ranks\": " << ranks << ",\n"

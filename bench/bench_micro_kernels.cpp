@@ -277,6 +277,11 @@ struct Row {
   std::size_t n;
   double scalar_gbs;
   double dispatched_gbs;
+  // True when the dispatched table holds the scalar pointer for this entry
+  // (a measured per-(kernel, dtype) demotion in dispatch.cpp): identical
+  // code, so the row reuses the scalar timing instead of measuring the same
+  // function twice and calling the noise a speedup or a regression.
+  bool demoted = false;
 };
 
 struct ConvRow {
@@ -306,42 +311,61 @@ void bench_dtype(const simd::KernelTable& scalar_t,
   const bool same = &scalar_t == &active_t;
   const double sz = static_cast<double>(n) * sizeof(T);
 
-  auto add_row = [&](const char* kernel, double bytes_per_call, auto&& run) {
-    const double ts = median_seconds_per_call([&] { run(scalar_t); });
-    const double ta = same ? ts : median_seconds_per_call([&] { run(active_t); });
-    rows.push_back(
-        {kernel, dn, n, bytes_per_call / ts / 1e9, bytes_per_call / ta / 1e9});
+  auto add_row = [&](const char* kernel, double bytes_per_call,
+                     bool same_entry, auto&& run) {
+    double ts = median_seconds_per_call([&] { run(scalar_t); });
+    double ta =
+        (same || same_entry) ? ts : median_seconds_per_call([&] { run(active_t); });
+    if (!same && !same_entry && ta * 0.95 > ts) {
+      // One remeasure before a row is allowed to report a dispatch
+      // regression: the no-regression gate floors every row at 0.95x and a
+      // single scheduler hiccup on either column should not fail the build.
+      ts = std::min(ts, median_seconds_per_call([&] { run(scalar_t); }));
+      ta = std::min(ta, median_seconds_per_call([&] { run(active_t); }));
+    }
+    rows.push_back({kernel, dn, n, bytes_per_call / ts / 1e9,
+                    bytes_per_call / ta / 1e9, same_entry && !same});
   };
 
-  add_row("dot", 2 * sz, [&](const simd::KernelTable& t) {
-    benchmark::DoNotOptimize(t.dot[d](pa, pb, n));
-  });
-  add_row("dot_triple", 2 * sz, [&](const simd::KernelTable& t) {
-    double triple[3];
-    t.dot_triple[d](pa, pb, n, triple);
-    benchmark::DoNotOptimize(triple[0]);
-  });
-  add_row("scaled_sum", 3 * sz, [&](const simd::KernelTable& t) {
-    t.scaled_sum[d](pa, 0.75, pb, 0.8, po, n);
-    benchmark::DoNotOptimize(po);
-  });
+  add_row("dot", 2 * sz, scalar_t.dot[d] == active_t.dot[d],
+          [&](const simd::KernelTable& t) {
+            benchmark::DoNotOptimize(t.dot[d](pa, pb, n));
+          });
+  add_row("dot_triple", 2 * sz,
+          scalar_t.dot_triple[d] == active_t.dot_triple[d],
+          [&](const simd::KernelTable& t) {
+            double triple[3];
+            t.dot_triple[d](pa, pb, n, triple);
+            benchmark::DoNotOptimize(triple[0]);
+          });
+  add_row("scaled_sum", 3 * sz,
+          scalar_t.scaled_sum[d] == active_t.scaled_sum[d],
+          [&](const simd::KernelTable& t) {
+            t.scaled_sum[d](pa, 0.75, pb, 0.8, po, n);
+            benchmark::DoNotOptimize(po);
+          });
   // alpha = 0 keeps y fixed across calibration iterations (an fp16 y would
   // otherwise random-walk into infinity); FMA timing is value-independent.
-  add_row("axpy", 3 * sz, [&](const simd::KernelTable& t) {
-    t.axpy[d](0.0, pa, py, n);
-    benchmark::DoNotOptimize(py);
-  });
-  add_row("add", 3 * sz, [&](const simd::KernelTable& t) {
-    t.add[d](pa, py, n);
-    benchmark::DoNotOptimize(py);
-  });
-  add_row("scale", 2 * sz, [&](const simd::KernelTable& t) {
-    t.scale[d](1.0, py, n);  // alpha = 1: stable values, same multiply cost
-    benchmark::DoNotOptimize(py);
-  });
-  add_row("has_nonfinite", sz, [&](const simd::KernelTable& t) {
-    benchmark::DoNotOptimize(t.has_nonfinite[d](pa, n));  // finite: full scan
-  });
+  add_row("axpy", 3 * sz, scalar_t.axpy[d] == active_t.axpy[d],
+          [&](const simd::KernelTable& t) {
+            t.axpy[d](0.0, pa, py, n);
+            benchmark::DoNotOptimize(py);
+          });
+  add_row("add", 3 * sz, scalar_t.add[d] == active_t.add[d],
+          [&](const simd::KernelTable& t) {
+            t.add[d](pa, py, n);
+            benchmark::DoNotOptimize(py);
+          });
+  add_row("scale", 2 * sz, scalar_t.scale[d] == active_t.scale[d],
+          [&](const simd::KernelTable& t) {
+            t.scale[d](1.0, py, n);  // alpha = 1: stable values, same cost
+            benchmark::DoNotOptimize(py);
+          });
+  add_row("has_nonfinite", sz,
+          scalar_t.has_nonfinite[d] == active_t.has_nonfinite[d],
+          [&](const simd::KernelTable& t) {
+            benchmark::DoNotOptimize(t.has_nonfinite[d](pa, n));
+          });
 }
 
 void bench_convert(const simd::KernelTable& scalar_t,
@@ -428,6 +452,14 @@ std::vector<Gate> evaluate_gates(const std::vector<Row>& rows,
       3.0);
   add("float_to_half_bulk_speedup_ge_3x", max_conv_speedup("float_to_half"),
       3.0);
+  // No-regression floor: with the tuned dispatch picks (dispatch.cpp) no
+  // (kernel, dtype, size) row may lose to the scalar oracle. Demoted rows
+  // run identical code and hold ratio 1.0 by construction; measured rows get
+  // one remeasure in add_row before they may fail this.
+  double worst = std::numeric_limits<double>::infinity();
+  for (const Row& r : rows)
+    worst = std::min(worst, r.dispatched_gbs / r.scalar_gbs);
+  add("dispatched_no_row_below_0p95x_scalar", worst, 0.95);
   return gates;
 }
 
@@ -459,6 +491,7 @@ int run(const char* path, bool enforce) {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"micro_kernels_simd_gate\",\n");
+  std::fprintf(out, "  \"host\": %s,\n", adasum::bench::host_json().c_str());
   std::fprintf(out, "  \"active_level\": \"%s\",\n", active_t.name);
   std::fprintf(out, "  \"scalar_only\": %s,\n", scalar_only ? "true" : "false");
   std::fprintf(out, "  \"iters\": %d,\n", kTimingReps);
@@ -470,9 +503,9 @@ int run(const char* path, bool enforce) {
     std::fprintf(out,
                  "    {\"kernel\": \"%s\", \"dtype\": \"%s\", \"size\": %zu, "
                  "\"scalar_gb_per_sec\": %.3f, \"dispatched_gb_per_sec\": "
-                 "%.3f, \"speedup\": %.2f}%s\n",
+                 "%.3f, \"speedup\": %.2f, \"demoted\": %s}%s\n",
                  r.kernel, r.dtype.c_str(), r.n, r.scalar_gbs, r.dispatched_gbs,
-                 r.dispatched_gbs / r.scalar_gbs,
+                 r.dispatched_gbs / r.scalar_gbs, r.demoted ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

@@ -226,6 +226,7 @@ int run(const char* json_path, bool enforce) {
   std::ofstream json(json_path);
   json << "{\n"
        << "  \"bench\": \"pipeline_overlap\",\n"
+       << "  \"host\": " << bench::host_json() << ",\n"
        << "  \"ranks\": " << kRanks << ",\n"
        << "  \"payload_bytes\": " << kTensors * kParamElems * sizeof(float)
        << ",\n"

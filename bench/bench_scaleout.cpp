@@ -230,6 +230,7 @@ int run(const char* json_path, bool enforce) {
   std::ofstream json(json_path);
   json << "{\n"
        << "  \"bench\": \"scaleout\",\n"
+       << "  \"host\": " << bench::host_json() << ",\n"
        << "  \"payload_bytes\": " << static_cast<long long>(kPayloadBytes)
        << ",\n"
        << "  \"num_layers\": " << kNumLayers << ",\n"

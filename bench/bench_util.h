@@ -9,7 +9,11 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "tensor/parallel/pool.h"
+#include "tensor/simd/simd.h"
 
 namespace adasum::bench {
 
@@ -30,6 +34,20 @@ inline double median(std::vector<double> samples) {
   const std::size_t n = samples.size();
   if (n % 2 == 1) return samples[n / 2];
   return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+// One-line JSON object describing the host and the knobs that move the
+// committed numbers: the CPU thread budget, the ADASUM_THREADS setting with
+// the helper-pool width it resolved to, and the active SIMD level. Every
+// BENCH_*.json embeds it as "host" so artifacts from different machines or
+// configurations are never compared blind.
+inline std::string host_json() {
+  std::ostringstream os;
+  os << "{\"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ", \"adasum_threads\": \"" << parallel::env_setting() << "\""
+     << ", \"pool_threads\": " << parallel::threads() << ", \"simd\": \""
+     << simd::level_name(simd::active_level()) << "\"}";
+  return os.str();
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

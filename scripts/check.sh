@@ -90,6 +90,17 @@ echo "=== allocation gate: injector-off fault path ==="
 # zero-copy gate).
 ./build/tests/chaos_test --gtest_filter='Chaos.FaultTolerantHotPathAddsNoSteadyStateAllocations:Chaos.AnalyzerOffPathIsByteAndAllocationIdenticalToSeed'
 
+echo "=== parallel: intra-op engine parity + speedup gate ==="
+# The intra-op pool (DESIGN.md §17) must be bit-invisible: the whole
+# functional suite reruns with a two-worker pool forced on, then the engine's
+# own suite and gate run. bench_parallel writes BENCH_parallel.json and exits
+# nonzero unless ADASUM_THREADS settings agree bitwise with zero steady-state
+# allocations; the >= 1.8x shm-Adasum floor is enforced on >= 4-core hosts
+# and the fused >= 1.5x floor whenever a vector ISA is active.
+(cd build && ADASUM_THREADS=2 ctest --output-on-failure -j "$(nproc)")
+./build/tests/parallel_test
+./build/bench/bench_parallel --parallel_json
+
 if [[ "${SKIP_VERIFY:-0}" == "1" ]]; then
   echo "=== verify: skipped (SKIP_VERIFY=1) ==="
 else
@@ -141,6 +152,17 @@ else
   TSAN_OPTIONS="halt_on_error=1" SCALEOUT_MAX_P=128 \
     ./build-tsan/tests/scaleout_test
   TSAN_OPTIONS="halt_on_error=1" ADASUM_ANALYZE=on \
+    ./build-tsan/tests/collectives_test
+
+  echo "=== tsan: intra-op pool handshake + pooled collectives ==="
+  # The helper-pool epoch/commit handshake and the tiled hot paths under the
+  # race detector: the engine's own suite, then the collectives with a
+  # two-worker pool live under every reduce span.
+  cmake --build --preset tsan -j "$(nproc)" --target parallel_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_test
+  TSAN_OPTIONS="halt_on_error=1" ADASUM_THREADS=2 \
+    ./build-tsan/tests/collectives_test
+  TSAN_OPTIONS="halt_on_error=1" ADASUM_THREADS=2 ADASUM_TRANSPORT=shm \
     ./build-tsan/tests/collectives_test
 
   echo "=== tsan: full ctest with ADASUM_PIPELINE=on ==="

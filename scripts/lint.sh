@@ -122,7 +122,11 @@ if command -v clang-tidy >/dev/null 2>&1; then
   if [[ ! -f build/compile_commands.json ]]; then
     cmake --preset release >/dev/null
   fi
-  if ! find src -name '*.cpp' | xargs clang-tidy -p build --quiet; then
+  # --warnings-as-errors='*': clang-tidy exits zero on plain warnings, so
+  # without this the stage could only ever print them — findings must fail
+  # the lint like every other rule here.
+  if ! find src -name '*.cpp' \
+      | xargs clang-tidy -p build --quiet --warnings-as-errors='*'; then
     fail=1
   fi
 else

@@ -11,6 +11,7 @@
 #include "comm/pipeline.h"
 #include "core/adasum.h"
 #include "tensor/kernels.h"
+#include "tensor/parallel/pool.h"
 
 namespace adasum {
 namespace {
@@ -224,34 +225,107 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
     const auto flush_dots = [&](std::size_t received_elems) {
       const std::byte* const a = a_ptr();
       const std::byte* const b = b_ptr();
+      // Advance past every layer whose intersection has fully landed.
+      const std::size_t first = next_layer;
       while (next_layer < num_layers) {
         const SliceLocal loc =
             intersect(layers[next_layer], seg_begin, seg_end);
         if (loc.count > 0 && loc.local_offset + loc.count > received_elems)
           break;
+        ++next_layer;
+      }
+      const auto dot_layer = [&](std::size_t l) {
+        const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
         kernels::DotTriple t;
         if (loc.count > 0) {
           t = kernels::dot_triple_bytes(a + loc.local_offset * elem,
                                         b + loc.local_offset * elem, loc.count,
                                         dtype);
         }
-        triples[3 * next_layer + 0] = t.ab;
-        triples[3 * next_layer + 1] = t.aa;
-        triples[3 * next_layer + 2] = t.bb;
-        ++next_layer;
+        triples[3 * l + 0] = t.ab;
+        triples[3 * l + 1] = t.aa;
+        triples[3 * l + 2] = t.bb;
+      };
+      // Layer-level fan-out (DESIGN.md §17): the dot wrappers themselves stay
+      // monolithic at every ADASUM_THREADS setting (tiling their double
+      // accumulators would change the bits), so dot parallelism comes from
+      // distributing WHOLE layers over the pool instead. Each layer is one
+      // kernel call writing its own triples[3l..] slot — disjoint writes, the
+      // per-layer accumulation order never changes, and the result is
+      // bit-identical no matter which thread runs which layer.
+      const std::size_t ready = next_layer - first;
+      if (ready > 1 && parallel::enabled() &&
+          seg_count * elem >= (std::size_t{1} << 20)) {
+        parallel::for_tiles(ready, /*grain=*/1, /*quantum=*/1,
+                            [&](std::size_t, std::size_t lb, std::size_t le) {
+                              for (std::size_t i = lb; i < le; ++i)
+                                dot_layer(first + i);
+                            });
+      } else {
+        for (std::size_t l = first; l < next_layer; ++l) dot_layer(l);
+      }
+    };
+    // Finishing sequence shared by both receive paths: complete the dot
+    // products across the 2d-rank group (line 16-17), then apply the combiner
+    // per layer straight into the caller's storage (line 18). `combine_layer`
+    // performs one layer's ca*a + cb*b; the compressed path passes a fused
+    // kernel that decodes its operand off the held wire blob. Elements the
+    // boundary table does not cover keep this rank's own contribution (they
+    // never occur when the layers tile the payload).
+    const auto finish = [&](auto&& combine_layer) {
+      ADASUM_CHECK_EQ(next_layer, num_layers);
+      const int d2 = 2 * d;
+      const int group_base = (rank / d2) * d2;
+      const std::span<int> subgroup =
+          subgroup_all.subspan(0, static_cast<std::size_t>(d2));
+      for (int i = 0; i < d2; ++i)
+        subgroup[static_cast<std::size_t>(i)] = world_rank(group_base + i);
+      comm.allreduce_sum_doubles_inplace(triples, subgroup, tag + 1);
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
+        if (loc.count == 0) continue;
+        const kernels::DotTriple t{triples[3 * l + 0], triples[3 * l + 1],
+                                   triples[3 * l + 2]};
+        combine_layer(loc, adasum_factors(t));
       }
     };
     // The view (when one is live) must survive past the dot triples: the
-    // combiner below reads the peer's span again after the allreduce. `held`
-    // keeps it alive to the end of the iteration, whose close releases it —
-    // unblocking the neighbor's fence.
+    // combiner reads the peer's span (or wire blob) again after the
+    // allreduce. `held` keeps the uncompressed view alive to the end of the
+    // iteration, whose close releases it — unblocking the neighbor's fence;
+    // recv_apply holds the compressed blob view for the callback's body the
+    // same way.
     BulkRecv held;
     if (wc.active()) {
       // A compressed half decompresses after the full blob lands (the scale
       // sideband precedes the payload), so the dot passes run once over the
-      // whole half; the wire stream itself stays chunked.
-      wc.recv_into(world_rank(neighbor), half, seg_count, chunk, tag);
-      flush_dots(seg_count);
+      // whole half; the wire stream itself stays chunked. The combiner then
+      // re-decodes each layer's slice STRAIGHT OFF THE WIRE BYTES, fused
+      // with the scaled sum (DESIGN.md §17): the second pass reads 1-4 bits
+      // or 1 byte per element instead of a 4-byte decoded float, and writes
+      // no staging copy. Bit contract: decompress_combine_f32 is exactly
+      // decompress + scaled_sum on the same dispatch level, so the result
+      // matches the two-pass formulation bit for bit.
+      wc.recv_apply(
+          world_rank(neighbor), seg_count, chunk, tag,
+          [&](const std::byte* blob) {
+            decompress_f32(blob, wc.options(),
+                           {reinterpret_cast<float*>(half), seg_count});
+            flush_dots(seg_count);
+            float* const own_f = reinterpret_cast<float*>(own);
+            finish([&](const SliceLocal& loc, const AdasumFactors& f) {
+              // `own` holds the left slice (a) when this rank is left, the
+              // right slice (b) otherwise; the decoded neighbor half takes
+              // the remaining operand slot with its coefficient.
+              decompress_combine_f32(
+                  blob, wc.options(), seg_count, loc.local_offset,
+                  {own_f + loc.local_offset, loc.count},
+                  /*c_other=*/is_left ? f.ca : f.cb,
+                  /*c_deq=*/is_left ? f.cb : f.ca,
+                  /*deq_is_b=*/is_left,
+                  {own_f + loc.local_offset, loc.count});
+            });
+          });
     } else {
       held = comm.recv_bulk(world_rank(neighbor), {half, seg_count * elem},
                             chunk, tag,
@@ -260,33 +334,14 @@ void adasum_rvh_allreduce(Comm& comm, std::byte* data, std::size_t count,
                               theirs = base;
                               flush_dots((off + len) / elem);
                             });
-    }
-    ADASUM_CHECK_EQ(next_layer, num_layers);
-
-    // Finish the dot products across the 2d-rank group (line 16-17).
-    const int d2 = 2 * d;
-    const int group_base = (rank / d2) * d2;
-    const std::span<int> subgroup =
-        subgroup_all.subspan(0, static_cast<std::size_t>(d2));
-    for (int i = 0; i < d2; ++i)
-      subgroup[static_cast<std::size_t>(i)] = world_rank(group_base + i);
-    comm.allreduce_sum_doubles_inplace(triples, subgroup, tag + 1);
-
-    // Apply the combiner per layer straight into the caller's storage
-    // (line 18). Elements the boundary table does not cover keep this rank's
-    // own contribution (they never occur when the layers tile the payload).
-    const std::byte* const a = a_ptr();
-    const std::byte* const b = b_ptr();
-    for (std::size_t l = 0; l < num_layers; ++l) {
-      const SliceLocal loc = intersect(layers[l], seg_begin, seg_end);
-      if (loc.count == 0) continue;
-      const kernels::DotTriple t{triples[3 * l + 0], triples[3 * l + 1],
-                                 triples[3 * l + 2]};
-      const AdasumFactors f = adasum_factors(t);
-      kernels::scaled_sum_bytes(a + loc.local_offset * elem, f.ca,
-                                b + loc.local_offset * elem, f.cb,
-                                own + loc.local_offset * elem, loc.count,
-                                dtype);
+      const std::byte* const a = a_ptr();
+      const std::byte* const b = b_ptr();
+      finish([&](const SliceLocal& loc, const AdasumFactors& f) {
+        kernels::scaled_sum_bytes(a + loc.local_offset * elem, f.ca,
+                                  b + loc.local_offset * elem, f.cb,
+                                  own + loc.local_offset * elem, loc.count,
+                                  dtype);
+      });
     }
   }
 

@@ -109,6 +109,30 @@ class WireCompressor {
   void recv_into(int src, std::byte* dest, std::size_t elems,
                  std::size_t chunk, int tag);
 
+  // Receive a blob and hand the raw wire bytes to `fn(blob)` while the
+  // (possibly zero-copy) view is still held: the fused decode-reduce paths
+  // (decompress_add_f32 / decompress_combine_f32, DESIGN.md §17) read the
+  // compressed stream in place instead of staging a decoded copy. `fn` may
+  // read the blob for its whole body — including across nested collective
+  // calls, matching the uncompressed paths that hold their payload views
+  // across the subgroup dot allreduce.
+  template <class Fn>
+  void recv_apply(int src, std::size_t elems, std::size_t chunk, int tag,
+                  Fn&& fn) {
+    if (bulk_views_) {
+      const std::byte* blob = blobs_[0]->data();
+      BulkRecv held = comm_.recv_bulk(
+          src, blobs_[0]->bytes(wire_bytes(elems)), chunk, tag,
+          [&](const std::byte* base, std::size_t, std::size_t) {
+            blob = base;
+          });
+      fn(blob);
+      return;
+    }
+    recv_blob(src, 0, elems, chunk, tag);
+    fn(static_cast<const std::byte*>(blobs_[0]->data()));
+  }
+
  private:
   // Bulk-path blob send out of slot 0, recording the outstanding view.
   void send_bulk_blob(int dst, std::size_t elems, std::size_t chunk, int tag);

@@ -92,10 +92,18 @@ void ring_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
     const std::size_t rb = chunk_begin(count, p, recv_chunk);
     const std::size_t re = chunk_begin(count, p, recv_chunk + 1);
     if (wc.active()) {
-      // Decompress the staged partial, then add — accumulation stays on
-      // fp32 values through the double-accumulating kernel (§4.4.1).
-      wc.recv_into(prev, scratch.data(), re - rb, chunk, tag_base + s);
-      kernels::add_bytes(scratch.data(), data + rb * elem, re - rb, dtype);
+      // Fused decode-add (DESIGN.md §17): the incoming blob is reduced into
+      // the resident chunk in one pass over the wire bytes — no decoded
+      // staging buffer is written or re-read. Accumulation still runs on the
+      // decoded fp32 values through the double-accumulating kernel (§4.4.1),
+      // bit-identical to decompress-then-add.
+      wc.recv_apply(prev, re - rb, chunk, tag_base + s,
+                    [&](const std::byte* blob) {
+                      decompress_add_f32(
+                          blob, wc.options(), re - rb, /*offset=*/0,
+                          {reinterpret_cast<float*>(data + rb * elem),
+                           re - rb});
+                    });
     } else {
       // The sum is elementwise, so each chunk is added the moment it lands —
       // bit-identical to the whole-segment add, but overlapped with the
@@ -269,10 +277,16 @@ void rvh_allreduce_sum(Comm& comm, std::byte* data, std::size_t count,
       seg_begin += mid;
     }
     if (wc.active()) {
-      // Decompress the whole half, then add — the sum itself stays on the
-      // decoded fp32 values through the double-accumulating kernel.
-      wc.recv_into(world_rank(neighbor), half, kept_count, chunk, tag);
-      kernels::add_bytes(half, kept, kept_count, dtype);
+      // Fused decode-add straight off the (possibly zero-copy) blob view:
+      // one pass over the wire bytes into the kept half, no decoded staging
+      // copy. Bit-identical to decompress-then-add, and the sum still runs
+      // on decoded fp32 values with double accumulation.
+      wc.recv_apply(world_rank(neighbor), kept_count, chunk, tag,
+                    [&](const std::byte* blob) {
+                      decompress_add_f32(
+                          blob, wc.options(), kept_count, /*offset=*/0,
+                          {reinterpret_cast<float*>(kept), kept_count});
+                    });
     } else {
       // Elementwise sum: add each incoming span where it lands — pooled
       // scratch on the eager path (overlapping the remaining transfers of

@@ -1,62 +1,196 @@
 #include "tensor/compress/compress.h"
 
+#include <algorithm>
+
 #include "base/check.h"
+#include "tensor/parallel/pool.h"
 #include "tensor/simd/simd.h"
 
 namespace adasum {
+namespace {
+
+// ---- codec tiling (DESIGN.md §17) -----------------------------------------
+//
+// Codec passes split at BLOCK boundaries, so every per-block quantity
+// (max/mean scale, nibble packing, sign bytes) is computed by exactly one
+// tile and the tiled stream is bit-identical to the monolithic one. The
+// stochastic-rounding counter is indexed by the span-global element index;
+// sr_uniform hashes seed + i * kSrIndexStride with uint32 wraparound, so a
+// tile starting at element b reproduces the global hashes by shifting its
+// seed base instead of its indices.
+constexpr std::uint32_t kSrIndexStride = 0x9E3779B9u;
+
+constexpr std::size_t kCodecParallelMinBytes = std::size_t{1} << 20;
+
+template <class Piece>
+void codec_tiled(std::size_t n, std::size_t block_elems, Piece&& piece) {
+  if (n * sizeof(float) < kCodecParallelMinBytes || !parallel::enabled()) {
+    piece(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t grain = std::max(block_elems, std::size_t{65536});
+  parallel::for_tiles(
+      n, grain, block_elems,
+      [&](std::size_t, std::size_t b, std::size_t e) { piece(b, e); });
+}
+
+// Fused reduce slices split at 16-element boundaries RELATIVE TO THE SLICE:
+// the combine kernels partition their span into 4-lane groups from the slice
+// start (matching scaled_sum), so 16-aligned sub-slices preserve every
+// element's group membership — same quantum rule as tensor/kernels.cpp.
+template <class Piece>
+void fused_tiled(std::size_t n, Piece&& piece) {
+  if (n * sizeof(float) < kCodecParallelMinBytes || !parallel::enabled()) {
+    piece(std::size_t{0}, n);
+    return;
+  }
+  parallel::for_tiles(
+      n, std::size_t{65536}, std::size_t{16},
+      [&](std::size_t, std::size_t b, std::size_t e) { piece(b, e); });
+}
+
+}  // namespace
 
 void compress_f32(std::span<const float> values, const CompressionOptions& opts,
                   std::byte* dst) {
   ADASUM_CHECK(opts.active());
   const std::size_t n = values.size();
+  const std::size_t be = opts.block_elems();
   const std::size_t blocks = compressed_num_blocks(n, opts);
   auto* scales = reinterpret_cast<float*>(dst);
   std::byte* payload = dst + blocks * sizeof(float);
   const simd::KernelTable& t = simd::active_table();
-  switch (opts.mode) {
-    case CompressionMode::kInt8:
-      t.quantize_int8_blocks(values.data(), n, opts.block_elems(), opts.seed,
-                             opts.stochastic, scales,
-                             reinterpret_cast<std::int8_t*>(payload));
-      break;
-    case CompressionMode::kInt4:
-      t.quantize_int4_blocks(values.data(), n, opts.block_elems(), opts.seed,
-                             opts.stochastic, scales,
-                             reinterpret_cast<std::uint8_t*>(payload));
-      break;
-    case CompressionMode::kSign:
-      t.quantize_sign_blocks(values.data(), n, opts.block_elems(), scales,
-                             reinterpret_cast<std::uint8_t*>(payload));
-      break;
-    default:
-      ADASUM_CHECK(false);
-  }
+  codec_tiled(n, be, [&](std::size_t b, std::size_t e) {
+    // b is a block multiple: scales, nibble pairs and sign bytes all start
+    // fresh at b, and the shifted seed reproduces the global-index hashes.
+    const std::uint32_t seed =
+        opts.seed + static_cast<std::uint32_t>(b) * kSrIndexStride;
+    float* sc = scales + b / be;
+    const float* src_b = values.data() + b;
+    const std::size_t len = e - b;
+    switch (opts.mode) {
+      case CompressionMode::kInt8:
+        t.quantize_int8_blocks(src_b, len, be, seed, opts.stochastic, sc,
+                               reinterpret_cast<std::int8_t*>(payload) + b);
+        break;
+      case CompressionMode::kInt4:
+        t.quantize_int4_blocks(src_b, len, be, seed, opts.stochastic, sc,
+                               reinterpret_cast<std::uint8_t*>(payload) + b / 2);
+        break;
+      case CompressionMode::kSign:
+        t.quantize_sign_blocks(src_b, len, be, sc,
+                               reinterpret_cast<std::uint8_t*>(payload) + b / 8);
+        break;
+      default:
+        ADASUM_CHECK(false);
+    }
+  });
 }
 
 void decompress_f32(const std::byte* src, const CompressionOptions& opts,
                     std::span<float> values) {
   ADASUM_CHECK(opts.active());
   const std::size_t n = values.size();
+  const std::size_t be = opts.block_elems();
   const std::size_t blocks = compressed_num_blocks(n, opts);
   const auto* scales = reinterpret_cast<const float*>(src);
   const std::byte* payload = src + blocks * sizeof(float);
   const simd::KernelTable& t = simd::active_table();
-  switch (opts.mode) {
-    case CompressionMode::kInt8:
-      t.dequantize_int8_blocks(reinterpret_cast<const std::int8_t*>(payload),
-                               n, opts.block_elems(), scales, values.data());
-      break;
-    case CompressionMode::kInt4:
-      t.dequantize_int4_blocks(reinterpret_cast<const std::uint8_t*>(payload),
-                               n, opts.block_elems(), scales, values.data());
-      break;
-    case CompressionMode::kSign:
-      t.dequantize_sign_blocks(reinterpret_cast<const std::uint8_t*>(payload),
-                               n, opts.block_elems(), scales, values.data());
-      break;
-    default:
-      ADASUM_CHECK(false);
-  }
+  codec_tiled(n, be, [&](std::size_t b, std::size_t e) {
+    const float* sc = scales + b / be;
+    float* dst_b = values.data() + b;
+    const std::size_t len = e - b;
+    switch (opts.mode) {
+      case CompressionMode::kInt8:
+        t.dequantize_int8_blocks(
+            reinterpret_cast<const std::int8_t*>(payload) + b, len, be, sc,
+            dst_b);
+        break;
+      case CompressionMode::kInt4:
+        t.dequantize_int4_blocks(
+            reinterpret_cast<const std::uint8_t*>(payload) + b / 2, len, be,
+            sc, dst_b);
+        break;
+      case CompressionMode::kSign:
+        t.dequantize_sign_blocks(
+            reinterpret_cast<const std::uint8_t*>(payload) + b / 8, len, be,
+            sc, dst_b);
+        break;
+      default:
+        ADASUM_CHECK(false);
+    }
+  });
+}
+
+void decompress_add_f32(const std::byte* src, const CompressionOptions& opts,
+                        std::size_t total, std::size_t offset,
+                        std::span<float> dst) {
+  ADASUM_CHECK(opts.active());
+  ADASUM_CHECK(offset + dst.size() <= total);
+  const std::size_t blocks = compressed_num_blocks(total, opts);
+  const auto* scales = reinterpret_cast<const float*>(src);
+  const std::byte* payload = src + blocks * sizeof(float);
+  const std::size_t be = opts.block_elems();
+  const simd::KernelTable& t = simd::active_table();
+  fused_tiled(dst.size(), [&](std::size_t b, std::size_t e) {
+    const std::size_t len = e - b;
+    float* d = dst.data() + b;
+    switch (opts.mode) {
+      case CompressionMode::kInt8:
+        t.dequant_add_int8(reinterpret_cast<const std::int8_t*>(payload),
+                           scales, offset + b, len, be, d);
+        break;
+      case CompressionMode::kInt4:
+        t.dequant_add_int4(reinterpret_cast<const std::uint8_t*>(payload),
+                           scales, offset + b, len, be, d);
+        break;
+      case CompressionMode::kSign:
+        t.dequant_add_sign(reinterpret_cast<const std::uint8_t*>(payload),
+                           scales, offset + b, len, be, d);
+        break;
+      default:
+        ADASUM_CHECK(false);
+    }
+  });
+}
+
+void decompress_combine_f32(const std::byte* src,
+                            const CompressionOptions& opts, std::size_t total,
+                            std::size_t offset, std::span<const float> other,
+                            double c_other, double c_deq, bool deq_is_b,
+                            std::span<float> out) {
+  ADASUM_CHECK(opts.active());
+  ADASUM_CHECK_EQ(other.size(), out.size());
+  ADASUM_CHECK(offset + out.size() <= total);
+  const std::size_t blocks = compressed_num_blocks(total, opts);
+  const auto* scales = reinterpret_cast<const float*>(src);
+  const std::byte* payload = src + blocks * sizeof(float);
+  const std::size_t be = opts.block_elems();
+  const simd::KernelTable& t = simd::active_table();
+  fused_tiled(out.size(), [&](std::size_t b, std::size_t e) {
+    const std::size_t len = e - b;
+    const float* o = other.data() + b;
+    float* d = out.data() + b;
+    switch (opts.mode) {
+      case CompressionMode::kInt8:
+        t.dequant_combine_int8(o, c_other, c_deq, deq_is_b,
+                               reinterpret_cast<const std::int8_t*>(payload),
+                               scales, offset + b, len, be, d);
+        break;
+      case CompressionMode::kInt4:
+        t.dequant_combine_int4(o, c_other, c_deq, deq_is_b,
+                               reinterpret_cast<const std::uint8_t*>(payload),
+                               scales, offset + b, len, be, d);
+        break;
+      case CompressionMode::kSign:
+        t.dequant_combine_sign(o, c_other, c_deq, deq_is_b,
+                               reinterpret_cast<const std::uint8_t*>(payload),
+                               scales, offset + b, len, be, d);
+        break;
+      default:
+        ADASUM_CHECK(false);
+    }
+  });
 }
 
 }  // namespace adasum

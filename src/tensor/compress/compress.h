@@ -149,4 +149,26 @@ void compress_f32(std::span<const float> values, const CompressionOptions& opts,
 void decompress_f32(const std::byte* src, const CompressionOptions& opts,
                     std::span<float> values);
 
+// Fused single-pass decode-reduce (DESIGN.md §17). `src` is a wire stream
+// encoding `total` elements; both calls reduce the decoded slice
+// [offset, offset + n) straight into the caller's span, touching the wire
+// bytes once with no decoded staging pass:
+//
+//   decompress_add_f32:     dst[i]  = dst[i] + decoded[offset + i]
+//   decompress_combine_f32: out[i]  = ca * a[i] + cb * b[i], with the decoded
+//                           slice as operand b (deq_is_b) or a, coefficient
+//                           c_deq, and `other` in the remaining slot with
+//                           c_other. `out` may alias `other` exactly.
+//
+// Bit contract: identical to decompress_f32 followed by kernels::add /
+// scaled_sum on the same dispatch level (tests/parallel_test.cpp).
+void decompress_add_f32(const std::byte* src, const CompressionOptions& opts,
+                        std::size_t total, std::size_t offset,
+                        std::span<float> dst);
+void decompress_combine_f32(const std::byte* src,
+                            const CompressionOptions& opts, std::size_t total,
+                            std::size_t offset, std::span<const float> other,
+                            double c_other, double c_deq, bool deq_is_b,
+                            std::span<float> out);
+
 }  // namespace adasum

@@ -107,6 +107,48 @@ struct KernelTable {
   void (*dequantize_sign_blocks)(const std::uint8_t* bits, std::size_t n,
                                  std::size_t block, const float* scales,
                                  float* dst);
+
+  // ---- fused dequantize-reduce (DESIGN.md §17) -----------------------------
+  //
+  // Single-pass decode + reduce for the compressed collectives: one read of
+  // the wire payload, one read-modify-write of the accumulator, no decoded
+  // scratch pass. `q`/`packed`/`bits` and `scales` address the WHOLE encoded
+  // span (same layout as the casts above); `offset` is the global element
+  // index where this call's slice begins — block index, nibble parity and
+  // sign-bit position all derive from offset+i — and `n` is the slice length.
+  // `dst`/`other`/`out` address the slice directly (their element 0 is global
+  // element `offset`).
+  //
+  // Bit contract (tests/parallel_test.cpp): within one TU, dequant_add_* is
+  // bitwise equal to dequantize-then-add composed from the SAME table, and
+  // dequant_combine_* to dequantize-then-scaled_sum with the decoded operand
+  // in the position selected by `deq_is_b` (b when true, a when false) and
+  // coefficient `c_deq`, the in-memory operand taking the other slot with
+  // `c_other`. `out` may alias `other` exactly; partial overlap is forbidden.
+  void (*dequant_add_int8)(const std::int8_t* q, const float* scales,
+                           std::size_t offset, std::size_t n,
+                           std::size_t block, float* dst);
+  void (*dequant_add_int4)(const std::uint8_t* packed, const float* scales,
+                           std::size_t offset, std::size_t n,
+                           std::size_t block, float* dst);
+  void (*dequant_add_sign)(const std::uint8_t* bits, const float* scales,
+                           std::size_t offset, std::size_t n,
+                           std::size_t block, float* dst);
+  void (*dequant_combine_int8)(const float* other, double c_other,
+                               double c_deq, bool deq_is_b,
+                               const std::int8_t* q, const float* scales,
+                               std::size_t offset, std::size_t n,
+                               std::size_t block, float* out);
+  void (*dequant_combine_int4)(const float* other, double c_other,
+                               double c_deq, bool deq_is_b,
+                               const std::uint8_t* packed, const float* scales,
+                               std::size_t offset, std::size_t n,
+                               std::size_t block, float* out);
+  void (*dequant_combine_sign)(const float* other, double c_other,
+                               double c_deq, bool deq_is_b,
+                               const std::uint8_t* bits, const float* scales,
+                               std::size_t offset, std::size_t n,
+                               std::size_t block, float* out);
 };
 
 // Defined in kernels_scalar.cpp; always available, bit-identical to the seed

@@ -795,6 +795,285 @@ void ax_dequantize_sign_blocks(const std::uint8_t* bits, std::size_t n,
   }
 }
 
+// ---- fused dequantize-reduce (DESIGN.md §17) ------------------------------
+//
+// Bit contract: fused == the two-pass composition from THIS table, per
+// element. The decoded value float(q)*scale is a single correctly-rounded
+// multiply whether it comes from an 8-wide mul_ps lane or the scalar
+// expression, so the decode staging below is free to vectorize only the
+// uniform in-block groups. What is NOT free is the combine arithmetic:
+//  * dequant_add's 8-wide body matches add_f32_block because the double add
+//    + narrow is path-independent per lane; the sub-8 tail stages the
+//    decoded floats and delegates to add_f32_block itself — composing the
+//    decode multiply into the add expression lets -ffp-contract fuse them
+//    into one single-precision FMA, which skips the product rounding.
+//  * dequant_combine must reproduce scaled_sum_f32_block's exact element
+//    partition (4-lane groups from the slice start, scalar tail after
+//    floor4(n)) and its FMA shape fmadd(b, cb, mul(a, ca)) with the decoded
+//    operand in the slot `deq_is_b` selects. The sub-4 tail delegates to
+//    scaled_sum_f32_block itself so both tails are the same machine code
+//    (FMA contraction of a spelled-out scalar expression is
+//    toolchain-dependent inside this TU).
+
+// Scale sideband cursor: scales[g / block] for a non-decreasing stream of
+// global indices, without the per-element division. `block` is a runtime
+// divisor, so the literal lookup costs a hardware DIV per element (or per
+// straddle check) that dominated the fused loops' profile. The cursor pays
+// one division at construction; after that advancing is a compare and an
+// add. `next` — the global index where the current scale expires — doubles
+// as the vector bodies' uniformity test: `gi + K <= next` means the whole
+// K-wide group shares one scale and can take the splat path. Only the scale
+// LOOKUP changes; the decode multiply sees the identical value, so the bit
+// contract above is untouched.
+struct FxScaleCursor {
+  const float* scales;
+  std::size_t block;
+  std::size_t blk;
+  std::size_t next;
+  float scale;
+
+  FxScaleCursor(const float* scales_, std::size_t block_, std::size_t start)
+      : scales(scales_), block(block_), blk(start / block_) {
+    next = (blk + 1) * block;
+    scale = scales[blk];
+  }
+  float at(std::size_t g) {
+    while (g >= next) {
+      ++blk;
+      next += block;
+      scale = scales[blk];
+    }
+    return scale;
+  }
+};
+
+inline float fx_deq_int8(const std::int8_t* q, std::size_t i, float scale) {
+  return static_cast<float>(q[i]) * scale;
+}
+inline float fx_deq_int4(const std::uint8_t* packed, std::size_t i,
+                         float scale) {
+  const int nib = (i & 1) ? (packed[i / 2] >> 4) : (packed[i / 2] & 0x0F);
+  return static_cast<float>((nib ^ 8) - 8) * scale;
+}
+inline float fx_deq_sign(const std::uint8_t* bits, std::size_t i, float scale) {
+  return ((bits[i / 8] >> (i & 7)) & 1) ? scale : -scale;
+}
+
+// Decodes global elements [gi, gi+8) into dq, vectorizing the common case of
+// a group that does not straddle a block boundary.
+inline void fx_deq8_int8(const std::int8_t* q, FxScaleCursor& cur,
+                         std::size_t gi, float* dq) {
+  const float s = cur.at(gi);
+  if (gi + 8 <= cur.next) {
+    const __m128i b8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + gi));
+    _mm256_storeu_ps(dq,
+                     _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b8)),
+                                   _mm256_set1_ps(s)));
+  } else {
+    for (int k = 0; k < 8; ++k)
+      dq[k] = fx_deq_int8(q, gi + k, cur.at(gi + k));
+  }
+}
+// Decodes 8 int4 elements starting at EVEN gi with one shared scale: the 8
+// nibbles sit exactly in 4 bytes, so one 32-bit load + byte shuffles replace
+// 8 scalar extract/store round-trips (narrow stores into dq followed by the
+// caller's 256-bit reload defeat store-to-load forwarding). (nib ^ 8) - 8 in
+// epi8 is the scalar sign-extension expression verbatim.
+inline void fx_deq8_int4_uniform_even(const std::uint8_t* packed,
+                                      std::size_t gi, float s, float* dq) {
+  std::uint32_t raw;
+  std::memcpy(&raw, packed + gi / 2, sizeof raw);
+  const __m128i v = _mm_cvtsi32_si128(static_cast<std::int32_t>(raw));
+  const __m128i m15 = _mm_set1_epi8(0x0F);
+  const __m128i lo = _mm_and_si128(v, m15);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), m15);
+  __m128i nib = _mm_unpacklo_epi8(lo, hi);
+  nib = _mm_sub_epi8(_mm_xor_si128(nib, _mm_set1_epi8(8)), _mm_set1_epi8(8));
+  _mm256_storeu_ps(
+      dq, _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(nib)),
+                        _mm256_set1_ps(s)));
+}
+
+// Decodes 8 sign elements starting at gi with one shared scale: gathers the
+// 8 bits into one byte (the second sideband byte exists whenever the shift
+// is nonzero, because element gi+7 then lives in it), then selects scale vs
+// -scale by sign-bit flip — IEEE negation IS the flip, so the lanes match
+// the scalar ternary bit for bit, ±0 included.
+inline void fx_deq8_sign_uniform(const std::uint8_t* bits, std::size_t gi,
+                                 float s, float* dq) {
+  const std::size_t sh = gi & 7;
+  unsigned m = static_cast<unsigned>(bits[gi / 8]) >> sh;
+  if (sh != 0) m |= static_cast<unsigned>(bits[gi / 8 + 1]) << (8 - sh);
+  const __m128i lanes =
+      _mm_setr_epi8(1, 2, 4, 8, 16, 32, 64, static_cast<char>(-128), 0, 0, 0,
+                    0, 0, 0, 0, 0);
+  const __m128i mb = _mm_set1_epi8(static_cast<char>(m));
+  const __m128i on = _mm_cmpeq_epi8(_mm_and_si128(mb, lanes), lanes);
+  const __m256 flip = _mm256_andnot_ps(
+      _mm256_castsi256_ps(_mm256_cvtepi8_epi32(on)), _mm256_set1_ps(-0.0F));
+  _mm256_storeu_ps(dq, _mm256_xor_ps(_mm256_set1_ps(s), flip));
+}
+
+inline void fx_deq4_int8(const std::int8_t* q, FxScaleCursor& cur,
+                         std::size_t gi, float* dq) {
+  const float s = cur.at(gi);
+  if (gi + 4 <= cur.next) {
+    std::int32_t raw;
+    std::memcpy(&raw, q + gi, sizeof raw);
+    const __m128i b4 = _mm_cvtsi32_si128(raw);
+    _mm_storeu_ps(dq, _mm_mul_ps(_mm_cvtepi32_ps(_mm_cvtepi8_epi32(b4)),
+                                 _mm_set1_ps(s)));
+  } else {
+    for (int k = 0; k < 4; ++k)
+      dq[k] = fx_deq_int8(q, gi + k, cur.at(gi + k));
+  }
+}
+
+// dst[i] += decoded[offset+i], double add + narrow per element. Deq8 stages
+// 8 decoded floats; the remainder stages through dq and delegates to
+// add_f32_block so the decode multiply can never contract into the add.
+template <class Deq8, class Deq1>
+void fused_add_f32(std::size_t offset, std::size_t n, float* dst, Deq8 deq8,
+                   Deq1 deq1) {
+  std::size_t i = 0;
+  float dq[8];
+  for (; i + 8 <= n; i += 8) {
+    deq8(offset + i, dq);
+    const __m256d r0 = _mm256_add_pd(cvt4_pd(dq), cvt4_pd(dst + i));
+    const __m256d r1 = _mm256_add_pd(cvt4_pd(dq + 4), cvt4_pd(dst + i + 4));
+    store4_ps(dst + i, r0);
+    store4_ps(dst + i + 4, r1);
+  }
+  if (i < n) {
+    const std::size_t rem = n - i;
+    for (std::size_t k = 0; k < rem; ++k) dq[k] = deq1(offset + i + k);
+    add_f32_block(dq, dst + i, rem);
+  }
+}
+
+// out[i] = ca*a[i] + cb*b[i] with the decoded slice in the slot selected by
+// deq_is_b — scaled_sum_f32_block's partition and FMA shape exactly.
+template <class Deq4, class Deq1>
+void fused_combine_f32(const float* other, double c_other, double c_deq,
+                       bool deq_is_b, std::size_t offset, std::size_t n,
+                       float* out, Deq4 deq4, Deq1 deq1) {
+  const __m256d vco = _mm256_set1_pd(c_other);
+  const __m256d vcd = _mm256_set1_pd(c_deq);
+  std::size_t i = 0;
+  float dq[4];
+  for (; i + 4 <= n; i += 4) {
+    deq4(offset + i, dq);
+    const __m256d dv = cvt4_pd(dq);
+    const __m256d ov = cvt4_pd(other + i);
+    const __m256d r =
+        deq_is_b ? _mm256_fmadd_pd(dv, vcd, _mm256_mul_pd(ov, vco))
+                 : _mm256_fmadd_pd(ov, vco, _mm256_mul_pd(dv, vcd));
+    store4_ps(out + i, r);
+  }
+  if (i < n) {
+    const std::size_t rem = n - i;
+    float at[3], bt[3], ot[3];
+    for (std::size_t k = 0; k < rem; ++k) {
+      const float d = deq1(offset + i + k);
+      at[k] = deq_is_b ? other[i + k] : d;
+      bt[k] = deq_is_b ? d : other[i + k];
+    }
+    scaled_sum_f32_block(at, deq_is_b ? c_other : c_deq, bt,
+                         deq_is_b ? c_deq : c_other, ot, rem);
+    for (std::size_t k = 0; k < rem; ++k) out[i + k] = ot[k];
+  }
+}
+
+void ax_dequant_add_int8(const std::int8_t* q, const float* scales,
+                         std::size_t offset, std::size_t n, std::size_t block,
+                         float* dst) {
+  FxScaleCursor cur(scales, block, offset);
+  fused_add_f32(
+      offset, n, dst,
+      [&](std::size_t gi, float* dq) { fx_deq8_int8(q, cur, gi, dq); },
+      [&](std::size_t gi) { return fx_deq_int8(q, gi, cur.at(gi)); });
+}
+void ax_dequant_add_int4(const std::uint8_t* packed, const float* scales,
+                         std::size_t offset, std::size_t n, std::size_t block,
+                         float* dst) {
+  FxScaleCursor cur(scales, block, offset);
+  fused_add_f32(
+      offset, n, dst,
+      [&](std::size_t gi, float* dq) {
+        const float s = cur.at(gi);
+        if (gi + 8 <= cur.next && (gi & 1) == 0) {
+          fx_deq8_int4_uniform_even(packed, gi, s, dq);
+        } else {
+          for (int k = 0; k < 8; ++k) {
+            const std::size_t g = gi + k;
+            dq[k] = fx_deq_int4(packed, g, cur.at(g));
+          }
+        }
+      },
+      [&](std::size_t gi) { return fx_deq_int4(packed, gi, cur.at(gi)); });
+}
+void ax_dequant_add_sign(const std::uint8_t* bits, const float* scales,
+                         std::size_t offset, std::size_t n, std::size_t block,
+                         float* dst) {
+  FxScaleCursor cur(scales, block, offset);
+  fused_add_f32(
+      offset, n, dst,
+      [&](std::size_t gi, float* dq) {
+        const float s = cur.at(gi);
+        if (gi + 8 <= cur.next) {
+          fx_deq8_sign_uniform(bits, gi, s, dq);
+        } else {
+          for (int k = 0; k < 8; ++k) {
+            const std::size_t g = gi + k;
+            dq[k] = fx_deq_sign(bits, g, cur.at(g));
+          }
+        }
+      },
+      [&](std::size_t gi) { return fx_deq_sign(bits, gi, cur.at(gi)); });
+}
+
+void ax_dequant_combine_int8(const float* other, double c_other, double c_deq,
+                             bool deq_is_b, const std::int8_t* q,
+                             const float* scales, std::size_t offset,
+                             std::size_t n, std::size_t block, float* out) {
+  FxScaleCursor cur(scales, block, offset);
+  fused_combine_f32(
+      other, c_other, c_deq, deq_is_b, offset, n, out,
+      [&](std::size_t gi, float* dq) { fx_deq4_int8(q, cur, gi, dq); },
+      [&](std::size_t gi) { return fx_deq_int8(q, gi, cur.at(gi)); });
+}
+void ax_dequant_combine_int4(const float* other, double c_other, double c_deq,
+                             bool deq_is_b, const std::uint8_t* packed,
+                             const float* scales, std::size_t offset,
+                             std::size_t n, std::size_t block, float* out) {
+  FxScaleCursor cur(scales, block, offset);
+  fused_combine_f32(
+      other, c_other, c_deq, deq_is_b, offset, n, out,
+      [&](std::size_t gi, float* dq) {
+        for (int k = 0; k < 4; ++k) {
+          const std::size_t g = gi + k;
+          dq[k] = fx_deq_int4(packed, g, cur.at(g));
+        }
+      },
+      [&](std::size_t gi) { return fx_deq_int4(packed, gi, cur.at(gi)); });
+}
+void ax_dequant_combine_sign(const float* other, double c_other, double c_deq,
+                             bool deq_is_b, const std::uint8_t* bits,
+                             const float* scales, std::size_t offset,
+                             std::size_t n, std::size_t block, float* out) {
+  FxScaleCursor cur(scales, block, offset);
+  fused_combine_f32(
+      other, c_other, c_deq, deq_is_b, offset, n, out,
+      [&](std::size_t gi, float* dq) {
+        for (int k = 0; k < 4; ++k) {
+          const std::size_t g = gi + k;
+          dq[k] = fx_deq_sign(bits, g, cur.at(g));
+        }
+      },
+      [&](std::size_t gi) { return fx_deq_sign(bits, gi, cur.at(gi)); });
+}
+
 // Non-temporal bulk copy. Below the threshold (or with a misaligned
 // destination tail pattern) the cache-allocating memcpy wins — NT stores
 // only pay off once the destination exceeds what the cache could usefully
@@ -862,6 +1141,12 @@ const KernelTable& avx2_table() {
       ax_dequantize_int4_blocks,
       ax_quantize_sign_blocks,
       ax_dequantize_sign_blocks,
+      ax_dequant_add_int8,
+      ax_dequant_add_int4,
+      ax_dequant_add_sign,
+      ax_dequant_combine_int8,
+      ax_dequant_combine_int4,
+      ax_dequant_combine_sign,
   };
   return table;
 }

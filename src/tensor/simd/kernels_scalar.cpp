@@ -323,6 +323,141 @@ void sc_dequantize_sign_blocks(const std::uint8_t* bits, std::size_t n,
   }
 }
 
+// ---- fused dequantize-reduce (DESIGN.md §17) -------------------------------
+//
+// Each fused loop composes the per-element dequant expressions from the
+// sc_dequantize_*_blocks loops above with the add_impl / scaled_sum_impl
+// arithmetic, in the same order: the decoded value is one correctly-rounded
+// float multiply either way, and the combine is the exact double-precision
+// expression of the elementwise kernels — so fused output is bitwise equal
+// to the two-pass composition by construction. `i` is the GLOBAL element
+// index (slice offset + local index): block lookup, nibble parity and sign
+// bit all derive from it, which is what lets a caller reduce an arbitrary
+// slice of an encoded span in place.
+//
+// The scale lookup is strength-reduced through ScaleCursor: `block` is a
+// runtime divisor, so a literal scales[i / block] costs a hardware DIV per
+// element that dominates the whole fused loop. The cursor pays one division
+// at construction and a compare-and-bump per element after that. Only the
+// LOOKUP changes — the decode multiply sees the identical scale value, so
+// the bit contract is untouched.
+
+// scales[g / block] for a non-decreasing stream of global indices g. `next`
+// is the global index where the current scale expires.
+struct ScaleCursor {
+  const float* scales;
+  std::size_t block;
+  std::size_t blk;
+  std::size_t next;
+  float scale;
+
+  ScaleCursor(const float* scales_, std::size_t block_, std::size_t start)
+      : scales(scales_), block(block_), blk(start / block_) {
+    next = (blk + 1) * block;
+    scale = scales[blk];
+  }
+  float at(std::size_t g) {
+    while (g >= next) {
+      ++blk;
+      next += block;
+      scale = scales[blk];
+    }
+    return scale;
+  }
+};
+
+inline float deq_int8_at(const std::int8_t* q, std::size_t i, float scale) {
+  return static_cast<float>(q[i]) * scale;
+}
+inline float deq_int4_at(const std::uint8_t* packed, std::size_t i,
+                         float scale) {
+  const int nib = (i & 1) ? (packed[i / 2] >> 4) : (packed[i / 2] & 0x0F);
+  return static_cast<float>((nib ^ 8) - 8) * scale;
+}
+inline float deq_sign_at(const std::uint8_t* bits, std::size_t i, float scale) {
+  return ((bits[i / 8] >> (i & 7)) & 1) ? scale : -scale;
+}
+
+inline float fused_add_one(float acc, float d) {
+  return static_cast<float>(static_cast<double>(acc) +
+                            static_cast<double>(d));
+}
+inline float fused_combine_one(float other, double c_other, double c_deq,
+                               bool deq_is_b, float d) {
+  // scaled_sum(a, ca, b, cb) with the decoded value in the slot `deq_is_b`
+  // selects; the operand order is kept literal so the composition argument
+  // needs no commutativity reasoning.
+  const double av = deq_is_b ? static_cast<double>(other)
+                             : static_cast<double>(d);
+  const double bv = deq_is_b ? static_cast<double>(d)
+                             : static_cast<double>(other);
+  const double ca = deq_is_b ? c_other : c_deq;
+  const double cb = deq_is_b ? c_deq : c_other;
+  return static_cast<float>(ca * av + cb * bv);
+}
+
+void sc_dequant_add_int8(const std::int8_t* q, const float* scales,
+                         std::size_t offset, std::size_t n, std::size_t block,
+                         float* dst) {
+  ScaleCursor cur(scales, block, offset);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = offset + i;
+    dst[i] = fused_add_one(dst[i], deq_int8_at(q, g, cur.at(g)));
+  }
+}
+void sc_dequant_add_int4(const std::uint8_t* packed, const float* scales,
+                         std::size_t offset, std::size_t n, std::size_t block,
+                         float* dst) {
+  ScaleCursor cur(scales, block, offset);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = offset + i;
+    dst[i] = fused_add_one(dst[i], deq_int4_at(packed, g, cur.at(g)));
+  }
+}
+void sc_dequant_add_sign(const std::uint8_t* bits, const float* scales,
+                         std::size_t offset, std::size_t n, std::size_t block,
+                         float* dst) {
+  ScaleCursor cur(scales, block, offset);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = offset + i;
+    dst[i] = fused_add_one(dst[i], deq_sign_at(bits, g, cur.at(g)));
+  }
+}
+
+void sc_dequant_combine_int8(const float* other, double c_other, double c_deq,
+                             bool deq_is_b, const std::int8_t* q,
+                             const float* scales, std::size_t offset,
+                             std::size_t n, std::size_t block, float* out) {
+  ScaleCursor cur(scales, block, offset);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = offset + i;
+    out[i] = fused_combine_one(other[i], c_other, c_deq, deq_is_b,
+                               deq_int8_at(q, g, cur.at(g)));
+  }
+}
+void sc_dequant_combine_int4(const float* other, double c_other, double c_deq,
+                             bool deq_is_b, const std::uint8_t* packed,
+                             const float* scales, std::size_t offset,
+                             std::size_t n, std::size_t block, float* out) {
+  ScaleCursor cur(scales, block, offset);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = offset + i;
+    out[i] = fused_combine_one(other[i], c_other, c_deq, deq_is_b,
+                               deq_int4_at(packed, g, cur.at(g)));
+  }
+}
+void sc_dequant_combine_sign(const float* other, double c_other, double c_deq,
+                             bool deq_is_b, const std::uint8_t* bits,
+                             const float* scales, std::size_t offset,
+                             std::size_t n, std::size_t block, float* out) {
+  ScaleCursor cur(scales, block, offset);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = offset + i;
+    out[i] = fused_combine_one(other[i], c_other, c_deq, deq_is_b,
+                               deq_sign_at(bits, g, cur.at(g)));
+  }
+}
+
 // Batched software fp16 converters: the same bit logic as per-element Half
 // access (half.h keeps it header-inline precisely so this loop and Half can
 // never diverge), but in a flat loop the compiler can pipeline without a
@@ -362,6 +497,12 @@ const KernelTable& scalar_table() {
       sc_dequantize_int4_blocks,
       sc_quantize_sign_blocks,
       sc_dequantize_sign_blocks,
+      sc_dequant_add_int8,
+      sc_dequant_add_int4,
+      sc_dequant_add_sign,
+      sc_dequant_combine_int8,
+      sc_dequant_combine_int4,
+      sc_dequant_combine_sign,
   };
   return table;
 }

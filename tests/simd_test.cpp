@@ -16,6 +16,7 @@
 //    producing real infinities, so the overflow edge gets its own assertions.
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <span>
@@ -119,8 +120,29 @@ TEST(SimdDispatch, Avx2TableExistsIffBuiltAndCpuSupports) {
 
 TEST(SimdDispatch, ActiveTableMatchesActiveLevel) {
   const KernelTable* active = &simd::active_table();
-  EXPECT_EQ(active, simd::table_for(simd::active_level()));
+  const KernelTable* raw = simd::table_for(simd::active_level());
   EXPECT_STREQ(active->name, simd::level_name(simd::active_level()));
+  const char* env = std::getenv("ADASUM_SIMD");
+  const bool forced_avx2 = env != nullptr && std::strcmp(env, "avx2") == 0;
+  if (simd::active_level() == Level::kScalar || forced_avx2) {
+    // Scalar dispatch and an explicit ADASUM_SIMD=avx2 hand out the raw
+    // per-TU table unmodified.
+    EXPECT_EQ(active, raw);
+  } else {
+    // Auto dispatch on an AVX2 host returns the tuned blend: the measured
+    // per-(kernel, dtype) losers (add f32/f64, scaled_sum f64 — see
+    // dispatch.cpp) are demoted to the scalar pointers, everything else is
+    // the raw AVX2 entry.
+    const KernelTable& s = simd::scalar_table();
+    EXPECT_EQ(active->add[simd::kF32], s.add[simd::kF32]);
+    EXPECT_EQ(active->add[simd::kF64], s.add[simd::kF64]);
+    EXPECT_EQ(active->scaled_sum[simd::kF64], s.scaled_sum[simd::kF64]);
+    EXPECT_EQ(active->add[simd::kF16], raw->add[simd::kF16]);
+    EXPECT_EQ(active->scaled_sum[simd::kF32], raw->scaled_sum[simd::kF32]);
+    EXPECT_EQ(active->dot[simd::kF32], raw->dot[simd::kF32]);
+    EXPECT_EQ(active->dot_triple[simd::kF64], raw->dot_triple[simd::kF64]);
+    EXPECT_EQ(active->stream_copy, raw->stream_copy);
+  }
 }
 
 TEST(SimdDispatch, TypedKernelsRideTheActiveTable) {
